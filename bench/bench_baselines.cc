@@ -1,0 +1,136 @@
+// Extension bench: the Fig. 4 experiment widened to every mechanism in
+// the registry, demonstrating the framework's claimed generality — the
+// paper evaluates three mechanisms; the library benchmarks seven with the
+// same machinery, including model-calibrated aggregation (the Section
+// IV-B "Calibration" step) for the biased Square wave.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "framework/deviation_model.h"
+#include "framework/value_distribution.h"
+#include "hdr4me/recalibrate.h"
+#include "mech/registry.h"
+#include "protocol/aggregator.h"
+#include "protocol/client.h"
+#include "protocol/metrics.h"
+#include "protocol/pipeline.h"
+
+namespace {
+
+using hdldp::framework::GaussianDeviation;
+using hdldp::framework::ModelDeviation;
+using hdldp::framework::ValueDistribution;
+
+constexpr std::size_t kPaperUsers = 100000;
+constexpr std::size_t kDims = 200;
+
+// Runs one calibrated pipeline: client reports -> aggregator with the
+// framework's expected-bias correction.
+double CalibratedMse(const hdldp::data::Dataset& data,
+                     hdldp::mech::MechanismPtr mechanism, double epsilon,
+                     std::span<const ValueDistribution> dists,
+                     std::uint64_t seed) {
+  hdldp::protocol::ClientOptions copts;
+  copts.total_epsilon = epsilon;
+  const auto client =
+      hdldp::protocol::Client::Create(mechanism, data.num_dims(), copts)
+          .value();
+  auto aggregator = hdldp::protocol::MeanAggregator::Create(
+                        data.num_dims(), client.domain_map())
+                        .value();
+  auto bias = hdldp::framework::ExpectedNativeBias(
+                  *mechanism, client.PerDimensionEpsilon(), dists)
+                  .value();
+  const hdldp::Status bias_status =
+      aggregator.SetBiasCorrection(std::move(bias));
+  if (!bias_status.ok()) std::abort();
+  hdldp::Rng rng(seed);
+  for (std::size_t i = 0; i < data.num_users(); ++i) {
+    client.ReportTo(data.Row(i), &rng, [&](std::uint32_t dim, double value) {
+      aggregator.Consume(dim, value);
+    });
+  }
+  return hdldp::protocol::MeanSquaredError(aggregator.EstimatedMean(),
+                                           data.TrueMean())
+      .value();
+}
+
+}  // namespace
+
+int main() {
+  hdldp::bench::PrintHeader(
+      "Extension: all seven mechanisms under the Fig. 4 protocol",
+      "Gaussian dataset n=100,000, d=200, m=d, eps in {0.4, 1.6}");
+  const std::size_t users = hdldp::bench::ScaledUsers(kPaperUsers);
+  const std::size_t repeats = hdldp::bench::Repeats();
+
+  hdldp::Rng data_rng(0xBA5E);
+  hdldp::data::GaussianSpec spec;
+  spec.num_users = users;
+  spec.num_dims = kDims;
+  const auto data = hdldp::data::GenerateGaussian(spec, &data_rng).value();
+  const auto true_mean = data.TrueMean();
+
+  // Per-dimension value distributions, shared by all mechanisms.
+  std::vector<ValueDistribution> dists;
+  std::vector<double> column(std::min<std::size_t>(users, 2000));
+  for (std::size_t j = 0; j < kDims; ++j) {
+    for (std::size_t i = 0; i < column.size(); ++i) column[i] = data.At(i, j);
+    dists.push_back(ValueDistribution::FromSamples(column, 16).value());
+  }
+
+  for (const double eps : {0.4, 1.6}) {
+    std::printf("--- eps = %g ---\n", eps);
+    std::printf("%-12s %14s %14s %14s %14s\n", "mechanism", "naive-MSE",
+                "calibrated", "L1-MSE", "predicted");
+    for (const auto name : hdldp::mech::RegisteredMechanismNames()) {
+      const auto mechanism = hdldp::mech::MakeMechanism(name).value();
+      const double eps_per_dim = eps / static_cast<double>(kDims);
+      std::vector<GaussianDeviation> deviations;
+      for (std::size_t j = 0; j < kDims; ++j) {
+        deviations.push_back(
+            ModelDeviation(*mechanism, eps_per_dim, dists[j],
+                           static_cast<double>(users))
+                .value()
+                .deviation);
+      }
+      const double predicted =
+          hdldp::framework::PredictedMse(deviations).value();
+      double naive = 0.0;
+      double calibrated = 0.0;
+      double l1 = 0.0;
+      for (std::size_t rep = 0; rep < repeats; ++rep) {
+        hdldp::protocol::PipelineOptions opts;
+        opts.total_epsilon = eps;
+        opts.seed = 0xBA5E00 + rep * 37 + name.size();
+        const auto run =
+            hdldp::protocol::RunMeanEstimation(data, mechanism, opts).value();
+        naive += run.mse;
+        calibrated +=
+            CalibratedMse(data, mechanism, eps, dists, opts.seed + 1);
+        hdldp::hdr4me::Hdr4meOptions h;
+        h.regularizer = hdldp::hdr4me::Regularizer::kL1;
+        l1 += hdldp::protocol::MeanSquaredError(
+                  hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations,
+                                             h)
+                      .value()
+                      .enhanced_mean,
+                  true_mean)
+                  .value();
+      }
+      const double denom = static_cast<double>(repeats);
+      std::printf("%-12s %14.5g %14.5g %14.5g %14.5g\n",
+                  std::string(name).c_str(), naive / denom,
+                  calibrated / denom, l1 / denom, predicted);
+    }
+    std::printf("\n");
+  }
+  std::printf("'calibrated' applies the framework's expected-bias "
+              "correction (Section IV-B\nstep 2): a no-op for the unbiased "
+              "mechanisms, a real repair for Square wave.\n");
+  return 0;
+}

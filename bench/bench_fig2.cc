@@ -1,0 +1,92 @@
+// Reproduces Figure 2: the analytical (CLT) pdf of the deviation
+// theta-hat_j - theta-bar_j against the empirical pdf measured from
+// repeated experiments, on the Uniform dataset.
+//
+// Paper setup: n = 200,000 users, d = 5,000 dimensions, m = 50 reported
+// dimensions, eps = 1, 1,000 trials, tracking the first dimension, for
+// Laplace / Piecewise / Square wave.
+//
+// Every user includes the tracked dimension with probability m/d, so only
+// that dimension is simulated (protocol::RunSingleDimension); the trial
+// count is scaled by HDLDP_BENCH_REPEATS * 100 (default 300 trials).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "framework/deviation_model.h"
+#include "framework/value_distribution.h"
+#include "mech/registry.h"
+#include "protocol/pipeline.h"
+
+namespace {
+
+constexpr std::size_t kPaperUsers = 200000;
+constexpr std::size_t kDims = 5000;
+constexpr std::size_t kReportDims = 50;
+constexpr double kEpsilon = 1.0;
+
+void RunMechanism(const std::string& name, std::size_t users,
+                  std::size_t trials) {
+  using hdldp::framework::ModelDeviation;
+  using hdldp::framework::ValueDistribution;
+
+  const auto mechanism = hdldp::mech::MakeMechanism(name).value();
+  const double eps_per_dim = kEpsilon / static_cast<double>(kReportDims);
+  const double inclusion =
+      static_cast<double>(kReportDims) / static_cast<double>(kDims);
+
+  // The tracked dimension of the Uniform dataset.
+  hdldp::Rng data_rng(0xF16'2000 + name.size());
+  std::vector<double> values(users);
+  for (double& v : values) v = data_rng.Uniform(-1.0, 1.0);
+  const double true_mean = hdldp::Mean(values);
+
+  // Framework prediction (Lemma 2 / Lemma 3 + Theorem 1 marginal).
+  const auto value_dist = ValueDistribution::FromSamples(values, 64).value();
+  const double expected_reports = static_cast<double>(users) * inclusion;
+  const auto model =
+      ModelDeviation(*mechanism, eps_per_dim, value_dist, expected_reports)
+          .value();
+
+  // Empirical deviations across trials.
+  const double span = 4.0 * model.deviation.stddev;
+  const double lo = model.deviation.mean - span;
+  const double hi = model.deviation.mean + span;
+  auto histogram = hdldp::Histogram::Create(lo, hi, 25).value();
+  hdldp::Rng rng(0xF16'2F00 + name.size());
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const auto run = hdldp::protocol::RunSingleDimension(
+                         values, *mechanism, eps_per_dim, inclusion,
+                         {-1.0, 1.0}, &rng)
+                         .value();
+    histogram.Add(run.estimated_mean - true_mean);
+  }
+
+  std::printf("--- %s (CLT model: delta=%.4g, sigma=%.4g) ---\n",
+              name.c_str(), model.deviation.mean, model.deviation.stddev);
+  std::printf("%14s %14s %14s\n", "deviation", "pdf(CLT)", "pdf(experiment)");
+  for (std::size_t b = 0; b < histogram.num_bins(); ++b) {
+    const double x = histogram.BinCenter(b);
+    std::printf("%14.5g %14.5g %14.5g\n", x, model.deviation.Pdf(x),
+                histogram.DensityAt(b));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  hdldp::bench::PrintHeader(
+      "Figure 2: analysis vs. experiment on Uniform (d=5,000)",
+      "n=200,000, d=5,000, m=50, eps=1, 1,000 trials, first dimension");
+  const std::size_t users = hdldp::bench::ScaledUsers(kPaperUsers);
+  const std::size_t trials = hdldp::bench::Repeats() * 100;
+  std::printf("effective   : n=%zu, trials=%zu\n\n", users, trials);
+  for (const auto name : {"laplace", "piecewise", "square_wave"}) {
+    RunMechanism(name, users, trials);
+  }
+  return 0;
+}

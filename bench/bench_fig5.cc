@@ -1,0 +1,132 @@
+// Reproduces Figure 5: MSE vs. dimensionality on the COV-19 surrogate at
+// eps = 0.8 for Laplace and Piecewise, under naive aggregation, HDR4ME-L1
+// and HDR4ME-L2.
+//
+// Paper setup: d in {50, 100, 200, 400, 800, 1600}; dimensionalities
+// beyond the source data's 750 columns are "made up" by randomly sampling
+// columns with replacement, exactly as the paper describes.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "data/generators.h"
+#include "framework/deviation_model.h"
+#include "framework/value_distribution.h"
+#include "hdr4me/recalibrate.h"
+#include "mech/registry.h"
+#include "protocol/metrics.h"
+#include "protocol/pipeline.h"
+
+namespace {
+
+using hdldp::data::Dataset;
+using hdldp::framework::GaussianDeviation;
+using hdldp::framework::ModelDeviation;
+using hdldp::framework::ValueDistribution;
+
+constexpr double kEpsilon = 0.8;
+constexpr std::size_t kPaperUsers = 150000;
+constexpr std::size_t kSourceDims = 750;
+
+std::vector<ValueDistribution> PerDimDistributions(const Dataset& data) {
+  const std::size_t rows = std::min<std::size_t>(data.num_users(), 2000);
+  std::vector<ValueDistribution> dists;
+  dists.reserve(data.num_dims());
+  std::vector<double> column(rows);
+  for (std::size_t j = 0; j < data.num_dims(); ++j) {
+    for (std::size_t i = 0; i < rows; ++i) column[i] = data.At(i, j);
+    dists.push_back(ValueDistribution::FromSamples(column, 16).value());
+  }
+  return dists;
+}
+
+void RunMechanism(const std::string& mech_name, const Dataset& source,
+                  std::size_t repeats) {
+  const auto mechanism = hdldp::mech::MakeMechanism(mech_name).value();
+  std::printf("--- %s on COV-19* (n=%zu, eps=%g, m=d) ---\n",
+              mech_name.c_str(), source.num_users(), kEpsilon);
+  // L2-MSE uses the practical estimate-referenced lambda*; L2p-MSE uses
+  // the paper's literal reading (model-bias reference), whose weights blow
+  // up for unbiased mechanisms and push the enhanced mean to ~0 — the
+  // "MSE of L2 hardly changes" regime of Figs. 4(g)-(k)/5.
+  std::printf("%10s %14s %14s %14s %14s\n", "dims", "naive-MSE", "L1-MSE",
+              "L2-MSE", "L2p-MSE");
+  hdldp::Rng resample_rng(0xF16'5000 + mech_name.size());
+  for (const std::size_t d : {50u, 100u, 200u, 400u, 800u, 1600u}) {
+    const Dataset data = source.ResampleDimensions(d, &resample_rng).value();
+    const auto dists = PerDimDistributions(data);
+    const auto true_mean = data.TrueMean();
+    const double eps_per_dim = kEpsilon / static_cast<double>(d);
+    std::vector<GaussianDeviation> deviations;
+    deviations.reserve(d);
+    for (std::size_t j = 0; j < d; ++j) {
+      deviations.push_back(
+          ModelDeviation(*mechanism, eps_per_dim, dists[j],
+                         static_cast<double>(data.num_users()))
+              .value()
+              .deviation);
+    }
+    double naive = 0.0;
+    double l1 = 0.0;
+    double l2 = 0.0;
+    double l2_paper = 0.0;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      hdldp::protocol::PipelineOptions opts;
+      opts.total_epsilon = kEpsilon;
+      opts.report_dims = 0;
+      opts.seed = 0xF16'5F00 + rep * 1193 + d;
+      const auto run =
+          hdldp::protocol::RunMeanEstimation(data, mechanism, opts).value();
+      naive += run.mse;
+      hdldp::hdr4me::Hdr4meOptions h;
+      h.regularizer = hdldp::hdr4me::Regularizer::kL1;
+      l1 += hdldp::protocol::MeanSquaredError(
+                hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations, h)
+                    .value()
+                    .enhanced_mean,
+                true_mean)
+                .value();
+      h.regularizer = hdldp::hdr4me::Regularizer::kL2;
+      l2 += hdldp::protocol::MeanSquaredError(
+                hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations, h)
+                    .value()
+                    .enhanced_mean,
+                true_mean)
+                .value();
+      h.lambda.l2_reference = hdldp::hdr4me::L2Reference::kModelBias;
+      l2_paper +=
+          hdldp::protocol::MeanSquaredError(
+              hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations, h)
+                  .value()
+                  .enhanced_mean,
+              true_mean)
+              .value();
+    }
+    const double denom = static_cast<double>(repeats);
+    std::printf("%10zu %14.5g %14.5g %14.5g %14.5g\n", d, naive / denom,
+                l1 / denom, l2 / denom, l2_paper / denom);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  hdldp::bench::PrintHeader(
+      "Figure 5: MSE vs. dimensionality on COV-19 (eps=0.8)",
+      "n=150,000, d in {50..1600} resampled from 750 source dims, 100 "
+      "repeats");
+  const std::size_t users = hdldp::bench::ScaledUsers(kPaperUsers);
+  hdldp::Rng data_rng(0xC0515);
+  hdldp::data::CorrelatedSpec spec;
+  spec.num_users = users;
+  spec.num_dims = kSourceDims;
+  const Dataset source = hdldp::data::GenerateCorrelated(spec, &data_rng).value();
+  const std::size_t repeats = hdldp::bench::Repeats();
+  RunMechanism("laplace", source, repeats);
+  RunMechanism("piecewise", source, repeats);
+  return 0;
+}

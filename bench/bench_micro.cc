@@ -1,0 +1,105 @@
+// Micro-benchmarks (google-benchmark): per-report perturbation throughput
+// of every mechanism, collector aggregation, HDR4ME re-calibration, and
+// the framework's model construction. These bound the cost of running the
+// paper's protocol at population scale.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "framework/deviation_model.h"
+#include "framework/value_distribution.h"
+#include "hdr4me/recalibrate.h"
+#include "mech/registry.h"
+#include "protocol/aggregator.h"
+
+namespace {
+
+void BM_Perturb(benchmark::State& state, const char* name, double eps) {
+  const auto mechanism = hdldp::mech::MakeMechanism(name).value();
+  hdldp::Rng rng(42);
+  double t = -1.0;
+  for (auto _ : state) {
+    t += 0.001;
+    if (t > 1.0) t = -1.0;
+    const double native =
+        mechanism->InputDomain().lo == 0.0 ? 0.5 * (t + 1.0) : t;
+    benchmark::DoNotOptimize(mechanism->Perturb(native, eps, &rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RngUniform(benchmark::State& state) {
+  hdldp::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.UniformDouble());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_AggregatorConsume(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  auto agg =
+      hdldp::protocol::MeanAggregator::Create(dims, hdldp::mech::DomainMap())
+          .value();
+  hdldp::Rng rng(2);
+  std::uint32_t j = 0;
+  for (auto _ : state) {
+    agg.Consume(j, 0.5);
+    if (++j == dims) j = 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RecalibrateL1(benchmark::State& state) {
+  const auto dims = static_cast<std::size_t>(state.range(0));
+  hdldp::Rng rng(3);
+  std::vector<double> theta(dims);
+  std::vector<double> lambda(dims);
+  for (std::size_t k = 0; k < dims; ++k) {
+    theta[k] = rng.Uniform(-3.0, 3.0);
+    lambda[k] = rng.Uniform(0.0, 2.0);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hdldp::hdr4me::RecalibrateL1(theta, lambda));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(dims));
+}
+
+void BM_ModelDeviation(benchmark::State& state, const char* name) {
+  const auto mechanism = hdldp::mech::MakeMechanism(name).value();
+  std::vector<double> values;
+  std::vector<double> probs;
+  for (int k = 0; k < 16; ++k) {
+    values.push_back(-1.0 + 2.0 * k / 15.0);
+    probs.push_back(1.0 / 16.0);
+  }
+  const auto dist =
+      hdldp::framework::ValueDistribution::Create(values, probs).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hdldp::framework::ModelDeviation(*mechanism, 0.01, dist, 10000.0));
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_Perturb, laplace_eps1, "laplace", 1.0);
+BENCHMARK_CAPTURE(BM_Perturb, laplace_eps001, "laplace", 0.01);
+BENCHMARK_CAPTURE(BM_Perturb, scdf_eps1, "scdf", 1.0);
+BENCHMARK_CAPTURE(BM_Perturb, staircase_eps1, "staircase", 1.0);
+BENCHMARK_CAPTURE(BM_Perturb, duchi_eps1, "duchi", 1.0);
+BENCHMARK_CAPTURE(BM_Perturb, piecewise_eps1, "piecewise", 1.0);
+BENCHMARK_CAPTURE(BM_Perturb, piecewise_eps001, "piecewise", 0.01);
+BENCHMARK_CAPTURE(BM_Perturb, hybrid_eps1, "hybrid", 1.0);
+BENCHMARK_CAPTURE(BM_Perturb, square_wave_eps1, "square_wave", 1.0);
+BENCHMARK_CAPTURE(BM_Perturb, square_wave_eps001, "square_wave", 0.01);
+BENCHMARK(BM_RngUniform);
+BENCHMARK(BM_AggregatorConsume)->Arg(100)->Arg(10000);
+BENCHMARK(BM_RecalibrateL1)->Arg(1000)->Arg(100000);
+BENCHMARK_CAPTURE(BM_ModelDeviation, piecewise, "piecewise");
+BENCHMARK_CAPTURE(BM_ModelDeviation, square_wave, "square_wave");
+BENCHMARK_CAPTURE(BM_ModelDeviation, laplace, "laplace");
+
+BENCHMARK_MAIN();

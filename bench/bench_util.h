@@ -1,0 +1,72 @@
+// Shared helpers for the paper-reproduction benchmark binaries.
+//
+// Every bench runs with no arguments at a reduced default scale so the
+// whole suite finishes in minutes on a laptop; two environment variables
+// restore paper scale:
+//
+//   HDLDP_BENCH_SCALE    divisor applied to user counts (default 10;
+//                        set 1 for the paper's full populations)
+//   HDLDP_BENCH_REPEATS  repetitions averaged per point (default 3;
+//                        the paper uses 100)
+//
+// Output is aligned-text tables mirroring the paper's rows/series, so a
+// run can be diffed against EXPERIMENTS.md.
+
+#ifndef HDLDP_BENCH_BENCH_UTIL_H_
+#define HDLDP_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hdldp {
+namespace bench {
+
+/// Reads a positive integer environment variable with a default.
+inline std::size_t EnvSize(const char* name, std::size_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return fallback;
+  const long parsed = std::atol(raw);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+/// User-count divisor (1 = paper scale).
+inline std::size_t ScaleDivisor() { return EnvSize("HDLDP_BENCH_SCALE", 10); }
+
+/// Repetitions per configuration.
+inline std::size_t Repeats() { return EnvSize("HDLDP_BENCH_REPEATS", 3); }
+
+/// Scales a paper-sized user population down by ScaleDivisor().
+inline std::size_t ScaledUsers(std::size_t paper_users) {
+  const std::size_t scaled = paper_users / ScaleDivisor();
+  return scaled == 0 ? 1 : scaled;
+}
+
+/// Prints the standard bench header with the effective scale settings.
+inline void PrintHeader(const char* title, const char* paper_setup) {
+  std::printf("=== %s ===\n", title);
+  std::printf("paper setup : %s\n", paper_setup);
+  std::printf("this run    : users / %zu, %zu repeats "
+              "(HDLDP_BENCH_SCALE / HDLDP_BENCH_REPEATS)\n\n",
+              ScaleDivisor(), Repeats());
+}
+
+/// Wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(std::chrono::steady_clock::now()) {}
+  double Seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace bench
+}  // namespace hdldp
+
+#endif  // HDLDP_BENCH_BENCH_UTIL_H_

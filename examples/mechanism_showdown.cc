@@ -1,0 +1,76 @@
+// Mechanism showdown: benchmark all seven LDP mechanisms *without running
+// a single experiment*, using the paper's analytical framework
+// (Section IV): per-dimension deviation laws, supremum probabilities at
+// several tolerances, and the Theorem 2 Berry-Esseen error of the model
+// itself.
+//
+// Scenario: the Section IV-C case study, widened from two mechanisms to
+// all seven — original values {0.1, ..., 1.0} (10% each), per-dimension
+// budget eps/m = 0.001, r = 10,000 reports. Each mechanism is evaluated
+// on its native domain, exactly as the paper's case study does.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/math.h"
+#include "framework/benchmark.h"
+#include "framework/berry_esseen.h"
+#include "framework/value_distribution.h"
+#include "mech/registry.h"
+
+int main() {
+  constexpr double kEpsPerDim = 0.001;
+  constexpr double kReports = 10000.0;
+
+  std::vector<double> raw_values;
+  std::vector<double> probs;
+  for (int k = 1; k <= 10; ++k) {
+    raw_values.push_back(0.1 * k);
+    probs.push_back(0.1);
+  }
+  const auto values =
+      hdldp::framework::ValueDistribution::Create(raw_values, probs).value();
+
+  std::vector<hdldp::framework::BenchmarkSpec> specs;
+  for (const auto name : hdldp::mech::RegisteredMechanismNames()) {
+    hdldp::framework::BenchmarkSpec spec;
+    spec.mechanism = hdldp::mech::MakeMechanism(name).value();
+    spec.values = values;
+    // Evaluate each mechanism on its native input domain (the values live
+    // in both [0, 1] and [-1, 1]).
+    spec.data_domain = spec.mechanism->InputDomain();
+    specs.push_back(std::move(spec));
+  }
+
+  const std::vector<double> xis = {0.001, 0.01, 0.05, 0.1};
+  const auto table =
+      hdldp::framework::BenchmarkMechanisms(specs, kEpsPerDim, kReports, xis)
+          .value();
+
+  std::printf("case study, all mechanisms: values {0.1..1.0} w.p. 10%%, "
+              "eps/m = %g, r = %g\n\n",
+              kEpsPerDim, kReports);
+  std::printf("%-12s %10s %10s |", "mechanism", "delta", "sigma");
+  for (const double xi : xis) std::printf(" P(|dev|<=%-5g)", xi);
+  std::printf(" %12s\n", "CLT-error<=");
+  for (const auto& row : table) {
+    std::printf("%-12s %10.3g %10.3g |", row.name.c_str(),
+                row.model.deviation.mean, row.model.deviation.stddev);
+    for (const double p : row.probabilities) std::printf(" %14.3g", p);
+    const double clt_error =
+        hdldp::framework::BerryEsseenBound(row.model).value();
+    std::printf(" %12.3g\n", clt_error);
+  }
+
+  const auto winners = hdldp::framework::WinnersPerSupremum(table);
+  std::printf("\nrecommended mechanism per tolerance:\n");
+  for (std::size_t k = 0; k < xis.size(); ++k) {
+    std::printf("  tolerate |dev| <= %-5g -> deploy %s\n", xis[k],
+                table[winners[k]].name.c_str());
+  }
+  std::printf("\nUnbiased mechanisms win when the collector demands tiny "
+              "deviations;\nthe biased-but-concentrated Square wave wins "
+              "once its bias fits the\ntolerance — Table II's effect, "
+              "across the whole registry.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Private survey: the Section V-C frequency-estimation extension, with
+// the Lemma 4 threshold story told on real numbers.
+//
+// A survey platform runs 24 multiple-choice questions; answers must stay
+// on-device. Each respondent one-hot encodes her answers, samples 6
+// questions and perturbs every encoded entry at eps/(2m); the platform
+// aggregates and HDR4ME re-calibrates the expanded space.
+//
+// Two regimes are shown:
+//   * a starved budget (eps = 0.1), where perturbation noise swamps the
+//     frequencies and HDR4ME clearly helps;
+//   * a comfortable budget (eps = 2), where deviations sit below the
+//     Lemma 4 threshold — ungated re-calibration would *hurt*, and the
+//     threshold gate correctly declines to touch the estimate.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "freq/encoding.h"
+#include "freq/pipeline.h"
+#include "mech/registry.h"
+
+namespace {
+
+constexpr std::size_t kRespondents = 60000;
+constexpr std::size_t kQuestions = 24;
+constexpr std::size_t kSampled = 6;
+
+void RunBudget(const hdldp::freq::CategoricalDataset& answers, double epsilon,
+               bool show_question) {
+  const auto mechanism = hdldp::mech::MakeMechanism("piecewise").value();
+  hdldp::freq::FrequencyOptions opts;
+  opts.total_epsilon = epsilon;
+  opts.report_dims = kSampled;
+  opts.seed = 9;
+  opts.hdr4me.regularizer = hdldp::hdr4me::Regularizer::kL1;
+
+  opts.hdr4me.lambda.gate_on_threshold = false;
+  const auto ungated =
+      hdldp::freq::RunFrequencyEstimation(answers, mechanism, opts).value();
+  opts.hdr4me.lambda.gate_on_threshold = true;
+  const auto gated =
+      hdldp::freq::RunFrequencyEstimation(answers, mechanism, opts).value();
+
+  std::printf("--- eps = %g (eps/(2m) = %.4f per encoded entry) ---\n",
+              epsilon, ungated.per_entry_epsilon);
+  std::printf("%-34s %12.3g\n", "MSE naive aggregation:", ungated.mse_raw);
+  std::printf("%-34s %12.3g\n",
+              "MSE HDR4ME (ungated, as in paper):",
+              ungated.mse_recalibrated);
+  std::printf("%-34s %12.3g\n\n", "MSE HDR4ME (Lemma-4 gated):",
+              gated.mse_recalibrated);
+
+  if (show_question) {
+    const std::size_t q = 2;  // A 6-option question.
+    std::printf("question %zu answer shares under the starved budget:\n", q);
+    std::printf("%8s %12s %12s %12s\n", "option", "true", "naive", "HDR4ME");
+    for (std::size_t k = 0; k < answers.schema().Cardinality(q); ++k) {
+      std::printf("%8zu %11.1f%% %11.1f%% %11.1f%%\n", k,
+                  100.0 * ungated.true_frequencies[q][k],
+                  100.0 * ungated.raw[q][k],
+                  100.0 * ungated.recalibrated[q][k]);
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+
+int main() {
+  // 24 questions with 4 to 8 options each; answers are Zipf-skewed.
+  std::vector<std::size_t> options(kQuestions);
+  for (std::size_t q = 0; q < kQuestions; ++q) options[q] = 4 + q % 5;
+  const auto schema = hdldp::freq::CategoricalSchema::Create(options).value();
+  hdldp::Rng rng(123);
+  const auto answers =
+      hdldp::freq::GenerateCategorical(kRespondents, schema, 1.0, &rng)
+          .value();
+
+  std::printf("survey      : %zu respondents, %zu questions "
+              "(%zu one-hot entries)\n",
+              kRespondents, kQuestions, schema.total_entries());
+  std::printf("protocol    : m=%zu questions per report, Piecewise "
+              "mechanism\n\n",
+              kSampled);
+
+  RunBudget(answers, 0.1, /*show_question=*/true);
+  RunBudget(answers, 2.0, /*show_question=*/false);
+
+  std::printf("At eps = 0.1 the noise dominates and re-calibration wins; at "
+              "eps = 2 the\ndeviations sit below the Lemma 4 threshold, so "
+              "the gate leaves the naive\nestimate untouched instead of "
+              "hurting it.\n");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Numerical building blocks shared across hdldp.
+//
+// The analytical framework (src/framework) is mostly closed-form Gaussian
+// algebra plus one-dimensional quadrature over perturbation densities; this
+// header collects the primitives: the standard normal family, adaptive
+// Simpson and fixed-order Gauss-Legendre integration, and compensated
+// summation for long reductions.
+
+#ifndef HDLDP_COMMON_MATH_H_
+#define HDLDP_COMMON_MATH_H_
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+
+namespace hdldp {
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kSqrt2 = 1.41421356237309504880;
+inline constexpr double kSqrt2Pi = 2.50662827463100050242;
+
+/// \brief x².
+constexpr double Sq(double x) { return x * x; }
+
+/// \brief x clamped to [lo, hi].
+constexpr double Clamp(double x, double lo, double hi) {
+  return x < lo ? lo : (x > hi ? hi : x);
+}
+
+/// \brief Density of N(0, 1) at x.
+double NormalPdf(double x);
+
+/// \brief Density of N(mean, stddev²) at x. Requires stddev > 0.
+double NormalPdf(double x, double mean, double stddev);
+
+/// \brief P(N(0,1) <= x), accurate in both tails (erfc-based).
+double NormalCdf(double x);
+
+/// \brief P(N(mean, stddev²) <= x). Requires stddev > 0.
+double NormalCdf(double x, double mean, double stddev);
+
+/// \brief P(lo <= N(mean, stddev²) <= hi), computed tail-stably.
+double NormalIntervalProb(double lo, double hi, double mean, double stddev);
+
+/// \brief Inverse of NormalCdf on (0, 1); Acklam's rational approximation
+/// polished with one Halley step (|rel err| < 1e-13 on (1e-300, 1-1e-16)).
+double NormalQuantile(double p);
+
+/// \brief Result of a quadrature call.
+struct QuadratureResult {
+  /// Integral estimate.
+  double value = 0.0;
+  /// Estimated absolute error.
+  double error = 0.0;
+  /// Number of integrand evaluations spent.
+  std::size_t evaluations = 0;
+};
+
+/// Options for AdaptiveSimpson.
+struct QuadratureOptions {
+  /// Target absolute error for the whole interval.
+  double abs_tolerance = 1e-10;
+  /// Hard recursion depth cap; beyond it the local estimate is accepted.
+  int max_depth = 40;
+};
+
+/// \brief Adaptive Simpson integration of `f` over [a, b].
+///
+/// Handles a > b by sign flip. The integrand must be finite on [a, b];
+/// perturbation densities in hdldp are bounded and piecewise smooth, for
+/// which adaptive Simpson converges quickly between breakpoints (callers
+/// split at known discontinuities, see mech/*).
+QuadratureResult AdaptiveSimpson(const std::function<double(double)>& f,
+                                 double a, double b,
+                                 const QuadratureOptions& options = {});
+
+/// \brief Fixed 64-point Gauss-Legendre quadrature over [a, b]; exact for
+/// polynomials up to degree 127, used where the integrand is smooth.
+double GaussLegendre64(const std::function<double(double)>& f, double a,
+                       double b);
+
+/// \brief Integrates `f` over the union of [breaks[i], breaks[i+1]]
+/// segments with AdaptiveSimpson per segment. `breaks` must be sorted.
+Result<double> IntegrateSegments(const std::function<double(double)>& f,
+                                 const std::vector<double>& breaks,
+                                 const QuadratureOptions& options = {});
+
+/// \brief Neumaier (improved Kahan) compensated accumulator.
+class NeumaierSum {
+ public:
+  /// Adds one term.
+  void Add(double x);
+  /// Folds another accumulator in (parallel-reduction support).
+  void Merge(const NeumaierSum& other) { Add(other.Total()); }
+  /// Current compensated total.
+  double Total() const { return sum_ + compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+/// \brief Compensated sum of a range.
+double StableSum(const double* data, std::size_t n);
+
+/// \brief Relative difference |a-b| / max(|a|, |b|, floor).
+double RelativeDiff(double a, double b, double floor = 1e-300);
+
+}  // namespace hdldp
+
+#endif  // HDLDP_COMMON_MATH_H_

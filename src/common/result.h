@@ -1,0 +1,87 @@
+// Result<T>: value-or-Status, the hdldp counterpart of arrow::Result.
+//
+// Functions that can fail but also produce a value return Result<T>; callers
+// either branch on ok() or use HDLDP_ASSIGN_OR_RETURN to propagate.
+
+#ifndef HDLDP_COMMON_RESULT_H_
+#define HDLDP_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace hdldp {
+
+/// \brief Holds either a value of type T or an error Status.
+///
+/// Invariants: exactly one of the two is engaged; a Result never holds an OK
+/// Status (constructing from an OK Status is a programming error and is
+/// converted to an Internal error so misuse is observable rather than UB).
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, mirroring arrow::Result).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from an error status (implicit so `return st;` works).
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// \brief True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The error status; OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// \brief Access to the held value. Requires ok().
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// \brief The value, or `fallback` when this Result holds an error.
+  T value_or(T fallback) const {
+    return ok() ? std::get<T>(repr_) : std::move(fallback);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace hdldp
+
+#define HDLDP_CONCAT_IMPL(a, b) a##b
+#define HDLDP_CONCAT(a, b) HDLDP_CONCAT_IMPL(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status from the
+/// current function, otherwise assigns the value to `lhs`.
+#define HDLDP_ASSIGN_OR_RETURN(lhs, rexpr)                             \
+  HDLDP_ASSIGN_OR_RETURN_IMPL(HDLDP_CONCAT(_hdldp_result_, __LINE__), \
+                              lhs, rexpr)
+
+#define HDLDP_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // HDLDP_COMMON_RESULT_H_

@@ -1,0 +1,163 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace hdldp {
+
+namespace {
+inline std::uint64_t Rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+std::uint64_t SplitMix64(std::uint64_t* x) {
+  std::uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(&sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng::result_type Rng::Next() {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+double Rng::UniformDouble() {
+  // 53 high bits -> uniform in [0, 1) on the representable grid.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) {
+  assert(lo <= hi);
+  return lo + (hi - lo) * UniformDouble();
+}
+
+std::uint64_t Rng::UniformInt(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's rejection method: unbiased and branch-light.
+  std::uint64_t x = Next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = Next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformDouble() < p;
+}
+
+double Rng::Exponential(double rate) {
+  assert(rate > 0.0);
+  // -log(1-U) keeps the argument strictly positive since U in [0,1).
+  return -std::log1p(-UniformDouble()) / rate;
+}
+
+double Rng::Laplace(double scale) {
+  assert(scale > 0.0);
+  const double u = UniformDouble() - 0.5;
+  return u < 0.0 ? scale * std::log1p(2.0 * u) : -scale * std::log1p(-2.0 * u);
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u, v, s;
+  do {
+    u = Uniform(-1.0, 1.0);
+    v = Uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  cached_gaussian_ = v * factor;
+  has_cached_gaussian_ = true;
+  return u * factor;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+std::int64_t Rng::Poisson(double mean) {
+  assert(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean < 30.0) {
+    const double limit = std::exp(-mean);
+    double product = UniformDouble();
+    std::int64_t count = 0;
+    while (product > limit) {
+      ++count;
+      product *= UniformDouble();
+    }
+    return count;
+  }
+  // Normal approximation with continuity correction; the generators only
+  // need the right mean/variance/shape at large lambda.
+  const double draw = Gaussian(mean, std::sqrt(mean));
+  return draw < 0.0 ? 0 : static_cast<std::int64_t>(std::floor(draw + 0.5));
+}
+
+std::int64_t Rng::Geometric(double p) {
+  assert(p > 0.0 && p <= 1.0);
+  if (p == 1.0) return 0;
+  const double u = UniformDouble();
+  return static_cast<std::int64_t>(std::floor(std::log1p(-u) /
+                                              std::log1p(-p)));
+}
+
+void Rng::SampleWithoutReplacement(std::size_t d, std::size_t m,
+                                   std::vector<std::uint32_t>* out) {
+  assert(m <= d);
+  // Floyd's algorithm: O(m) expected time, no O(d) scratch. The membership
+  // probe over the freshly appended suffix is O(m^2) worst case, which is
+  // fine for the m <= d <= a few thousand regimes hdldp runs at; callers
+  // sampling m == d get the fast path below.
+  const std::size_t base = out->size();
+  if (m == d) {
+    for (std::size_t j = 0; j < d; ++j) {
+      out->push_back(static_cast<std::uint32_t>(j));
+    }
+    return;
+  }
+  for (std::size_t j = d - m; j < d; ++j) {
+    const auto candidate =
+        static_cast<std::uint32_t>(UniformInt(static_cast<std::uint64_t>(j) + 1));
+    bool seen = false;
+    for (std::size_t k = base; k < out->size(); ++k) {
+      if ((*out)[k] == candidate) {
+        seen = true;
+        break;
+      }
+    }
+    out->push_back(seen ? static_cast<std::uint32_t>(j) : candidate);
+  }
+}
+
+}  // namespace hdldp

@@ -1,0 +1,100 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/math.h"
+
+namespace hdldp {
+namespace data {
+
+Dataset::Dataset(std::size_t num_users, std::size_t num_dims)
+    : num_users_(num_users),
+      num_dims_(num_dims),
+      values_(num_users * num_dims, 0.0) {}
+
+Result<Dataset> Dataset::Create(std::size_t num_users, std::size_t num_dims) {
+  if (num_users == 0 || num_dims == 0) {
+    return Status::InvalidArgument("Dataset requires num_users, num_dims > 0");
+  }
+  return Dataset(num_users, num_dims);
+}
+
+std::vector<double> Dataset::TrueMean() const {
+  // Column sums with compensated accumulation; one pass over the matrix.
+  std::vector<NeumaierSum> sums(num_dims_);
+  for (std::size_t i = 0; i < num_users_; ++i) {
+    const double* row = values_.data() + i * num_dims_;
+    for (std::size_t j = 0; j < num_dims_; ++j) sums[j].Add(row[j]);
+  }
+  std::vector<double> means(num_dims_);
+  for (std::size_t j = 0; j < num_dims_; ++j) {
+    means[j] = sums[j].Total() / static_cast<double>(num_users_);
+  }
+  return means;
+}
+
+void Dataset::DimensionRange(std::size_t j, double* min_out,
+                             double* max_out) const {
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < num_users_; ++i) {
+    const double v = At(i, j);
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  *min_out = lo;
+  *max_out = hi;
+}
+
+void Dataset::NormalizeDimensions() {
+  for (std::size_t j = 0; j < num_dims_; ++j) {
+    double lo, hi;
+    DimensionRange(j, &lo, &hi);
+    const double width = hi - lo;
+    if (width <= 0.0) {
+      for (std::size_t i = 0; i < num_users_; ++i) Set(i, j, 0.0);
+      continue;
+    }
+    for (std::size_t i = 0; i < num_users_; ++i) {
+      Set(i, j, 2.0 * (At(i, j) - lo) / width - 1.0);
+    }
+  }
+}
+
+void Dataset::ClampValues(double lo, double hi) {
+  for (double& v : values_) v = Clamp(v, lo, hi);
+}
+
+Result<Dataset> Dataset::ResampleDimensions(std::size_t new_num_dims,
+                                            Rng* rng) const {
+  if (new_num_dims == 0) {
+    return Status::InvalidArgument("ResampleDimensions requires > 0 dims");
+  }
+  std::vector<std::size_t> picks(new_num_dims);
+  for (auto& p : picks) p = static_cast<std::size_t>(rng->UniformInt(num_dims_));
+  HDLDP_ASSIGN_OR_RETURN(Dataset out, Create(num_users_, new_num_dims));
+  for (std::size_t i = 0; i < num_users_; ++i) {
+    const double* row = values_.data() + i * num_dims_;
+    for (std::size_t j = 0; j < new_num_dims; ++j) {
+      out.Set(i, j, row[picks[j]]);
+    }
+  }
+  return out;
+}
+
+Result<Dataset> Dataset::TruncateUsers(std::size_t new_num_users) const {
+  if (new_num_users == 0 || new_num_users > num_users_) {
+    return Status::InvalidArgument(
+        "TruncateUsers requires 0 < new_num_users <= num_users");
+  }
+  HDLDP_ASSIGN_OR_RETURN(Dataset out, Create(new_num_users, num_dims_));
+  std::copy(values_.begin(),
+            values_.begin() +
+                static_cast<std::ptrdiff_t>(new_num_users * num_dims_),
+            out.values_.begin());
+  return out;
+}
+
+}  // namespace data
+}  // namespace hdldp

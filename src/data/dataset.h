@@ -1,0 +1,83 @@
+// In-memory numerical dataset: n users (rows) x d dimensions (columns).
+//
+// Matches the paper's data model (Section III-B): every user holds a
+// d-dimensional numerical tuple and every dimension is normalized into
+// [-1, 1] before perturbation. Row-major storage keeps the client-side
+// perturbation loop (iterate users, touch m sampled dimensions) cache
+// friendly.
+
+#ifndef HDLDP_DATA_DATASET_H_
+#define HDLDP_DATA_DATASET_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace hdldp {
+namespace data {
+
+/// \brief Dense row-major matrix of user tuples.
+class Dataset {
+ public:
+  /// Creates a zero-filled dataset with `num_users` rows and
+  /// `num_dims` columns. Both must be positive.
+  static Result<Dataset> Create(std::size_t num_users, std::size_t num_dims);
+
+  std::size_t num_users() const { return num_users_; }
+  std::size_t num_dims() const { return num_dims_; }
+
+  /// Value of user i in dimension j (unchecked in release builds).
+  double At(std::size_t i, std::size_t j) const {
+    return values_[i * num_dims_ + j];
+  }
+  /// Sets the value of user i in dimension j.
+  void Set(std::size_t i, std::size_t j, double v) {
+    values_[i * num_dims_ + j] = v;
+  }
+
+  /// User i's full tuple.
+  std::span<const double> Row(std::size_t i) const {
+    return {values_.data() + i * num_dims_, num_dims_};
+  }
+  std::span<double> MutableRow(std::size_t i) {
+    return {values_.data() + i * num_dims_, num_dims_};
+  }
+
+  /// \brief Per-dimension true mean, the paper's theta-bar.
+  std::vector<double> TrueMean() const;
+
+  /// \brief Per-dimension [min, max].
+  void DimensionRange(std::size_t j, double* min_out, double* max_out) const;
+
+  /// \brief Min-max normalizes every dimension onto [-1, 1] (paper
+  /// Section VI: "each dimension is normalized into [-1, 1]").
+  /// Constant dimensions map to 0.
+  void NormalizeDimensions();
+
+  /// \brief Clamps every value into [lo, hi].
+  void ClampValues(double lo, double hi);
+
+  /// \brief New dataset with `new_num_dims` columns sampled uniformly with
+  /// replacement from this dataset's columns (the paper's Figure 5 recipe
+  /// for dimensionalities larger than the source data).
+  Result<Dataset> ResampleDimensions(std::size_t new_num_dims,
+                                     Rng* rng) const;
+
+  /// \brief New dataset keeping only the first `new_num_users` rows.
+  Result<Dataset> TruncateUsers(std::size_t new_num_users) const;
+
+ private:
+  Dataset(std::size_t num_users, std::size_t num_dims);
+
+  std::size_t num_users_;
+  std::size_t num_dims_;
+  std::vector<double> values_;
+};
+
+}  // namespace data
+}  // namespace hdldp
+
+#endif  // HDLDP_DATA_DATASET_H_

@@ -1,0 +1,193 @@
+#include "data/generators.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/math.h"
+#include "common/stats.h"
+
+namespace hdldp {
+namespace data {
+
+namespace {
+Status ValidateShape(std::size_t num_users, std::size_t num_dims) {
+  if (num_users == 0 || num_dims == 0) {
+    return Status::InvalidArgument("generator requires num_users, num_dims > 0");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<Dataset> GenerateUniform(const UniformSpec& spec, Rng* rng) {
+  HDLDP_RETURN_NOT_OK(ValidateShape(spec.num_users, spec.num_dims));
+  if (!(spec.lo < spec.hi)) {
+    return Status::InvalidArgument("uniform generator requires lo < hi");
+  }
+  HDLDP_ASSIGN_OR_RETURN(Dataset out,
+                         Dataset::Create(spec.num_users, spec.num_dims));
+  for (std::size_t i = 0; i < spec.num_users; ++i) {
+    auto row = out.MutableRow(i);
+    for (double& v : row) v = rng->Uniform(spec.lo, spec.hi);
+  }
+  return out;
+}
+
+Result<Dataset> GenerateGaussian(const GaussianSpec& spec, Rng* rng) {
+  HDLDP_RETURN_NOT_OK(ValidateShape(spec.num_users, spec.num_dims));
+  if (spec.stddev <= 0.0) {
+    return Status::InvalidArgument("gaussian generator requires stddev > 0");
+  }
+  if (spec.high_fraction < 0.0 || spec.high_fraction > 1.0) {
+    return Status::InvalidArgument(
+        "gaussian generator requires high_fraction in [0, 1]");
+  }
+  const auto num_high = static_cast<std::size_t>(
+      std::ceil(spec.high_fraction * static_cast<double>(spec.num_dims)));
+  HDLDP_ASSIGN_OR_RETURN(Dataset out,
+                         Dataset::Create(spec.num_users, spec.num_dims));
+  for (std::size_t i = 0; i < spec.num_users; ++i) {
+    auto row = out.MutableRow(i);
+    for (std::size_t j = 0; j < spec.num_dims; ++j) {
+      const double mean = j < num_high ? spec.high_mean : spec.low_mean;
+      row[j] = rng->Gaussian(mean, spec.stddev);
+    }
+  }
+  out.ClampValues(-1.0, 1.0);
+  return out;
+}
+
+Result<Dataset> GeneratePoisson(const PoissonSpec& spec, Rng* rng) {
+  HDLDP_RETURN_NOT_OK(ValidateShape(spec.num_users, spec.num_dims));
+  if (!(spec.min_expectation > 0.0) ||
+      !(spec.min_expectation <= spec.max_expectation)) {
+    return Status::InvalidArgument(
+        "poisson generator requires 0 < min_expectation <= max_expectation");
+  }
+  std::vector<double> lambdas(spec.num_dims);
+  for (double& l : lambdas) {
+    l = rng->Uniform(spec.min_expectation, spec.max_expectation);
+  }
+  HDLDP_ASSIGN_OR_RETURN(Dataset out,
+                         Dataset::Create(spec.num_users, spec.num_dims));
+  for (std::size_t i = 0; i < spec.num_users; ++i) {
+    auto row = out.MutableRow(i);
+    for (std::size_t j = 0; j < spec.num_dims; ++j) {
+      row[j] = static_cast<double>(rng->Poisson(lambdas[j]));
+    }
+  }
+  out.NormalizeDimensions();
+  return out;
+}
+
+Result<Dataset> GenerateCorrelated(const CorrelatedSpec& spec, Rng* rng) {
+  HDLDP_RETURN_NOT_OK(ValidateShape(spec.num_users, spec.num_dims));
+  if (spec.num_factors == 0) {
+    return Status::InvalidArgument("correlated generator requires factors > 0");
+  }
+  if (!(spec.factor_weight > 0.0 && spec.factor_weight < 1.0)) {
+    return Status::InvalidArgument(
+        "correlated generator requires factor_weight in (0, 1)");
+  }
+  // Per-dimension loadings on the shared factors; kept positive so all
+  // pairwise correlations are positive and high, as the paper describes
+  // for COV-19 ("each dimension has high correlations with others").
+  std::vector<double> loadings(spec.num_dims * spec.num_factors);
+  for (std::size_t j = 0; j < spec.num_dims; ++j) {
+    double norm_sq = 0.0;
+    for (std::size_t f = 0; f < spec.num_factors; ++f) {
+      const double raw = 0.5 + rng->UniformDouble();  // In [0.5, 1.5).
+      loadings[j * spec.num_factors + f] = raw;
+      norm_sq += raw * raw;
+    }
+    const double inv_norm = 1.0 / std::sqrt(norm_sq);
+    for (std::size_t f = 0; f < spec.num_factors; ++f) {
+      loadings[j * spec.num_factors + f] *= inv_norm;
+    }
+  }
+  const double w = spec.factor_weight;
+  const double noise_w = std::sqrt(1.0 - w * w);
+  HDLDP_ASSIGN_OR_RETURN(Dataset out,
+                         Dataset::Create(spec.num_users, spec.num_dims));
+  std::vector<double> factors(spec.num_factors);
+  for (std::size_t i = 0; i < spec.num_users; ++i) {
+    for (double& f : factors) f = rng->Gaussian();
+    auto row = out.MutableRow(i);
+    for (std::size_t j = 0; j < spec.num_dims; ++j) {
+      double shared = 0.0;
+      for (std::size_t f = 0; f < spec.num_factors; ++f) {
+        shared += loadings[j * spec.num_factors + f] * factors[f];
+      }
+      row[j] = w * shared + noise_w * rng->Gaussian();
+    }
+  }
+  out.NormalizeDimensions();
+  return out;
+}
+
+Result<Dataset> GenerateDiscrete(const DiscreteSpec& spec, Rng* rng) {
+  HDLDP_RETURN_NOT_OK(ValidateShape(spec.num_users, spec.num_dims));
+  if (spec.values.empty() || spec.values.size() != spec.probabilities.size()) {
+    return Status::InvalidArgument(
+        "discrete generator requires matching non-empty values/probabilities");
+  }
+  double total = 0.0;
+  for (const double p : spec.probabilities) {
+    if (p < 0.0) {
+      return Status::InvalidArgument("discrete generator: negative probability");
+    }
+    total += p;
+  }
+  if (std::abs(total - 1.0) > 1e-9) {
+    return Status::InvalidArgument(
+        "discrete generator: probabilities must sum to 1");
+  }
+  // Cumulative table for inverse-CDF sampling.
+  std::vector<double> cdf(spec.probabilities.size());
+  std::partial_sum(spec.probabilities.begin(), spec.probabilities.end(),
+                   cdf.begin());
+  cdf.back() = 1.0;
+  HDLDP_ASSIGN_OR_RETURN(Dataset out,
+                         Dataset::Create(spec.num_users, spec.num_dims));
+  for (std::size_t i = 0; i < spec.num_users; ++i) {
+    auto row = out.MutableRow(i);
+    for (double& v : row) {
+      const double u = rng->UniformDouble();
+      std::size_t k = 0;
+      while (k + 1 < cdf.size() && u >= cdf[k]) ++k;
+      v = spec.values[k];
+    }
+  }
+  return out;
+}
+
+double AveragePairwiseCorrelation(const Dataset& dataset,
+                                  std::size_t max_pairs, Rng* rng) {
+  if (dataset.num_dims() < 2 || max_pairs == 0) return 0.0;
+  NeumaierSum acc;
+  std::size_t used = 0;
+  for (std::size_t p = 0; p < max_pairs; ++p) {
+    const auto a = static_cast<std::size_t>(rng->UniformInt(dataset.num_dims()));
+    auto b = static_cast<std::size_t>(rng->UniformInt(dataset.num_dims()));
+    if (a == b) b = (b + 1) % dataset.num_dims();
+    RunningMoments ma, mb;
+    NeumaierSum cross;
+    for (std::size_t i = 0; i < dataset.num_users(); ++i) {
+      ma.Add(dataset.At(i, a));
+      mb.Add(dataset.At(i, b));
+    }
+    for (std::size_t i = 0; i < dataset.num_users(); ++i) {
+      cross.Add((dataset.At(i, a) - ma.Mean()) * (dataset.At(i, b) - mb.Mean()));
+    }
+    const double denom = std::sqrt(ma.PopulationVariance() *
+                                   mb.PopulationVariance()) *
+                         static_cast<double>(dataset.num_users());
+    if (denom > 0.0) {
+      acc.Add(std::abs(cross.Total() / denom));
+      ++used;
+    }
+  }
+  return used == 0 ? 0.0 : acc.Total() / static_cast<double>(used);
+}
+
+}  // namespace data
+}  // namespace hdldp

@@ -1,0 +1,110 @@
+// Synthetic dataset generators matching Section VI of the paper.
+//
+//  * Uniform  - tunable users/dimensions, i.i.d. uniform on [-1, 1].
+//  * Gaussian - stddev 1/16 everywhere; 10% of dimensions have mean 0.9,
+//               the remaining 90% mean 0 (values clamped into [-1, 1]).
+//  * Poisson  - each dimension Poisson with a random expectation drawn
+//               from [1, 99], then min-max normalized into [-1, 1].
+//  * Correlated ("COV-19 surrogate") - Gaussian-copula factor model in
+//               which every pair of dimensions is highly correlated,
+//               min-max normalized into [-1, 1]; stands in for the
+//               non-redistributable CORD-19-derived matrix (150,000 users
+//               x 750 dims, "each dimension has high correlations with
+//               others"). See DESIGN.md "Substitutions".
+//  * Discrete - i.i.d. draws from an explicit (value, probability) list;
+//               used by the Section IV-C case study (values 0.1..1.0,
+//               p = 10% each).
+
+#ifndef HDLDP_DATA_GENERATORS_H_
+#define HDLDP_DATA_GENERATORS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/dataset.h"
+
+namespace hdldp {
+namespace data {
+
+/// Parameters of the Uniform dataset.
+struct UniformSpec {
+  std::size_t num_users = 0;
+  std::size_t num_dims = 0;
+  double lo = -1.0;
+  double hi = 1.0;
+};
+
+/// \brief I.i.d. uniform values on [lo, hi].
+Result<Dataset> GenerateUniform(const UniformSpec& spec, Rng* rng);
+
+/// Parameters of the Gaussian dataset (paper Section VI, item 2).
+struct GaussianSpec {
+  std::size_t num_users = 0;
+  std::size_t num_dims = 0;
+  /// Standard deviation of every dimension.
+  double stddev = 1.0 / 16.0;
+  /// Mean of the "signal" dimensions.
+  double high_mean = 0.9;
+  /// Fraction of dimensions carrying the signal mean (the first
+  /// ceil(fraction * d) dimensions).
+  double high_fraction = 0.1;
+  /// Mean of the remaining dimensions.
+  double low_mean = 0.0;
+};
+
+/// \brief Gaussian dataset; values clamped into [-1, 1].
+Result<Dataset> GenerateGaussian(const GaussianSpec& spec, Rng* rng);
+
+/// Parameters of the Poisson dataset (paper Section VI, item 3).
+struct PoissonSpec {
+  std::size_t num_users = 0;
+  std::size_t num_dims = 0;
+  /// Per-dimension expectations are drawn uniformly from
+  /// [min_expectation, max_expectation].
+  double min_expectation = 1.0;
+  double max_expectation = 99.0;
+};
+
+/// \brief Poisson dataset, min-max normalized into [-1, 1].
+Result<Dataset> GeneratePoisson(const PoissonSpec& spec, Rng* rng);
+
+/// Parameters of the correlated COV-19 surrogate.
+struct CorrelatedSpec {
+  std::size_t num_users = 0;
+  std::size_t num_dims = 0;
+  /// Number of shared latent factors; small values keep all pairwise
+  /// correlations high, as the paper describes for COV-19.
+  std::size_t num_factors = 3;
+  /// Weight of the shared factors vs. idiosyncratic noise, in (0, 1).
+  /// Pairwise correlation is roughly factor_weight^2 on average.
+  double factor_weight = 0.85;
+};
+
+/// \brief Correlated factor-model dataset, min-max normalized into [-1, 1].
+Result<Dataset> GenerateCorrelated(const CorrelatedSpec& spec, Rng* rng);
+
+/// Parameters of a discrete-support dataset.
+struct DiscreteSpec {
+  std::size_t num_users = 0;
+  std::size_t num_dims = 0;
+  /// Support values; every dimension draws i.i.d. from this list.
+  std::vector<double> values;
+  /// Probabilities matching `values` (must sum to 1 within 1e-9).
+  std::vector<double> probabilities;
+};
+
+/// \brief I.i.d. draws from a discrete distribution (Section IV-C case
+/// study).
+Result<Dataset> GenerateDiscrete(const DiscreteSpec& spec, Rng* rng);
+
+/// \brief Average absolute pairwise Pearson correlation over a column
+/// sample; diagnostic used to validate the COV-19 surrogate.
+double AveragePairwiseCorrelation(const Dataset& dataset,
+                                  std::size_t max_pairs, Rng* rng);
+
+}  // namespace data
+}  // namespace hdldp
+
+#endif  // HDLDP_DATA_GENERATORS_H_

@@ -1,0 +1,105 @@
+#include "data/io.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hdldp {
+namespace data {
+
+namespace {
+
+Status ParseRow(const std::string& line, char delimiter, std::size_t line_no,
+                std::vector<double>* out) {
+  out->clear();
+  std::size_t start = 0;
+  while (start <= line.size()) {
+    std::size_t end = line.find(delimiter, start);
+    if (end == std::string::npos) end = line.size();
+    const std::string token = line.substr(start, end - start);
+    if (token.empty()) {
+      return Status::InvalidArgument("csv: empty cell at line " +
+                                     std::to_string(line_no));
+    }
+    errno = 0;
+    char* parse_end = nullptr;
+    const double value = std::strtod(token.c_str(), &parse_end);
+    if (errno != 0 || parse_end == token.c_str() ||
+        *parse_end != '\0') {
+      return Status::InvalidArgument("csv: bad number '" + token +
+                                     "' at line " + std::to_string(line_no));
+    }
+    out->push_back(value);
+    if (end == line.size()) break;
+    start = end + 1;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("csv: cannot open " + path);
+  }
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  std::size_t line_no = 0;
+  std::vector<double> row;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF.
+    if (line_no == 1 && options.has_header) continue;
+    if (line.empty()) continue;  // Tolerate blank separator lines.
+    HDLDP_RETURN_NOT_OK(ParseRow(line, options.delimiter, line_no, &row));
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      return Status::InvalidArgument(
+          "csv: ragged row at line " + std::to_string(line_no) + " (" +
+          std::to_string(row.size()) + " cells, expected " +
+          std::to_string(rows.front().size()) + ")");
+    }
+    rows.push_back(row);
+    if (options.max_rows != 0 && rows.size() > options.max_rows) {
+      return Status::OutOfRange("csv: more than " +
+                                std::to_string(options.max_rows) + " rows");
+    }
+  }
+  if (rows.empty()) {
+    return Status::InvalidArgument("csv: no data rows in " + path);
+  }
+  HDLDP_ASSIGN_OR_RETURN(Dataset dataset,
+                         Dataset::Create(rows.size(), rows.front().size()));
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t j = 0; j < rows[i].size(); ++j) {
+      dataset.Set(i, j, rows[i][j]);
+    }
+  }
+  return dataset;
+}
+
+Status SaveCsv(const Dataset& dataset, const std::string& path,
+               char delimiter) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::InvalidArgument("csv: cannot write " + path);
+  }
+  out.precision(17);  // Round-trippable doubles.
+  for (std::size_t i = 0; i < dataset.num_users(); ++i) {
+    for (std::size_t j = 0; j < dataset.num_dims(); ++j) {
+      if (j > 0) out << delimiter;
+      out << dataset.At(i, j);
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out.good()) {
+    return Status::Internal("csv: write failed for " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace data
+}  // namespace hdldp

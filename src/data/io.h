@@ -1,0 +1,41 @@
+// CSV import/export for datasets.
+//
+// Real deployments bring their own user matrices; this module loads a
+// rectangular numeric CSV (one user per row, one dimension per column)
+// into a Dataset and writes one back out. Parsing is strict: ragged rows,
+// empty cells and non-numeric tokens are errors with line numbers, and an
+// optional header row is skipped on request.
+
+#ifndef HDLDP_DATA_IO_H_
+#define HDLDP_DATA_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "data/dataset.h"
+
+namespace hdldp {
+namespace data {
+
+/// Options for LoadCsv.
+struct CsvOptions {
+  /// Skip the first row (column names).
+  bool has_header = false;
+  /// Field separator.
+  char delimiter = ',';
+  /// Cap on accepted rows (0 = unlimited); guards against runaway files.
+  std::size_t max_rows = 0;
+};
+
+/// \brief Loads a rectangular numeric CSV file into a Dataset.
+Result<Dataset> LoadCsv(const std::string& path, const CsvOptions& options = {});
+
+/// \brief Writes a dataset as CSV (no header), with round-trippable
+/// precision.
+Status SaveCsv(const Dataset& dataset, const std::string& path,
+               char delimiter = ',');
+
+}  // namespace data
+}  // namespace hdldp
+
+#endif  // HDLDP_DATA_IO_H_

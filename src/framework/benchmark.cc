@@ -1,0 +1,54 @@
+#include "framework/benchmark.h"
+
+namespace hdldp {
+namespace framework {
+
+Result<std::vector<MechanismBenchmark>> BenchmarkMechanisms(
+    std::span<const BenchmarkSpec> specs, double eps_per_dim, double reports,
+    std::span<const double> xis) {
+  if (specs.empty()) {
+    return Status::InvalidArgument("BenchmarkMechanisms requires >= 1 spec");
+  }
+  if (xis.empty()) {
+    return Status::InvalidArgument("BenchmarkMechanisms requires >= 1 xi");
+  }
+  std::vector<MechanismBenchmark> out;
+  out.reserve(specs.size());
+  for (const BenchmarkSpec& spec : specs) {
+    if (spec.mechanism == nullptr) {
+      return Status::InvalidArgument("BenchmarkMechanisms: null mechanism");
+    }
+    MechanismBenchmark entry;
+    entry.name = std::string(spec.mechanism->Name());
+    HDLDP_ASSIGN_OR_RETURN(
+        entry.model,
+        ModelDeviation(*spec.mechanism, eps_per_dim, spec.values, reports,
+                       spec.data_domain));
+    entry.probabilities.reserve(xis.size());
+    for (const double xi : xis) {
+      entry.probabilities.push_back(entry.model.deviation.ProbWithin(xi));
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<std::size_t> WinnersPerSupremum(
+    const std::vector<MechanismBenchmark>& benchmarks) {
+  std::vector<std::size_t> winners;
+  if (benchmarks.empty()) return winners;
+  const std::size_t num_xis = benchmarks.front().probabilities.size();
+  winners.assign(num_xis, 0);
+  for (std::size_t k = 0; k < num_xis; ++k) {
+    for (std::size_t i = 1; i < benchmarks.size(); ++i) {
+      if (benchmarks[i].probabilities[k] >
+          benchmarks[winners[k]].probabilities[k]) {
+        winners[k] = i;
+      }
+    }
+  }
+  return winners;
+}
+
+}  // namespace framework
+}  // namespace hdldp

@@ -1,0 +1,60 @@
+// The "benchmark without experiments" of Section IV: compare LDP
+// mechanisms by the probability that their one-dimensional deviation
+// stays within a tolerated supremum xi (Table II's quantity),
+//
+//   P(|theta-hat_j - theta-bar_j| <= xi)
+//     = integral_{-xi}^{xi} f(dev) d(dev)
+//
+// under the Lemma 2/3 Gaussian model. Higher probability = better
+// mechanism at that tolerance; different xi can crown different winners
+// (the paper's Piecewise-vs-Square-wave case study).
+
+#ifndef HDLDP_FRAMEWORK_BENCHMARK_H_
+#define HDLDP_FRAMEWORK_BENCHMARK_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "framework/deviation_model.h"
+#include "mech/mechanism.h"
+
+namespace hdldp {
+namespace framework {
+
+/// One mechanism's benchmark entry.
+struct MechanismBenchmark {
+  /// Mechanism name.
+  std::string name;
+  /// The per-dimension deviation model used.
+  DeviationModel model;
+  /// P(|dev| <= xi_k) for each requested supremum.
+  std::vector<double> probabilities;
+};
+
+/// Inputs of a one-dimensional benchmark for one mechanism.
+struct BenchmarkSpec {
+  mech::MechanismPtr mechanism;
+  /// Distribution of original values in `data_domain`.
+  ValueDistribution values = ValueDistribution::Point(0.0);
+  /// Domain those values live in; mapped onto the mechanism's native
+  /// input domain. The paper's case study feeds each mechanism its native
+  /// domain directly (identity map).
+  mech::Interval data_domain{-1.0, 1.0};
+};
+
+/// \brief Benchmarks mechanisms at per-dimension budget `eps_per_dim` with
+/// `reports` expected reports, over the suprema `xis` (Table II engine).
+Result<std::vector<MechanismBenchmark>> BenchmarkMechanisms(
+    std::span<const BenchmarkSpec> specs, double eps_per_dim, double reports,
+    std::span<const double> xis);
+
+/// \brief Index (into the benchmark list) of the winning mechanism for
+/// each supremum; ties break toward the earlier entry.
+std::vector<std::size_t> WinnersPerSupremum(
+    const std::vector<MechanismBenchmark>& benchmarks);
+
+}  // namespace framework
+}  // namespace hdldp
+
+#endif  // HDLDP_FRAMEWORK_BENCHMARK_H_

@@ -1,0 +1,31 @@
+#include "framework/berry_esseen.h"
+
+#include <cmath>
+
+namespace hdldp {
+namespace framework {
+
+Result<double> BerryEsseenBound(double third_abs_moment, double variance,
+                                double reports) {
+  if (!(variance > 0.0) || !std::isfinite(variance)) {
+    return Status::InvalidArgument("BerryEsseenBound requires variance > 0");
+  }
+  if (!(third_abs_moment >= 0.0) || !std::isfinite(third_abs_moment)) {
+    return Status::InvalidArgument(
+        "BerryEsseenBound requires a finite rho >= 0");
+  }
+  if (!(reports > 0.0)) {
+    return Status::InvalidArgument("BerryEsseenBound requires reports > 0");
+  }
+  const double s3 = variance * std::sqrt(variance);
+  return kBerryEsseenConstant * (third_abs_moment + kBerryEsseenAdditive * s3) /
+         (s3 * std::sqrt(reports));
+}
+
+Result<double> BerryEsseenBound(const DeviationModel& model) {
+  return BerryEsseenBound(model.per_report_third_abs,
+                          model.per_report_variance, model.expected_reports);
+}
+
+}  // namespace framework
+}  // namespace hdldp

@@ -1,0 +1,189 @@
+#include "framework/deviation_model.h"
+
+#include <cmath>
+
+#include "common/math.h"
+
+namespace hdldp {
+namespace framework {
+
+double GaussianDeviation::Pdf(double x) const {
+  return NormalPdf(x, mean, stddev);
+}
+
+double GaussianDeviation::Cdf(double x) const {
+  return NormalCdf(x, mean, stddev);
+}
+
+double GaussianDeviation::ProbWithin(double xi) const {
+  if (xi <= 0.0) return 0.0;
+  return NormalIntervalProb(-xi, xi, mean, stddev);
+}
+
+double GaussianDeviation::SupDeviation(double confidence_z) const {
+  return std::abs(mean) + confidence_z * stddev;
+}
+
+Result<mech::Interval> GaussianDeviation::CoverageInterval(
+    double coverage) const {
+  if (!(coverage > 0.0 && coverage < 1.0)) {
+    return Status::InvalidArgument("CoverageInterval needs coverage in (0,1)");
+  }
+  const double z = NormalQuantile(0.5 * (1.0 + coverage));
+  return mech::Interval{mean - z * stddev, mean + z * stddev};
+}
+
+Result<DeviationModel> ModelDeviation(const mech::Mechanism& mechanism,
+                                      double eps_per_dim,
+                                      const ValueDistribution& values,
+                                      double expected_reports,
+                                      const mech::Interval& data_domain) {
+  HDLDP_RETURN_NOT_OK(mechanism.ValidateBudget(eps_per_dim));
+  if (!(expected_reports > 0.0)) {
+    return Status::InvalidArgument("ModelDeviation requires reports > 0");
+  }
+  HDLDP_ASSIGN_OR_RETURN(
+      const mech::DomainMap map,
+      mech::DomainMap::Between(data_domain, mechanism.InputDomain()));
+
+  // Lemma 2 and Lemma 3 unify as the p_z-weighted averages of the
+  // conditional moments: for unbounded mechanisms the conditional moments
+  // are value-independent, so the weighting is a no-op.
+  NeumaierSum bias_acc;
+  NeumaierSum var_acc;
+  NeumaierSum third_acc;
+  for (std::size_t z = 0; z < values.support_size(); ++z) {
+    const double p = values.probabilities()[z];
+    if (p == 0.0) continue;
+    const double native_value = map.Forward(values.values()[z]);
+    HDLDP_ASSIGN_OR_RETURN(const mech::ConditionalMoments m,
+                           mechanism.Moments(native_value, eps_per_dim));
+    bias_acc.Add(p * m.bias);
+    var_acc.Add(p * m.variance);
+    third_acc.Add(p * m.third_abs_central);
+  }
+
+  // Map native-domain moments back into the data domain:
+  // data = (native - offset) / scale, so bias /= s, var /= s^2, rho /= s^3.
+  const double s = map.scale();
+  DeviationModel model;
+  model.per_report_variance = var_acc.Total() / (s * s);
+  model.per_report_third_abs = third_acc.Total() / (s * s * s);
+  model.expected_reports = expected_reports;
+  model.deviation.mean = bias_acc.Total() / s;
+  model.deviation.stddev =
+      std::sqrt(model.per_report_variance / expected_reports);
+  if (!(model.deviation.stddev > 0.0)) {
+    return Status::Internal("ModelDeviation produced a degenerate deviation");
+  }
+  return model;
+}
+
+Result<double> PredictedMse(std::span<const GaussianDeviation> deviations) {
+  if (deviations.empty()) {
+    return Status::InvalidArgument("PredictedMse requires >= 1 dimension");
+  }
+  NeumaierSum acc;
+  for (const GaussianDeviation& g : deviations) {
+    acc.Add(Sq(g.mean) + Sq(g.stddev));
+  }
+  return acc.Total() / static_cast<double>(deviations.size());
+}
+
+Result<std::vector<double>> ExpectedNativeBias(
+    const mech::Mechanism& mechanism, double eps_per_dim,
+    std::span<const ValueDistribution> per_dim_values,
+    const mech::Interval& data_domain) {
+  if (per_dim_values.empty()) {
+    return Status::InvalidArgument("ExpectedNativeBias requires >= 1 dim");
+  }
+  HDLDP_ASSIGN_OR_RETURN(
+      const mech::DomainMap map,
+      mech::DomainMap::Between(data_domain, mechanism.InputDomain()));
+  std::vector<double> bias;
+  bias.reserve(per_dim_values.size());
+  for (const ValueDistribution& values : per_dim_values) {
+    HDLDP_ASSIGN_OR_RETURN(
+        const DeviationModel model,
+        ModelDeviation(mechanism, eps_per_dim, values, /*expected_reports=*/1.0,
+                       data_domain));
+    // The model's deviation mean is the data-space bias; the aggregator
+    // calibrates in native space, so scale back up.
+    bias.push_back(model.deviation.mean * map.scale());
+  }
+  return bias;
+}
+
+MultivariateDeviation::MultivariateDeviation(
+    std::vector<GaussianDeviation> dims)
+    : dims_(std::move(dims)) {}
+
+Result<MultivariateDeviation> MultivariateDeviation::Create(
+    std::vector<GaussianDeviation> dimensions) {
+  if (dimensions.empty()) {
+    return Status::InvalidArgument("MultivariateDeviation requires >= 1 dim");
+  }
+  for (const GaussianDeviation& g : dimensions) {
+    if (!(g.stddev > 0.0) || !std::isfinite(g.stddev) ||
+        !std::isfinite(g.mean)) {
+      return Status::InvalidArgument(
+          "MultivariateDeviation requires finite means and stddev > 0");
+    }
+  }
+  return MultivariateDeviation(std::move(dimensions));
+}
+
+Result<double> MultivariateDeviation::LogPdf(
+    std::span<const double> deviation) const {
+  if (deviation.size() != dims_.size()) {
+    return Status::InvalidArgument("LogPdf: deviation has wrong dimensionality");
+  }
+  // log of Theorem 1's product: sum of per-dimension Gaussian log-pdfs.
+  NeumaierSum acc;
+  for (std::size_t j = 0; j < dims_.size(); ++j) {
+    const double z = (deviation[j] - dims_[j].mean) / dims_[j].stddev;
+    acc.Add(-0.5 * z * z - std::log(kSqrt2Pi * dims_[j].stddev));
+  }
+  return acc.Total();
+}
+
+Result<double> MultivariateDeviation::Pdf(
+    std::span<const double> deviation) const {
+  HDLDP_ASSIGN_OR_RETURN(const double log_pdf, LogPdf(deviation));
+  return std::exp(log_pdf);
+}
+
+double MultivariateDeviation::ProbWithinBox(double xi) const {
+  // Independence turns the box integral of Theorem 1's pdf into a product
+  // of one-dimensional interval probabilities; accumulate in log space to
+  // survive d in the thousands.
+  NeumaierSum log_acc;
+  for (const GaussianDeviation& g : dims_) {
+    const double p = g.ProbWithin(xi);
+    if (p <= 0.0) return 0.0;
+    log_acc.Add(std::log(p));
+  }
+  return std::exp(log_acc.Total());
+}
+
+Result<double> MultivariateDeviation::ProbWithinBox(
+    std::span<const double> xi) const {
+  if (xi.size() != dims_.size()) {
+    return Status::InvalidArgument(
+        "ProbWithinBox: xi has wrong dimensionality");
+  }
+  NeumaierSum log_acc;
+  for (std::size_t j = 0; j < dims_.size(); ++j) {
+    const double p = dims_[j].ProbWithin(xi[j]);
+    if (p <= 0.0) return 0.0;
+    log_acc.Add(std::log(p));
+  }
+  return std::exp(log_acc.Total());
+}
+
+double MultivariateDeviation::ProbThresholdExceeded(double threshold) const {
+  return 1.0 - ProbWithinBox(threshold);
+}
+
+}  // namespace framework
+}  // namespace hdldp

@@ -1,0 +1,128 @@
+// The paper's analytical framework (Section IV-B).
+//
+// For a mechanism M, per-dimension budget eps/m and r expected reports,
+// the deviation theta-hat_j - theta-bar_j is asymptotically Gaussian:
+//
+//   Lemma 2 (unbounded M):  N( E[N],            Var[N] / r )
+//   Lemma 3 (bounded M):    N( sum_z p_z delta(v_z),
+//                              sum_z p_z Var(v_z) / r )
+//
+// ModelDeviation builds that Gaussian (expressed in the *data* domain,
+// accounting for any affine map into the mechanism's native domain), and
+// MultivariateDeviation composes d independent dimensions into the
+// Theorem 1 product density, answering box probabilities such as the
+// Table II supremum probability P(|dev_j| <= xi_j for all j).
+
+#ifndef HDLDP_FRAMEWORK_DEVIATION_MODEL_H_
+#define HDLDP_FRAMEWORK_DEVIATION_MODEL_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "framework/value_distribution.h"
+#include "mech/mechanism.h"
+
+namespace hdldp {
+namespace framework {
+
+/// \brief One dimension's Gaussian deviation law N(mean, stddev^2) for
+/// theta-hat_j - theta-bar_j, in the data domain.
+struct GaussianDeviation {
+  /// delta_j: expected deviation (aggregation bias).
+  double mean = 0.0;
+  /// sigma_j: standard deviation of the deviation.
+  double stddev = 0.0;
+
+  /// Density of the deviation at x.
+  double Pdf(double x) const;
+  /// P(deviation <= x).
+  double Cdf(double x) const;
+  /// P(|deviation| <= xi).
+  double ProbWithin(double xi) const;
+  /// The framework's instantiation of sup|theta-hat - theta-bar|:
+  /// |mean| + z * stddev at confidence z (z = 3 covers 99.7% of mass).
+  double SupDeviation(double confidence_z) const;
+
+  /// \brief Central interval [lo, hi] containing the deviation with the
+  /// given probability (e.g. 0.95). Requires coverage in (0, 1).
+  Result<mech::Interval> CoverageInterval(double coverage) const;
+};
+
+/// \brief Full per-dimension model: the Gaussian deviation plus the
+/// per-report moments needed by the Theorem 2 error bound.
+struct DeviationModel {
+  GaussianDeviation deviation;
+  /// E[Var(t* | t)] per report, data domain (the paper's (r_j sigma_j)^2).
+  double per_report_variance = 0.0;
+  /// E[rho(t)] per report, data domain (the paper's rho).
+  double per_report_third_abs = 0.0;
+  /// Expected reports r_j the model was built for.
+  double expected_reports = 0.0;
+};
+
+/// \brief Builds the Lemma 2/Lemma 3 model for one dimension.
+///
+/// `values` is the distribution of original values in the *data domain*
+/// `data_domain`; `expected_reports` is r = n m / d. The mechanism's
+/// conditional moments are evaluated in its native domain and mapped back.
+Result<DeviationModel> ModelDeviation(const mech::Mechanism& mechanism,
+                                      double eps_per_dim,
+                                      const ValueDistribution& values,
+                                      double expected_reports,
+                                      const mech::Interval& data_domain = {
+                                          -1.0, 1.0});
+
+/// \brief The framework's MSE prediction for naive aggregation:
+/// (1/d) sum_j (delta_j^2 + sigma_j^2), the expectation of paper Eq. 3
+/// under the Lemma 2/3 model. Errors on an empty span.
+Result<double> PredictedMse(std::span<const GaussianDeviation> deviations);
+
+/// \brief The Section IV-B "Calibration" step, made concrete: the
+/// expected aggregation bias E[delta_ij] of each dimension in the
+/// mechanism's *native output space*, computed from the per-dimension
+/// value distributions. Feed the result to
+/// protocol::MeanAggregator::SetBiasCorrection to debias mechanisms with
+/// value-dependent bias (Square wave being the paper's example).
+Result<std::vector<double>> ExpectedNativeBias(
+    const mech::Mechanism& mechanism, double eps_per_dim,
+    std::span<const ValueDistribution> per_dim_values,
+    const mech::Interval& data_domain = {-1.0, 1.0});
+
+/// \brief Theorem 1: the product of d independent per-dimension Gaussians.
+class MultivariateDeviation {
+ public:
+  /// Requires every dimension to have stddev > 0.
+  static Result<MultivariateDeviation> Create(
+      std::vector<GaussianDeviation> dimensions);
+
+  std::size_t num_dims() const { return dims_.size(); }
+  const std::vector<GaussianDeviation>& dimensions() const { return dims_; }
+
+  /// log f(dev) of Theorem 1's product density.
+  Result<double> LogPdf(std::span<const double> deviation) const;
+
+  /// f(dev); underflows to 0 gracefully in high d.
+  Result<double> Pdf(std::span<const double> deviation) const;
+
+  /// P(|dev_j| <= xi for all j), the Table II quantity with a shared
+  /// supremum.
+  double ProbWithinBox(double xi) const;
+
+  /// P(|dev_j| <= xi_j for all j) with per-dimension suprema.
+  Result<double> ProbWithinBox(std::span<const double> xi) const;
+
+  /// 1 - P(all |dev_j| <= threshold): the paper's lower bound on the
+  /// probability that HDR4ME's Lemma 4 (threshold = 1) or Lemma 5
+  /// (threshold = 2) precondition holds (Theorems 3-4).
+  double ProbThresholdExceeded(double threshold) const;
+
+ private:
+  explicit MultivariateDeviation(std::vector<GaussianDeviation> dims);
+  std::vector<GaussianDeviation> dims_;
+};
+
+}  // namespace framework
+}  // namespace hdldp
+
+#endif  // HDLDP_FRAMEWORK_DEVIATION_MODEL_H_

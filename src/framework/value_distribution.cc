@@ -1,0 +1,118 @@
+#include "framework/value_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/math.h"
+
+namespace hdldp {
+namespace framework {
+
+ValueDistribution::ValueDistribution(std::vector<double> values,
+                                     std::vector<double> probabilities)
+    : values_(std::move(values)), probabilities_(std::move(probabilities)) {}
+
+Result<ValueDistribution> ValueDistribution::Create(
+    std::vector<double> values, std::vector<double> probabilities) {
+  if (values.empty() || values.size() != probabilities.size()) {
+    return Status::InvalidArgument(
+        "ValueDistribution requires matching non-empty values/probabilities");
+  }
+  NeumaierSum total;
+  for (const double p : probabilities) {
+    if (p < 0.0 || !std::isfinite(p)) {
+      return Status::InvalidArgument("ValueDistribution: bad probability");
+    }
+    total.Add(p);
+  }
+  if (std::abs(total.Total() - 1.0) > 1e-9) {
+    return Status::InvalidArgument(
+        "ValueDistribution: probabilities must sum to 1");
+  }
+  for (const double v : values) {
+    if (!std::isfinite(v)) {
+      return Status::InvalidArgument("ValueDistribution: non-finite value");
+    }
+  }
+  return ValueDistribution(std::move(values), std::move(probabilities));
+}
+
+ValueDistribution ValueDistribution::Point(double value) {
+  return ValueDistribution({value}, {1.0});
+}
+
+Result<ValueDistribution> ValueDistribution::FromSamples(
+    std::span<const double> samples, std::size_t max_support) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("FromSamples requires a non-empty sample");
+  }
+  if (max_support == 0) {
+    return Status::InvalidArgument("FromSamples requires max_support > 0");
+  }
+  // Exact empirical law when the support is small.
+  std::map<double, std::size_t> counts;
+  bool small = true;
+  for (const double x : samples) {
+    if (++counts[x] == 1 && counts.size() > max_support) {
+      small = false;
+      break;
+    }
+  }
+  const auto n = static_cast<double>(samples.size());
+  if (small) {
+    std::vector<double> values;
+    std::vector<double> probs;
+    values.reserve(counts.size());
+    probs.reserve(counts.size());
+    for (const auto& [value, count] : counts) {
+      values.push_back(value);
+      probs.push_back(static_cast<double>(count) / n);
+    }
+    // Remove float fuzz in the probability total.
+    double total = 0.0;
+    for (const double p : probs) total += p;
+    for (double& p : probs) p /= total;
+    return Create(std::move(values), std::move(probs));
+  }
+  // Quantile-bin discretization: equal-count bins, bin mean as
+  // representative.
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> values;
+  std::vector<double> probs;
+  values.reserve(max_support);
+  probs.reserve(max_support);
+  const std::size_t total_n = sorted.size();
+  std::size_t start = 0;
+  for (std::size_t b = 0; b < max_support; ++b) {
+    const std::size_t end = (b + 1) * total_n / max_support;
+    if (end <= start) continue;
+    NeumaierSum sum;
+    for (std::size_t i = start; i < end; ++i) sum.Add(sorted[i]);
+    values.push_back(sum.Total() / static_cast<double>(end - start));
+    probs.push_back(static_cast<double>(end - start) / n);
+    start = end;
+  }
+  return Create(std::move(values), std::move(probs));
+}
+
+double ValueDistribution::Mean() const {
+  NeumaierSum acc;
+  for (std::size_t z = 0; z < values_.size(); ++z) {
+    acc.Add(values_[z] * probabilities_[z]);
+  }
+  return acc.Total();
+}
+
+double ValueDistribution::Variance() const {
+  const double mean = Mean();
+  NeumaierSum acc;
+  for (std::size_t z = 0; z < values_.size(); ++z) {
+    acc.Add(probabilities_[z] * Sq(values_[z] - mean));
+  }
+  return acc.Total();
+}
+
+}  // namespace framework
+}  // namespace hdldp

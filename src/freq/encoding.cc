@@ -1,0 +1,128 @@
+#include "freq/encoding.h"
+
+#include <cmath>
+#include <string>
+
+namespace hdldp {
+namespace freq {
+
+CategoricalSchema::CategoricalSchema(std::vector<std::size_t> cardinalities)
+    : cardinalities_(std::move(cardinalities)) {
+  offsets_.reserve(cardinalities_.size() + 1);
+  offsets_.push_back(0);
+  for (const std::size_t v : cardinalities_) {
+    offsets_.push_back(offsets_.back() + v);
+  }
+}
+
+Result<CategoricalSchema> CategoricalSchema::Create(
+    std::vector<std::size_t> cardinalities) {
+  if (cardinalities.empty()) {
+    return Status::InvalidArgument("schema requires >= 1 dimension");
+  }
+  for (const std::size_t v : cardinalities) {
+    if (v < 2) {
+      return Status::InvalidArgument("schema requires cardinalities >= 2");
+    }
+  }
+  return CategoricalSchema(std::move(cardinalities));
+}
+
+Result<std::vector<double>> EncodeOneHot(std::span<const std::uint32_t> tuple,
+                                         const CategoricalSchema& schema) {
+  if (tuple.size() != schema.num_dims()) {
+    return Status::InvalidArgument(
+        "tuple has " + std::to_string(tuple.size()) + " dims, schema has " +
+        std::to_string(schema.num_dims()));
+  }
+  std::vector<double> encoded(schema.total_entries(), 0.0);
+  for (std::size_t j = 0; j < tuple.size(); ++j) {
+    if (tuple[j] >= schema.Cardinality(j)) {
+      return Status::OutOfRange("category index out of range in dim " +
+                                std::to_string(j));
+    }
+    encoded[schema.EntryOffset(j) + tuple[j]] = 1.0;
+  }
+  return encoded;
+}
+
+CategoricalDataset::CategoricalDataset(std::size_t num_users,
+                                       CategoricalSchema schema)
+    : num_users_(num_users),
+      schema_(std::move(schema)),
+      values_(num_users * schema_.num_dims(), 0) {}
+
+Result<CategoricalDataset> CategoricalDataset::Create(
+    std::size_t num_users, CategoricalSchema schema) {
+  if (num_users == 0) {
+    return Status::InvalidArgument("dataset requires num_users > 0");
+  }
+  return CategoricalDataset(num_users, std::move(schema));
+}
+
+Status CategoricalDataset::Set(std::size_t i, std::size_t j,
+                               std::uint32_t category) {
+  if (i >= num_users_ || j >= schema_.num_dims()) {
+    return Status::OutOfRange("CategoricalDataset::Set index out of range");
+  }
+  if (category >= schema_.Cardinality(j)) {
+    return Status::OutOfRange("CategoricalDataset::Set category out of range");
+  }
+  values_[i * schema_.num_dims() + j] = category;
+  return Status::OK();
+}
+
+std::vector<std::vector<double>> CategoricalDataset::TrueFrequencies() const {
+  std::vector<std::vector<double>> freqs(schema_.num_dims());
+  for (std::size_t j = 0; j < schema_.num_dims(); ++j) {
+    freqs[j].assign(schema_.Cardinality(j), 0.0);
+  }
+  for (std::size_t i = 0; i < num_users_; ++i) {
+    for (std::size_t j = 0; j < schema_.num_dims(); ++j) {
+      freqs[j][At(i, j)] += 1.0;
+    }
+  }
+  const auto n = static_cast<double>(num_users_);
+  for (auto& f : freqs) {
+    for (double& v : f) v /= n;
+  }
+  return freqs;
+}
+
+Result<CategoricalDataset> GenerateCategorical(std::size_t num_users,
+                                               CategoricalSchema schema,
+                                               double zipf_exponent,
+                                               Rng* rng) {
+  if (zipf_exponent < 0.0) {
+    return Status::InvalidArgument("zipf_exponent must be >= 0");
+  }
+  HDLDP_ASSIGN_OR_RETURN(CategoricalDataset out,
+                         CategoricalDataset::Create(num_users, schema));
+  const CategoricalSchema& s = out.schema();
+  // Per-dimension cumulative Zipf tables.
+  std::vector<std::vector<double>> cdfs(s.num_dims());
+  for (std::size_t j = 0; j < s.num_dims(); ++j) {
+    auto& cdf = cdfs[j];
+    cdf.resize(s.Cardinality(j));
+    double total = 0.0;
+    for (std::size_t k = 0; k < cdf.size(); ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), zipf_exponent);
+      cdf[k] = total;
+    }
+    for (double& c : cdf) c /= total;
+    cdf.back() = 1.0;
+  }
+  for (std::size_t i = 0; i < num_users; ++i) {
+    for (std::size_t j = 0; j < s.num_dims(); ++j) {
+      const double u = rng->UniformDouble();
+      const auto& cdf = cdfs[j];
+      std::uint32_t k = 0;
+      while (k + 1 < cdf.size() && u >= cdf[k]) ++k;
+      HDLDP_RETURN_NOT_OK(out.Set(i, j, k));
+    }
+  }
+  return out;
+}
+
+}  // namespace freq
+}  // namespace hdldp

@@ -1,0 +1,86 @@
+// Histogram (one-hot) encoding of categorical data (paper Section V-C,
+// following Wang et al. [37]).
+//
+// A categorical dimension with v_j categories expands into v_j numerical
+// entries in [0, 1]; a value c becomes the v_j-entry vector with a single
+// 1 at position c. Estimating the per-entry means of the expanded space
+// estimates the per-category frequencies, which is how the paper turns
+// d-dimensional frequency estimation into d high-dimensional mean
+// estimation tasks that HDR4ME can re-calibrate.
+
+#ifndef HDLDP_FREQ_ENCODING_H_
+#define HDLDP_FREQ_ENCODING_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace hdldp {
+namespace freq {
+
+/// \brief Shape of a categorical dataset: per-dimension cardinalities and
+/// the flat entry layout of its one-hot expansion.
+class CategoricalSchema {
+ public:
+  /// Requires every cardinality >= 2.
+  static Result<CategoricalSchema> Create(std::vector<std::size_t> cardinalities);
+
+  /// Number of categorical dimensions d.
+  std::size_t num_dims() const { return cardinalities_.size(); }
+  /// Number of categories v_j of dimension j.
+  std::size_t Cardinality(std::size_t j) const { return cardinalities_[j]; }
+  /// Total entries sum_j v_j of the expanded space.
+  std::size_t total_entries() const { return offsets_.back(); }
+  /// Flat index of the first entry of dimension j.
+  std::size_t EntryOffset(std::size_t j) const { return offsets_[j]; }
+
+ private:
+  explicit CategoricalSchema(std::vector<std::size_t> cardinalities);
+  std::vector<std::size_t> cardinalities_;
+  std::vector<std::size_t> offsets_;  // Prefix sums; size d + 1.
+};
+
+/// \brief One-hot encodes a full categorical tuple into the flat expanded
+/// space (length schema.total_entries(), entries 0.0/1.0). Errors if any
+/// category index is out of range.
+Result<std::vector<double>> EncodeOneHot(std::span<const std::uint32_t> tuple,
+                                         const CategoricalSchema& schema);
+
+/// \brief Dense matrix of categorical tuples: n users x d dimensions.
+class CategoricalDataset {
+ public:
+  static Result<CategoricalDataset> Create(std::size_t num_users,
+                                           CategoricalSchema schema);
+
+  std::size_t num_users() const { return num_users_; }
+  const CategoricalSchema& schema() const { return schema_; }
+
+  std::uint32_t At(std::size_t i, std::size_t j) const {
+    return values_[i * schema_.num_dims() + j];
+  }
+  /// Sets user i's category in dimension j (must be < Cardinality(j)).
+  Status Set(std::size_t i, std::size_t j, std::uint32_t category);
+
+  /// \brief True per-category frequencies of each dimension.
+  std::vector<std::vector<double>> TrueFrequencies() const;
+
+ private:
+  CategoricalDataset(std::size_t num_users, CategoricalSchema schema);
+  std::size_t num_users_;
+  CategoricalSchema schema_;
+  std::vector<std::uint32_t> values_;
+};
+
+/// \brief Random categorical data with per-dimension Zipf(s) marginals
+/// (s = 0 gives uniform categories; larger s skews toward low indices).
+Result<CategoricalDataset> GenerateCategorical(std::size_t num_users,
+                                               CategoricalSchema schema,
+                                               double zipf_exponent, Rng* rng);
+
+}  // namespace freq
+}  // namespace hdldp
+
+#endif  // HDLDP_FREQ_ENCODING_H_

@@ -1,0 +1,145 @@
+#include "hdr4me/recalibrate.h"
+
+#include <cmath>
+
+namespace hdldp {
+namespace hdr4me {
+
+namespace {
+Status ValidatePair(std::span<const double> theta_hat,
+                    std::span<const double> lambda) {
+  if (theta_hat.empty() || theta_hat.size() != lambda.size()) {
+    return Status::InvalidArgument(
+        "recalibration requires matching non-empty theta_hat/lambda");
+  }
+  for (const double l : lambda) {
+    if (!(l >= 0.0)) {
+      return Status::InvalidArgument("recalibration requires lambda >= 0");
+    }
+  }
+  return Status::OK();
+}
+}  // namespace
+
+double SoftThreshold(double value, double lambda) {
+  if (value > lambda) return value - lambda;
+  if (value < -lambda) return value + lambda;
+  return 0.0;
+}
+
+Result<std::vector<double>> RecalibrateL1(std::span<const double> theta_hat,
+                                          std::span<const double> lambda) {
+  HDLDP_RETURN_NOT_OK(ValidatePair(theta_hat, lambda));
+  std::vector<double> out(theta_hat.size());
+  for (std::size_t j = 0; j < theta_hat.size(); ++j) {
+    out[j] = SoftThreshold(theta_hat[j], lambda[j]);
+  }
+  return out;
+}
+
+Result<std::vector<double>> RecalibrateL2(std::span<const double> theta_hat,
+                                          std::span<const double> lambda) {
+  HDLDP_RETURN_NOT_OK(ValidatePair(theta_hat, lambda));
+  std::vector<double> out(theta_hat.size());
+  for (std::size_t j = 0; j < theta_hat.size(); ++j) {
+    out[j] = theta_hat[j] / (1.0 + 2.0 * lambda[j]);
+  }
+  return out;
+}
+
+Result<std::vector<double>> RecalibrateElasticNet(
+    std::span<const double> theta_hat, std::span<const double> lambda,
+    double l1_weight) {
+  HDLDP_RETURN_NOT_OK(ValidatePair(theta_hat, lambda));
+  if (!(l1_weight >= 0.0 && l1_weight <= 1.0)) {
+    return Status::InvalidArgument("elastic net requires l1_weight in [0, 1]");
+  }
+  std::vector<double> out(theta_hat.size());
+  for (std::size_t j = 0; j < theta_hat.size(); ++j) {
+    const double thresholded =
+        SoftThreshold(theta_hat[j], l1_weight * lambda[j]);
+    out[j] = thresholded / (1.0 + 2.0 * (1.0 - l1_weight) * lambda[j]);
+  }
+  return out;
+}
+
+Result<RecalibrationResult> Recalibrate(
+    std::span<const double> theta_hat,
+    std::span<const framework::GaussianDeviation> deviations,
+    const Hdr4meOptions& options) {
+  if (theta_hat.size() != deviations.size()) {
+    return Status::InvalidArgument(
+        "Recalibrate requires one deviation model per dimension");
+  }
+  RecalibrationResult result;
+  switch (options.regularizer) {
+    case Regularizer::kL1: {
+      HDLDP_ASSIGN_OR_RETURN(result.lambda,
+                             SelectLambdaL1(deviations, options.lambda));
+      HDLDP_ASSIGN_OR_RETURN(result.enhanced_mean,
+                             RecalibrateL1(theta_hat, result.lambda));
+      break;
+    }
+    case Regularizer::kL2: {
+      HDLDP_ASSIGN_OR_RETURN(
+          result.lambda,
+          SelectLambdaL2(deviations, theta_hat, options.lambda));
+      HDLDP_ASSIGN_OR_RETURN(result.enhanced_mean,
+                             RecalibrateL2(theta_hat, result.lambda));
+      break;
+    }
+    case Regularizer::kElasticNet: {
+      // Scale-compatible with L1: use the Lemma 4 weights for both parts.
+      HDLDP_ASSIGN_OR_RETURN(result.lambda,
+                             SelectLambdaL1(deviations, options.lambda));
+      HDLDP_ASSIGN_OR_RETURN(
+          result.enhanced_mean,
+          RecalibrateElasticNet(theta_hat, result.lambda,
+                                options.elastic_l1_weight));
+      break;
+    }
+  }
+  for (const double v : result.enhanced_mean) {
+    if (v == 0.0) ++result.zeroed_dims;
+  }
+  return result;
+}
+
+namespace {
+Result<double> ImprovementProbability(
+    std::span<const framework::GaussianDeviation> deviations,
+    double threshold) {
+  HDLDP_ASSIGN_OR_RETURN(
+      const framework::MultivariateDeviation law,
+      framework::MultivariateDeviation::Create(std::vector(
+          deviations.begin(), deviations.end())));
+  return law.ProbThresholdExceeded(threshold);
+}
+}  // namespace
+
+Result<double> ImprovementProbabilityL1(
+    std::span<const framework::GaussianDeviation> deviations) {
+  return ImprovementProbability(deviations, 1.0);  // Lemma 4 threshold.
+}
+
+Result<double> ImprovementProbabilityL2(
+    std::span<const framework::GaussianDeviation> deviations) {
+  return ImprovementProbability(deviations, 2.0);  // Lemma 5 threshold.
+}
+
+Result<RecalibrationResult> RecalibrateUniform(
+    std::span<const double> theta_hat, const mech::Mechanism& mechanism,
+    double eps_per_dim, const framework::ValueDistribution& values,
+    double expected_reports, const Hdr4meOptions& options,
+    const mech::Interval& data_domain) {
+  HDLDP_ASSIGN_OR_RETURN(
+      const framework::DeviationModel model,
+      framework::ModelDeviation(mechanism, eps_per_dim, values,
+                                expected_reports, data_domain));
+  const std::vector<framework::GaussianDeviation> deviations(
+      theta_hat.size(), model.deviation);
+  return Recalibrate(theta_hat, deviations, options);
+}
+
+}  // namespace hdr4me
+}  // namespace hdldp

@@ -1,0 +1,114 @@
+// HDR4ME: High-Dimensional Re-calibration for Mean Estimation (paper
+// Section V-B).
+//
+// The collector's naive estimate theta-hat minimizes the aggregation loss
+// L(theta) = (1/2r) sum_i ||t*_i - theta||^2; HDR4ME re-calibrates it by
+// solving
+//
+//   theta* = argmin_theta { L(theta) + R(lambda* o theta) }         (Eq. 23)
+//
+// whose proximal-gradient derivation collapses to *one-off* per-dimension
+// solvers because the loss is separable and its gradient step lands
+// exactly on theta-hat:
+//
+//   L1 (Eq. 34): theta*_j = soft(theta-hat_j, lambda*_j)
+//   L2 (Eq. 42): theta*_j = theta-hat_j / (1 + 2 lambda*_j)
+//
+// No change to any LDP mechanism is required — only the aggregation phase
+// is touched, which is what makes HDR4ME mechanism-agnostic.
+
+#ifndef HDLDP_HDR4ME_RECALIBRATE_H_
+#define HDLDP_HDR4ME_RECALIBRATE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "framework/deviation_model.h"
+#include "hdr4me/lambda.h"
+#include "mech/mechanism.h"
+
+namespace hdldp {
+namespace hdr4me {
+
+/// The regularizer R in Eq. 23.
+enum class Regularizer {
+  /// R(v) = ||v||_1: sparsifies and shrinks (Lemma 4 / Theorem 3).
+  kL1,
+  /// R(v) = sum_j v_j... the paper's quadratic penalty sum_j lambda_j
+  /// theta_j^2: pure shrinkage (Lemma 5 / Theorem 4).
+  kL2,
+  /// Convex combination of both penalties (extension; not in the paper).
+  kElasticNet,
+};
+
+/// \brief Soft-threshold of one value: the Eq. 34 scalar solver.
+double SoftThreshold(double value, double lambda);
+
+/// \brief Eq. 34: per-dimension soft threshold of theta-hat by lambda.
+/// Sizes must match; lambdas must be >= 0.
+Result<std::vector<double>> RecalibrateL1(std::span<const double> theta_hat,
+                                          std::span<const double> lambda);
+
+/// \brief Eq. 42: per-dimension shrinkage theta-hat_j / (1 + 2 lambda_j).
+Result<std::vector<double>> RecalibrateL2(std::span<const double> theta_hat,
+                                          std::span<const double> lambda);
+
+/// \brief Elastic-net one-off solver:
+/// theta*_j = soft(theta-hat_j, l1_weight * lambda_j) /
+///            (1 + 2 (1 - l1_weight) lambda_j).
+Result<std::vector<double>> RecalibrateElasticNet(
+    std::span<const double> theta_hat, std::span<const double> lambda,
+    double l1_weight);
+
+/// End-to-end HDR4ME configuration.
+struct Hdr4meOptions {
+  Regularizer regularizer = Regularizer::kL1;
+  /// lambda* selection knobs (confidence z, L2 reference, gating).
+  LambdaOptions lambda;
+  /// Elastic-net mixing weight in [0, 1] (1 = pure L1); only read by
+  /// kElasticNet.
+  double elastic_l1_weight = 0.5;
+};
+
+/// Outcome of a re-calibration.
+struct RecalibrationResult {
+  /// The enhanced mean theta*.
+  std::vector<double> enhanced_mean;
+  /// The lambda* actually used per dimension.
+  std::vector<double> lambda;
+  /// Dimensions zeroed by L1 (sparsity introduced by the re-calibration).
+  std::size_t zeroed_dims = 0;
+};
+
+/// \brief Re-calibrates theta-hat given per-dimension deviation models
+/// (the framework supplies them via ModelDeviation).
+Result<RecalibrationResult> Recalibrate(
+    std::span<const double> theta_hat,
+    std::span<const framework::GaussianDeviation> deviations,
+    const Hdr4meOptions& options);
+
+/// \brief Convenience wrapper: builds one shared deviation model from
+/// (mechanism, eps_per_dim, values, reports) — appropriate when all
+/// dimensions share a value distribution, as in the paper's synthetic
+/// benchmarks — then re-calibrates.
+Result<RecalibrationResult> RecalibrateUniform(
+    std::span<const double> theta_hat, const mech::Mechanism& mechanism,
+    double eps_per_dim, const framework::ValueDistribution& values,
+    double expected_reports, const Hdr4meOptions& options,
+    const mech::Interval& data_domain = {-1.0, 1.0});
+
+/// \brief Theorem 3's lower bound on the probability that HDR4ME-L1
+/// strictly improves the estimate: 1 - P(all |dev_j| <= 1) under the
+/// Theorem 1 product law of the given per-dimension deviations.
+Result<double> ImprovementProbabilityL1(
+    std::span<const framework::GaussianDeviation> deviations);
+
+/// \brief Theorem 4's lower bound for HDR4ME-L2: 1 - P(all |dev_j| <= 2).
+Result<double> ImprovementProbabilityL2(
+    std::span<const framework::GaussianDeviation> deviations);
+
+}  // namespace hdr4me
+}  // namespace hdldp
+
+#endif  // HDLDP_HDR4ME_RECALIBRATE_H_

@@ -1,0 +1,165 @@
+#include "hdr4me/variance.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+#include "framework/deviation_model.h"
+#include "framework/value_distribution.h"
+#include "protocol/metrics.h"
+#include "protocol/pipeline.h"
+
+namespace hdldp {
+namespace hdr4me {
+
+namespace {
+
+// Squares every value; [-1, 1] data lands in [0, 1].
+Result<data::Dataset> SquaredDataset(const data::Dataset& source) {
+  HDLDP_ASSIGN_OR_RETURN(
+      data::Dataset out,
+      data::Dataset::Create(source.num_users(), source.num_dims()));
+  for (std::size_t i = 0; i < source.num_users(); ++i) {
+    for (std::size_t j = 0; j < source.num_dims(); ++j) {
+      const double v = Clamp(source.At(i, j), -1.0, 1.0);
+      out.Set(i, j, v * v);
+    }
+  }
+  return out;
+}
+
+// HDR4ME pass over one half's estimate, with per-dimension models built
+// from that half's empirical marginals.
+Result<std::vector<double>> RecalibrateHalf(
+    const data::Dataset& half, const mech::Mechanism& mechanism,
+    const std::vector<double>& estimate, double per_dim_eps,
+    const mech::Interval& data_domain, const Hdr4meOptions& options,
+    double reports) {
+  const std::size_t rows = std::min<std::size_t>(half.num_users(), 2000);
+  std::vector<framework::GaussianDeviation> deviations;
+  deviations.reserve(half.num_dims());
+  std::vector<double> column(rows);
+  for (std::size_t j = 0; j < half.num_dims(); ++j) {
+    for (std::size_t i = 0; i < rows; ++i) column[i] = half.At(i, j);
+    HDLDP_ASSIGN_OR_RETURN(
+        const framework::ValueDistribution values,
+        framework::ValueDistribution::FromSamples(column, 16));
+    HDLDP_ASSIGN_OR_RETURN(
+        const framework::DeviationModel model,
+        framework::ModelDeviation(mechanism, per_dim_eps, values, reports,
+                                  data_domain));
+    deviations.push_back(model.deviation);
+  }
+  HDLDP_ASSIGN_OR_RETURN(const RecalibrationResult result,
+                         Recalibrate(estimate, deviations, options));
+  return result.enhanced_mean;
+}
+
+}  // namespace
+
+Result<VarianceEstimationResult> RunVarianceEstimation(
+    const data::Dataset& dataset, mech::MechanismPtr mechanism,
+    const VarianceOptions& options) {
+  if (mechanism == nullptr) {
+    return Status::InvalidArgument("variance estimation requires a mechanism");
+  }
+  if (dataset.num_users() < 2) {
+    return Status::InvalidArgument(
+        "variance estimation requires >= 2 users to split");
+  }
+  // Half A keeps the raw values, half B the squares.
+  const std::size_t half_a = dataset.num_users() / 2;
+  HDLDP_ASSIGN_OR_RETURN(const data::Dataset values_half,
+                         dataset.TruncateUsers(half_a));
+  HDLDP_ASSIGN_OR_RETURN(const data::Dataset squares_full,
+                         SquaredDataset(dataset));
+  // The squares half is the complement; reuse TruncateUsers by copying
+  // rows half_a.. into a fresh dataset.
+  HDLDP_ASSIGN_OR_RETURN(
+      data::Dataset squares_half,
+      data::Dataset::Create(dataset.num_users() - half_a, dataset.num_dims()));
+  for (std::size_t i = half_a; i < dataset.num_users(); ++i) {
+    for (std::size_t j = 0; j < dataset.num_dims(); ++j) {
+      squares_half.Set(i - half_a, j, squares_full.At(i, j));
+    }
+  }
+
+  // Mean estimation on both halves. The squares live in [0, 1]; the
+  // generic pipeline assumes the [-1, 1] data domain, so run the squares
+  // through the affine embedding u = 2v - 1 and invert afterwards.
+  protocol::PipelineOptions mean_opts;
+  mean_opts.total_epsilon = options.total_epsilon;
+  mean_opts.report_dims = options.report_dims;
+  mean_opts.seed = options.seed;
+  HDLDP_ASSIGN_OR_RETURN(
+      const auto mean_run,
+      protocol::RunMeanEstimation(values_half, mechanism, mean_opts));
+
+  HDLDP_ASSIGN_OR_RETURN(data::Dataset squares_embedded,
+                         squares_half.TruncateUsers(squares_half.num_users()));
+  for (std::size_t i = 0; i < squares_embedded.num_users(); ++i) {
+    for (std::size_t j = 0; j < squares_embedded.num_dims(); ++j) {
+      squares_embedded.Set(i, j, 2.0 * squares_half.At(i, j) - 1.0);
+    }
+  }
+  protocol::PipelineOptions square_opts = mean_opts;
+  square_opts.seed = options.seed ^ 0x5ECC0ull;
+  HDLDP_ASSIGN_OR_RETURN(
+      const auto square_run,
+      protocol::RunMeanEstimation(squares_embedded, mechanism, square_opts));
+
+  VarianceEstimationResult result;
+  result.estimated_mean = mean_run.estimated_mean;
+  result.estimated_second_moment.resize(dataset.num_dims());
+  for (std::size_t j = 0; j < dataset.num_dims(); ++j) {
+    // Undo the [0,1] -> [-1,1] embedding.
+    result.estimated_second_moment[j] =
+        0.5 * (square_run.estimated_mean[j] + 1.0);
+  }
+
+  if (options.recalibrate) {
+    const double m = options.report_dims == 0
+                         ? static_cast<double>(dataset.num_dims())
+                         : static_cast<double>(options.report_dims);
+    const double eps_per_dim = options.total_epsilon / m;
+    const double reports_a = static_cast<double>(values_half.num_users()) *
+                             m / static_cast<double>(dataset.num_dims());
+    const double reports_b = static_cast<double>(squares_half.num_users()) *
+                             m / static_cast<double>(dataset.num_dims());
+    HDLDP_ASSIGN_OR_RETURN(
+        result.estimated_mean,
+        RecalibrateHalf(values_half, *mechanism, result.estimated_mean,
+                        eps_per_dim, {-1.0, 1.0}, options.hdr4me, reports_a));
+    // The second moment lives in [0, 1]; re-calibrate in that domain.
+    HDLDP_ASSIGN_OR_RETURN(
+        result.estimated_second_moment,
+        RecalibrateHalf(squares_half, *mechanism,
+                        result.estimated_second_moment, eps_per_dim,
+                        {0.0, 1.0}, options.hdr4me, reports_b));
+  }
+
+  // Combine and score.
+  result.estimated_variance.resize(dataset.num_dims());
+  for (std::size_t j = 0; j < dataset.num_dims(); ++j) {
+    result.estimated_variance[j] =
+        std::max(0.0, result.estimated_second_moment[j] -
+                          Sq(result.estimated_mean[j]));
+  }
+  result.true_variance.resize(dataset.num_dims());
+  const auto true_mean = dataset.TrueMean();
+  for (std::size_t j = 0; j < dataset.num_dims(); ++j) {
+    NeumaierSum acc;
+    for (std::size_t i = 0; i < dataset.num_users(); ++i) {
+      acc.Add(Sq(dataset.At(i, j) - true_mean[j]));
+    }
+    result.true_variance[j] =
+        acc.Total() / static_cast<double>(dataset.num_users());
+  }
+  HDLDP_ASSIGN_OR_RETURN(
+      result.mse, protocol::MeanSquaredError(result.estimated_variance,
+                                             result.true_variance));
+  return result;
+}
+
+}  // namespace hdr4me
+}  // namespace hdldp

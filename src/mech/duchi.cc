@@ -1,0 +1,69 @@
+#include "mech/duchi.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace hdldp {
+namespace mech {
+
+double DuchiMechanism::OutputMagnitude(double eps) {
+  // (e^eps + 1) / (e^eps - 1); expm1 keeps the denominator accurate for
+  // the tiny per-dimension budgets of high-dimensional runs.
+  return (std::exp(eps) + 1.0) / std::expm1(eps);
+}
+
+double DuchiMechanism::ProbPositive(double t, double eps) {
+  return 0.5 + t * std::expm1(eps) / (2.0 * (std::exp(eps) + 1.0));
+}
+
+Result<Interval> DuchiMechanism::OutputDomain(double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateBudget(eps));
+  const double b = OutputMagnitude(eps);
+  return Interval{-b, b};
+}
+
+double DuchiMechanism::Perturb(double t, double eps, Rng* rng) const {
+  assert(ValidateBudget(eps).ok());
+  t = Clamp(t, -1.0, 1.0);
+  const double b = OutputMagnitude(eps);
+  return rng->Bernoulli(ProbPositive(t, eps)) ? b : -b;
+}
+
+Result<ConditionalMoments> DuchiMechanism::Moments(double t,
+                                                   double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double b = OutputMagnitude(eps);
+  const double p = ProbPositive(t, eps);
+  ConditionalMoments out;
+  out.bias = 0.0;  // b (2p - 1) = t by construction.
+  out.variance = b * b - t * t;
+  const double up = b - t;    // Distance of +B from the mean t.
+  const double down = b + t;  // Distance of -B from the mean t.
+  out.third_abs_central = p * up * up * up + (1.0 - p) * down * down * down;
+  return out;
+}
+
+Result<double> DuchiMechanism::Density(double /*x*/, double t,
+                                       double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  return 0.0;  // Purely discrete output.
+}
+
+Result<std::vector<Atom>> DuchiMechanism::Atoms(double t, double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double b = OutputMagnitude(eps);
+  const double p = ProbPositive(t, eps);
+  return std::vector<Atom>{{-b, 1.0 - p}, {b, p}};
+}
+
+Result<std::vector<double>> DuchiMechanism::DensityBreakpoints(
+    double t, double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double b = OutputMagnitude(eps);
+  return std::vector<double>{-b, b};
+}
+
+}  // namespace mech
+}  // namespace hdldp

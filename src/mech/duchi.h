@@ -1,0 +1,44 @@
+// Duchi, Jordan & Wainwright's minimax binary mechanism (JASA 2018), the
+// earliest bounded mechanism in the paper's taxonomy.
+//
+// For t in [-1, 1] the output is one of two atoms +/-B with
+//
+//   B = (e^eps + 1) / (e^eps - 1),
+//   P(t* = +B) = 1/2 + t (e^eps - 1) / (2 (e^eps + 1)),
+//
+// which is unbiased with Var[t* | t] = B^2 - t^2. The output distribution
+// is purely discrete, exercising the Atoms() side of the Mechanism
+// contract.
+
+#ifndef HDLDP_MECH_DUCHI_H_
+#define HDLDP_MECH_DUCHI_H_
+
+#include "mech/mechanism.h"
+
+namespace hdldp {
+namespace mech {
+
+/// \brief Duchi et al.'s binary +/-B mechanism on [-1, 1].
+class DuchiMechanism final : public Mechanism {
+ public:
+  std::string_view Name() const override { return "duchi"; }
+  bool IsBounded() const override { return true; }
+  Interval InputDomain() const override { return {-1.0, 1.0}; }
+  Result<Interval> OutputDomain(double eps) const override;
+  double Perturb(double t, double eps, Rng* rng) const override;
+  Result<ConditionalMoments> Moments(double t, double eps) const override;
+  Result<double> Density(double x, double t, double eps) const override;
+  Result<std::vector<Atom>> Atoms(double t, double eps) const override;
+  Result<std::vector<double>> DensityBreakpoints(double t,
+                                                 double eps) const override;
+
+  /// Output magnitude B(eps) = (e^eps + 1) / (e^eps - 1).
+  static double OutputMagnitude(double eps);
+  /// P(t* = +B | t).
+  static double ProbPositive(double t, double eps);
+};
+
+}  // namespace mech
+}  // namespace hdldp
+
+#endif  // HDLDP_MECH_DUCHI_H_

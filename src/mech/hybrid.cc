@@ -1,0 +1,82 @@
+#include "mech/hybrid.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace hdldp {
+namespace mech {
+
+double HybridMechanism::PiecewiseWeight(double eps) {
+  if (eps <= kEpsStar) return 0.0;
+  return -std::expm1(-0.5 * eps);  // 1 - e^{-eps/2}.
+}
+
+Result<Interval> HybridMechanism::OutputDomain(double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateBudget(eps));
+  const double alpha = PiecewiseWeight(eps);
+  const double duchi_bound = DuchiMechanism::OutputMagnitude(eps);
+  if (alpha == 0.0) return Interval{-duchi_bound, duchi_bound};
+  const double bound =
+      std::max(duchi_bound, PiecewiseMechanism::OutputBound(eps));
+  return Interval{-bound, bound};
+}
+
+double HybridMechanism::Perturb(double t, double eps, Rng* rng) const {
+  assert(ValidateBudget(eps).ok());
+  t = Clamp(t, -1.0, 1.0);
+  if (rng->Bernoulli(PiecewiseWeight(eps))) {
+    return piecewise_.Perturb(t, eps, rng);
+  }
+  return duchi_.Perturb(t, eps, rng);
+}
+
+Result<ConditionalMoments> HybridMechanism::Moments(double t,
+                                                    double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double alpha = PiecewiseWeight(eps);
+  HDLDP_ASSIGN_OR_RETURN(const ConditionalMoments duchi,
+                         duchi_.Moments(t, eps));
+  if (alpha == 0.0) return duchi;
+  HDLDP_ASSIGN_OR_RETURN(const ConditionalMoments pm,
+                         piecewise_.Moments(t, eps));
+  // Both components are unbiased (mean t), so mixture central moments are
+  // the weighted component central moments.
+  ConditionalMoments out;
+  out.bias = 0.0;
+  out.variance = alpha * pm.variance + (1.0 - alpha) * duchi.variance;
+  out.third_abs_central = alpha * pm.third_abs_central +
+                          (1.0 - alpha) * duchi.third_abs_central;
+  return out;
+}
+
+Result<double> HybridMechanism::Density(double x, double t, double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double alpha = PiecewiseWeight(eps);
+  if (alpha == 0.0) return 0.0;
+  HDLDP_ASSIGN_OR_RETURN(const double pm_density,
+                         piecewise_.Density(x, t, eps));
+  return alpha * pm_density;
+}
+
+Result<std::vector<Atom>> HybridMechanism::Atoms(double t, double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double alpha = PiecewiseWeight(eps);
+  HDLDP_ASSIGN_OR_RETURN(std::vector<Atom> atoms, duchi_.Atoms(t, eps));
+  for (Atom& atom : atoms) atom.mass *= (1.0 - alpha);
+  return atoms;
+}
+
+Result<std::vector<double>> HybridMechanism::DensityBreakpoints(
+    double t, double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  if (PiecewiseWeight(eps) == 0.0) {
+    return duchi_.DensityBreakpoints(t, eps);
+  }
+  return piecewise_.DensityBreakpoints(t, eps);
+}
+
+}  // namespace mech
+}  // namespace hdldp

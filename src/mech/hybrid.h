@@ -1,0 +1,53 @@
+// Hybrid mechanism (Wang et al., ICDE 2019): a mixture of the Piecewise
+// mechanism and Duchi et al.'s binary mechanism that dominates both in
+// worst-case variance.
+//
+// For eps > kEpsStar (= 0.61), with probability alpha = 1 - e^{-eps/2} the
+// report comes from Piecewise(eps) and otherwise from Duchi(eps); for
+// eps <= kEpsStar the mixture degenerates to pure Duchi. Both components
+// are unbiased, so the mixture is unbiased and its conditional central
+// moments are the alpha-weighted component moments.
+//
+// The output law is mixed discrete/continuous: Density() exposes the
+// absolutely continuous (Piecewise) part scaled by alpha and Atoms() the
+// Duchi point masses scaled by 1 - alpha.
+
+#ifndef HDLDP_MECH_HYBRID_H_
+#define HDLDP_MECH_HYBRID_H_
+
+#include "mech/duchi.h"
+#include "mech/mechanism.h"
+#include "mech/piecewise.h"
+
+namespace hdldp {
+namespace mech {
+
+/// \brief Wang et al.'s Hybrid (Piecewise + Duchi) mechanism on [-1, 1].
+class HybridMechanism final : public Mechanism {
+ public:
+  std::string_view Name() const override { return "hybrid"; }
+  bool IsBounded() const override { return true; }
+  Interval InputDomain() const override { return {-1.0, 1.0}; }
+  Result<Interval> OutputDomain(double eps) const override;
+  double Perturb(double t, double eps, Rng* rng) const override;
+  Result<ConditionalMoments> Moments(double t, double eps) const override;
+  Result<double> Density(double x, double t, double eps) const override;
+  Result<std::vector<Atom>> Atoms(double t, double eps) const override;
+  Result<std::vector<double>> DensityBreakpoints(double t,
+                                                 double eps) const override;
+
+  /// Mixture weight of the Piecewise component at budget eps.
+  static double PiecewiseWeight(double eps);
+
+  /// Budget threshold below which the mixture is pure Duchi.
+  static constexpr double kEpsStar = 0.61;
+
+ private:
+  PiecewiseMechanism piecewise_;
+  DuchiMechanism duchi_;
+};
+
+}  // namespace mech
+}  // namespace hdldp
+
+#endif  // HDLDP_MECH_HYBRID_H_

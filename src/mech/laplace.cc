@@ -1,0 +1,54 @@
+#include "mech/laplace.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/math.h"
+
+namespace hdldp {
+namespace mech {
+
+Result<Interval> LaplaceMechanism::OutputDomain(double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateBudget(eps));
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  return Interval{-kInf, kInf};
+}
+
+double LaplaceMechanism::Perturb(double t, double eps, Rng* rng) const {
+  assert(ValidateBudget(eps).ok());
+  t = Clamp(t, -1.0, 1.0);
+  return t + rng->Laplace(Scale(eps));
+}
+
+Result<ConditionalMoments> LaplaceMechanism::Moments(double t,
+                                                     double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double lambda = Scale(eps);
+  ConditionalMoments out;
+  out.bias = 0.0;
+  out.variance = 2.0 * lambda * lambda;
+  // E|Lap(lambda)|^3 = Gamma(4) * lambda^3 = 6 lambda^3.
+  out.third_abs_central = 6.0 * lambda * lambda * lambda;
+  return out;
+}
+
+Result<double> LaplaceMechanism::Density(double x, double t,
+                                         double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double lambda = Scale(eps);
+  return std::exp(-std::abs(x - t) / lambda) / (2.0 * lambda);
+}
+
+Result<std::vector<double>> LaplaceMechanism::DensityBreakpoints(
+    double t, double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  // Truncate where the two-sided tail mass drops below 1e-16:
+  // P(|N| > w) = exp(-w / lambda) => w = lambda * 16 ln 10.
+  const double lambda = Scale(eps);
+  const double w = lambda * 16.0 * std::log(10.0);
+  return std::vector<double>{t - w, t, t + w};
+}
+
+}  // namespace mech
+}  // namespace hdldp

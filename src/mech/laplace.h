@@ -1,0 +1,35 @@
+// Laplace mechanism (Dwork et al. 2006), the classic unbounded baseline.
+//
+// Input domain [-1, 1] (sensitivity 2); output t* = t + Lap(2/eps).
+// Unbiased; Var = 2*(2/eps)^2; rho = 6*(2/eps)^3 (exact; the paper's Eq. 21
+// reports 3*lambda^3 via a slipped constant, see EXPERIMENTS.md E9).
+
+#ifndef HDLDP_MECH_LAPLACE_H_
+#define HDLDP_MECH_LAPLACE_H_
+
+#include "mech/mechanism.h"
+
+namespace hdldp {
+namespace mech {
+
+/// \brief The eps-LDP Laplace mechanism on [-1, 1].
+class LaplaceMechanism final : public Mechanism {
+ public:
+  std::string_view Name() const override { return "laplace"; }
+  bool IsBounded() const override { return false; }
+  Interval InputDomain() const override { return {-1.0, 1.0}; }
+  Result<Interval> OutputDomain(double eps) const override;
+  double Perturb(double t, double eps, Rng* rng) const override;
+  Result<ConditionalMoments> Moments(double t, double eps) const override;
+  Result<double> Density(double x, double t, double eps) const override;
+  Result<std::vector<double>> DensityBreakpoints(double t,
+                                                 double eps) const override;
+
+  /// Noise scale lambda = sensitivity / eps = 2 / eps.
+  static double Scale(double eps) { return 2.0 / eps; }
+};
+
+}  // namespace mech
+}  // namespace hdldp
+
+#endif  // HDLDP_MECH_LAPLACE_H_

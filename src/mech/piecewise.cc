@@ -1,0 +1,112 @@
+#include "mech/piecewise.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace hdldp {
+namespace mech {
+
+namespace {
+// Density inside [l(t), r(t)].
+double HighDensity(double eps) {
+  const double s = std::exp(0.5 * eps);
+  return (s * s - s) / (2.0 * s + 2.0);
+}
+// Density on [-Q, l(t)) and (r(t), Q].
+double LowDensity(double eps) {
+  const double s = std::exp(0.5 * eps);
+  return (1.0 - 1.0 / s) / (2.0 * s + 2.0);
+}
+}  // namespace
+
+double PiecewiseMechanism::OutputBound(double eps) {
+  const double s = std::exp(0.5 * eps);
+  // Q = (s^2 + s) / (s^2 - s) = (s + 1) / (s - 1); the expm1 form keeps
+  // precision at the tiny per-dimension budgets of high-d runs.
+  return (s + 1.0) / std::expm1(0.5 * eps);
+}
+
+double PiecewiseMechanism::LeftEdge(double t, double eps) {
+  const double q = OutputBound(eps);
+  return 0.5 * (q + 1.0) * t - 0.5 * (q - 1.0);
+}
+
+double PiecewiseMechanism::RightEdge(double t, double eps) {
+  return LeftEdge(t, eps) + OutputBound(eps) - 1.0;
+}
+
+Result<Interval> PiecewiseMechanism::OutputDomain(double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateBudget(eps));
+  const double q = OutputBound(eps);
+  return Interval{-q, q};
+}
+
+double PiecewiseMechanism::Perturb(double t, double eps, Rng* rng) const {
+  assert(ValidateBudget(eps).ok());
+  t = Clamp(t, -1.0, 1.0);
+  const double s = std::exp(0.5 * eps);
+  const double q = OutputBound(eps);
+  const double l = LeftEdge(t, eps);
+  const double r = l + q - 1.0;
+  // The high band [l, r] carries total mass s / (s + 1).
+  if (rng->Bernoulli(s / (s + 1.0))) {
+    return rng->Uniform(l, r);
+  }
+  // Tail region [-Q, l] u [r, Q] has total length Q + 1; sample a uniform
+  // position along it and fold into the two segments.
+  const double left_len = l + q;
+  const double u = rng->Uniform(0.0, q + 1.0);
+  return u < left_len ? -q + u : r + (u - left_len);
+}
+
+Result<ConditionalMoments> PiecewiseMechanism::Moments(double t,
+                                                       double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double em1 = std::expm1(0.5 * eps);  // e^{eps/2} - 1.
+  const double s = std::exp(0.5 * eps);
+  ConditionalMoments out;
+  out.bias = 0.0;
+  out.variance = t * t / em1 + (s + 3.0) / (3.0 * em1 * em1);
+  // rho(t) = E|t* - t|^3, exact for the two-level density:
+  //   p_low  * [ (t+Q)^4 - (t-l)^4 ] / 4   over [-Q, l]
+  // + p_high * [ (t-l)^4 + (r-t)^4 ] / 4   over [l, r]
+  // + p_low  * [ (Q-t)^4 - (r-t)^4 ] / 4   over [r, Q].
+  const double q = OutputBound(eps);
+  const double l = LeftEdge(t, eps);
+  const double r = l + q - 1.0;
+  const double p_high = HighDensity(eps);
+  const double p_low = LowDensity(eps);
+  const double a = t - l;  // Distance from the mean t to the band's left edge.
+  const double b = r - t;  // Distance to the band's right edge.
+  auto pow4 = [](double x) { return Sq(Sq(x)); };
+  out.third_abs_central =
+      0.25 * (p_low * (pow4(t + q) - pow4(a)) + p_high * (pow4(a) + pow4(b)) +
+              p_low * (pow4(q - t) - pow4(b)));
+  return out;
+}
+
+Result<double> PiecewiseMechanism::Density(double x, double t,
+                                           double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double q = OutputBound(eps);
+  if (x < -q || x > q) return 0.0;
+  const double l = LeftEdge(t, eps);
+  const double r = l + q - 1.0;
+  return (x >= l && x <= r) ? HighDensity(eps) : LowDensity(eps);
+}
+
+Result<std::vector<double>> PiecewiseMechanism::DensityBreakpoints(
+    double t, double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double q = OutputBound(eps);
+  const double l = LeftEdge(t, eps);
+  const double r = l + q - 1.0;
+  // t lies inside [l, r]; include it so |x - t|^k integrands stay smooth
+  // per segment.
+  return std::vector<double>{-q, l, Clamp(t, l, r), r, q};
+}
+
+}  // namespace mech
+}  // namespace hdldp

@@ -1,0 +1,52 @@
+// Piecewise mechanism (Wang et al., ICDE 2019), one of the paper's three
+// evaluated mechanisms and its running example of a bounded mechanism.
+//
+// For t in [-1, 1] the output lies in [-Q, Q] with density (paper Eq. 4)
+//
+//   f(x | t) = p_high  for x in [l(t), r(t)]
+//   f(x | t) = p_low   elsewhere in [-Q, Q]
+//
+//   Q      = (e^eps + e^{eps/2}) / (e^eps - e^{eps/2})
+//   l(t)   = (Q + 1) t / 2 - (Q - 1) / 2,   r(t) = l(t) + Q - 1
+//   p_high = (e^eps - e^{eps/2}) / (2 e^{eps/2} + 2)
+//   p_low  = (1 - e^{-eps/2})   / (2 e^{eps/2} + 2)
+//
+// Unbiased, with (paper Eq. 14, in its consistent t^2 reading; see
+// DESIGN.md Section 7)
+//
+//   Var[t* | t] = t^2 / (e^{eps/2} - 1)
+//               + (e^{eps/2} + 3) / (3 (e^{eps/2} - 1)^2).
+
+#ifndef HDLDP_MECH_PIECEWISE_H_
+#define HDLDP_MECH_PIECEWISE_H_
+
+#include "mech/mechanism.h"
+
+namespace hdldp {
+namespace mech {
+
+/// \brief Wang et al.'s Piecewise mechanism on [-1, 1].
+class PiecewiseMechanism final : public Mechanism {
+ public:
+  std::string_view Name() const override { return "piecewise"; }
+  bool IsBounded() const override { return true; }
+  Interval InputDomain() const override { return {-1.0, 1.0}; }
+  Result<Interval> OutputDomain(double eps) const override;
+  double Perturb(double t, double eps, Rng* rng) const override;
+  Result<ConditionalMoments> Moments(double t, double eps) const override;
+  Result<double> Density(double x, double t, double eps) const override;
+  Result<std::vector<double>> DensityBreakpoints(double t,
+                                                 double eps) const override;
+
+  /// Output bound Q(eps).
+  static double OutputBound(double eps);
+  /// Left edge l(t) of the high-probability band.
+  static double LeftEdge(double t, double eps);
+  /// Right edge r(t) = l(t) + Q - 1.
+  static double RightEdge(double t, double eps);
+};
+
+}  // namespace mech
+}  // namespace hdldp
+
+#endif  // HDLDP_MECH_PIECEWISE_H_

@@ -1,0 +1,93 @@
+#include "mech/scdf.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/math.h"
+#include "mech/series.h"
+
+namespace hdldp {
+namespace mech {
+
+namespace {
+// Plateau height C = (1 - q) / (Delta (1 + q)), q = e^{-eps}.
+double PlateauHeight(double eps) {
+  const double q = std::exp(-eps);
+  return (1.0 - q) / (ScdfMechanism::kDelta * (1.0 + q));
+}
+}  // namespace
+
+Result<Interval> ScdfMechanism::OutputDomain(double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateBudget(eps));
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  return Interval{-kInf, kInf};
+}
+
+double ScdfMechanism::Perturb(double t, double eps, Rng* rng) const {
+  assert(ValidateBudget(eps).ok());
+  t = Clamp(t, -1.0, 1.0);
+  const double q = std::exp(-eps);
+  double noise;
+  // Central plateau carries mass C * Delta = (1 - q) / (1 + q).
+  if (rng->Bernoulli((1.0 - q) / (1.0 + q))) {
+    noise = rng->Uniform(-0.5 * kDelta, 0.5 * kDelta);
+  } else {
+    // Side band k >= 1 has (two-sided) mass proportional to q^k.
+    const auto k = static_cast<double>(1 + rng->Geometric(1.0 - q));
+    const double magnitude = rng->Uniform((k - 0.5) * kDelta, (k + 0.5) * kDelta);
+    noise = rng->Bernoulli(0.5) ? magnitude : -magnitude;
+  }
+  return t + noise;
+}
+
+Result<ConditionalMoments> ScdfMechanism::Moments(double t, double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double q = std::exp(-eps);
+  const double c = PlateauHeight(eps);
+  const double d3 = kDelta * kDelta * kDelta;
+  const double d4 = d3 * kDelta;
+  ConditionalMoments out;
+  out.bias = 0.0;  // Noise density is symmetric about 0.
+  // Var = C Delta^3 [1/12 + 2 sum_{k>=1} q^k (k^2 + 1/12)].
+  out.variance =
+      c * d3 * (1.0 / 12.0 + 2.0 * (GeomSum2(q) + GeomSum0(q) / 12.0));
+  // rho = C Delta^4 [1/32 + 2 sum_{k>=1} q^k (k^3 + k/4)].
+  out.third_abs_central =
+      c * d4 * (1.0 / 32.0 + 2.0 * (GeomSum3(q) + GeomSum1(q) / 4.0));
+  return out;
+}
+
+Result<double> ScdfMechanism::Density(double x, double t, double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double offset = std::abs(x - t);
+  // Band index of the noise magnitude: plateau is band 0.
+  const auto k = static_cast<double>(
+      static_cast<std::int64_t>(std::floor(offset / kDelta + 0.5)));
+  return PlateauHeight(eps) * std::exp(-eps * k);
+}
+
+Result<std::vector<double>> ScdfMechanism::DensityBreakpoints(
+    double t, double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  // Tail mass beyond band K is < q^{K+1}; stop at 1e-16.
+  const auto bands = static_cast<std::int64_t>(
+      std::ceil(16.0 * std::log(10.0) / eps)) + 1;
+  constexpr std::int64_t kMaxBands = 100000;
+  if (bands > kMaxBands) {
+    return Status::FailedPrecondition(
+        "scdf: eps too small for breakpoint enumeration; use Moments()");
+  }
+  std::vector<double> breaks;
+  breaks.reserve(static_cast<std::size_t>(2 * bands + 2));
+  for (std::int64_t k = bands; k >= 0; --k) {
+    breaks.push_back(t - (static_cast<double>(k) + 0.5) * kDelta);
+  }
+  for (std::int64_t k = 0; k <= bands; ++k) {
+    breaks.push_back(t + (static_cast<double>(k) + 0.5) * kDelta);
+  }
+  return breaks;
+}
+
+}  // namespace mech
+}  // namespace hdldp

@@ -1,0 +1,47 @@
+// SCDF-style optimal data-independent noise (Soria-Comas & Domingo-Ferrer,
+// Information Sciences 2013), classified by the paper as an unbounded
+// mechanism alongside Laplace.
+//
+// The noise density is the value-centered staircase: a plateau of width
+// Delta centered at 0 and side bands of width Delta whose heights decay by
+// e^{-eps} per band,
+//
+//   f(x) = C e^{-eps k},  |x| in [(k - 1/2) Delta, (k + 1/2) Delta),  k >= 0
+//   C = (1 - e^{-eps}) / (Delta (1 + e^{-eps})),
+//
+// with Delta = 2 (sensitivity of [-1, 1]). Any two inputs differ by at most
+// Delta, which shifts the band index by at most one, so the density ratio is
+// bounded by e^{eps}: eps-LDP holds. This is the discretized-Laplace shape
+// Soria-Comas & Domingo-Ferrer prove optimal among data-independent noises;
+// it strictly beats Laplace in variance for eps above ~2.4 and matches it
+// asymptotically as eps -> 0.
+
+#ifndef HDLDP_MECH_SCDF_H_
+#define HDLDP_MECH_SCDF_H_
+
+#include "mech/mechanism.h"
+
+namespace hdldp {
+namespace mech {
+
+/// \brief SCDF staircase-noise mechanism on [-1, 1] (unbounded output).
+class ScdfMechanism final : public Mechanism {
+ public:
+  std::string_view Name() const override { return "scdf"; }
+  bool IsBounded() const override { return false; }
+  Interval InputDomain() const override { return {-1.0, 1.0}; }
+  Result<Interval> OutputDomain(double eps) const override;
+  double Perturb(double t, double eps, Rng* rng) const override;
+  Result<ConditionalMoments> Moments(double t, double eps) const override;
+  Result<double> Density(double x, double t, double eps) const override;
+  Result<std::vector<double>> DensityBreakpoints(double t,
+                                                 double eps) const override;
+
+  /// Sensitivity of the [-1, 1] input domain.
+  static constexpr double kDelta = 2.0;
+};
+
+}  // namespace mech
+}  // namespace hdldp
+
+#endif  // HDLDP_MECH_SCDF_H_

@@ -1,0 +1,48 @@
+// Closed forms for the geometric-polynomial series that appear in the
+// moments of staircase-shaped noise densities (SCDF, Staircase mechanism):
+//
+//   S_p(q) = sum_{k >= 1} k^p q^k,   0 <= q < 1, p in {0, 1, 2, 3}.
+//
+// Derived by repeated differentiation of the geometric series; exact, so
+// the mechanisms' Moments() are closed-form rather than truncated sums.
+
+#ifndef HDLDP_MECH_SERIES_H_
+#define HDLDP_MECH_SERIES_H_
+
+#include <cassert>
+
+namespace hdldp {
+namespace mech {
+
+/// \brief sum_{k>=1} q^k = q / (1 - q).
+inline double GeomSum0(double q) {
+  assert(q >= 0.0 && q < 1.0);
+  return q / (1.0 - q);
+}
+
+/// \brief sum_{k>=1} k q^k = q / (1 - q)^2.
+inline double GeomSum1(double q) {
+  assert(q >= 0.0 && q < 1.0);
+  const double one_minus = 1.0 - q;
+  return q / (one_minus * one_minus);
+}
+
+/// \brief sum_{k>=1} k^2 q^k = q (1 + q) / (1 - q)^3.
+inline double GeomSum2(double q) {
+  assert(q >= 0.0 && q < 1.0);
+  const double one_minus = 1.0 - q;
+  return q * (1.0 + q) / (one_minus * one_minus * one_minus);
+}
+
+/// \brief sum_{k>=1} k^3 q^k = q (1 + 4q + q^2) / (1 - q)^4.
+inline double GeomSum3(double q) {
+  assert(q >= 0.0 && q < 1.0);
+  const double one_minus = 1.0 - q;
+  const double om2 = one_minus * one_minus;
+  return q * (1.0 + 4.0 * q + q * q) / (om2 * om2);
+}
+
+}  // namespace mech
+}  // namespace hdldp
+
+#endif  // HDLDP_MECH_SERIES_H_

@@ -1,0 +1,110 @@
+#include "mech/square_wave.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace hdldp {
+namespace mech {
+
+namespace {
+// Base density w = 1 / (2 b e^eps + 1).
+double BaseDensity(double eps) {
+  return 1.0 / (2.0 * SquareWaveMechanism::HalfWidth(eps) * std::exp(eps) +
+                1.0);
+}
+}  // namespace
+
+double SquareWaveMechanism::HalfWidth(double eps) {
+  const double e = std::exp(eps);
+  // b = (eps e^eps - (e^eps - 1)) / (2 e^eps (e^eps - 1 - eps)); both the
+  // numerator and the denominator factor vanish like eps^2/2 as eps -> 0,
+  // so evaluate them via expm1 to preserve the b -> 1/2 limit.
+  const double numerator = eps * e - std::expm1(eps);
+  const double denominator = 2.0 * e * (std::expm1(eps) - eps);
+  return numerator / denominator;
+}
+
+double SquareWaveMechanism::BiasAt(double t, double eps) {
+  const double b = HalfWidth(eps);
+  const double e = std::exp(eps);
+  const double denom = 2.0 * b * e + 1.0;
+  // Paper Eq. 17.
+  return 2.0 * b * std::expm1(eps) * t / denom +
+         (1.0 + 2.0 * b) / (2.0 * denom) - t;
+}
+
+Result<Interval> SquareWaveMechanism::OutputDomain(double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateBudget(eps));
+  const double b = HalfWidth(eps);
+  return Interval{-b, 1.0 + b};
+}
+
+double SquareWaveMechanism::Perturb(double t, double eps, Rng* rng) const {
+  assert(ValidateBudget(eps).ok());
+  t = Clamp(t, 0.0, 1.0);
+  const double b = HalfWidth(eps);
+  const double e = std::exp(eps);
+  // The window [t - b, t + b] carries mass 2 b e^eps w.
+  if (rng->Bernoulli(2.0 * b * e / (2.0 * b * e + 1.0))) {
+    return rng->Uniform(t - b, t + b);
+  }
+  // Remaining region [-b, t - b) u (t + b, 1 + b] has total length exactly
+  // 1; fold a uniform position into the two segments.
+  const double u = rng->UniformDouble();
+  return u < t ? -b + u : (t + b) + (u - t);
+}
+
+Result<ConditionalMoments> SquareWaveMechanism::Moments(double t,
+                                                        double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double b = HalfWidth(eps);
+  const double e = std::exp(eps);
+  const double delta = BiasAt(t, eps);
+  ConditionalMoments out;
+  out.bias = delta;
+  // Paper Eq. 18.
+  out.variance = b * b / 3.0 +
+                 (2.0 * b + 1.0) * (b + 1.0 - 3.0 * t * t) /
+                     (3.0 * (2.0 * b * e + 1.0)) -
+                 delta * delta - 2.0 * delta * t;
+  // rho(t) = E|t* - mu|^3 with mu = t + delta; exact for the two-level
+  // density with segment boundaries {-b, t-b, t+b, 1+b}:
+  //   integral over [p, q] of |x - mu|^3 dx = (|q-mu|^4 sgn(q-mu)
+  //                                           - |p-mu|^4 sgn(p-mu)) / 4.
+  const double mu = t + delta;
+  const double w = BaseDensity(eps);
+  auto seg = [&](double p, double q, double height) {
+    auto signed_pow4 = [&](double x) {
+      const double d = x - mu;
+      return d * std::abs(d) * d * d;  // |d|^4 * sgn(d).
+    };
+    return height * 0.25 * (signed_pow4(q) - signed_pow4(p));
+  };
+  out.third_abs_central = seg(-b, t - b, w) + seg(t - b, t + b, e * w) +
+                          seg(t + b, 1.0 + b, w);
+  return out;
+}
+
+Result<double> SquareWaveMechanism::Density(double x, double t,
+                                            double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double b = HalfWidth(eps);
+  if (x < -b || x > 1.0 + b) return 0.0;
+  const double w = BaseDensity(eps);
+  return std::abs(x - t) < b ? std::exp(eps) * w : w;
+}
+
+Result<std::vector<double>> SquareWaveMechanism::DensityBreakpoints(
+    double t, double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double b = HalfWidth(eps);
+  std::vector<double> breaks{-b, t - b, t + b, 1.0 + b};
+  // Clamp window edges into the support for extreme t, keeping order.
+  for (double& x : breaks) x = Clamp(x, -b, 1.0 + b);
+  return breaks;
+}
+
+}  // namespace mech
+}  // namespace hdldp

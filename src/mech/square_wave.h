@@ -1,0 +1,46 @@
+// Square wave mechanism (Li et al., SIGMOD 2020), the third of the paper's
+// evaluated mechanisms, with the most concentrated bounded perturbation.
+//
+// Native input domain [0, 1]; for input t the output t* in [-b, 1 + b] has
+// density (paper Eq. 5)
+//
+//   f(x | t) = e^eps w   if |x - t| < b,      w = 1 / (2 b e^eps + 1)
+//   f(x | t) = w         otherwise,
+//   b = (eps e^eps - e^eps + 1) / (2 e^eps (e^eps - 1 - eps)),
+//
+// so b -> 1/2 as eps -> 0 and b -> 0 as eps -> infinity. Averaging raw
+// square-wave reports is *biased*; the paper's framework models this bias
+// (Eq. 17) and its evaluation aggregates raw reports exactly as done here.
+// Bias and variance follow paper Eqs. 17-18.
+
+#ifndef HDLDP_MECH_SQUARE_WAVE_H_
+#define HDLDP_MECH_SQUARE_WAVE_H_
+
+#include "mech/mechanism.h"
+
+namespace hdldp {
+namespace mech {
+
+/// \brief Li et al.'s Square wave mechanism on its native domain [0, 1].
+class SquareWaveMechanism final : public Mechanism {
+ public:
+  std::string_view Name() const override { return "square_wave"; }
+  bool IsBounded() const override { return true; }
+  Interval InputDomain() const override { return {0.0, 1.0}; }
+  Result<Interval> OutputDomain(double eps) const override;
+  double Perturb(double t, double eps, Rng* rng) const override;
+  Result<ConditionalMoments> Moments(double t, double eps) const override;
+  Result<double> Density(double x, double t, double eps) const override;
+  Result<std::vector<double>> DensityBreakpoints(double t,
+                                                 double eps) const override;
+
+  /// Half-width b(eps) of the high-probability window.
+  static double HalfWidth(double eps);
+  /// Closed-form bias delta(t) = E[t* - t] (paper Eq. 17).
+  static double BiasAt(double t, double eps);
+};
+
+}  // namespace mech
+}  // namespace hdldp
+
+#endif  // HDLDP_MECH_SQUARE_WAVE_H_

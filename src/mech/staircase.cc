@@ -1,0 +1,138 @@
+#include "mech/staircase.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/math.h"
+#include "mech/series.h"
+
+namespace hdldp {
+namespace mech {
+
+namespace {
+// a(gamma) = (1 - q) / (2 Delta (gamma + q (1 - gamma))).
+double StepHeight(double gamma, double q) {
+  return (1.0 - q) /
+         (2.0 * StaircaseMechanism::kDelta * (gamma + q * (1.0 - gamma)));
+}
+}  // namespace
+
+Result<StaircaseMechanism> StaircaseMechanism::WithGamma(double gamma) {
+  if (!(gamma > 0.0 && gamma < 1.0)) {
+    return Status::InvalidArgument("staircase: gamma must lie in (0, 1)");
+  }
+  return StaircaseMechanism(gamma);
+}
+
+double StaircaseMechanism::GammaAt(double eps) const {
+  if (fixed_gamma_.has_value()) return *fixed_gamma_;
+  return 1.0 / (1.0 + std::exp(0.5 * eps));
+}
+
+Result<Interval> StaircaseMechanism::OutputDomain(double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateBudget(eps));
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  return Interval{-kInf, kInf};
+}
+
+double StaircaseMechanism::Perturb(double t, double eps, Rng* rng) const {
+  assert(ValidateBudget(eps).ok());
+  t = Clamp(t, -1.0, 1.0);
+  const double q = std::exp(-eps);
+  const double gamma = GammaAt(eps);
+  // One-sided band k has mass a q^k Delta (gamma + q (1 - gamma)): geometric.
+  const auto k = static_cast<double>(rng->Geometric(1.0 - q));
+  // Within the band, the inner sub-band [k, k+gamma) Delta has height a q^k
+  // and the outer [(k+gamma), k+1) Delta has height a q^{k+1}.
+  const double inner_mass = gamma;
+  const double outer_mass = q * (1.0 - gamma);
+  double magnitude;
+  if (rng->Bernoulli(inner_mass / (inner_mass + outer_mass))) {
+    magnitude = rng->Uniform(k * kDelta, (k + gamma) * kDelta);
+  } else {
+    magnitude = rng->Uniform((k + gamma) * kDelta, (k + 1.0) * kDelta);
+  }
+  const double noise = rng->Bernoulli(0.5) ? magnitude : -magnitude;
+  return t + noise;
+}
+
+Result<ConditionalMoments> StaircaseMechanism::Moments(double t,
+                                                       double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double q = std::exp(-eps);
+  const double gamma = GammaAt(eps);
+  const double a = StepHeight(gamma, q);
+  const double d3 = kDelta * kDelta * kDelta;
+  const double d4 = d3 * kDelta;
+  // sum_{k>=0} k^p q^k; p = 0 includes the k = 0 term.
+  const double s0 = 1.0 / (1.0 - q);
+  const double s1 = GeomSum1(q);
+  const double s2 = GeomSum2(q);
+  const double s3 = GeomSum3(q);
+  const double g2 = gamma * gamma;
+  const double g3 = g2 * gamma;
+  const double g4 = g3 * gamma;
+
+  // Var = 2a Delta^3 sum_k [ q^k (k^2 g + k g^2 + g^3/3)
+  //                        + q^{k+1} (k^2 (1-g) + k (1-g^2) + (1-g^3)/3) ].
+  const double var_inner = gamma * s2 + g2 * s1 + (g3 / 3.0) * s0;
+  const double var_outer =
+      q * ((1.0 - gamma) * s2 + (1.0 - g2) * s1 + ((1.0 - g3) / 3.0) * s0);
+  // rho = 2a Delta^4 sum_k [ q^k (k^3 g + 1.5 k^2 g^2 + k g^3 + g^4/4)
+  //                  + q^{k+1} (k^3 (1-g) + 1.5 k^2 (1-g^2) + k (1-g^3)
+  //                             + (1-g^4)/4) ].
+  const double rho_inner =
+      gamma * s3 + 1.5 * g2 * s2 + g3 * s1 + (g4 / 4.0) * s0;
+  const double rho_outer =
+      q * ((1.0 - gamma) * s3 + 1.5 * (1.0 - g2) * s2 + (1.0 - g3) * s1 +
+           ((1.0 - g4) / 4.0) * s0);
+
+  ConditionalMoments out;
+  out.bias = 0.0;  // Symmetric noise.
+  out.variance = 2.0 * a * d3 * (var_inner + var_outer);
+  out.third_abs_central = 2.0 * a * d4 * (rho_inner + rho_outer);
+  return out;
+}
+
+Result<double> StaircaseMechanism::Density(double x, double t,
+                                           double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const double q = std::exp(-eps);
+  const double gamma = GammaAt(eps);
+  const double offset = std::abs(x - t) / kDelta;
+  const double k = std::floor(offset);
+  const double frac = offset - k;
+  const double exponent = frac < gamma ? k : k + 1.0;
+  return StepHeight(gamma, q) * std::exp(-eps * exponent);
+}
+
+Result<std::vector<double>> StaircaseMechanism::DensityBreakpoints(
+    double t, double eps) const {
+  HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));
+  const auto bands = static_cast<std::int64_t>(
+      std::ceil(16.0 * std::log(10.0) / eps)) + 1;
+  constexpr std::int64_t kMaxBands = 50000;
+  if (bands > kMaxBands) {
+    return Status::FailedPrecondition(
+        "staircase: eps too small for breakpoint enumeration; use Moments()");
+  }
+  const double gamma = GammaAt(eps);
+  std::vector<double> breaks;
+  breaks.reserve(static_cast<std::size_t>(4 * bands + 2));
+  for (std::int64_t k = bands - 1; k >= 0; --k) {
+    const double kk = static_cast<double>(k);
+    breaks.push_back(t - (kk + 1.0) * kDelta);
+    breaks.push_back(t - (kk + gamma) * kDelta);
+  }
+  breaks.push_back(t);
+  for (std::int64_t k = 0; k < bands; ++k) {
+    const double kk = static_cast<double>(k);
+    breaks.push_back(t + (kk + gamma) * kDelta);
+    breaks.push_back(t + (kk + 1.0) * kDelta);
+  }
+  return breaks;
+}
+
+}  // namespace mech
+}  // namespace hdldp

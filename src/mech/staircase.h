@@ -1,0 +1,58 @@
+// Staircase mechanism (Geng, Kairouz, Oh & Viswanath, IEEE JSTSP 2015),
+// the optimal-noise unbounded baseline the paper groups with Laplace and
+// SCDF ("unbounded mechanisms").
+//
+// Noise density, for gamma in (0, 1) and q = e^{-eps}:
+//
+//   f(x) = a(gamma) q^k      |x| in [ k Delta,          (k+gamma) Delta )
+//   f(x) = a(gamma) q^{k+1}  |x| in [ (k+gamma) Delta,  (k+1) Delta )
+//   a(gamma) = (1 - q) / (2 Delta (gamma + q (1 - gamma)))
+//
+// with Delta = 2 (sensitivity of [-1, 1]). The variance-optimal step ratio
+// is gamma* = 1 / (1 + e^{eps/2}), which this implementation uses by
+// default; a fixed gamma can be supplied for ablations.
+
+#ifndef HDLDP_MECH_STAIRCASE_H_
+#define HDLDP_MECH_STAIRCASE_H_
+
+#include <optional>
+
+#include "mech/mechanism.h"
+
+namespace hdldp {
+namespace mech {
+
+/// \brief Staircase-noise mechanism on [-1, 1] (unbounded output).
+class StaircaseMechanism final : public Mechanism {
+ public:
+  /// Uses the variance-optimal gamma*(eps) = 1 / (1 + e^{eps/2}).
+  StaircaseMechanism() = default;
+
+  /// Uses a fixed gamma in (0, 1); returns InvalidArgument otherwise.
+  static Result<StaircaseMechanism> WithGamma(double gamma);
+
+  std::string_view Name() const override { return "staircase"; }
+  bool IsBounded() const override { return false; }
+  Interval InputDomain() const override { return {-1.0, 1.0}; }
+  Result<Interval> OutputDomain(double eps) const override;
+  double Perturb(double t, double eps, Rng* rng) const override;
+  Result<ConditionalMoments> Moments(double t, double eps) const override;
+  Result<double> Density(double x, double t, double eps) const override;
+  Result<std::vector<double>> DensityBreakpoints(double t,
+                                                 double eps) const override;
+
+  /// The gamma used at budget eps (fixed value or gamma*(eps)).
+  double GammaAt(double eps) const;
+
+  /// Sensitivity of the [-1, 1] input domain.
+  static constexpr double kDelta = 2.0;
+
+ private:
+  explicit StaircaseMechanism(double gamma) : fixed_gamma_(gamma) {}
+  std::optional<double> fixed_gamma_;
+};
+
+}  // namespace mech
+}  // namespace hdldp
+
+#endif  // HDLDP_MECH_STAIRCASE_H_

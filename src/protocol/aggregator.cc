@@ -1,0 +1,80 @@
+#include "protocol/aggregator.h"
+
+#include <string>
+
+namespace hdldp {
+namespace protocol {
+
+MeanAggregator::MeanAggregator(std::size_t num_dims,
+                               const mech::DomainMap& domain_map)
+    : domain_map_(domain_map),
+      sums_(num_dims),
+      counts_(num_dims, 0),
+      native_bias_(num_dims, 0.0) {}
+
+Result<MeanAggregator> MeanAggregator::Create(
+    std::size_t num_dims, const mech::DomainMap& domain_map) {
+  if (num_dims == 0) {
+    return Status::InvalidArgument("MeanAggregator requires num_dims > 0");
+  }
+  return MeanAggregator(num_dims, domain_map);
+}
+
+Status MeanAggregator::ConsumeReport(const UserReport& report) {
+  for (const DimensionReport& entry : report.entries) {
+    if (entry.dimension >= counts_.size()) {
+      return Status::OutOfRange("report dimension out of range");
+    }
+  }
+  for (const DimensionReport& entry : report.entries) {
+    Consume(entry.dimension, entry.value);
+  }
+  return Status::OK();
+}
+
+Status MeanAggregator::Merge(const MeanAggregator& other) {
+  if (other.counts_.size() != counts_.size()) {
+    return Status::InvalidArgument(
+        "MeanAggregator::Merge requires matching dimensionality");
+  }
+  for (std::size_t j = 0; j < counts_.size(); ++j) {
+    sums_[j].Merge(other.sums_[j]);
+    counts_[j] += other.counts_[j];
+  }
+  return Status::OK();
+}
+
+Status MeanAggregator::SetBiasCorrection(std::vector<double> native_bias) {
+  if (native_bias.size() != counts_.size()) {
+    return Status::InvalidArgument(
+        "bias correction has " + std::to_string(native_bias.size()) +
+        " entries, expected " + std::to_string(counts_.size()));
+  }
+  native_bias_ = std::move(native_bias);
+  return Status::OK();
+}
+
+std::int64_t MeanAggregator::TotalReports() const {
+  std::int64_t total = 0;
+  for (const auto c : counts_) total += c;
+  return total;
+}
+
+std::vector<double> MeanAggregator::EstimatedMean() const {
+  std::vector<double> mean(counts_.size());
+  for (std::size_t j = 0; j < counts_.size(); ++j) {
+    if (counts_[j] == 0) {
+      // No reports carry no information; estimate the center of the
+      // paper's [-1, 1] data domain.
+      mean[j] = 0.0;
+      continue;
+    }
+    const double native_mean =
+        sums_[j].Total() / static_cast<double>(counts_[j]) - native_bias_[j];
+    mean[j] = domain_map_.Backward(native_mean);
+  }
+  return mean;
+}
+
+}  // namespace protocol
+}  // namespace hdldp

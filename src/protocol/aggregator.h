@@ -1,0 +1,80 @@
+// Collector-side half of the protocol: per-dimension calibration and
+// aggregation (paper Section IV-B steps 2-3).
+//
+// The aggregator accumulates perturbed values per dimension (in the
+// mechanism's native output space), optionally applies a constant
+// per-dimension bias correction (the paper's "calibration by delta_ij";
+// all unbiased mechanisms use delta = 0, and the paper's square-wave
+// evaluation deliberately leaves the bias in), then averages and maps the
+// estimate back into the data domain.
+
+#ifndef HDLDP_PROTOCOL_AGGREGATOR_H_
+#define HDLDP_PROTOCOL_AGGREGATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/math.h"
+#include "common/result.h"
+#include "mech/mechanism.h"
+#include "protocol/report.h"
+
+namespace hdldp {
+namespace protocol {
+
+/// \brief Streaming per-dimension mean estimator.
+class MeanAggregator {
+ public:
+  /// Creates an aggregator for d dimensions whose incoming values live in
+  /// the native space reached through `domain_map` (pass a default map if
+  /// values are already in the data domain).
+  static Result<MeanAggregator> Create(std::size_t num_dims,
+                                       const mech::DomainMap& domain_map);
+
+  /// \brief Folds one perturbed value for `dimension` (native space).
+  void Consume(std::uint32_t dimension, double value) {
+    sums_[dimension].Add(value);
+    ++counts_[dimension];
+  }
+
+  /// \brief Folds every entry of a report.
+  Status ConsumeReport(const UserReport& report);
+
+  /// \brief Folds another aggregator's state in (parallel reduction).
+  /// Both aggregators must have the same dimensionality; the bias
+  /// correction of *this* aggregator is kept.
+  Status Merge(const MeanAggregator& other);
+
+  /// \brief Sets a per-dimension additive bias correction subtracted from
+  /// each dimension's native-space mean (the calibration step). Must have
+  /// d entries.
+  Status SetBiasCorrection(std::vector<double> native_bias);
+
+  /// Reports received in dimension j (the paper's r_j).
+  std::int64_t ReportCount(std::size_t j) const { return counts_[j]; }
+
+  /// Total reports across dimensions.
+  std::int64_t TotalReports() const;
+
+  /// \brief Estimated mean theta-hat in the data domain. Dimensions with
+  /// zero reports estimate the data-domain midpoint. The estimate is the
+  /// naive average the paper identifies as sub-optimal in high dimensions;
+  /// feed it to hdr4me::Recalibrate for the enhanced mean.
+  std::vector<double> EstimatedMean() const;
+
+  /// Number of dimensions d.
+  std::size_t num_dims() const { return counts_.size(); }
+
+ private:
+  MeanAggregator(std::size_t num_dims, const mech::DomainMap& domain_map);
+
+  mech::DomainMap domain_map_;
+  std::vector<NeumaierSum> sums_;
+  std::vector<std::int64_t> counts_;
+  std::vector<double> native_bias_;
+};
+
+}  // namespace protocol
+}  // namespace hdldp
+
+#endif  // HDLDP_PROTOCOL_AGGREGATOR_H_

@@ -1,0 +1,65 @@
+#include "protocol/budget.h"
+
+#include <cmath>
+#include <string>
+
+namespace hdldp {
+namespace protocol {
+
+namespace {
+// Slack absorbing float rounding when m splits recompose to the total.
+constexpr double kCompositionSlack = 1e-9;
+
+Status ValidateSplit(double total_epsilon, std::size_t report_dims) {
+  if (!(total_epsilon > 0.0) || !std::isfinite(total_epsilon)) {
+    return Status::InvalidArgument("budget split requires total_epsilon > 0");
+  }
+  if (report_dims == 0) {
+    return Status::InvalidArgument("budget split requires report_dims > 0");
+  }
+  return Status::OK();
+}
+}  // namespace
+
+Result<BudgetAccountant> BudgetAccountant::Create(double total_epsilon) {
+  if (!(total_epsilon > 0.0) || !std::isfinite(total_epsilon)) {
+    return Status::InvalidArgument(
+        "BudgetAccountant requires total_epsilon > 0");
+  }
+  return BudgetAccountant(total_epsilon);
+}
+
+Status BudgetAccountant::Spend(double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("Spend requires epsilon > 0");
+  }
+  const double slack = kCompositionSlack * total_;
+  if (spent_ + epsilon > total_ + slack) {
+    return Status::FailedPrecondition(
+        "privacy budget exhausted: spent " + std::to_string(spent_) +
+        " + requested " + std::to_string(epsilon) + " exceeds total " +
+        std::to_string(total_));
+  }
+  spent_ += epsilon;
+  return Status::OK();
+}
+
+double BudgetAccountant::remaining() const {
+  const double left = total_ - spent_;
+  return left > 0.0 ? left : 0.0;
+}
+
+Result<double> BudgetAccountant::PerDimensionBudget(double total_epsilon,
+                                                    std::size_t report_dims) {
+  HDLDP_RETURN_NOT_OK(ValidateSplit(total_epsilon, report_dims));
+  return total_epsilon / static_cast<double>(report_dims);
+}
+
+Result<double> BudgetAccountant::PerEntryBudget(double total_epsilon,
+                                                std::size_t report_dims) {
+  HDLDP_RETURN_NOT_OK(ValidateSplit(total_epsilon, report_dims));
+  return total_epsilon / (2.0 * static_cast<double>(report_dims));
+}
+
+}  // namespace protocol
+}  // namespace hdldp

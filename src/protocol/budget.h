@@ -1,0 +1,60 @@
+// Privacy-budget accounting for one user's report.
+//
+// The paper's protocols rely on sequential composition: a report touching
+// m dimensions at eps/m each (mean estimation, Section III-B) or m
+// one-hot-encoded dimensions at eps/(2m) per entry (frequency estimation,
+// Section V-C) satisfies eps-LDP in total. BudgetAccountant makes that
+// arithmetic explicit and auditable: clients charge every perturbation
+// against it, and over-spending is an error rather than a silent privacy
+// violation.
+
+#ifndef HDLDP_PROTOCOL_BUDGET_H_
+#define HDLDP_PROTOCOL_BUDGET_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+
+namespace hdldp {
+namespace protocol {
+
+/// \brief Tracks sequential composition against a total budget.
+class BudgetAccountant {
+ public:
+  /// Creates an accountant with the given total budget (> 0).
+  static Result<BudgetAccountant> Create(double total_epsilon);
+
+  /// \brief Charges `epsilon` against the remaining budget.
+  ///
+  /// Fails with FailedPrecondition (and charges nothing) if the spend
+  /// would exceed the total beyond a small composition-rounding slack.
+  Status Spend(double epsilon);
+
+  /// Budget consumed so far.
+  double spent() const { return spent_; }
+  /// Budget still available (never negative).
+  double remaining() const;
+  /// The total authorized budget.
+  double total() const { return total_; }
+
+  /// \brief eps/m split for mean estimation over m reported dimensions.
+  static Result<double> PerDimensionBudget(double total_epsilon,
+                                           std::size_t report_dims);
+
+  /// \brief eps/(2m) split for frequency estimation: a one-hot encoded
+  /// dimension changes at most 2 entries, so each entry gets half the
+  /// per-dimension budget ([37], paper Section V-C).
+  static Result<double> PerEntryBudget(double total_epsilon,
+                                       std::size_t report_dims);
+
+ private:
+  explicit BudgetAccountant(double total_epsilon) : total_(total_epsilon) {}
+
+  double total_;
+  double spent_ = 0.0;
+};
+
+}  // namespace protocol
+}  // namespace hdldp
+
+#endif  // HDLDP_PROTOCOL_BUDGET_H_

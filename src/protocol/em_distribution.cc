@@ -1,0 +1,145 @@
+#include "protocol/em_distribution.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math.h"
+
+namespace hdldp {
+namespace protocol {
+
+double EmResult::EstimatedMean() const {
+  NeumaierSum acc;
+  for (std::size_t b = 0; b < probabilities.size(); ++b) {
+    acc.Add(probabilities[b] * bucket_centers[b]);
+  }
+  return acc.Total();
+}
+
+Result<EmResult> EstimateDistributionEm(const mech::Mechanism& mechanism,
+                                        double eps,
+                                        std::span<const double> reports,
+                                        const EmOptions& options) {
+  HDLDP_RETURN_NOT_OK(mechanism.ValidateBudget(eps));
+  if (reports.empty()) {
+    return Status::InvalidArgument("EM requires at least one report");
+  }
+  if (options.num_buckets < 2) {
+    return Status::InvalidArgument("EM requires num_buckets >= 2");
+  }
+  if (options.num_output_cells < options.num_buckets) {
+    return Status::InvalidArgument(
+        "EM requires num_output_cells >= num_buckets");
+  }
+  if (options.max_iterations <= 0 || !(options.tolerance >= 0.0)) {
+    return Status::InvalidArgument("EM: bad iteration controls");
+  }
+
+  const mech::Interval input = mechanism.InputDomain();
+  const std::size_t num_buckets = options.num_buckets;
+  std::vector<double> centers(num_buckets);
+  const double bucket_width = input.Width() / static_cast<double>(num_buckets);
+  for (std::size_t b = 0; b < num_buckets; ++b) {
+    centers[b] = input.lo + (static_cast<double>(b) + 0.5) * bucket_width;
+  }
+
+  // Output range: the mechanism's output domain if finite, otherwise the
+  // observed report range (covers the unbounded mechanisms).
+  HDLDP_ASSIGN_OR_RETURN(const mech::Interval output_domain,
+                         mechanism.OutputDomain(eps));
+  double out_lo;
+  double out_hi;
+  if (output_domain.IsFinite()) {
+    out_lo = output_domain.lo;
+    out_hi = output_domain.hi;
+  } else {
+    out_lo = *std::min_element(reports.begin(), reports.end());
+    out_hi = *std::max_element(reports.begin(), reports.end());
+  }
+  if (!(out_hi > out_lo)) {
+    return Status::InvalidArgument("EM: degenerate report range");
+  }
+
+  // Fold reports into output-cell counts; one EM iteration then costs
+  // O(cells x buckets) independent of the report count.
+  const std::size_t cells = options.num_output_cells;
+  const double cell_width = (out_hi - out_lo) / static_cast<double>(cells);
+  std::vector<double> counts(cells, 0.0);
+  for (const double x : reports) {
+    auto cell = static_cast<std::int64_t>((x - out_lo) / cell_width);
+    cell = std::clamp<std::int64_t>(cell, 0,
+                                    static_cast<std::int64_t>(cells) - 1);
+    counts[static_cast<std::size_t>(cell)] += 1.0;
+  }
+
+  // Conditional likelihood matrix: density of a report landing in cell o
+  // given the original value sits in bucket b (evaluated at centers;
+  // adequate at the default resolutions for the piecewise-constant
+  // densities of the bounded mechanisms).
+  std::vector<double> likelihood(cells * num_buckets);
+  for (std::size_t o = 0; o < cells; ++o) {
+    const double x = out_lo + (static_cast<double>(o) + 0.5) * cell_width;
+    for (std::size_t b = 0; b < num_buckets; ++b) {
+      HDLDP_ASSIGN_OR_RETURN(const double f,
+                             mechanism.Density(x, centers[b], eps));
+      likelihood[o * num_buckets + b] = f;
+    }
+  }
+
+  EmResult result;
+  result.bucket_centers = std::move(centers);
+  std::vector<double> p(num_buckets, 1.0 / static_cast<double>(num_buckets));
+  std::vector<double> next(num_buckets);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t o = 0; o < cells; ++o) {
+      if (counts[o] == 0.0) continue;
+      const double* row = &likelihood[o * num_buckets];
+      double mix = 0.0;
+      for (std::size_t b = 0; b < num_buckets; ++b) mix += p[b] * row[b];
+      if (mix <= 0.0) continue;
+      const double weight = counts[o] / mix;
+      for (std::size_t b = 0; b < num_buckets; ++b) {
+        next[b] += weight * p[b] * row[b];
+      }
+    }
+    double total = 0.0;
+    for (double& v : next) total += v;
+    if (total <= 0.0) {
+      return Status::Internal("EM: posterior mass vanished");
+    }
+    for (double& v : next) v /= total;
+
+    if (options.smooth) {
+      // Li et al.'s binomial smoothing: convolve with [1 2 1] / 4.
+      std::vector<double> smoothed(num_buckets);
+      double smoothed_total = 0.0;
+      for (std::size_t b = 0; b < num_buckets; ++b) {
+        const double left = b > 0 ? next[b - 1] : next[b];
+        const double right = b + 1 < num_buckets ? next[b + 1] : next[b];
+        smoothed[b] = 0.25 * left + 0.5 * next[b] + 0.25 * right;
+        smoothed_total += smoothed[b];
+      }
+      for (double& v : smoothed) v /= smoothed_total;
+      next.swap(smoothed);
+    }
+
+    double l1_change = 0.0;
+    for (std::size_t b = 0; b < num_buckets; ++b) {
+      l1_change += std::abs(next[b] - p[b]);
+    }
+    p.swap(next);
+    result.iterations = iter + 1;
+    if (l1_change < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  result.probabilities = std::move(p);
+  return result;
+}
+
+}  // namespace protocol
+}  // namespace hdldp

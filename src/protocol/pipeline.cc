@@ -1,0 +1,133 @@
+#include "protocol/pipeline.h"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "common/math.h"
+#include "protocol/aggregator.h"
+#include "protocol/metrics.h"
+
+namespace hdldp {
+namespace protocol {
+
+namespace {
+
+// Simulates users [begin, end) into `aggregator` with an independent
+// stream derived from (seed, worker).
+Status SimulateRange(const data::Dataset& dataset,
+                     mech::MechanismPtr mechanism,
+                     const ClientOptions& client_options, std::uint64_t seed,
+                     std::size_t worker, std::size_t begin, std::size_t end,
+                     MeanAggregator* aggregator) {
+  HDLDP_ASSIGN_OR_RETURN(
+      const Client client,
+      Client::Create(std::move(mechanism), dataset.num_dims(),
+                     client_options));
+  std::uint64_t mix = seed + 0x9e3779b97f4a7c15ULL * (worker + 1);
+  Rng rng(SplitMix64(&mix));
+  for (std::size_t i = begin; i < end; ++i) {
+    client.ReportTo(dataset.Row(i), &rng,
+                    [&](std::uint32_t dim, double value) {
+                      aggregator->Consume(dim, value);
+                    });
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MeanEstimationResult> RunMeanEstimation(const data::Dataset& dataset,
+                                               mech::MechanismPtr mechanism,
+                                               const PipelineOptions& options) {
+  ClientOptions client_options;
+  client_options.total_epsilon = options.total_epsilon;
+  client_options.report_dims = options.report_dims;
+  HDLDP_ASSIGN_OR_RETURN(
+      const Client client,
+      Client::Create(mechanism, dataset.num_dims(), client_options));
+  HDLDP_ASSIGN_OR_RETURN(
+      MeanAggregator aggregator,
+      MeanAggregator::Create(dataset.num_dims(), client.domain_map()));
+
+  const std::size_t workers =
+      std::max<std::size_t>(1, std::min(options.num_threads,
+                                        dataset.num_users()));
+  if (workers == 1) {
+    HDLDP_RETURN_NOT_OK(SimulateRange(dataset, mechanism, client_options,
+                                      options.seed, /*worker=*/0, 0,
+                                      dataset.num_users(), &aggregator));
+  } else {
+    std::vector<MeanAggregator> locals;
+    std::vector<Status> statuses(workers);
+    locals.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      HDLDP_ASSIGN_OR_RETURN(
+          MeanAggregator local,
+          MeanAggregator::Create(dataset.num_dims(), client.domain_map()));
+      locals.push_back(std::move(local));
+    }
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        const std::size_t begin = w * dataset.num_users() / workers;
+        const std::size_t end = (w + 1) * dataset.num_users() / workers;
+        threads.emplace_back([&, w, begin, end] {
+          statuses[w] =
+              SimulateRange(dataset, mechanism, client_options, options.seed,
+                            w, begin, end, &locals[w]);
+        });
+      }
+      for (auto& thread : threads) thread.join();
+    }
+    for (std::size_t w = 0; w < workers; ++w) {
+      HDLDP_RETURN_NOT_OK(statuses[w]);
+      HDLDP_RETURN_NOT_OK(aggregator.Merge(locals[w]));
+    }
+  }
+
+  MeanEstimationResult result;
+  result.estimated_mean = aggregator.EstimatedMean();
+  result.true_mean = dataset.TrueMean();
+  result.report_counts.reserve(dataset.num_dims());
+  for (std::size_t j = 0; j < dataset.num_dims(); ++j) {
+    result.report_counts.push_back(aggregator.ReportCount(j));
+  }
+  result.per_dim_epsilon = client.PerDimensionEpsilon();
+  HDLDP_ASSIGN_OR_RETURN(
+      result.mse, MeanSquaredError(result.estimated_mean, result.true_mean));
+  return result;
+}
+
+Result<SingleDimensionResult> RunSingleDimension(
+    std::span<const double> values, const mech::Mechanism& mechanism,
+    double per_dim_epsilon, double inclusion_prob,
+    const mech::Interval& data_domain, Rng* rng) {
+  if (values.empty()) {
+    return Status::InvalidArgument("RunSingleDimension requires users");
+  }
+  if (!(inclusion_prob > 0.0 && inclusion_prob <= 1.0)) {
+    return Status::InvalidArgument(
+        "RunSingleDimension requires inclusion_prob in (0, 1]");
+  }
+  HDLDP_RETURN_NOT_OK(mechanism.ValidateBudget(per_dim_epsilon));
+  HDLDP_ASSIGN_OR_RETURN(
+      const mech::DomainMap map,
+      mech::DomainMap::Between(data_domain, mechanism.InputDomain()));
+  NeumaierSum sum;
+  std::int64_t count = 0;
+  for (const double t : values) {
+    if (!rng->Bernoulli(inclusion_prob)) continue;
+    sum.Add(mechanism.Perturb(map.Forward(t), per_dim_epsilon, rng));
+    ++count;
+  }
+  SingleDimensionResult result;
+  result.report_count = count;
+  result.estimated_mean =
+      count == 0 ? 0.0 : map.Backward(sum.Total() / static_cast<double>(count));
+  return result;
+}
+
+}  // namespace protocol
+}  // namespace hdldp

@@ -1,0 +1,35 @@
+#include "protocol/report.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace hdldp {
+namespace protocol {
+
+Status ValidateReport(const UserReport& report, std::size_t num_dims,
+                      std::size_t expected_entries, double output_lo,
+                      double output_hi) {
+  if (report.entries.size() != expected_entries) {
+    return Status::InvalidArgument(
+        "report carries " + std::to_string(report.entries.size()) +
+        " entries, expected " + std::to_string(expected_entries));
+  }
+  std::unordered_set<std::uint32_t> seen;
+  seen.reserve(report.entries.size());
+  for (const DimensionReport& entry : report.entries) {
+    if (entry.dimension >= num_dims) {
+      return Status::OutOfRange("report dimension index out of range");
+    }
+    if (!seen.insert(entry.dimension).second) {
+      return Status::InvalidArgument("report repeats a dimension");
+    }
+    if (std::isnan(entry.value) || entry.value < output_lo ||
+        entry.value > output_hi) {
+      return Status::OutOfRange("report value outside mechanism output domain");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace protocol
+}  // namespace hdldp

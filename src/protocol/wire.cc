@@ -1,0 +1,147 @@
+#include "protocol/wire.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+
+namespace hdldp {
+namespace protocol {
+
+namespace {
+
+void PutVarint(std::uint64_t value, std::vector<std::uint8_t>* out) {
+  while (value >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(value) | 0x80);
+    value >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(value));
+}
+
+Result<std::uint64_t> GetVarint(std::span<const std::uint8_t> bytes,
+                                std::size_t* pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (true) {
+    if (*pos >= bytes.size()) {
+      return Status::OutOfRange("wire: truncated varint");
+    }
+    if (shift >= 64) {
+      return Status::InvalidArgument("wire: varint overflows 64 bits");
+    }
+    const std::uint8_t byte = bytes[(*pos)++];
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      // Reject non-canonical encodings (a trailing 0x00 continuation).
+      if (byte == 0 && shift != 0) {
+        return Status::InvalidArgument("wire: non-canonical varint");
+      }
+      return value;
+    }
+    shift += 7;
+  }
+}
+
+void PutDouble(double value, std::vector<std::uint8_t>* out) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<std::uint8_t>(bits >> (8 * i)));
+  }
+}
+
+Result<double> GetDouble(std::span<const std::uint8_t> bytes,
+                         std::size_t* pos) {
+  if (*pos + 8 > bytes.size()) {
+    return Status::OutOfRange("wire: truncated value");
+  }
+  std::uint64_t bits = 0;
+  for (int i = 0; i < 8; ++i) {
+    bits |= static_cast<std::uint64_t>(bytes[*pos + i]) << (8 * i);
+  }
+  *pos += 8;
+  double value;
+  std::memcpy(&value, &bits, sizeof(value));
+  return value;
+}
+
+}  // namespace
+
+Result<std::vector<std::uint8_t>> EncodeReport(const UserReport& report) {
+  std::vector<DimensionReport> entries = report.entries;
+  std::sort(entries.begin(), entries.end(),
+            [](const DimensionReport& a, const DimensionReport& b) {
+              return a.dimension < b.dimension;
+            });
+  for (std::size_t i = 0; i + 1 < entries.size(); ++i) {
+    if (entries[i].dimension == entries[i + 1].dimension) {
+      return Status::InvalidArgument("wire: report repeats a dimension");
+    }
+  }
+  for (const DimensionReport& entry : entries) {
+    if (std::isnan(entry.value)) {
+      return Status::InvalidArgument("wire: NaN report value");
+    }
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(2 + entries.size() * 10);
+  out.push_back(kWireVersion);
+  PutVarint(entries.size(), &out);
+  std::uint64_t previous = 0;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::uint64_t dim = entries[i].dimension;
+    PutVarint(i == 0 ? dim : dim - previous, &out);
+    PutDouble(entries[i].value, &out);
+    previous = dim;
+  }
+  return out;
+}
+
+Result<UserReport> DecodeReport(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) {
+    return Status::OutOfRange("wire: empty buffer");
+  }
+  std::size_t pos = 0;
+  const std::uint8_t version = bytes[pos++];
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("wire: unsupported version " +
+                                   std::to_string(version));
+  }
+  HDLDP_ASSIGN_OR_RETURN(const std::uint64_t count, GetVarint(bytes, &pos));
+  // Each entry needs at least 9 bytes; reject absurd counts before
+  // reserving memory.
+  if (count > (bytes.size() - pos) / 9 + 1) {
+    return Status::InvalidArgument("wire: entry count exceeds buffer");
+  }
+  UserReport report;
+  report.entries.reserve(count);
+  std::uint64_t dimension = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    HDLDP_ASSIGN_OR_RETURN(const std::uint64_t delta, GetVarint(bytes, &pos));
+    if (i == 0) {
+      dimension = delta;
+    } else {
+      if (delta == 0) {
+        return Status::InvalidArgument("wire: duplicate dimension");
+      }
+      dimension += delta;
+    }
+    if (dimension > std::numeric_limits<std::uint32_t>::max()) {
+      return Status::OutOfRange("wire: dimension exceeds 32 bits");
+    }
+    HDLDP_ASSIGN_OR_RETURN(const double value, GetDouble(bytes, &pos));
+    if (std::isnan(value)) {
+      return Status::InvalidArgument("wire: NaN report value");
+    }
+    report.entries.push_back(
+        DimensionReport{static_cast<std::uint32_t>(dimension), value});
+  }
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument("wire: trailing bytes after report");
+  }
+  return report;
+}
+
+}  // namespace protocol
+}  // namespace hdldp

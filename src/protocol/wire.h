@@ -1,0 +1,40 @@
+// Wire format for user reports.
+//
+// A real deployment ships reports from devices to the collector; this
+// module provides a compact, versioned, self-delimiting binary encoding:
+//
+//   [u8 version=1][varint m][m x ([varint dimension][f64-LE value])]
+//
+// Dimensions are delta-encoded in ascending order (reports are sorted on
+// encode), which keeps the varints small for dense reports. Decoding
+// validates shape strictly — truncated buffers, non-canonical varints,
+// descending dimensions and non-finite values are all errors, never UB.
+
+#ifndef HDLDP_PROTOCOL_WIRE_H_
+#define HDLDP_PROTOCOL_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/result.h"
+#include "protocol/report.h"
+
+namespace hdldp {
+namespace protocol {
+
+/// Current wire-format version byte.
+inline constexpr std::uint8_t kWireVersion = 1;
+
+/// \brief Serializes a report. Entries are sorted by dimension; duplicate
+/// dimensions are rejected.
+Result<std::vector<std::uint8_t>> EncodeReport(const UserReport& report);
+
+/// \brief Parses a buffer produced by EncodeReport. The whole buffer must
+/// be consumed (no trailing bytes).
+Result<UserReport> DecodeReport(std::span<const std::uint8_t> bytes);
+
+}  // namespace protocol
+}  // namespace hdldp
+
+#endif  // HDLDP_PROTOCOL_WIRE_H_

@@ -1,0 +1,258 @@
+// Unit tests for the dataset container and the Section VI generators.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+
+namespace hdldp {
+namespace data {
+namespace {
+
+TEST(DatasetTest, CreateValidatesShape) {
+  EXPECT_FALSE(Dataset::Create(0, 5).ok());
+  EXPECT_FALSE(Dataset::Create(5, 0).ok());
+  ASSERT_TRUE(Dataset::Create(3, 4).ok());
+}
+
+TEST(DatasetTest, SetGetRoundTrip) {
+  auto d = Dataset::Create(2, 3).value();
+  d.Set(0, 0, 1.5);
+  d.Set(1, 2, -0.25);
+  EXPECT_EQ(d.At(0, 0), 1.5);
+  EXPECT_EQ(d.At(1, 2), -0.25);
+  EXPECT_EQ(d.At(0, 1), 0.0);
+  EXPECT_EQ(d.Row(1).size(), 3u);
+  EXPECT_EQ(d.Row(1)[2], -0.25);
+}
+
+TEST(DatasetTest, TrueMeanPerDimension) {
+  auto d = Dataset::Create(4, 2).value();
+  for (std::size_t i = 0; i < 4; ++i) {
+    d.Set(i, 0, static_cast<double>(i));       // 0,1,2,3 -> mean 1.5
+    d.Set(i, 1, i % 2 == 0 ? -1.0 : 1.0);      // mean 0
+  }
+  const auto mean = d.TrueMean();
+  EXPECT_DOUBLE_EQ(mean[0], 1.5);
+  EXPECT_DOUBLE_EQ(mean[1], 0.0);
+}
+
+TEST(DatasetTest, NormalizeMapsOntoUnitRange) {
+  auto d = Dataset::Create(3, 2).value();
+  d.Set(0, 0, 10.0);
+  d.Set(1, 0, 20.0);
+  d.Set(2, 0, 30.0);
+  // Second dimension constant: must normalize to 0.
+  for (std::size_t i = 0; i < 3; ++i) d.Set(i, 1, 7.0);
+  d.NormalizeDimensions();
+  EXPECT_DOUBLE_EQ(d.At(0, 0), -1.0);
+  EXPECT_DOUBLE_EQ(d.At(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(d.At(2, 0), 1.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(d.At(i, 1), 0.0);
+}
+
+TEST(DatasetTest, ClampValues) {
+  auto d = Dataset::Create(1, 3).value();
+  d.Set(0, 0, -5.0);
+  d.Set(0, 1, 0.5);
+  d.Set(0, 2, 5.0);
+  d.ClampValues(-1.0, 1.0);
+  EXPECT_EQ(d.At(0, 0), -1.0);
+  EXPECT_EQ(d.At(0, 1), 0.5);
+  EXPECT_EQ(d.At(0, 2), 1.0);
+}
+
+TEST(DatasetTest, ResampleDimensionsDrawsExistingColumns) {
+  auto d = Dataset::Create(5, 3).value();
+  for (std::size_t i = 0; i < 5; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      d.Set(i, j, static_cast<double>(j));  // Column j holds constant j.
+    }
+  }
+  Rng rng(1);
+  const auto wide = d.ResampleDimensions(10, &rng).value();
+  EXPECT_EQ(wide.num_dims(), 10u);
+  EXPECT_EQ(wide.num_users(), 5u);
+  for (std::size_t j = 0; j < 10; ++j) {
+    const double v = wide.At(0, j);
+    EXPECT_TRUE(v == 0.0 || v == 1.0 || v == 2.0);
+    // Every user sees the same source column.
+    for (std::size_t i = 1; i < 5; ++i) EXPECT_EQ(wide.At(i, j), v);
+  }
+  EXPECT_FALSE(d.ResampleDimensions(0, &rng).ok());
+}
+
+TEST(DatasetTest, TruncateUsersKeepsPrefix) {
+  auto d = Dataset::Create(4, 2).value();
+  for (std::size_t i = 0; i < 4; ++i) d.Set(i, 0, static_cast<double>(i));
+  const auto t = d.TruncateUsers(2).value();
+  EXPECT_EQ(t.num_users(), 2u);
+  EXPECT_EQ(t.At(1, 0), 1.0);
+  EXPECT_FALSE(d.TruncateUsers(0).ok());
+  EXPECT_FALSE(d.TruncateUsers(5).ok());
+}
+
+TEST(GeneratorTest, UniformRespectsRangeAndMean) {
+  Rng rng(2);
+  const auto d =
+      GenerateUniform({.num_users = 20000, .num_dims = 4}, &rng).value();
+  for (std::size_t j = 0; j < 4; ++j) {
+    RunningMoments m;
+    for (std::size_t i = 0; i < d.num_users(); ++i) {
+      ASSERT_GE(d.At(i, j), -1.0);
+      ASSERT_LT(d.At(i, j), 1.0);
+      m.Add(d.At(i, j));
+    }
+    EXPECT_NEAR(m.Mean(), 0.0, 0.02);
+    EXPECT_NEAR(m.Variance(), 1.0 / 3.0, 0.02);
+  }
+}
+
+TEST(GeneratorTest, GaussianSignalDimensions) {
+  Rng rng(3);
+  GaussianSpec spec;
+  spec.num_users = 20000;
+  spec.num_dims = 20;
+  const auto d = GenerateGaussian(spec, &rng).value();
+  // First ceil(0.1 * 20) = 2 dimensions carry mean 0.9; the rest mean 0.
+  for (std::size_t j = 0; j < d.num_dims(); ++j) {
+    RunningMoments m;
+    for (std::size_t i = 0; i < d.num_users(); ++i) m.Add(d.At(i, j));
+    if (j < 2) {
+      EXPECT_NEAR(m.Mean(), 0.9, 0.01) << j;
+    } else {
+      EXPECT_NEAR(m.Mean(), 0.0, 0.01) << j;
+    }
+    EXPECT_NEAR(m.StdDev(), 1.0 / 16.0, 0.005) << j;
+  }
+}
+
+TEST(GeneratorTest, GaussianValidatesSpec) {
+  Rng rng(4);
+  GaussianSpec bad;
+  bad.num_users = 10;
+  bad.num_dims = 2;
+  bad.stddev = 0.0;
+  EXPECT_FALSE(GenerateGaussian(bad, &rng).ok());
+  bad.stddev = 0.1;
+  bad.high_fraction = 1.5;
+  EXPECT_FALSE(GenerateGaussian(bad, &rng).ok());
+}
+
+TEST(GeneratorTest, PoissonIsNormalized) {
+  Rng rng(5);
+  PoissonSpec spec;
+  spec.num_users = 5000;
+  spec.num_dims = 6;
+  const auto d = GeneratePoisson(spec, &rng).value();
+  for (std::size_t j = 0; j < d.num_dims(); ++j) {
+    double lo, hi;
+    d.DimensionRange(j, &lo, &hi);
+    EXPECT_DOUBLE_EQ(lo, -1.0) << j;
+    EXPECT_DOUBLE_EQ(hi, 1.0) << j;
+  }
+}
+
+TEST(GeneratorTest, PoissonValidatesSpec) {
+  Rng rng(6);
+  PoissonSpec bad;
+  bad.num_users = 10;
+  bad.num_dims = 2;
+  bad.min_expectation = 0.0;
+  EXPECT_FALSE(GeneratePoisson(bad, &rng).ok());
+  bad.min_expectation = 50.0;
+  bad.max_expectation = 10.0;
+  EXPECT_FALSE(GeneratePoisson(bad, &rng).ok());
+}
+
+TEST(GeneratorTest, CorrelatedSurrogateHasHighPairwiseCorrelation) {
+  Rng rng(7);
+  CorrelatedSpec spec;
+  spec.num_users = 4000;
+  spec.num_dims = 30;
+  const auto d = GenerateCorrelated(spec, &rng).value();
+  Rng probe(8);
+  const double corr = AveragePairwiseCorrelation(d, 60, &probe);
+  // The COV-19 stand-in must be strongly correlated across dimensions.
+  EXPECT_GT(corr, 0.5);
+  // And normalized into [-1, 1].
+  for (std::size_t j = 0; j < d.num_dims(); ++j) {
+    double lo, hi;
+    d.DimensionRange(j, &lo, &hi);
+    EXPECT_GE(lo, -1.0 - 1e-12);
+    EXPECT_LE(hi, 1.0 + 1e-12);
+  }
+}
+
+TEST(GeneratorTest, UncorrelatedBaselineIsLow) {
+  Rng rng(9);
+  const auto d =
+      GenerateUniform({.num_users = 4000, .num_dims = 30}, &rng).value();
+  Rng probe(10);
+  EXPECT_LT(AveragePairwiseCorrelation(d, 60, &probe), 0.1);
+}
+
+TEST(GeneratorTest, CorrelatedValidatesSpec) {
+  Rng rng(11);
+  CorrelatedSpec bad;
+  bad.num_users = 10;
+  bad.num_dims = 4;
+  bad.num_factors = 0;
+  EXPECT_FALSE(GenerateCorrelated(bad, &rng).ok());
+  bad.num_factors = 2;
+  bad.factor_weight = 1.0;
+  EXPECT_FALSE(GenerateCorrelated(bad, &rng).ok());
+}
+
+TEST(GeneratorTest, DiscreteMatchesRequestedLaw) {
+  Rng rng(12);
+  DiscreteSpec spec;
+  spec.num_users = 50000;
+  spec.num_dims = 2;
+  spec.values = {0.1, 0.5, 1.0};
+  spec.probabilities = {0.5, 0.3, 0.2};
+  const auto d = GenerateDiscrete(spec, &rng).value();
+  std::size_t count_01 = 0;
+  for (std::size_t i = 0; i < d.num_users(); ++i) {
+    const double v = d.At(i, 0);
+    ASSERT_TRUE(v == 0.1 || v == 0.5 || v == 1.0);
+    if (v == 0.1) ++count_01;
+  }
+  EXPECT_NEAR(static_cast<double>(count_01) / 50000.0, 0.5, 0.01);
+}
+
+TEST(GeneratorTest, DiscreteValidatesProbabilities) {
+  Rng rng(13);
+  DiscreteSpec bad;
+  bad.num_users = 10;
+  bad.num_dims = 1;
+  bad.values = {0.0, 1.0};
+  bad.probabilities = {0.7, 0.7};
+  EXPECT_FALSE(GenerateDiscrete(bad, &rng).ok());
+  bad.probabilities = {0.5};
+  EXPECT_FALSE(GenerateDiscrete(bad, &rng).ok());
+  bad.probabilities = {-0.5, 1.5};
+  EXPECT_FALSE(GenerateDiscrete(bad, &rng).ok());
+}
+
+TEST(GeneratorTest, GeneratorsAreDeterministic) {
+  Rng a(99), b(99);
+  const auto da =
+      GenerateUniform({.num_users = 50, .num_dims = 3}, &a).value();
+  const auto db =
+      GenerateUniform({.num_users = 50, .num_dims = 3}, &b).value();
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      ASSERT_EQ(da.At(i, j), db.At(i, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace hdldp

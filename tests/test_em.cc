@@ -1,0 +1,167 @@
+// Tests for the EM distribution estimator (the Li et al. server-side
+// post-processing the paper's protocol leaves out), including the
+// debiased-mean comparison against naive square-wave averaging.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/math.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "mech/registry.h"
+#include "protocol/em_distribution.h"
+
+namespace hdldp {
+namespace protocol {
+namespace {
+
+// Perturbs n draws from a two-spike distribution on [0, 1].
+std::vector<double> SpikyReports(const mech::Mechanism& mech, double eps,
+                                 std::size_t n, double* true_mean, Rng* rng) {
+  std::vector<double> reports;
+  reports.reserve(n);
+  NeumaierSum mean;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = rng->Bernoulli(0.7) ? 0.2 : 0.9;
+    mean.Add(t);
+    reports.push_back(mech.Perturb(t, eps, rng));
+  }
+  *true_mean = mean.Total() / static_cast<double>(n);
+  return reports;
+}
+
+TEST(EmTest, Validates) {
+  const auto mech = mech::MakeMechanism("square_wave").value();
+  std::vector<double> one = {0.5};
+  EmOptions opts;
+  EXPECT_FALSE(EstimateDistributionEm(*mech, -1.0, one, opts).ok());
+  std::vector<double> empty;
+  EXPECT_FALSE(EstimateDistributionEm(*mech, 1.0, empty, opts).ok());
+  opts.num_buckets = 1;
+  EXPECT_FALSE(EstimateDistributionEm(*mech, 1.0, one, opts).ok());
+  opts.num_buckets = 8;
+  opts.num_output_cells = 4;
+  EXPECT_FALSE(EstimateDistributionEm(*mech, 1.0, one, opts).ok());
+  opts.num_output_cells = 64;
+  opts.max_iterations = 0;
+  EXPECT_FALSE(EstimateDistributionEm(*mech, 1.0, one, opts).ok());
+}
+
+TEST(EmTest, ProbabilitiesFormADistribution) {
+  const auto mech = mech::MakeMechanism("square_wave").value();
+  Rng rng(1);
+  double true_mean;
+  const auto reports = SpikyReports(*mech, 1.0, 20000, &true_mean, &rng);
+  const auto result = EstimateDistributionEm(*mech, 1.0, reports).value();
+  ASSERT_EQ(result.probabilities.size(), 32u);
+  double total = 0.0;
+  for (const double p : result.probabilities) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(result.iterations, 0);
+}
+
+TEST(EmTest, RecoversTwoSpikeDistribution) {
+  const auto mech = mech::MakeMechanism("square_wave").value();
+  Rng rng(2);
+  double true_mean;
+  const auto reports = SpikyReports(*mech, 2.0, 60000, &true_mean, &rng);
+  EmOptions opts;
+  opts.num_buckets = 20;  // Buckets of width 0.05: spikes at buckets 4, 18.
+  const auto result =
+      EstimateDistributionEm(*mech, 2.0, reports, opts).value();
+  // The square-wave window at eps=2 has half-width ~0.13, so the spikes
+  // smear locally; split the domain at 0.5: mass below ~ 0.7, above ~ 0.3.
+  double low = 0.0;
+  double high = 0.0;
+  for (std::size_t b = 0; b < 10; ++b) low += result.probabilities[b];
+  for (std::size_t b = 10; b < 20; ++b) high += result.probabilities[b];
+  EXPECT_NEAR(low, 0.7, 0.1);
+  EXPECT_NEAR(high, 0.3, 0.1);
+  // And the modal buckets sit at the spikes.
+  std::size_t low_mode = 0;
+  std::size_t high_mode = 10;
+  for (std::size_t b = 0; b < 10; ++b) {
+    if (result.probabilities[b] > result.probabilities[low_mode]) low_mode = b;
+  }
+  for (std::size_t b = 10; b < 20; ++b) {
+    if (result.probabilities[b] > result.probabilities[high_mode]) {
+      high_mode = b;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(low_mode), 4.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(high_mode), 18.0, 2.0);
+}
+
+TEST(EmTest, DebiasedMeanBeatsNaiveSquareWaveAverage) {
+  // Square wave's naive average is biased toward 1/2 (paper Eq. 17); EM
+  // removes most of it.
+  const auto mech = mech::MakeMechanism("square_wave").value();
+  const double eps = 1.0;
+  Rng rng(3);
+  double true_mean;
+  const auto reports = SpikyReports(*mech, eps, 80000, &true_mean, &rng);
+  const double naive = Mean(reports);
+  const auto result = EstimateDistributionEm(*mech, eps, reports).value();
+  const double em_mean = result.EstimatedMean();
+  EXPECT_LT(std::abs(em_mean - true_mean), std::abs(naive - true_mean));
+  EXPECT_LT(std::abs(em_mean - true_mean), 0.05);
+}
+
+TEST(EmTest, WorksForUnboundedMechanism) {
+  // Laplace has an infinite output domain; EM clips to the report range.
+  const auto mech = mech::MakeMechanism("laplace").value();
+  const double eps = 2.0;
+  Rng rng(4);
+  std::vector<double> reports;
+  NeumaierSum mean;
+  for (int i = 0; i < 40000; ++i) {
+    const double t = rng.Bernoulli(0.5) ? -0.5 : 0.5;
+    mean.Add(t);
+    reports.push_back(mech->Perturb(t, eps, &rng));
+  }
+  const auto result = EstimateDistributionEm(*mech, eps, reports).value();
+  EXPECT_NEAR(result.EstimatedMean(), mean.Total() / 40000.0, 0.08);
+}
+
+TEST(EmTest, SmoothingCanBeDisabled) {
+  const auto mech = mech::MakeMechanism("square_wave").value();
+  Rng rng(5);
+  double true_mean;
+  const auto reports = SpikyReports(*mech, 2.0, 30000, &true_mean, &rng);
+  EmOptions opts;
+  opts.smooth = false;
+  const auto rough = EstimateDistributionEm(*mech, 2.0, reports, opts).value();
+  opts.smooth = true;
+  const auto smooth =
+      EstimateDistributionEm(*mech, 2.0, reports, opts).value();
+  // Unsmoothed estimates are spikier: their max bucket dominates.
+  double rough_max = 0.0;
+  double smooth_max = 0.0;
+  for (const double p : rough.probabilities) rough_max = std::max(rough_max, p);
+  for (const double p : smooth.probabilities) {
+    smooth_max = std::max(smooth_max, p);
+  }
+  EXPECT_GE(rough_max, smooth_max);
+}
+
+TEST(EmTest, DeterministicGivenSameReports) {
+  const auto mech = mech::MakeMechanism("piecewise").value();
+  Rng rng(6);
+  std::vector<double> reports;
+  for (int i = 0; i < 5000; ++i) {
+    reports.push_back(mech->Perturb(0.3, 1.0, &rng));
+  }
+  const auto a = EstimateDistributionEm(*mech, 1.0, reports).value();
+  const auto b = EstimateDistributionEm(*mech, 1.0, reports).value();
+  EXPECT_EQ(a.probabilities, b.probabilities);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+}  // namespace
+}  // namespace protocol
+}  // namespace hdldp

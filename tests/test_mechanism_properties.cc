@@ -1,0 +1,210 @@
+// Property tests swept across every registered mechanism and a grid of
+// privacy budgets (TEST_P / INSTANTIATE_TEST_SUITE_P):
+//
+//   * the eps-LDP density-ratio bound (Definition 1),
+//   * conditional-moment formulas vs. Monte Carlo,
+//   * closed-form moments vs. the generic quadrature fallback,
+//   * output-domain and boundedness contracts,
+//   * determinism under seeding.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "mech/registry.h"
+
+namespace hdldp {
+namespace mech {
+namespace {
+
+// Test grid of input values inside a mechanism's native domain.
+std::vector<double> InputGrid(const Mechanism& mech) {
+  const Interval dom = mech.InputDomain();
+  return {dom.lo, dom.lo + 0.25 * dom.Width(), dom.Center(),
+          dom.lo + 0.8 * dom.Width(), dom.hi};
+}
+
+class MechanismPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::string, double>> {
+ protected:
+  void SetUp() override {
+    const auto& [name, eps] = GetParam();
+    eps_ = eps;
+    mechanism_ = MakeMechanism(name).value();
+  }
+
+  MechanismPtr mechanism_;
+  double eps_ = 0.0;
+};
+
+TEST_P(MechanismPropertyTest, PrivacyRatioBoundHolds) {
+  // Definition 1: for any inputs t1, t2 and output x, the conditional
+  // output densities (and atom masses) must satisfy f(x|t1) <= e^eps f(x|t2).
+  const double bound = std::exp(eps_) * (1.0 + 1e-9);
+  const auto grid = InputGrid(*mechanism_);
+  // Output probe points: union of breakpoints, slightly perturbed inward.
+  std::vector<double> probes;
+  for (const double t : grid) {
+    const auto breaks = mechanism_->DensityBreakpoints(t, eps_).value();
+    for (std::size_t i = 0; i + 1 < breaks.size(); ++i) {
+      probes.push_back(0.5 * (breaks[i] + breaks[i + 1]));
+      probes.push_back(breaks[i] + 1e-9 * (breaks[i + 1] - breaks[i]));
+    }
+  }
+  for (const double t1 : grid) {
+    for (const double t2 : grid) {
+      for (const double x : probes) {
+        const double f1 = mechanism_->Density(x, t1, eps_).value();
+        const double f2 = mechanism_->Density(x, t2, eps_).value();
+        if (f1 > 0.0 && f2 > 0.0) {
+          EXPECT_LE(f1, bound * f2)
+              << "density ratio violated at x=" << x << " t1=" << t1
+              << " t2=" << t2;
+        }
+      }
+      // Atom masses obey the same bound (locations match across inputs for
+      // the discrete mechanisms in this library).
+      const auto atoms1 = mechanism_->Atoms(t1, eps_).value();
+      const auto atoms2 = mechanism_->Atoms(t2, eps_).value();
+      ASSERT_EQ(atoms1.size(), atoms2.size());
+      for (std::size_t a = 0; a < atoms1.size(); ++a) {
+        ASSERT_DOUBLE_EQ(atoms1[a].location, atoms2[a].location);
+        if (atoms1[a].mass > 0.0 && atoms2[a].mass > 0.0) {
+          EXPECT_LE(atoms1[a].mass, bound * atoms2[a].mass);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(MechanismPropertyTest, MonteCarloMatchesMoments) {
+  Rng rng(0xC0FFEE);
+  constexpr int kDraws = 120000;
+  for (const double t : InputGrid(*mechanism_)) {
+    const auto moments = mechanism_->Moments(t, eps_).value();
+    RunningMoments mc;
+    for (int i = 0; i < kDraws; ++i) {
+      mc.Add(mechanism_->Perturb(t, eps_, &rng));
+    }
+    const double se_mean = mc.StdDev() / std::sqrt(kDraws);
+    EXPECT_NEAR(mc.Mean(), t + moments.bias, 6.0 * se_mean)
+        << "mean mismatch at t=" << t;
+    // Variance of the sample variance ~ 2 sigma^4 / n for light tails; use
+    // a generous 8-sigma band plus kurtosis slack.
+    const double kurt = std::max(0.0, mc.ExcessKurtosis()) + 2.0;
+    const double se_var =
+        mc.Variance() * std::sqrt(kurt / static_cast<double>(kDraws));
+    EXPECT_NEAR(mc.Variance(), moments.variance,
+                8.0 * se_var + 1e-12)
+        << "variance mismatch at t=" << t;
+  }
+}
+
+TEST_P(MechanismPropertyTest, QuadratureMatchesClosedFormMoments) {
+  for (const double t : InputGrid(*mechanism_)) {
+    const auto closed = mechanism_->Moments(t, eps_).value();
+    const auto quad = mechanism_->MomentsByQuadrature(t, eps_).value();
+    EXPECT_NEAR(closed.bias, quad.bias, 1e-6) << "t=" << t;
+    EXPECT_NEAR(closed.variance, quad.variance,
+                1e-6 * std::max(1.0, quad.variance))
+        << "t=" << t;
+    EXPECT_NEAR(closed.third_abs_central, quad.third_abs_central,
+                1e-5 * std::max(1.0, quad.third_abs_central))
+        << "t=" << t;
+  }
+}
+
+TEST_P(MechanismPropertyTest, OutputDomainContract) {
+  const auto domain = mechanism_->OutputDomain(eps_).value();
+  EXPECT_EQ(mechanism_->IsBounded(), domain.IsFinite());
+  Rng rng(0xBEEF);
+  for (const double t : InputGrid(*mechanism_)) {
+    for (int i = 0; i < 3000; ++i) {
+      const double out = mechanism_->Perturb(t, eps_, &rng);
+      ASSERT_TRUE(std::isfinite(out));
+      if (mechanism_->IsBounded()) {
+        ASSERT_GE(out, domain.lo - 1e-9);
+        ASSERT_LE(out, domain.hi + 1e-9);
+      }
+    }
+  }
+}
+
+TEST_P(MechanismPropertyTest, PerturbationIsDeterministicUnderSeed) {
+  Rng rng_a(1234), rng_b(1234);
+  for (const double t : InputGrid(*mechanism_)) {
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_EQ(mechanism_->Perturb(t, eps_, &rng_a),
+                mechanism_->Perturb(t, eps_, &rng_b));
+    }
+  }
+}
+
+TEST_P(MechanismPropertyTest, ThirdMomentIsPositiveAndFinite) {
+  for (const double t : InputGrid(*mechanism_)) {
+    const auto m = mechanism_->Moments(t, eps_).value();
+    EXPECT_GT(m.third_abs_central, 0.0);
+    EXPECT_TRUE(std::isfinite(m.third_abs_central));
+    EXPECT_GT(m.variance, 0.0);
+    // Jensen: E|X|^3 >= (E X^2)^{3/2} for the centered output.
+    EXPECT_GE(m.third_abs_central * (1.0 + 1e-9),
+              std::pow(m.variance, 1.5));
+  }
+}
+
+TEST_P(MechanismPropertyTest, MomentsRejectOutOfDomainValues) {
+  const Interval dom = mechanism_->InputDomain();
+  EXPECT_FALSE(mechanism_->Moments(dom.hi + 0.5, eps_).ok());
+  EXPECT_FALSE(mechanism_->Moments(dom.lo - 0.5, eps_).ok());
+  EXPECT_FALSE(mechanism_->Moments(dom.Center(), -1.0).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMechanismsTimesBudgets, MechanismPropertyTest,
+    ::testing::Combine(
+        ::testing::Values("laplace", "scdf", "staircase", "duchi", "piecewise",
+                          "hybrid", "square_wave"),
+        ::testing::Values(0.1, 0.5, 1.0, 3.0)),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, double>>& info) {
+      std::string eps = std::to_string(std::get<1>(info.param));
+      for (char& c : eps) {
+        if (c == '.') c = '_';
+      }
+      eps.erase(eps.find_last_not_of('0') + 1);
+      if (!eps.empty() && eps.back() == '_') eps.pop_back();
+      return std::get<0>(info.param) + "_eps" + eps;
+    });
+
+// Unbiased mechanisms report zero bias on the whole input grid; the sweep
+// below pins which mechanisms claim unbiasedness.
+class UnbiasednessTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(UnbiasednessTest, BiasIsExactlyZero) {
+  const auto mech = MakeMechanism(GetParam()).value();
+  for (const double eps : {0.2, 1.0, 4.0}) {
+    for (const double t : InputGrid(*mech)) {
+      EXPECT_EQ(mech->Moments(t, eps).value().bias, 0.0)
+          << GetParam() << " t=" << t << " eps=" << eps;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(UnbiasedMechanisms, UnbiasednessTest,
+                         ::testing::Values("laplace", "scdf", "staircase",
+                                           "duchi", "piecewise", "hybrid"));
+
+TEST(SquareWaveBiasTest, SquareWaveIsBiased) {
+  const auto mech = MakeMechanism("square_wave").value();
+  // Bias is negative above the domain midpoint and positive below it.
+  EXPECT_LT(mech->Moments(0.9, 0.5).value().bias, 0.0);
+  EXPECT_GT(mech->Moments(0.1, 0.5).value().bias, 0.0);
+}
+
+}  // namespace
+}  // namespace mech
+}  // namespace hdldp

@@ -1,0 +1,293 @@
+// Unit tests for the client/collector protocol: reports, sampling, budget
+// splitting, aggregation, metrics, and the simulation pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "mech/registry.h"
+#include "protocol/aggregator.h"
+#include "protocol/client.h"
+#include "protocol/metrics.h"
+#include "protocol/pipeline.h"
+#include "protocol/report.h"
+
+namespace hdldp {
+namespace protocol {
+namespace {
+
+mech::MechanismPtr Mech(std::string_view name) {
+  return mech::MakeMechanism(name).value();
+}
+
+TEST(ReportTest, ValidateAcceptsWellFormed) {
+  UserReport r;
+  r.entries = {{0, 0.5}, {3, -0.2}};
+  EXPECT_TRUE(ValidateReport(r, 5, 2, -1.0, 1.0).ok());
+}
+
+TEST(ReportTest, ValidateRejectsMalformed) {
+  UserReport r;
+  r.entries = {{0, 0.5}, {3, -0.2}};
+  EXPECT_FALSE(ValidateReport(r, 5, 3, -1.0, 1.0).ok());  // Wrong m.
+  r.entries = {{0, 0.5}, {7, -0.2}};
+  EXPECT_FALSE(ValidateReport(r, 5, 2, -1.0, 1.0).ok());  // Bad index.
+  r.entries = {{2, 0.5}, {2, -0.2}};
+  EXPECT_FALSE(ValidateReport(r, 5, 2, -1.0, 1.0).ok());  // Duplicate.
+  r.entries = {{0, 5.0}, {1, 0.0}};
+  EXPECT_FALSE(ValidateReport(r, 5, 2, -1.0, 1.0).ok());  // Out of domain.
+  r.entries = {{0, std::nan("")}, {1, 0.0}};
+  EXPECT_FALSE(ValidateReport(r, 5, 2, -1.0, 1.0).ok());  // NaN.
+}
+
+TEST(ClientTest, CreateValidates) {
+  ClientOptions opts;
+  opts.total_epsilon = 1.0;
+  opts.report_dims = 3;
+  EXPECT_TRUE(Client::Create(Mech("laplace"), 10, opts).ok());
+  EXPECT_FALSE(Client::Create(nullptr, 10, opts).ok());
+  EXPECT_FALSE(Client::Create(Mech("laplace"), 0, opts).ok());
+  opts.report_dims = 20;
+  EXPECT_FALSE(Client::Create(Mech("laplace"), 10, opts).ok());
+  opts.report_dims = 3;
+  opts.total_epsilon = 0.0;
+  EXPECT_FALSE(Client::Create(Mech("laplace"), 10, opts).ok());
+}
+
+TEST(ClientTest, BudgetSplitsAcrossReportedDims) {
+  ClientOptions opts;
+  opts.total_epsilon = 2.0;
+  opts.report_dims = 4;
+  const auto client = Client::Create(Mech("piecewise"), 10, opts).value();
+  EXPECT_DOUBLE_EQ(client.PerDimensionEpsilon(), 0.5);
+  EXPECT_EQ(client.report_dims(), 4u);
+}
+
+TEST(ClientTest, ZeroReportDimsMeansAll) {
+  ClientOptions opts;
+  opts.total_epsilon = 1.0;
+  opts.report_dims = 0;
+  const auto client = Client::Create(Mech("laplace"), 8, opts).value();
+  EXPECT_EQ(client.report_dims(), 8u);
+  EXPECT_DOUBLE_EQ(client.PerDimensionEpsilon(), 1.0 / 8.0);
+}
+
+TEST(ClientTest, ReportShapeIsValid) {
+  ClientOptions opts;
+  opts.total_epsilon = 1.0;
+  opts.report_dims = 5;
+  const auto client = Client::Create(Mech("piecewise"), 12, opts).value();
+  const auto out_domain =
+      client.mechanism().OutputDomain(client.PerDimensionEpsilon()).value();
+  Rng rng(1);
+  std::vector<double> tuple(12, 0.25);
+  for (int i = 0; i < 50; ++i) {
+    const auto report = client.Report(tuple, &rng).value();
+    EXPECT_TRUE(
+        ValidateReport(report, 12, 5, out_domain.lo, out_domain.hi).ok());
+  }
+}
+
+TEST(ClientTest, ReportRejectsWrongTupleLength) {
+  ClientOptions opts;
+  opts.total_epsilon = 1.0;
+  const auto client = Client::Create(Mech("laplace"), 4, opts).value();
+  Rng rng(2);
+  std::vector<double> wrong(3, 0.0);
+  EXPECT_FALSE(client.Report(wrong, &rng).ok());
+}
+
+TEST(ClientTest, SquareWaveReportsNativeSpace) {
+  // Data -1 maps to native 0; with tiny noise window the report must stay
+  // in [-b, 1+b], not [-1, 1].
+  ClientOptions opts;
+  opts.total_epsilon = 2.0;
+  opts.report_dims = 1;
+  const auto client = Client::Create(Mech("square_wave"), 1, opts).value();
+  Rng rng(3);
+  std::vector<double> tuple = {-1.0};
+  for (int i = 0; i < 200; ++i) {
+    const auto report = client.Report(tuple, &rng).value();
+    ASSERT_GE(report.entries[0].value, -0.5 - 1e-9);
+    ASSERT_LE(report.entries[0].value, 1.5 + 1e-9);
+  }
+}
+
+TEST(AggregatorTest, AveragesPerDimension) {
+  const auto agg_or = MeanAggregator::Create(3, mech::DomainMap());
+  auto agg = agg_or.value();
+  agg.Consume(0, 1.0);
+  agg.Consume(0, 3.0);
+  agg.Consume(2, -0.5);
+  EXPECT_EQ(agg.ReportCount(0), 2);
+  EXPECT_EQ(agg.ReportCount(1), 0);
+  EXPECT_EQ(agg.ReportCount(2), 1);
+  EXPECT_EQ(agg.TotalReports(), 3);
+  const auto mean = agg.EstimatedMean();
+  EXPECT_DOUBLE_EQ(mean[0], 2.0);
+  EXPECT_DOUBLE_EQ(mean[1], 0.0);  // No reports -> domain midpoint.
+  EXPECT_DOUBLE_EQ(mean[2], -0.5);
+}
+
+TEST(AggregatorTest, MapsNativeEstimatesBack) {
+  // Native space [0, 1], data space [-1, 1].
+  const auto map =
+      mech::DomainMap::Between({-1.0, 1.0}, {0.0, 1.0}).value();
+  auto agg = MeanAggregator::Create(1, map).value();
+  agg.Consume(0, 0.75);  // Native mean 0.75 -> data 0.5.
+  EXPECT_DOUBLE_EQ(agg.EstimatedMean()[0], 0.5);
+}
+
+TEST(AggregatorTest, BiasCorrectionSubtractsInNativeSpace) {
+  auto agg = MeanAggregator::Create(2, mech::DomainMap()).value();
+  ASSERT_TRUE(agg.SetBiasCorrection({0.1, -0.2}).ok());
+  agg.Consume(0, 1.0);
+  agg.Consume(1, 1.0);
+  const auto mean = agg.EstimatedMean();
+  EXPECT_DOUBLE_EQ(mean[0], 0.9);
+  EXPECT_DOUBLE_EQ(mean[1], 1.2);
+  EXPECT_FALSE(agg.SetBiasCorrection({0.0}).ok());  // Wrong length.
+}
+
+TEST(AggregatorTest, ConsumeReportValidatesDimensions) {
+  auto agg = MeanAggregator::Create(2, mech::DomainMap()).value();
+  UserReport bad;
+  bad.entries = {{5, 0.0}};
+  EXPECT_FALSE(agg.ConsumeReport(bad).ok());
+  EXPECT_EQ(agg.TotalReports(), 0);  // Rejected atomically.
+  UserReport good;
+  good.entries = {{0, 0.5}, {1, -0.5}};
+  EXPECT_TRUE(agg.ConsumeReport(good).ok());
+  EXPECT_EQ(agg.TotalReports(), 2);
+}
+
+TEST(MetricsTest, KnownValues) {
+  const std::vector<double> a = {1.0, 2.0, 3.0};
+  const std::vector<double> b = {1.0, 0.0, 7.0};
+  EXPECT_DOUBLE_EQ(L2Distance(a, b).value(), std::sqrt(4.0 + 16.0));
+  EXPECT_DOUBLE_EQ(MeanSquaredError(a, b).value(), 20.0 / 3.0);
+  EXPECT_DOUBLE_EQ(MaxAbsError(a, b).value(), 4.0);
+}
+
+TEST(MetricsTest, MseIsSquaredL2OverD) {
+  const std::vector<double> a = {0.5, -0.25, 0.75, 0.0};
+  const std::vector<double> b = {-0.5, 0.25, 0.5, 1.0};
+  const double l2 = L2Distance(a, b).value();
+  EXPECT_NEAR(MeanSquaredError(a, b).value(), l2 * l2 / 4.0, 1e-14);
+}
+
+TEST(MetricsTest, Validates) {
+  EXPECT_FALSE(L2Distance({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(MeanSquaredError({}, {}).ok());
+  EXPECT_FALSE(MaxAbsError({1.0}, {}).ok());
+}
+
+TEST(PipelineTest, ReportCountsMatchSampling) {
+  Rng rng(20);
+  const auto dataset =
+      data::GenerateUniform({.num_users = 5000, .num_dims = 10}, &rng).value();
+  PipelineOptions opts;
+  opts.total_epsilon = 1.0;
+  opts.report_dims = 3;
+  opts.seed = 5;
+  const auto result =
+      RunMeanEstimation(dataset, Mech("piecewise"), opts).value();
+  std::int64_t total = 0;
+  for (const auto r : result.report_counts) total += r;
+  EXPECT_EQ(total, 5000 * 3);
+  // E[r_j] = n m / d = 1500; all counts within a generous binomial band.
+  for (const auto r : result.report_counts) {
+    EXPECT_NEAR(static_cast<double>(r), 1500.0, 6.0 * std::sqrt(1500.0));
+  }
+  EXPECT_DOUBLE_EQ(result.per_dim_epsilon, 1.0 / 3.0);
+}
+
+TEST(PipelineTest, EstimateConvergesWithGenerousBudget) {
+  Rng rng(21);
+  const auto dataset =
+      data::GenerateUniform({.num_users = 60000, .num_dims = 2}, &rng).value();
+  PipelineOptions opts;
+  opts.total_epsilon = 8.0;  // 4 per dimension: low noise.
+  opts.seed = 6;
+  for (const auto name : {"laplace", "piecewise", "square_wave", "duchi",
+                          "hybrid", "scdf", "staircase"}) {
+    const auto result = RunMeanEstimation(dataset, Mech(name), opts).value();
+    EXPECT_LT(result.mse, 0.05) << name;
+  }
+}
+
+TEST(PipelineTest, DeterministicUnderSeed) {
+  Rng rng(22);
+  const auto dataset =
+      data::GenerateUniform({.num_users = 500, .num_dims = 4}, &rng).value();
+  PipelineOptions opts;
+  opts.total_epsilon = 1.0;
+  opts.seed = 7;
+  const auto a = RunMeanEstimation(dataset, Mech("laplace"), opts).value();
+  const auto b = RunMeanEstimation(dataset, Mech("laplace"), opts).value();
+  EXPECT_EQ(a.estimated_mean, b.estimated_mean);
+  opts.seed = 8;
+  const auto c = RunMeanEstimation(dataset, Mech("laplace"), opts).value();
+  EXPECT_NE(a.estimated_mean, c.estimated_mean);
+}
+
+TEST(PipelineTest, MseGrowsWithDimensionsAtFixedBudget) {
+  // The dimensionality curse the paper targets: more dimensions, thinner
+  // per-dimension budget, worse MSE.
+  Rng rng(23);
+  PipelineOptions opts;
+  opts.total_epsilon = 1.0;
+  opts.seed = 9;
+  const auto small =
+      data::GenerateUniform({.num_users = 20000, .num_dims = 2}, &rng).value();
+  const auto large =
+      data::GenerateUniform({.num_users = 20000, .num_dims = 64}, &rng)
+          .value();
+  const double mse_small =
+      RunMeanEstimation(small, Mech("piecewise"), opts).value().mse;
+  const double mse_large =
+      RunMeanEstimation(large, Mech("piecewise"), opts).value().mse;
+  EXPECT_GT(mse_large, 10.0 * mse_small);
+}
+
+TEST(SingleDimensionTest, MatchesExpectedInclusion) {
+  Rng data_rng(24);
+  std::vector<double> values(20000);
+  for (double& v : values) v = data_rng.Uniform(-1.0, 1.0);
+  Rng rng(25);
+  const auto mech = Mech("laplace");
+  const auto result =
+      RunSingleDimension(values, *mech, 0.5, 0.25, {-1.0, 1.0}, &rng).value();
+  EXPECT_NEAR(static_cast<double>(result.report_count), 5000.0,
+              6.0 * std::sqrt(5000.0 * 0.75));
+}
+
+TEST(SingleDimensionTest, EstimatesTheMean) {
+  std::vector<double> values(50000, 0.4);
+  Rng rng(26);
+  const auto mech = Mech("piecewise");
+  const auto result =
+      RunSingleDimension(values, *mech, 2.0, 1.0, {-1.0, 1.0}, &rng).value();
+  EXPECT_EQ(result.report_count, 50000);
+  EXPECT_NEAR(result.estimated_mean, 0.4, 0.05);
+}
+
+TEST(SingleDimensionTest, Validates) {
+  Rng rng(27);
+  const auto mech = Mech("laplace");
+  std::vector<double> empty;
+  EXPECT_FALSE(
+      RunSingleDimension(empty, *mech, 1.0, 0.5, {-1.0, 1.0}, &rng).ok());
+  std::vector<double> one = {0.0};
+  EXPECT_FALSE(
+      RunSingleDimension(one, *mech, 1.0, 0.0, {-1.0, 1.0}, &rng).ok());
+  EXPECT_FALSE(
+      RunSingleDimension(one, *mech, -1.0, 0.5, {-1.0, 1.0}, &rng).ok());
+}
+
+}  // namespace
+}  // namespace protocol
+}  // namespace hdldp

@@ -1,0 +1,238 @@
+// Unit and statistical tests for the deterministic RNG and its samplers.
+//
+// Statistical checks use wide tolerances (5+ standard errors) so they are
+// deterministic in practice while still catching real sampler bugs.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/stats.h"
+
+namespace hdldp {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, ForkGivesIndependentStream) {
+  Rng parent(7);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (parent.Next() == child.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  RunningMoments m;
+  for (int i = 0; i < 200000; ++i) {
+    const double u = rng.UniformDouble();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    m.Add(u);
+  }
+  EXPECT_NEAR(m.Mean(), 0.5, 0.005);
+  EXPECT_NEAR(m.Variance(), 1.0 / 12.0, 0.002);
+}
+
+TEST(RngTest, UniformRespectsRange) {
+  Rng rng(12);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform(-3.5, 2.0);
+    ASSERT_GE(u, -3.5);
+    ASSERT_LT(u, 2.0);
+  }
+}
+
+TEST(RngTest, UniformIntIsUnbiased) {
+  Rng rng(13);
+  constexpr std::uint64_t kBound = 7;
+  std::vector<int> counts(kBound, 0);
+  constexpr int kDraws = 140000;
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.UniformInt(kBound)];
+  const double expected = static_cast<double>(kDraws) / kBound;
+  for (const int c : counts) {
+    // ~5 sigma of a binomial count.
+    EXPECT_NEAR(c, expected, 5.0 * std::sqrt(expected));
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(14);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(kDraws), 0.3, 0.01);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  EXPECT_FALSE(rng.Bernoulli(-1.0));
+  EXPECT_TRUE(rng.Bernoulli(2.0));
+}
+
+TEST(RngTest, LaplaceMomentsMatch) {
+  Rng rng(15);
+  const double scale = 1.7;
+  RunningMoments m;
+  for (int i = 0; i < 400000; ++i) m.Add(rng.Laplace(scale));
+  EXPECT_NEAR(m.Mean(), 0.0, 0.02);
+  // Var = 2 b^2.
+  EXPECT_NEAR(m.Variance(), 2.0 * scale * scale, 0.1);
+  // Laplace excess kurtosis is 3.
+  EXPECT_NEAR(m.ExcessKurtosis(), 3.0, 0.3);
+}
+
+TEST(RngTest, ExponentialMomentsMatch) {
+  Rng rng(16);
+  const double rate = 2.5;
+  RunningMoments m;
+  for (int i = 0; i < 300000; ++i) {
+    const double x = rng.Exponential(rate);
+    ASSERT_GE(x, 0.0);
+    m.Add(x);
+  }
+  EXPECT_NEAR(m.Mean(), 1.0 / rate, 0.005);
+  EXPECT_NEAR(m.Variance(), 1.0 / (rate * rate), 0.01);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(17);
+  RunningMoments m;
+  for (int i = 0; i < 400000; ++i) m.Add(rng.Gaussian());
+  EXPECT_NEAR(m.Mean(), 0.0, 0.01);
+  EXPECT_NEAR(m.Variance(), 1.0, 0.02);
+  EXPECT_NEAR(m.Skewness(), 0.0, 0.05);
+  EXPECT_NEAR(m.ExcessKurtosis(), 0.0, 0.1);
+}
+
+TEST(RngTest, GaussianShiftScale) {
+  Rng rng(18);
+  RunningMoments m;
+  for (int i = 0; i < 200000; ++i) m.Add(rng.Gaussian(3.0, 0.5));
+  EXPECT_NEAR(m.Mean(), 3.0, 0.01);
+  EXPECT_NEAR(m.StdDev(), 0.5, 0.01);
+}
+
+TEST(RngTest, PoissonSmallMean) {
+  Rng rng(19);
+  const double mean = 4.2;
+  RunningMoments m;
+  for (int i = 0; i < 200000; ++i) {
+    m.Add(static_cast<double>(rng.Poisson(mean)));
+  }
+  EXPECT_NEAR(m.Mean(), mean, 0.05);
+  EXPECT_NEAR(m.Variance(), mean, 0.15);
+}
+
+TEST(RngTest, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(20);
+  const double mean = 80.0;
+  RunningMoments m;
+  for (int i = 0; i < 100000; ++i) {
+    const auto x = rng.Poisson(mean);
+    ASSERT_GE(x, 0);
+    m.Add(static_cast<double>(x));
+  }
+  EXPECT_NEAR(m.Mean(), mean, 0.3);
+  EXPECT_NEAR(m.Variance(), mean, 2.5);
+}
+
+TEST(RngTest, PoissonZeroMeanIsZero) {
+  Rng rng(21);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+}
+
+TEST(RngTest, GeometricMatchesDistribution) {
+  Rng rng(22);
+  const double p = 0.25;
+  RunningMoments m;
+  for (int i = 0; i < 200000; ++i) {
+    m.Add(static_cast<double>(rng.Geometric(p)));
+  }
+  // Failures-before-success: mean (1-p)/p, var (1-p)/p^2.
+  EXPECT_NEAR(m.Mean(), (1.0 - p) / p, 0.05);
+  EXPECT_NEAR(m.Variance(), (1.0 - p) / (p * p), 0.5);
+  EXPECT_EQ(rng.Geometric(1.0), 0);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsValid) {
+  Rng rng(23);
+  constexpr std::size_t kD = 50;
+  constexpr std::size_t kM = 13;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint32_t> picks;
+    rng.SampleWithoutReplacement(kD, kM, &picks);
+    ASSERT_EQ(picks.size(), kM);
+    std::set<std::uint32_t> unique(picks.begin(), picks.end());
+    ASSERT_EQ(unique.size(), kM) << "duplicate index sampled";
+    for (const auto p : picks) ASSERT_LT(p, kD);
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementFullSet) {
+  Rng rng(24);
+  std::vector<std::uint32_t> picks;
+  rng.SampleWithoutReplacement(8, 8, &picks);
+  std::set<std::uint32_t> unique(picks.begin(), picks.end());
+  EXPECT_EQ(unique.size(), 8u);
+}
+
+TEST(RngTest, SampleWithoutReplacementUniformInclusion) {
+  // Every index should be included with probability m/d.
+  Rng rng(25);
+  constexpr std::size_t kD = 20;
+  constexpr std::size_t kM = 5;
+  constexpr int kTrials = 40000;
+  std::vector<int> counts(kD, 0);
+  std::vector<std::uint32_t> picks;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    picks.clear();
+    rng.SampleWithoutReplacement(kD, kM, &picks);
+    for (const auto p : picks) ++counts[p];
+  }
+  const double expected = kTrials * static_cast<double>(kM) / kD;
+  for (const int c : counts) {
+    EXPECT_NEAR(c, expected, 6.0 * std::sqrt(expected));
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementAppends) {
+  Rng rng(26);
+  std::vector<std::uint32_t> picks = {99};
+  rng.SampleWithoutReplacement(10, 3, &picks);
+  EXPECT_EQ(picks.size(), 4u);
+  EXPECT_EQ(picks[0], 99u);
+}
+
+TEST(RngTest, SplitMix64KnownSequenceIsStable) {
+  // Regression anchor: document the stream so accidental engine changes
+  // surface as test failures (benchmarks depend on reproducibility).
+  std::uint64_t state = 0;
+  const std::uint64_t first = SplitMix64(&state);
+  const std::uint64_t second = SplitMix64(&state);
+  EXPECT_NE(first, second);
+  std::uint64_t state2 = 0;
+  EXPECT_EQ(SplitMix64(&state2), first);
+}
+
+}  // namespace
+}  // namespace hdldp

@@ -1,0 +1,152 @@
+// Tests for the geometric-polynomial series closed forms used by the
+// staircase-shaped mechanisms, plus cross-mechanism monotonicity
+// properties of the closed-form constants.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "mech/duchi.h"
+#include "mech/piecewise.h"
+#include "mech/registry.h"
+#include "mech/series.h"
+#include "mech/square_wave.h"
+
+namespace hdldp {
+namespace mech {
+namespace {
+
+// Brute-force partial sum of k^p q^k until the tail is negligible.
+double BruteForce(double q, int p) {
+  double total = 0.0;
+  double term;
+  int k = 1;
+  do {
+    term = std::pow(static_cast<double>(k), p) * std::pow(q, k);
+    total += term;
+    ++k;
+  } while (term > 1e-18 * (1.0 + total) && k < 2000000);
+  return total;
+}
+
+class GeomSumTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeomSumTest, ClosedFormsMatchBruteForce) {
+  const double q = GetParam();
+  EXPECT_NEAR(GeomSum0(q), BruteForce(q, 0), 1e-9 * (1.0 + GeomSum0(q)));
+  EXPECT_NEAR(GeomSum1(q), BruteForce(q, 1), 1e-9 * (1.0 + GeomSum1(q)));
+  EXPECT_NEAR(GeomSum2(q), BruteForce(q, 2), 1e-9 * (1.0 + GeomSum2(q)));
+  EXPECT_NEAR(GeomSum3(q), BruteForce(q, 3), 1e-9 * (1.0 + GeomSum3(q)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AcrossDecayRates, GeomSumTest,
+                         ::testing::Values(0.0, 0.1, 0.5, 0.9, 0.99),
+                         [](const ::testing::TestParamInfo<double>& info) {
+                           std::string s = std::to_string(info.param);
+                           for (char& c : s) {
+                             if (c == '.') c = '_';
+                           }
+                           return "q" + s;
+                         });
+
+TEST(GeomSumTest, ZeroDecayGivesZero) {
+  EXPECT_EQ(GeomSum0(0.0), 0.0);
+  EXPECT_EQ(GeomSum1(0.0), 0.0);
+  EXPECT_EQ(GeomSum2(0.0), 0.0);
+  EXPECT_EQ(GeomSum3(0.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Monotonicity of mechanism constants in the budget.
+
+TEST(MonotonicityTest, PiecewiseBoundShrinksWithBudget) {
+  double previous = 1e300;
+  for (const double eps : {0.01, 0.1, 0.5, 1.0, 2.0, 5.0}) {
+    const double q = PiecewiseMechanism::OutputBound(eps);
+    EXPECT_GT(q, 1.0) << eps;
+    EXPECT_LT(q, previous) << eps;
+    previous = q;
+  }
+}
+
+TEST(MonotonicityTest, DuchiMagnitudeShrinksWithBudget) {
+  double previous = 1e300;
+  for (const double eps : {0.01, 0.1, 0.5, 1.0, 2.0, 5.0}) {
+    const double b = DuchiMechanism::OutputMagnitude(eps);
+    EXPECT_GT(b, 1.0) << eps;
+    EXPECT_LT(b, previous) << eps;
+    previous = b;
+  }
+}
+
+TEST(MonotonicityTest, SquareWaveWidthShrinksWithBudget) {
+  double previous = 0.5 + 1e-9;
+  for (const double eps : {0.01, 0.1, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+    const double b = SquareWaveMechanism::HalfWidth(eps);
+    EXPECT_GT(b, 0.0) << eps;
+    EXPECT_LT(b, previous) << eps;
+    previous = b;
+  }
+}
+
+// More budget always means less (or equal) noise: conditional variance is
+// non-increasing in eps for every mechanism at every input value.
+class VarianceMonotoneTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(VarianceMonotoneTest, VarianceNonIncreasingInBudget) {
+  const auto mech = MakeMechanism(GetParam()).value();
+  const Interval dom = mech->InputDomain();
+  for (const double frac : {0.0, 0.3, 0.7, 1.0}) {
+    const double t = dom.lo + frac * dom.Width();
+    double previous = 1e300;
+    for (const double eps : {0.05, 0.1, 0.3, 0.61, 0.62, 1.0, 2.0, 4.0}) {
+      const double var = mech->Moments(t, eps).value().variance;
+      EXPECT_LE(var, previous * (1.0 + 1e-9))
+          << GetParam() << " t=" << t << " eps=" << eps;
+      previous = var;
+    }
+  }
+}
+
+// Hybrid is excluded: its variance genuinely jumps upward when eps
+// crosses kEpsStar = 0.61 and the Piecewise component switches on (see
+// HybridVarianceDiscontinuity below).
+INSTANTIATE_TEST_SUITE_P(AllMechanisms, VarianceMonotoneTest,
+                         ::testing::Values("laplace", "scdf", "staircase",
+                                           "duchi", "piecewise",
+                                           "square_wave"));
+
+TEST(MonotonicityTest, HybridVarianceDiscontinuityAtEpsStar) {
+  // At the extreme input t = 1 the Piecewise component is noisier than
+  // Duchi, so switching it on at eps > 0.61 *raises* the variance — the
+  // designed trade for better worst-case behaviour near t = 0.
+  const auto hybrid = MakeMechanism("hybrid").value();
+  const double below = hybrid->Moments(1.0, 0.61).value().variance;
+  const double above = hybrid->Moments(1.0, 0.62).value().variance;
+  EXPECT_GT(above, below);
+  // Away from the switch, more budget still means less noise.
+  EXPECT_LT(hybrid->Moments(1.0, 2.0).value().variance,
+            hybrid->Moments(1.0, 1.0).value().variance);
+}
+
+// The dimensionality curse in closed form: splitting a fixed budget over
+// m dimensions scales each dimension's variance superlinearly in m.
+TEST(MonotonicityTest, BudgetDilutionInflatesVariance) {
+  const auto mech = MakeMechanism("piecewise").value();
+  const double total_eps = 1.0;
+  double previous = 0.0;
+  for (const double m : {1.0, 2.0, 8.0, 64.0, 512.0}) {
+    const double var = mech->Moments(0.5, total_eps / m).value().variance;
+    EXPECT_GT(var, previous) << m;
+    // Superlinear growth: Var(eps/m) > m * Var(eps) for m > 1.
+    if (m > 1.0) {
+      EXPECT_GT(var, m * mech->Moments(0.5, total_eps).value().variance);
+    }
+    previous = var;
+  }
+}
+
+}  // namespace
+}  // namespace mech
+}  // namespace hdldp

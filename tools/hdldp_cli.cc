@@ -1,0 +1,393 @@
+// hdldp_cli: command-line front end for the hdldp library.
+//
+// Three subcommands:
+//
+//   hdldp_cli mean    --mechanism=piecewise --dataset=gaussian
+//                     --users=20000 --dims=128 --epsilon=0.5
+//                     [--report-dims=0] [--seed=1] [--threads=1]
+//                     [--recalibrate=both|l1|l2|none] [--gate]
+//       Runs the full mean-estimation protocol and prints naive and
+//       HDR4ME-enhanced MSE.
+//
+//   hdldp_cli freq    --mechanism=piecewise --users=20000 --questions=16
+//                     --categories=8 [--zipf=1.0] [--epsilon=1]
+//                     [--sampled=4] [--seed=1]
+//       Runs the Section V-C frequency-estimation protocol.
+//
+//   hdldp_cli analyze --epsilon=0.001 --reports=10000 [--xi=0.001,0.01,...]
+//       Pure analytical benchmark of all registered mechanisms at a
+//       per-dimension budget (no experiment; the paper's framework).
+//
+//   hdldp_cli variance --mechanism=piecewise --dataset=gaussian
+//                      --users=20000 --dims=64 --epsilon=1
+//                      [--recalibrate] [--seed=1]
+//       Runs the split-population variance-estimation extension.
+//
+// All flags are --key=value; unknown keys are errors.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/generators.h"
+#include "framework/benchmark.h"
+#include "framework/berry_esseen.h"
+#include "framework/deviation_model.h"
+#include "framework/value_distribution.h"
+#include "freq/encoding.h"
+#include "freq/pipeline.h"
+#include "hdr4me/recalibrate.h"
+#include "hdr4me/variance.h"
+#include "mech/registry.h"
+#include "protocol/metrics.h"
+#include "protocol/pipeline.h"
+
+namespace {
+
+using hdldp::Result;
+using hdldp::Status;
+
+class Flags {
+ public:
+  static Result<Flags> Parse(int argc, char** argv, int first) {
+    Flags flags;
+    for (int i = first; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        return Status::InvalidArgument("expected --key=value, got " + arg);
+      }
+      arg = arg.substr(2);
+      const auto eq = arg.find('=');
+      if (eq == std::string::npos) {
+        flags.values_[arg] = "true";
+      } else {
+        flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      }
+    }
+    return flags;
+  }
+
+  std::string GetString(const std::string& key, std::string fallback) {
+    consumed_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) {
+    consumed_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  std::size_t GetSize(const std::string& key, std::size_t fallback) {
+    consumed_.insert(key);
+    const auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : static_cast<std::size_t>(std::atoll(it->second.c_str()));
+  }
+
+  bool GetBool(const std::string& key) {
+    consumed_.insert(key);
+    const auto it = values_.find(key);
+    return it != values_.end() && it->second == "true";
+  }
+
+  std::vector<double> GetDoubleList(const std::string& key,
+                                    std::vector<double> fallback) {
+    consumed_.insert(key);
+    const auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    std::vector<double> out;
+    std::string token;
+    for (const char c : it->second + ",") {
+      if (c == ',') {
+        if (!token.empty()) out.push_back(std::atof(token.c_str()));
+        token.clear();
+      } else {
+        token += c;
+      }
+    }
+    return out;
+  }
+
+  /// Errors if any provided flag was never consumed (catches typos).
+  Status CheckAllConsumed() const {
+    for (const auto& [key, value] : values_) {
+      if (consumed_.find(key) == consumed_.end()) {
+        return Status::InvalidArgument("unknown flag --" + key);
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::set<std::string> consumed_;
+};
+
+Result<hdldp::data::Dataset> MakeDataset(const std::string& name,
+                                         std::size_t users, std::size_t dims,
+                                         hdldp::Rng* rng) {
+  if (name == "uniform") {
+    return hdldp::data::GenerateUniform(
+        {.num_users = users, .num_dims = dims}, rng);
+  }
+  if (name == "gaussian") {
+    hdldp::data::GaussianSpec spec;
+    spec.num_users = users;
+    spec.num_dims = dims;
+    return hdldp::data::GenerateGaussian(spec, rng);
+  }
+  if (name == "poisson") {
+    hdldp::data::PoissonSpec spec;
+    spec.num_users = users;
+    spec.num_dims = dims;
+    return hdldp::data::GeneratePoisson(spec, rng);
+  }
+  if (name == "correlated") {
+    hdldp::data::CorrelatedSpec spec;
+    spec.num_users = users;
+    spec.num_dims = dims;
+    return hdldp::data::GenerateCorrelated(spec, rng);
+  }
+  return Status::InvalidArgument(
+      "unknown dataset '" + name +
+      "' (want uniform|gaussian|poisson|correlated)");
+}
+
+Status RunMean(Flags flags) {
+  const std::string mech_name = flags.GetString("mechanism", "piecewise");
+  const std::string dataset_name = flags.GetString("dataset", "uniform");
+  const std::size_t users = flags.GetSize("users", 20000);
+  const std::size_t dims = flags.GetSize("dims", 128);
+  const double epsilon = flags.GetDouble("epsilon", 1.0);
+  const std::size_t report_dims = flags.GetSize("report-dims", 0);
+  const std::uint64_t seed = flags.GetSize("seed", 1);
+  const std::size_t threads = flags.GetSize("threads", 1);
+  const std::string recalibrate = flags.GetString("recalibrate", "both");
+  const bool gate = flags.GetBool("gate");
+  HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
+
+  hdldp::Rng data_rng(seed ^ 0xDA7Aull);
+  HDLDP_ASSIGN_OR_RETURN(const hdldp::data::Dataset dataset,
+                         MakeDataset(dataset_name, users, dims, &data_rng));
+  HDLDP_ASSIGN_OR_RETURN(auto mechanism,
+                         hdldp::mech::MakeMechanism(mech_name));
+
+  hdldp::protocol::PipelineOptions opts;
+  opts.total_epsilon = epsilon;
+  opts.report_dims = report_dims;
+  opts.seed = seed;
+  opts.num_threads = threads;
+  HDLDP_ASSIGN_OR_RETURN(
+      const auto run,
+      hdldp::protocol::RunMeanEstimation(dataset, mechanism, opts));
+
+  std::printf("mechanism=%s dataset=%s users=%zu dims=%zu eps=%g m=%zu\n",
+              mech_name.c_str(), dataset_name.c_str(), users, dims, epsilon,
+              report_dims == 0 ? dims : report_dims);
+  std::printf("%-24s %12.6g\n", "naive MSE", run.mse);
+
+  if (recalibrate == "none") return Status::OK();
+  // Per-dimension deviation models from per-dimension empirical marginals.
+  std::vector<hdldp::framework::GaussianDeviation> deviations;
+  const std::size_t rows = std::min<std::size_t>(users, 2000);
+  std::vector<double> column(rows);
+  const double reports = static_cast<double>(users) *
+                         static_cast<double>(report_dims == 0 ? dims
+                                                              : report_dims) /
+                         static_cast<double>(dims);
+  for (std::size_t j = 0; j < dims; ++j) {
+    for (std::size_t i = 0; i < rows; ++i) column[i] = dataset.At(i, j);
+    HDLDP_ASSIGN_OR_RETURN(
+        const auto values,
+        hdldp::framework::ValueDistribution::FromSamples(column, 16));
+    HDLDP_ASSIGN_OR_RETURN(
+        const auto model,
+        hdldp::framework::ModelDeviation(*mechanism, run.per_dim_epsilon,
+                                         values, reports));
+    deviations.push_back(model.deviation);
+  }
+  HDLDP_ASSIGN_OR_RETURN(const double predicted,
+                         hdldp::framework::PredictedMse(deviations));
+  std::printf("%-24s %12.6g\n", "framework-predicted MSE", predicted);
+
+  for (const auto& [label, reg] :
+       std::vector<std::pair<std::string, hdldp::hdr4me::Regularizer>>{
+           {"l1", hdldp::hdr4me::Regularizer::kL1},
+           {"l2", hdldp::hdr4me::Regularizer::kL2}}) {
+    if (recalibrate != "both" && recalibrate != label) continue;
+    hdldp::hdr4me::Hdr4meOptions h;
+    h.regularizer = reg;
+    h.lambda.gate_on_threshold = gate;
+    HDLDP_ASSIGN_OR_RETURN(
+        const auto result,
+        hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations, h));
+    HDLDP_ASSIGN_OR_RETURN(const double mse,
+                           hdldp::protocol::MeanSquaredError(
+                               result.enhanced_mean, run.true_mean));
+    std::printf("HDR4ME-%s%s MSE%*s %12.6g  (%zu dims zeroed)\n",
+                label.c_str(), gate ? " (gated)" : "",
+                gate ? 5 : 13, "", mse, result.zeroed_dims);
+  }
+  HDLDP_ASSIGN_OR_RETURN(const double p_l1,
+                         hdldp::hdr4me::ImprovementProbabilityL1(deviations));
+  std::printf("%-24s %12.6g\n", "Theorem 3 lower bound", p_l1);
+  return Status::OK();
+}
+
+Status RunFreq(Flags flags) {
+  const std::string mech_name = flags.GetString("mechanism", "piecewise");
+  const std::size_t users = flags.GetSize("users", 20000);
+  const std::size_t questions = flags.GetSize("questions", 16);
+  const std::size_t categories = flags.GetSize("categories", 8);
+  const double zipf = flags.GetDouble("zipf", 1.0);
+  const double epsilon = flags.GetDouble("epsilon", 1.0);
+  const std::size_t sampled = flags.GetSize("sampled", 0);
+  const std::uint64_t seed = flags.GetSize("seed", 1);
+  HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
+
+  HDLDP_ASSIGN_OR_RETURN(auto schema,
+                         hdldp::freq::CategoricalSchema::Create(
+                             std::vector<std::size_t>(questions, categories)));
+  hdldp::Rng rng(seed ^ 0xF8E0ull);
+  HDLDP_ASSIGN_OR_RETURN(
+      const auto dataset,
+      hdldp::freq::GenerateCategorical(users, schema, zipf, &rng));
+  HDLDP_ASSIGN_OR_RETURN(auto mechanism,
+                         hdldp::mech::MakeMechanism(mech_name));
+  hdldp::freq::FrequencyOptions opts;
+  opts.total_epsilon = epsilon;
+  opts.report_dims = sampled;
+  opts.seed = seed;
+  HDLDP_ASSIGN_OR_RETURN(
+      const auto result,
+      hdldp::freq::RunFrequencyEstimation(dataset, mechanism, opts));
+  std::printf("mechanism=%s users=%zu questions=%zu categories=%zu eps=%g "
+              "eps/entry=%g\n",
+              mech_name.c_str(), users, questions, categories, epsilon,
+              result.per_entry_epsilon);
+  std::printf("%-24s %12.6g\n", "naive MSE", result.mse_raw);
+  std::printf("%-24s %12.6g\n", "HDR4ME MSE", result.mse_recalibrated);
+  return Status::OK();
+}
+
+Status RunAnalyze(Flags flags) {
+  const double eps = flags.GetDouble("epsilon", 0.001);
+  const double reports = flags.GetDouble("reports", 10000.0);
+  const std::vector<double> xis =
+      flags.GetDoubleList("xi", {0.001, 0.01, 0.05, 0.1});
+  HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
+
+  std::vector<double> values;
+  std::vector<double> probs;
+  for (int k = 1; k <= 10; ++k) {
+    values.push_back(0.1 * k);
+    probs.push_back(0.1);
+  }
+  HDLDP_ASSIGN_OR_RETURN(
+      const auto dist,
+      hdldp::framework::ValueDistribution::Create(values, probs));
+  std::vector<hdldp::framework::BenchmarkSpec> specs;
+  for (const auto name : hdldp::mech::RegisteredMechanismNames()) {
+    hdldp::framework::BenchmarkSpec spec;
+    HDLDP_ASSIGN_OR_RETURN(spec.mechanism, hdldp::mech::MakeMechanism(name));
+    spec.values = dist;
+    spec.data_domain = spec.mechanism->InputDomain();
+    specs.push_back(std::move(spec));
+  }
+  HDLDP_ASSIGN_OR_RETURN(
+      const auto table,
+      hdldp::framework::BenchmarkMechanisms(specs, eps, reports, xis));
+  std::printf("%-12s %10s %10s", "mechanism", "delta", "sigma");
+  for (const double xi : xis) std::printf(" P(<=%-7g)", xi);
+  std::printf("\n");
+  for (const auto& row : table) {
+    std::printf("%-12s %10.3g %10.3g", row.name.c_str(),
+                row.model.deviation.mean, row.model.deviation.stddev);
+    for (const double p : row.probabilities) std::printf(" %11.3g", p);
+    std::printf("\n");
+  }
+  return Status::OK();
+}
+
+Status RunVariance(Flags flags) {
+  const std::string mech_name = flags.GetString("mechanism", "piecewise");
+  const std::string dataset_name = flags.GetString("dataset", "gaussian");
+  const std::size_t users = flags.GetSize("users", 20000);
+  const std::size_t dims = flags.GetSize("dims", 64);
+  const double epsilon = flags.GetDouble("epsilon", 1.0);
+  const std::uint64_t seed = flags.GetSize("seed", 1);
+  const bool recalibrate = flags.GetBool("recalibrate");
+  HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
+
+  hdldp::Rng data_rng(seed ^ 0x5ECull);
+  HDLDP_ASSIGN_OR_RETURN(const hdldp::data::Dataset dataset,
+                         MakeDataset(dataset_name, users, dims, &data_rng));
+  HDLDP_ASSIGN_OR_RETURN(auto mechanism,
+                         hdldp::mech::MakeMechanism(mech_name));
+  hdldp::hdr4me::VarianceOptions opts;
+  opts.total_epsilon = epsilon;
+  opts.seed = seed;
+  opts.recalibrate = recalibrate;
+  HDLDP_ASSIGN_OR_RETURN(
+      const auto result,
+      hdldp::hdr4me::RunVarianceEstimation(dataset, mechanism, opts));
+  std::printf("mechanism=%s dataset=%s users=%zu dims=%zu eps=%g "
+              "recalibrate=%d\n",
+              mech_name.c_str(), dataset_name.c_str(), users, dims, epsilon,
+              recalibrate ? 1 : 0);
+  std::printf("%-24s %12.6g\n", "variance MSE", result.mse);
+  std::printf("first dims (true vs estimated variance):\n");
+  for (std::size_t j = 0; j < std::min<std::size_t>(4, dims); ++j) {
+    std::printf("  dim %zu: %10.5f vs %10.5f\n", j, result.true_variance[j],
+                result.estimated_variance[j]);
+  }
+  return Status::OK();
+}
+
+void PrintUsage() {
+  std::fprintf(stderr,
+               "usage: hdldp_cli <mean|freq|analyze|variance> "
+               "[--key=value ...]\n"
+               "see the header of tools/hdldp_cli.cc for the flag list\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  auto flags_or = Flags::Parse(argc, argv, 2);
+  if (!flags_or.ok()) {
+    std::fprintf(stderr, "error: %s\n", flags_or.status().ToString().c_str());
+    return 2;
+  }
+  Status status;
+  if (command == "mean") {
+    status = RunMean(std::move(flags_or).value());
+  } else if (command == "freq") {
+    status = RunFreq(std::move(flags_or).value());
+  } else if (command == "analyze") {
+    status = RunAnalyze(std::move(flags_or).value());
+  } else if (command == "variance") {
+    status = RunVariance(std::move(flags_or).value());
+  } else {
+    PrintUsage();
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
