@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -13,6 +16,8 @@
 #include "hdr4me/recalibrate.h"
 #include "mech/registry.h"
 #include "protocol/aggregator.h"
+#include "protocol/client.h"
+#include "protocol/report.h"
 
 namespace {
 
@@ -50,6 +55,70 @@ void BM_AggregatorConsume(benchmark::State& state) {
     if (++j == dims) j = 0;
   }
   state.SetItemsProcessed(state.iterations());
+}
+
+// Scalar-vs-batched ingestion: the full client -> aggregator hot path of
+// the simulation pipeline for one block of users. Items processed are
+// perturbed values, so items/s is ingestion throughput and the ratio of
+// the two benchmarks is the batching speedup (the tier-1 contract expects
+// batch >= 1.3x scalar).
+constexpr std::size_t kIngestUsers = 256;
+constexpr std::size_t kIngestDims = 64;
+
+std::vector<double> IngestTuples() {
+  hdldp::Rng rng(7);
+  std::vector<double> tuples(kIngestUsers * kIngestDims);
+  for (double& v : tuples) v = rng.Uniform(-1.0, 1.0);
+  return tuples;
+}
+
+void BM_IngestScalar(benchmark::State& state, const char* name) {
+  const auto mechanism = hdldp::mech::MakeMechanism(name).value();
+  hdldp::protocol::ClientOptions opts;
+  const auto client =
+      hdldp::protocol::Client::Create(mechanism, kIngestDims, opts).value();
+  auto agg = hdldp::protocol::MeanAggregator::Create(kIngestDims,
+                                                     client.domain_map())
+                 .value();
+  const std::vector<double> tuples = IngestTuples();
+  hdldp::Rng rng(11);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kIngestUsers; ++i) {
+      client.ReportTo(
+          std::span<const double>(tuples).subspan(i * kIngestDims,
+                                                  kIngestDims),
+          &rng, [&](std::uint32_t dim, double value) {
+            agg.Consume(dim, value);
+          });
+    }
+  }
+  benchmark::DoNotOptimize(agg.EstimatedMean());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kIngestUsers * kIngestDims);
+}
+
+void BM_IngestBatch(benchmark::State& state, const char* name) {
+  const auto mechanism = hdldp::mech::MakeMechanism(name).value();
+  hdldp::protocol::ClientOptions opts;
+  const auto client =
+      hdldp::protocol::Client::Create(mechanism, kIngestDims, opts).value();
+  auto agg = hdldp::protocol::MeanAggregator::Create(kIngestDims,
+                                                     client.domain_map())
+                 .value();
+  const std::vector<double> tuples = IngestTuples();
+  hdldp::Rng rng(11);
+  hdldp::protocol::ReportBatch batch;
+  for (auto _ : state) {
+    batch.Clear();
+    if (!client.ReportBatch(tuples, &rng, &batch).ok() ||
+        !agg.ConsumeBatch(batch).ok()) {
+      state.SkipWithError("batched ingestion failed");
+      return;
+    }
+  }
+  benchmark::DoNotOptimize(agg.EstimatedMean());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kIngestUsers * kIngestDims);
 }
 
 void BM_RecalibrateL1(benchmark::State& state) {
@@ -97,6 +166,14 @@ BENCHMARK_CAPTURE(BM_Perturb, square_wave_eps1, "square_wave", 1.0);
 BENCHMARK_CAPTURE(BM_Perturb, square_wave_eps001, "square_wave", 0.01);
 BENCHMARK(BM_RngUniform);
 BENCHMARK(BM_AggregatorConsume)->Arg(100)->Arg(10000);
+BENCHMARK_CAPTURE(BM_IngestScalar, piecewise, "piecewise");
+BENCHMARK_CAPTURE(BM_IngestBatch, piecewise, "piecewise");
+BENCHMARK_CAPTURE(BM_IngestScalar, duchi, "duchi");
+BENCHMARK_CAPTURE(BM_IngestBatch, duchi, "duchi");
+BENCHMARK_CAPTURE(BM_IngestScalar, square_wave, "square_wave");
+BENCHMARK_CAPTURE(BM_IngestBatch, square_wave, "square_wave");
+BENCHMARK_CAPTURE(BM_IngestScalar, hybrid, "hybrid");
+BENCHMARK_CAPTURE(BM_IngestBatch, hybrid, "hybrid");
 BENCHMARK(BM_RecalibrateL1)->Arg(1000)->Arg(100000);
 BENCHMARK_CAPTURE(BM_ModelDeviation, piecewise, "piecewise");
 BENCHMARK_CAPTURE(BM_ModelDeviation, square_wave, "square_wave");

@@ -16,6 +16,7 @@
 #define HDLDP_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
+#include <cstddef>
 #include <cstdio>
 #include <cstdlib>
 #include <string>

@@ -21,6 +21,15 @@ double LaplaceMechanism::Perturb(double t, double eps, Rng* rng) const {
   return t + rng->Laplace(Scale(eps));
 }
 
+void LaplaceMechanism::PerturbBatch(std::span<const double> ts, double eps,
+                                    Rng* rng, std::span<double> out) const {
+  assert(ValidateBudget(eps).ok());
+  const double scale = Scale(eps);
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    out[i] = Clamp(ts[i], -1.0, 1.0) + rng->Laplace(scale);
+  }
+}
+
 Result<ConditionalMoments> LaplaceMechanism::Moments(double t,
                                                      double eps) const {
   HDLDP_RETURN_NOT_OK(ValidateMomentArgs(t, eps));

@@ -32,6 +32,13 @@ Status Mechanism::ValidateBudget(double eps) const {
   return Status::OK();
 }
 
+void Mechanism::PerturbBatch(std::span<const double> ts, double eps, Rng* rng,
+                             std::span<double> out) const {
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    out[i] = Perturb(ts[i], eps, rng);
+  }
+}
+
 Status Mechanism::ValidateMomentArgs(double t, double eps) const {
   HDLDP_RETURN_NOT_OK(ValidateBudget(eps));
   const Interval dom = InputDomain();

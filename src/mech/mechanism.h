@@ -21,6 +21,7 @@
 #define HDLDP_MECH_MECHANISM_H_
 
 #include <memory>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -120,6 +121,20 @@ class Mechanism {
   /// REQUIRES: ValidateBudget(eps).ok() and InputDomain().Contains(t)
   /// (inputs are clamped defensively in release builds; debug asserts).
   virtual double Perturb(double t, double eps, Rng* rng) const = 0;
+
+  /// \brief Perturbs `ts.size()` inputs at one shared budget, writing
+  /// outputs into `out` (which must hold at least ts.size() entries).
+  ///
+  /// Contract: draws from `rng` in exactly the order of ts.size()
+  /// sequential Perturb() calls and produces bit-identical outputs, so
+  /// scalar and batched ingestion paths are interchangeable under a fixed
+  /// seed. Overrides exist to hoist eps-dependent constants (exp/expm1
+  /// evaluations) out of the per-value loop; the base implementation is
+  /// the plain scalar loop.
+  ///
+  /// REQUIRES: ValidateBudget(eps).ok(); inputs are clamped like Perturb().
+  virtual void PerturbBatch(std::span<const double> ts, double eps, Rng* rng,
+                            std::span<double> out) const;
 
   /// \brief Conditional moments of t* given t at budget eps.
   ///

@@ -32,6 +32,25 @@ Status MeanAggregator::ConsumeReport(const UserReport& report) {
   return Status::OK();
 }
 
+Status MeanAggregator::ConsumeBatch(std::span<const std::uint32_t> dimensions,
+                                    std::span<const double> values) {
+  if (dimensions.size() != values.size()) {
+    return Status::InvalidArgument(
+        "ConsumeBatch has " + std::to_string(dimensions.size()) +
+        " dimensions but " + std::to_string(values.size()) + " values");
+  }
+  for (const std::uint32_t dimension : dimensions) {
+    if (dimension >= counts_.size()) {
+      return Status::OutOfRange("batch dimension out of range");
+    }
+  }
+  for (std::size_t k = 0; k < dimensions.size(); ++k) {
+    sums_[dimensions[k]].Add(values[k]);
+    ++counts_[dimensions[k]];
+  }
+  return Status::OK();
+}
+
 Status MeanAggregator::Merge(const MeanAggregator& other) {
   if (other.counts_.size() != counts_.size()) {
     return Status::InvalidArgument(

@@ -12,6 +12,7 @@
 #define HDLDP_PROTOCOL_AGGREGATOR_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/math.h"
@@ -39,6 +40,19 @@ class MeanAggregator {
 
   /// \brief Folds every entry of a report.
   Status ConsumeReport(const UserReport& report);
+
+  /// \brief Folds a flat block of entries: `dimensions[k]` receives
+  /// `values[k]`. Validates sizes and dimension bounds up front (rejecting
+  /// the whole batch without mutating state on failure), then folds in a
+  /// tight loop. Entry-for-entry equivalent to scalar Consume() calls in
+  /// the same order, so estimates are bit-identical across the two paths.
+  Status ConsumeBatch(std::span<const std::uint32_t> dimensions,
+                      std::span<const double> values);
+
+  /// \brief Folds every entry of a structure-of-arrays report batch.
+  Status ConsumeBatch(const ReportBatch& batch) {
+    return ConsumeBatch(batch.dimensions, batch.values);
+  }
 
   /// \brief Folds another aggregator's state in (parallel reduction).
   /// Both aggregators must have the same dimensionality; the bias

@@ -41,6 +41,39 @@ Result<Client> Client::Create(mech::MechanismPtr mechanism,
   return Client(std::move(mechanism), num_dims, m, per_dim, map);
 }
 
+Status Client::ReportBatch(std::span<const double> tuples, Rng* rng,
+                           protocol::ReportBatch* batch) const {
+  if (batch == nullptr) {
+    return Status::InvalidArgument("ReportBatch requires a batch");
+  }
+  if (num_dims_ == 0 || tuples.size() % num_dims_ != 0) {
+    return Status::InvalidArgument(
+        "ReportBatch tuples span has " + std::to_string(tuples.size()) +
+        " values, not a multiple of num_dims " + std::to_string(num_dims_));
+  }
+  const std::size_t users = tuples.size() / num_dims_;
+  batch->dimensions.reserve(batch->dimensions.size() + users * report_dims_);
+  batch->values.reserve(batch->values.size() + users * report_dims_);
+  scratch_natives_.resize(report_dims_);
+  for (std::size_t i = 0; i < users; ++i) {
+    const std::span<const double> tuple =
+        tuples.subspan(i * num_dims_, num_dims_);
+    scratch_dims_.clear();
+    rng->SampleWithoutReplacement(num_dims_, report_dims_, &scratch_dims_);
+    for (std::size_t k = 0; k < report_dims_; ++k) {
+      scratch_natives_[k] = domain_map_.Forward(tuple[scratch_dims_[k]]);
+    }
+    const std::size_t base = batch->values.size();
+    batch->values.resize(base + report_dims_);
+    mechanism_->PerturbBatch(
+        scratch_natives_, per_dim_epsilon_, rng,
+        std::span<double>(batch->values).subspan(base, report_dims_));
+    batch->dimensions.insert(batch->dimensions.end(), scratch_dims_.begin(),
+                             scratch_dims_.end());
+  }
+  return Status::OK();
+}
+
 Result<UserReport> Client::Report(std::span<const double> tuple,
                                   Rng* rng) const {
   if (tuple.size() != num_dims_) {

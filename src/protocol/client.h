@@ -60,6 +60,19 @@ class Client {
   /// data domain (values are clamped defensively).
   Result<UserReport> Report(std::span<const double> tuple, Rng* rng) const;
 
+  /// \brief Batched variant of Report(): `tuples` holds whole user tuples
+  /// back to back (size must be a multiple of d) and the resulting
+  /// (dimension, value) entries are appended to `*batch` (Clear() it to
+  /// reuse across blocks).
+  ///
+  /// Consumes `rng` in exactly the order of the equivalent sequence of
+  /// Report() calls and produces bit-identical values, but pays one
+  /// virtual Mechanism::PerturbBatch call per user instead of m virtual
+  /// Perturb calls, which lets mechanisms hoist their eps-dependent
+  /// constants out of the per-value loop.
+  Status ReportBatch(std::span<const double> tuples, Rng* rng,
+                     protocol::ReportBatch* batch) const;
+
   /// \brief Streaming variant: invokes `sink(dimension, perturbed_value)`
   /// for each of the m sampled dimensions without materializing a report.
   /// `Sink` must be callable as void(std::uint32_t, double).
@@ -83,9 +96,10 @@ class Client {
   std::size_t report_dims_;
   double per_dim_epsilon_;
   mech::DomainMap domain_map_;
-  // Reused sampling buffer; Client is thread-compatible, not thread-safe,
-  // matching the one-client-per-worker usage of the pipeline.
+  // Reused sampling/gather buffers; Client is thread-compatible, not
+  // thread-safe, matching the one-client-per-worker usage of the pipeline.
   mutable std::vector<std::uint32_t> scratch_dims_;
+  mutable std::vector<double> scratch_natives_;
 };
 
 }  // namespace protocol

@@ -13,8 +13,16 @@ namespace protocol {
 
 namespace {
 
+// Users per ReportBatch/ConsumeBatch block in the simulation loop: large
+// enough to amortize per-block overhead, small enough to keep the batch
+// buffer in cache even at high dimensionality.
+constexpr std::size_t kBatchUsers = 64;
+
 // Simulates users [begin, end) into `aggregator` with an independent
-// stream derived from (seed, worker).
+// stream derived from (seed, worker). Runs the batched ingestion path,
+// which is bit-identical to per-report ReportTo/Consume under the same
+// stream (see Client::ReportBatch) but amortizes virtual dispatch and
+// aggregator bookkeeping over blocks of kBatchUsers users.
 Status SimulateRange(const data::Dataset& dataset,
                      mech::MechanismPtr mechanism,
                      const ClientOptions& client_options, std::uint64_t seed,
@@ -26,11 +34,13 @@ Status SimulateRange(const data::Dataset& dataset,
                      client_options));
   std::uint64_t mix = seed + 0x9e3779b97f4a7c15ULL * (worker + 1);
   Rng rng(SplitMix64(&mix));
-  for (std::size_t i = begin; i < end; ++i) {
-    client.ReportTo(dataset.Row(i), &rng,
-                    [&](std::uint32_t dim, double value) {
-                      aggregator->Consume(dim, value);
-                    });
+  ReportBatch batch;
+  for (std::size_t i = begin; i < end; i += kBatchUsers) {
+    const std::size_t block = std::min(kBatchUsers, end - i);
+    batch.Clear();
+    HDLDP_RETURN_NOT_OK(client.ReportBatch(dataset.Rows(i, block), &rng,
+                                           &batch));
+    HDLDP_RETURN_NOT_OK(aggregator->ConsumeBatch(batch));
   }
   return Status::OK();
 }

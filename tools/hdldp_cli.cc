@@ -352,8 +352,8 @@ Status RunVariance(Flags flags) {
   return Status::OK();
 }
 
-void PrintUsage() {
-  std::fprintf(stderr,
+void PrintUsage(std::FILE* stream) {
+  std::fprintf(stream,
                "usage: hdldp_cli <mean|freq|analyze|variance> "
                "[--key=value ...]\n"
                "see the header of tools/hdldp_cli.cc for the flag list\n");
@@ -362,11 +362,16 @@ void PrintUsage() {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Asking for usage (no arguments, --help/-h/help) is not an error.
   if (argc < 2) {
-    PrintUsage();
-    return 2;
+    PrintUsage(stdout);
+    return 0;
   }
   const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    PrintUsage(stdout);
+    return 0;
+  }
   auto flags_or = Flags::Parse(argc, argv, 2);
   if (!flags_or.ok()) {
     std::fprintf(stderr, "error: %s\n", flags_or.status().ToString().c_str());
@@ -382,7 +387,7 @@ int main(int argc, char** argv) {
   } else if (command == "variance") {
     status = RunVariance(std::move(flags_or).value());
   } else {
-    PrintUsage();
+    PrintUsage(stderr);
     return 2;
   }
   if (!status.ok()) {
