@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "data/generators.h"
 #include "framework/deviation_model.h"
+#include "framework/experiment_runner.h"
 #include "framework/value_distribution.h"
 #include "hdr4me/recalibrate.h"
 #include "mech/registry.h"
@@ -82,22 +83,41 @@ int main() {
     double l1g = 0.0;
     double l2 = 0.0;
     double l2g = 0.0;
-    for (std::size_t rep = 0; rep < repeats; ++rep) {
-      hdldp::protocol::PipelineOptions opts;
-      opts.total_epsilon = eps;
-      opts.seed = 0xAB2A00 + rep * 53 + static_cast<std::uint64_t>(eps);
-      const auto run =
-          hdldp::protocol::RunMeanEstimation(data, mechanism, opts).value();
-      naive += run.mse;
-      l1 += RunOnce(data, deviations, run.estimated_mean, true_mean,
-                    hdldp::hdr4me::Regularizer::kL1, false);
-      l1g += RunOnce(data, deviations, run.estimated_mean, true_mean,
-                     hdldp::hdr4me::Regularizer::kL1, true);
-      l2 += RunOnce(data, deviations, run.estimated_mean, true_mean,
-                    hdldp::hdr4me::Regularizer::kL2, false);
-      l2g += RunOnce(data, deviations, run.estimated_mean, true_mean,
-                     hdldp::hdr4me::Regularizer::kL2, true);
-    }
+    // Trial-parallel repeats, reduced in trial order.
+    struct RepMse {
+      double naive, l1, l1g, l2, l2g;
+    };
+    hdldp::framework::ExperimentRunnerOptions runner_options;
+    runner_options.seed = 0xAB2A00 + static_cast<std::uint64_t>(eps);
+    runner_options.max_workers = hdldp::bench::MaxWorkers();
+    hdldp::framework::ExperimentRunner runner(runner_options);
+    runner.ForEachTrial(
+        repeats,
+        [&](const hdldp::framework::TrialContext& ctx) {
+          hdldp::protocol::PipelineOptions opts;
+          opts.total_epsilon = eps;
+          opts.seed = ctx.seed;
+          const auto run =
+              hdldp::protocol::RunMeanEstimation(data, mechanism, opts)
+                  .value();
+          return RepMse{
+              run.mse,
+              RunOnce(data, deviations, run.estimated_mean, true_mean,
+                      hdldp::hdr4me::Regularizer::kL1, false),
+              RunOnce(data, deviations, run.estimated_mean, true_mean,
+                      hdldp::hdr4me::Regularizer::kL1, true),
+              RunOnce(data, deviations, run.estimated_mean, true_mean,
+                      hdldp::hdr4me::Regularizer::kL2, false),
+              RunOnce(data, deviations, run.estimated_mean, true_mean,
+                      hdldp::hdr4me::Regularizer::kL2, true)};
+        },
+        [&](const RepMse& rep) {
+          naive += rep.naive;
+          l1 += rep.l1;
+          l1g += rep.l1g;
+          l2 += rep.l2;
+          l2g += rep.l2g;
+        });
     const double denom = static_cast<double>(repeats);
     std::printf("%10g %14.5g %14.5g %14.5g %14.5g %14.5g\n", eps,
                 naive / denom, l1 / denom, l1g / denom, l2 / denom,

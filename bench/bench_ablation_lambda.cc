@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "data/generators.h"
 #include "framework/deviation_model.h"
+#include "framework/experiment_runner.h"
 #include "framework/value_distribution.h"
 #include "hdr4me/recalibrate.h"
 #include "mech/registry.h"
@@ -55,18 +56,27 @@ int main() {
             .deviation);
   }
 
-  // Baseline runs (shared across z).
+  // Baseline runs (shared across z), trial-parallel and reduced in trial
+  // order.
   std::vector<std::vector<double>> estimates;
   double naive_mse = 0.0;
-  for (std::size_t rep = 0; rep < repeats; ++rep) {
-    hdldp::protocol::PipelineOptions opts;
-    opts.total_epsilon = kEps;
-    opts.seed = 0xAB1A00 + rep;
-    const auto run =
-        hdldp::protocol::RunMeanEstimation(data, mechanism, opts).value();
-    naive_mse += run.mse;
-    estimates.push_back(run.estimated_mean);
-  }
+  hdldp::framework::ExperimentRunnerOptions runner_options;
+  runner_options.seed = 0xAB1A00;
+  runner_options.max_workers = hdldp::bench::MaxWorkers();
+  hdldp::framework::ExperimentRunner runner(runner_options);
+  runner.ForEachTrial(
+      repeats,
+      [&](const hdldp::framework::TrialContext& ctx) {
+        hdldp::protocol::PipelineOptions opts;
+        opts.total_epsilon = kEps;
+        opts.seed = ctx.seed;
+        return hdldp::protocol::RunMeanEstimation(data, mechanism, opts)
+            .value();
+      },
+      [&](hdldp::protocol::MeanEstimationResult& run) {
+        naive_mse += run.mse;
+        estimates.push_back(std::move(run.estimated_mean));
+      });
   naive_mse /= static_cast<double>(repeats);
   std::printf("naive aggregation MSE: %.5g\n\n", naive_mse);
 

@@ -19,6 +19,7 @@
 #include "common/math.h"
 #include "common/rng.h"
 #include "data/generators.h"
+#include "framework/experiment_runner.h"
 #include "framework/deviation_model.h"
 #include "framework/value_distribution.h"
 #include "mech/registry.h"
@@ -58,15 +59,23 @@ int main() {
       const double predicted = hdldp::Sq(model.deviation.mean) +
                                hdldp::Sq(model.deviation.stddev);
       double measured = 0.0;
-      for (std::size_t rep = 0; rep < repeats; ++rep) {
-        hdldp::protocol::PipelineOptions opts;
-        opts.total_epsilon = kEps;
-        opts.report_dims = m;
-        opts.seed = 0xAB5A00 + rep * 29 + m;
-        measured += hdldp::protocol::RunMeanEstimation(data, mechanism, opts)
-                        .value()
-                        .mse;
-      }
+      // Trial-parallel repeats, reduced in trial order.
+      hdldp::framework::ExperimentRunnerOptions runner_options;
+      runner_options.seed = 0xAB5A00 + m;
+      runner_options.max_workers = hdldp::bench::MaxWorkers();
+      hdldp::framework::ExperimentRunner runner(runner_options);
+      runner.ForEachTrial(
+          repeats,
+          [&](const hdldp::framework::TrialContext& ctx) {
+            hdldp::protocol::PipelineOptions opts;
+            opts.total_epsilon = kEps;
+            opts.report_dims = m;
+            opts.seed = ctx.seed;
+            return hdldp::protocol::RunMeanEstimation(data, mechanism, opts)
+                .value()
+                .mse;
+          },
+          [&](double mse) { measured += mse; });
       std::printf("%8zu %16.5g %16.5g\n", m, predicted,
                   measured / static_cast<double>(repeats));
     }

@@ -10,6 +10,7 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "data/generators.h"
+#include "framework/experiment_runner.h"
 #include "framework/deviation_model.h"
 #include "framework/value_distribution.h"
 #include "hdr4me/recalibrate.h"
@@ -103,25 +104,42 @@ int main() {
       double naive = 0.0;
       double calibrated = 0.0;
       double l1 = 0.0;
-      for (std::size_t rep = 0; rep < repeats; ++rep) {
-        hdldp::protocol::PipelineOptions opts;
-        opts.total_epsilon = eps;
-        opts.seed = 0xBA5E00 + rep * 37 + name.size();
-        const auto run =
-            hdldp::protocol::RunMeanEstimation(data, mechanism, opts).value();
-        naive += run.mse;
-        calibrated +=
-            CalibratedMse(data, mechanism, eps, dists, opts.seed + 1);
-        hdldp::hdr4me::Hdr4meOptions h;
-        h.regularizer = hdldp::hdr4me::Regularizer::kL1;
-        l1 += hdldp::protocol::MeanSquaredError(
-                  hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations,
-                                             h)
-                      .value()
-                      .enhanced_mean,
-                  true_mean)
-                  .value();
-      }
+      // Trial-parallel repeats, reduced in trial order.
+      struct RepMse {
+        double naive, calibrated, l1;
+      };
+      hdldp::framework::ExperimentRunnerOptions runner_options;
+      runner_options.seed = 0xBA5E00 + name.size() +
+                            static_cast<std::uint64_t>(eps * 1000.0);
+      runner_options.max_workers = hdldp::bench::MaxWorkers();
+      hdldp::framework::ExperimentRunner runner(runner_options);
+      runner.ForEachTrial(
+          repeats,
+          [&](const hdldp::framework::TrialContext& ctx) {
+            hdldp::protocol::PipelineOptions opts;
+            opts.total_epsilon = eps;
+            opts.seed = ctx.seed;
+            const auto run =
+                hdldp::protocol::RunMeanEstimation(data, mechanism, opts)
+                    .value();
+            hdldp::hdr4me::Hdr4meOptions h;
+            h.regularizer = hdldp::hdr4me::Regularizer::kL1;
+            return RepMse{
+                run.mse,
+                CalibratedMse(data, mechanism, eps, dists, ctx.seed + 1),
+                hdldp::protocol::MeanSquaredError(
+                    hdldp::hdr4me::Recalibrate(run.estimated_mean,
+                                               deviations, h)
+                        .value()
+                        .enhanced_mean,
+                    true_mean)
+                    .value()};
+          },
+          [&](const RepMse& rep) {
+            naive += rep.naive;
+            calibrated += rep.calibrated;
+            l1 += rep.l1;
+          });
       const double denom = static_cast<double>(repeats);
       std::printf("%-12s %14.5g %14.5g %14.5g %14.5g\n",
                   std::string(name).c_str(), naive / denom,

@@ -9,6 +9,10 @@
 // Every user includes the tracked dimension with probability m/d, so only
 // that dimension is simulated (protocol::RunSingleDimension); the trial
 // count is scaled by HDLDP_BENCH_REPEATS * 100 (default 300 trials).
+// Trials run in parallel on framework::ExperimentRunner: each trial draws
+// from its own (seed, trial)-derived stream and deviations fold into the
+// histogram in trial order, so output is identical for any
+// HDLDP_BENCH_THREADS.
 
 #include <cstdio>
 #include <vector>
@@ -17,6 +21,7 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "framework/deviation_model.h"
+#include "framework/experiment_runner.h"
 #include "framework/value_distribution.h"
 #include "mech/registry.h"
 #include "protocol/pipeline.h"
@@ -51,19 +56,27 @@ void RunMechanism(const std::string& name, std::size_t users,
       ModelDeviation(*mechanism, eps_per_dim, value_dist, expected_reports)
           .value();
 
-  // Empirical deviations across trials.
+  // Empirical deviations across trials, trial-parallel and reduced in
+  // trial order.
   const double span = 4.0 * model.deviation.stddev;
   const double lo = model.deviation.mean - span;
   const double hi = model.deviation.mean + span;
   auto histogram = hdldp::Histogram::Create(lo, hi, 25).value();
-  hdldp::Rng rng(0xF16'2F00 + name.size());
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    const auto run = hdldp::protocol::RunSingleDimension(
-                         values, *mechanism, eps_per_dim, inclusion,
-                         {-1.0, 1.0}, &rng)
-                         .value();
-    histogram.Add(run.estimated_mean - true_mean);
-  }
+  hdldp::framework::ExperimentRunnerOptions runner_options;
+  runner_options.seed = 0xF16'2F00 + name.size();
+  runner_options.max_workers = hdldp::bench::MaxWorkers();
+  hdldp::framework::ExperimentRunner runner(runner_options);
+  runner.ForEachTrial(
+      trials,
+      [&](const hdldp::framework::TrialContext& ctx) {
+        hdldp::Rng rng(ctx.seed);
+        const auto run = hdldp::protocol::RunSingleDimension(
+                             values, *mechanism, eps_per_dim, inclusion,
+                             {-1.0, 1.0}, &rng)
+                             .value();
+        return run.estimated_mean - true_mean;
+      },
+      [&](double deviation) { histogram.Add(deviation); });
 
   std::printf("--- %s (CLT model: delta=%.4g, sigma=%.4g) ---\n",
               name.c_str(), model.deviation.mean, model.deviation.stddev);

@@ -17,7 +17,9 @@
 #include "common/rng.h"
 #include "common/stats.h"
 #include "framework/deviation_model.h"
+#include "framework/experiment_runner.h"
 #include "framework/value_distribution.h"
+#include "mech/plan.h"
 #include "mech/registry.h"
 
 namespace {
@@ -59,14 +61,25 @@ void RunMechanism(const std::string& name,
   auto histogram = hdldp::Histogram::Create(model.deviation.mean - span,
                                             model.deviation.mean + span, 25)
                        .value();
-  hdldp::Rng rng(0xF16'3000 + name.size());
-  for (std::size_t trial = 0; trial < trials; ++trial) {
-    hdldp::NeumaierSum sum;
-    for (const double t : data) {
-      sum.Add(mechanism->Perturb(t, kEpsPerDim, &rng));
-    }
-    histogram.Add(sum.Total() / static_cast<double>(data.size()) - true_mean);
-  }
+  // Trial-parallel: each trial perturbs the fixed dataset with its own
+  // (seed, trial)-derived stream through a plan prepared once; the
+  // histogram folds deviations in trial order.
+  const hdldp::mech::SamplerPlan plan = mechanism->MakePlan(kEpsPerDim);
+  hdldp::framework::ExperimentRunnerOptions runner_options;
+  runner_options.seed = 0xF16'3000 + name.size();
+  runner_options.max_workers = hdldp::bench::MaxWorkers();
+  hdldp::framework::ExperimentRunner runner(runner_options);
+  runner.ForEachTrial(
+      trials,
+      [&](const hdldp::framework::TrialContext& ctx) {
+        hdldp::Rng rng(ctx.seed);
+        hdldp::NeumaierSum sum;
+        for (const double t : data) {
+          sum.Add(hdldp::mech::PerturbOne(plan, t, &rng));
+        }
+        return sum.Total() / static_cast<double>(data.size()) - true_mean;
+      },
+      [&](double deviation) { histogram.Add(deviation); });
 
   std::printf("--- %s on native [%g, %g] "
               "(CLT model: delta=%.4g, sigma=%.4g) ---\n",

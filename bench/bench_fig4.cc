@@ -19,6 +19,7 @@
 #include "common/rng.h"
 #include "data/generators.h"
 #include "framework/deviation_model.h"
+#include "framework/experiment_runner.h"
 #include "framework/value_distribution.h"
 #include "hdr4me/recalibrate.h"
 #include "mech/registry.h"
@@ -112,29 +113,53 @@ void RunMechanismOnDataset(const DatasetConfig& config, const Dataset& data,
     double naive = 0.0;
     double l1 = 0.0;
     double l2 = 0.0;
-    for (std::size_t rep = 0; rep < repeats; ++rep) {
-      hdldp::protocol::PipelineOptions opts;
-      opts.total_epsilon = eps;
-      opts.report_dims = 0;  // All dimensions.
-      opts.seed = 0xF16'4000 + rep * 977 + mech_name.size() * 31 +
-                  static_cast<std::uint64_t>(eps * 1000.0);
-      const auto run =
-          hdldp::protocol::RunMeanEstimation(data, mechanism, opts).value();
-      naive += run.mse;
-      hdldp::hdr4me::Hdr4meOptions h;
-      h.regularizer = hdldp::hdr4me::Regularizer::kL1;
-      const auto r1 =
-          hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations, h)
-              .value();
-      l1 += hdldp::protocol::MeanSquaredError(r1.enhanced_mean, true_mean)
-                .value();
-      h.regularizer = hdldp::hdr4me::Regularizer::kL2;
-      const auto r2 =
-          hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations, h)
-              .value();
-      l2 += hdldp::protocol::MeanSquaredError(r2.enhanced_mean, true_mean)
-                .value();
-    }
+    // One repeat per trial, parallel on the shared pool; sums accumulate
+    // in trial order, so the printed MSEs are identical for any
+    // HDLDP_BENCH_THREADS.
+    struct RepMse {
+      double naive = 0.0;
+      double l1 = 0.0;
+      double l2 = 0.0;
+    };
+    hdldp::framework::ExperimentRunnerOptions runner_options;
+    runner_options.seed = 0xF16'4000 + mech_name.size() * 31 +
+                          static_cast<std::uint64_t>(eps * 1000.0);
+    runner_options.max_workers = hdldp::bench::MaxWorkers();
+    hdldp::framework::ExperimentRunner runner(runner_options);
+    runner.ForEachTrial(
+        repeats,
+        [&](const hdldp::framework::TrialContext& ctx) {
+          hdldp::protocol::PipelineOptions opts;
+          opts.total_epsilon = eps;
+          opts.report_dims = 0;  // All dimensions.
+          opts.seed = ctx.seed;
+          const auto run =
+              hdldp::protocol::RunMeanEstimation(data, mechanism, opts)
+                  .value();
+          RepMse rep;
+          rep.naive = run.mse;
+          hdldp::hdr4me::Hdr4meOptions h;
+          h.regularizer = hdldp::hdr4me::Regularizer::kL1;
+          const auto r1 =
+              hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations, h)
+                  .value();
+          rep.l1 = hdldp::protocol::MeanSquaredError(r1.enhanced_mean,
+                                                     true_mean)
+                       .value();
+          h.regularizer = hdldp::hdr4me::Regularizer::kL2;
+          const auto r2 =
+              hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations, h)
+                  .value();
+          rep.l2 = hdldp::protocol::MeanSquaredError(r2.enhanced_mean,
+                                                     true_mean)
+                       .value();
+          return rep;
+        },
+        [&](const RepMse& rep) {
+          naive += rep.naive;
+          l1 += rep.l1;
+          l2 += rep.l2;
+        });
     const double denom = static_cast<double>(repeats);
     std::printf("%10g %14.5g %14.5g %14.5g\n", eps, naive / denom, l1 / denom,
                 l2 / denom);

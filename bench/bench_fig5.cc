@@ -14,6 +14,7 @@
 #include "common/rng.h"
 #include "data/generators.h"
 #include "framework/deviation_model.h"
+#include "framework/experiment_runner.h"
 #include "framework/value_distribution.h"
 #include "hdr4me/recalibrate.h"
 #include "mech/registry.h"
@@ -73,38 +74,66 @@ void RunMechanism(const std::string& mech_name, const Dataset& source,
     double l1 = 0.0;
     double l2 = 0.0;
     double l2_paper = 0.0;
-    for (std::size_t rep = 0; rep < repeats; ++rep) {
-      hdldp::protocol::PipelineOptions opts;
-      opts.total_epsilon = kEpsilon;
-      opts.report_dims = 0;
-      opts.seed = 0xF16'5F00 + rep * 1193 + d;
-      const auto run =
-          hdldp::protocol::RunMeanEstimation(data, mechanism, opts).value();
-      naive += run.mse;
-      hdldp::hdr4me::Hdr4meOptions h;
-      h.regularizer = hdldp::hdr4me::Regularizer::kL1;
-      l1 += hdldp::protocol::MeanSquaredError(
-                hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations, h)
-                    .value()
-                    .enhanced_mean,
-                true_mean)
-                .value();
-      h.regularizer = hdldp::hdr4me::Regularizer::kL2;
-      l2 += hdldp::protocol::MeanSquaredError(
-                hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations, h)
-                    .value()
-                    .enhanced_mean,
-                true_mean)
-                .value();
-      h.lambda.l2_reference = hdldp::hdr4me::L2Reference::kModelBias;
-      l2_paper +=
-          hdldp::protocol::MeanSquaredError(
-              hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations, h)
-                  .value()
-                  .enhanced_mean,
-              true_mean)
-              .value();
-    }
+    // Trial-parallel repeats, reduced in trial order (identical output
+    // for any HDLDP_BENCH_THREADS).
+    struct RepMse {
+      double naive = 0.0;
+      double l1 = 0.0;
+      double l2 = 0.0;
+      double l2_paper = 0.0;
+    };
+    hdldp::framework::ExperimentRunnerOptions runner_options;
+    runner_options.seed = 0xF16'5F00 + d;
+    runner_options.max_workers = hdldp::bench::MaxWorkers();
+    hdldp::framework::ExperimentRunner runner(runner_options);
+    runner.ForEachTrial(
+        repeats,
+        [&](const hdldp::framework::TrialContext& ctx) {
+          hdldp::protocol::PipelineOptions opts;
+          opts.total_epsilon = kEpsilon;
+          opts.report_dims = 0;
+          opts.seed = ctx.seed;
+          const auto run =
+              hdldp::protocol::RunMeanEstimation(data, mechanism, opts)
+                  .value();
+          RepMse rep;
+          rep.naive = run.mse;
+          hdldp::hdr4me::Hdr4meOptions h;
+          h.regularizer = hdldp::hdr4me::Regularizer::kL1;
+          rep.l1 =
+              hdldp::protocol::MeanSquaredError(
+                  hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations,
+                                             h)
+                      .value()
+                      .enhanced_mean,
+                  true_mean)
+                  .value();
+          h.regularizer = hdldp::hdr4me::Regularizer::kL2;
+          rep.l2 =
+              hdldp::protocol::MeanSquaredError(
+                  hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations,
+                                             h)
+                      .value()
+                      .enhanced_mean,
+                  true_mean)
+                  .value();
+          h.lambda.l2_reference = hdldp::hdr4me::L2Reference::kModelBias;
+          rep.l2_paper =
+              hdldp::protocol::MeanSquaredError(
+                  hdldp::hdr4me::Recalibrate(run.estimated_mean, deviations,
+                                             h)
+                      .value()
+                      .enhanced_mean,
+                  true_mean)
+                  .value();
+          return rep;
+        },
+        [&](const RepMse& rep) {
+          naive += rep.naive;
+          l1 += rep.l1;
+          l2 += rep.l2;
+          l2_paper += rep.l2_paper;
+        });
     const double denom = static_cast<double>(repeats);
     std::printf("%10zu %14.5g %14.5g %14.5g %14.5g\n", d, naive / denom,
                 l1 / denom, l2 / denom, l2_paper / denom);

@@ -12,6 +12,7 @@
 
 #include "bench_util.h"
 #include "common/rng.h"
+#include "framework/experiment_runner.h"
 #include "freq/encoding.h"
 #include "freq/pipeline.h"
 #include "mech/registry.h"
@@ -38,19 +39,32 @@ void RunCardinality(std::size_t users, std::size_t cardinality,
     for (const double eps : {0.5, 1.0, 2.0}) {
       double raw = 0.0;
       double recal = 0.0;
-      for (std::size_t rep = 0; rep < repeats; ++rep) {
-        hdldp::freq::FrequencyOptions opts;
-        opts.total_epsilon = eps;
-        opts.seed = 0xF8E000 + rep * 131 + cardinality;
-        opts.clip_and_normalize = true;
-        opts.hdr4me.regularizer = hdldp::hdr4me::Regularizer::kL1;
-        const auto result =
-            hdldp::freq::RunFrequencyEstimation(
-                dataset, hdldp::mech::MakeMechanism(mech_name).value(), opts)
-                .value();
-        raw += result.mse_raw;
-        recal += result.mse_recalibrated;
-      }
+      // Trial-parallel repeats, reduced in trial order.
+      hdldp::framework::ExperimentRunnerOptions runner_options;
+      runner_options.seed = 0xF8E000 + cardinality +
+                            static_cast<std::uint64_t>(eps * 1000.0);
+      runner_options.max_workers = hdldp::bench::MaxWorkers();
+      hdldp::framework::ExperimentRunner runner(runner_options);
+      runner.ForEachTrial(
+          repeats,
+          [&](const hdldp::framework::TrialContext& ctx) {
+            hdldp::freq::FrequencyOptions opts;
+            opts.total_epsilon = eps;
+            opts.seed = ctx.seed;
+            opts.clip_and_normalize = true;
+            opts.hdr4me.regularizer = hdldp::hdr4me::Regularizer::kL1;
+            const auto result =
+                hdldp::freq::RunFrequencyEstimation(
+                    dataset, hdldp::mech::MakeMechanism(mech_name).value(),
+                    opts)
+                    .value();
+            return std::pair<double, double>(result.mse_raw,
+                                             result.mse_recalibrated);
+          },
+          [&](const std::pair<double, double>& mses) {
+            raw += mses.first;
+            recal += mses.second;
+          });
       raw /= static_cast<double>(repeats);
       recal /= static_cast<double>(repeats);
       std::printf("%-12s %8g %14.5g %14.5g %9.2fx\n", mech_name, eps, raw,

@@ -8,6 +8,9 @@
 //                        set 1 for the paper's full populations)
 //   HDLDP_BENCH_REPEATS  repetitions averaged per point (default 3;
 //                        the paper uses 100)
+//   HDLDP_BENCH_THREADS  max concurrent trials in the trial-parallel
+//                        harness (default 0 = one per hardware thread;
+//                        results are identical for every value)
 //
 // Output is aligned-text tables mirroring the paper's rows/series, so a
 // run can be diffed against EXPERIMENTS.md.
@@ -37,6 +40,15 @@ inline std::size_t ScaleDivisor() { return EnvSize("HDLDP_BENCH_SCALE", 10); }
 
 /// Repetitions per configuration.
 inline std::size_t Repeats() { return EnvSize("HDLDP_BENCH_REPEATS", 3); }
+
+/// Max concurrent trials (0 = one per hardware thread). Deterministic:
+/// trial results never depend on this value, only wall-clock time does.
+inline std::size_t MaxWorkers() {
+  const char* raw = std::getenv("HDLDP_BENCH_THREADS");
+  if (raw == nullptr) return 0;
+  const long parsed = std::atol(raw);
+  return parsed >= 0 ? static_cast<std::size_t>(parsed) : 0;
+}
 
 /// Scales a paper-sized user population down by ScaleDivisor().
 inline std::size_t ScaledUsers(std::size_t paper_users) {

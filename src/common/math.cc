@@ -200,16 +200,6 @@ Result<double> IntegrateSegments(const std::function<double(double)>& f,
   return acc.Total();
 }
 
-void NeumaierSum::Add(double x) {
-  const double t = sum_ + x;
-  if (std::abs(sum_) >= std::abs(x)) {
-    compensation_ += (sum_ - t) + x;
-  } else {
-    compensation_ += (x - t) + sum_;
-  }
-  sum_ = t;
-}
-
 double StableSum(const double* data, std::size_t n) {
   NeumaierSum acc;
   for (std::size_t i = 0; i < n; ++i) acc.Add(data[i]);

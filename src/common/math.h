@@ -88,16 +88,31 @@ Result<double> IntegrateSegments(const std::function<double(double)>& f,
                                  const QuadratureOptions& options = {});
 
 /// \brief Neumaier (improved Kahan) compensated accumulator.
+///
+/// Add() is defined inline: aggregation loops call it once per ingested
+/// value, and the out-of-line call was measurable against the ~5 flops of
+/// work (see bench_micro Ingest*).
 class NeumaierSum {
  public:
   /// Adds one term.
-  void Add(double x);
+  void Add(double x) {
+    const double t = sum_ + x;
+    if (Abs(sum_) >= Abs(x)) {
+      compensation_ += (sum_ - t) + x;
+    } else {
+      compensation_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
   /// Folds another accumulator in (parallel-reduction support).
   void Merge(const NeumaierSum& other) { Add(other.Total()); }
   /// Current compensated total.
   double Total() const { return sum_ + compensation_; }
 
  private:
+  // Branch-free |x| without pulling <cmath> into this low-level header.
+  static double Abs(double x) { return x < 0.0 ? -x : x; }
+
   double sum_ = 0.0;
   double compensation_ = 0.0;
 };

@@ -5,12 +5,6 @@
 
 namespace hdldp {
 
-namespace {
-inline std::uint64_t Rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 std::uint64_t SplitMix64(std::uint64_t* x) {
   std::uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
   z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
@@ -25,29 +19,7 @@ Rng::Rng(std::uint64_t seed) {
   if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
 }
 
-Rng::result_type Rng::Next() {
-  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
-}
-
 Rng Rng::Fork() { return Rng(Next()); }
-
-double Rng::UniformDouble() {
-  // 53 high bits -> uniform in [0, 1) on the representable grid.
-  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
-}
-
-double Rng::Uniform(double lo, double hi) {
-  assert(lo <= hi);
-  return lo + (hi - lo) * UniformDouble();
-}
 
 std::uint64_t Rng::UniformInt(std::uint64_t bound) {
   assert(bound > 0);
@@ -64,24 +36,6 @@ std::uint64_t Rng::UniformInt(std::uint64_t bound) {
     }
   }
   return static_cast<std::uint64_t>(m >> 64);
-}
-
-bool Rng::Bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return UniformDouble() < p;
-}
-
-double Rng::Exponential(double rate) {
-  assert(rate > 0.0);
-  // -log(1-U) keeps the argument strictly positive since U in [0,1).
-  return -std::log1p(-UniformDouble()) / rate;
-}
-
-double Rng::Laplace(double scale) {
-  assert(scale > 0.0);
-  const double u = UniformDouble() - 0.5;
-  return u < 0.0 ? scale * std::log1p(2.0 * u) : -scale * std::log1p(-2.0 * u);
 }
 
 double Rng::Gaussian() {
@@ -122,14 +76,6 @@ std::int64_t Rng::Poisson(double mean) {
   // need the right mean/variance/shape at large lambda.
   const double draw = Gaussian(mean, std::sqrt(mean));
   return draw < 0.0 ? 0 : static_cast<std::int64_t>(std::floor(draw + 0.5));
-}
-
-std::int64_t Rng::Geometric(double p) {
-  assert(p > 0.0 && p <= 1.0);
-  if (p == 1.0) return 0;
-  const double u = UniformDouble();
-  return static_cast<std::int64_t>(std::floor(std::log1p(-u) /
-                                              std::log1p(-p)));
 }
 
 void Rng::SampleWithoutReplacement(std::size_t d, std::size_t m,

@@ -9,6 +9,8 @@
 #ifndef HDLDP_COMMON_RNG_H_
 #define HDLDP_COMMON_RNG_H_
 
+#include <cassert>
+#include <cmath>
 #include <cstdint>
 #include <cstddef>
 #include <limits>
@@ -35,7 +37,21 @@ class Rng {
   }
 
   /// \brief Next raw 64-bit output (xoshiro256++).
-  result_type Next();
+  ///
+  /// Inline (like the other single-draw samplers below): perturbation
+  /// loops draw hundreds of millions of variates and the out-of-line
+  /// call cost was visible in bench_micro's ingestion throughput.
+  result_type Next() {
+    const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
   result_type operator()() { return Next(); }
 
@@ -46,22 +62,45 @@ class Rng {
   Rng Fork();
 
   /// \brief Uniform double in [0, 1) with 53 random bits.
-  double UniformDouble();
+  double UniformDouble() {
+    // 53 high bits -> uniform in [0, 1) on the representable grid.
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
 
   /// \brief Uniform double in [lo, hi). Requires lo <= hi.
-  double Uniform(double lo, double hi);
+  double Uniform(double lo, double hi) {
+    assert(lo <= hi);
+    return lo + (hi - lo) * UniformDouble();
+  }
 
   /// \brief Uniform integer in [0, bound), bias-free. Requires bound > 0.
   std::uint64_t UniformInt(std::uint64_t bound);
 
   /// \brief True with probability p (clamped to [0, 1]).
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return UniformDouble() < p;
+  }
 
   /// \brief Exponential variate with the given rate (mean 1/rate).
-  double Exponential(double rate);
+  double Exponential(double rate) {
+    assert(rate > 0.0);
+    // -log(1-U) keeps the argument strictly positive since U in [0,1).
+    return -std::log1p(-UniformDouble()) / rate;
+  }
 
   /// \brief Zero-mean Laplace variate with scale b (variance 2b²).
-  double Laplace(double scale);
+  double Laplace(double scale) {
+    assert(scale > 0.0);
+    const double u = UniformDouble() - 0.5;
+    // Branch-free form of u < 0 ? scale * log1p(2u) : -scale * log1p(-2u):
+    // both arms evaluate log1p at exactly -2|u|, so only the sign factor
+    // is selected (indexed, never a mispredicted 50/50 branch). Values
+    // are bit-identical to the branchy form.
+    const double sign_sel[2] = {-scale, scale};
+    return sign_sel[u < 0.0] * std::log1p(-2.0 * std::abs(u));
+  }
 
   /// \brief Standard normal variate (Marsaglia polar method, cached pair).
   double Gaussian();
@@ -76,7 +115,13 @@ class Rng {
 
   /// \brief Geometric number of failures before first success, support
   /// {0, 1, ...}, success probability p in (0, 1].
-  std::int64_t Geometric(double p);
+  std::int64_t Geometric(double p) {
+    assert(p > 0.0 && p <= 1.0);
+    if (p == 1.0) return 0;
+    const double u = UniformDouble();
+    return static_cast<std::int64_t>(
+        std::floor(std::log1p(-u) / std::log1p(-p)));
+  }
 
   /// \brief Samples `m` distinct indices from {0, ..., d-1} (Floyd's
   /// algorithm), appended to *out in unspecified order. Requires m <= d.
@@ -84,6 +129,10 @@ class Rng {
                                 std::vector<std::uint32_t>* out);
 
  private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
   double cached_gaussian_ = 0.0;
   bool has_cached_gaussian_ = false;

@@ -1,0 +1,111 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace hdldp {
+
+namespace {
+
+// Shared state of one ParallelFor call. Helpers enqueued on the pool may
+// start after the call has already completed (the calling thread can
+// drain every index alone), so the state is shared_ptr-owned and helpers
+// that find no work left simply return.
+struct ForState {
+  std::atomic<std::size_t> next;
+  std::atomic<std::size_t> remaining;
+  std::size_t end;
+  const std::function<void(std::size_t)>* fn;
+  std::mutex done_mutex;
+  std::condition_variable done;
+
+  // Claims indices until the range is exhausted; returns after
+  // decrementing `remaining` for every index it ran.
+  void Drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) return;
+      (*fn)(i);
+      if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        done.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  wake_workers_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(
+      std::max(1u, std::thread::hardware_concurrency()) - 1);
+  return pool;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_workers_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& fn,
+                             std::size_t max_concurrency) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  if (max_concurrency == 0) max_concurrency = threads_.size() + 1;
+  const std::size_t helpers =
+      std::min({count, threads_.size(), max_concurrency - 1});
+  if (helpers == 0) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->next.store(begin, std::memory_order_relaxed);
+  state->remaining.store(count, std::memory_order_relaxed);
+  state->end = end;
+  state->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t h = 0; h < helpers; ++h) {
+      queue_.emplace_back([state] { state->Drain(); });
+    }
+  }
+  wake_workers_.notify_all();
+
+  // The calling thread always participates, so the range drains even if
+  // every pool worker is busy inside other (possibly outer) calls.
+  state->Drain();
+  std::unique_lock<std::mutex> lock(state->done_mutex);
+  state->done.wait(lock, [&] {
+    return state->remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace hdldp

@@ -1,0 +1,19 @@
+#include "framework/experiment_runner.h"
+
+#include "common/rng.h"
+
+namespace hdldp {
+namespace framework {
+
+std::uint64_t ExperimentRunner::TrialSeed(std::size_t trial) const {
+  // Same derivation shape as the pipeline's per-chunk streams: offset the
+  // base seed by a golden-ratio multiple of the index, then mix through
+  // SplitMix64 so nearby trials get uncorrelated streams.
+  std::uint64_t mix =
+      options_.seed +
+      0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(trial) + 1);
+  return SplitMix64(&mix);
+}
+
+}  // namespace framework
+}  // namespace hdldp

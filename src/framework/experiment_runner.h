@@ -1,0 +1,92 @@
+// Trial-parallel experiment driver for the paper-reproduction benches.
+//
+// The figure and ablation benches repeat an independent experiment
+// (one protocol run, one single-dimension simulation, ...) hundreds of
+// times and average or histogram the results. Trials only interact
+// through their seeds, so they parallelize perfectly; what must NOT
+// change with the worker count is the output. The runner guarantees that:
+//
+//   * trial t's randomness comes from an independently derived seed
+//     SplitMix64(seed, t) — never from a shared stream, so no trial's
+//     draws depend on which thread ran it or in what order;
+//   * results land in a vector indexed by trial and are reduced in trial
+//     index order, so floating-point accumulation order is fixed.
+//
+// Hence RunTrials() output is bit-identical for 1 worker and N workers.
+
+#ifndef HDLDP_FRAMEWORK_EXPERIMENT_RUNNER_H_
+#define HDLDP_FRAMEWORK_EXPERIMENT_RUNNER_H_
+
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace hdldp {
+namespace framework {
+
+/// Configuration of an ExperimentRunner.
+struct ExperimentRunnerOptions {
+  /// Base seed; trial t derives its own stream from (seed, t).
+  std::uint64_t seed = 1;
+  /// Maximum concurrent trials; 0 means one per hardware thread. The
+  /// value never affects results, only wall-clock time.
+  std::size_t max_workers = 0;
+};
+
+/// Per-trial context handed to the trial body.
+struct TrialContext {
+  /// Trial index in [0, num_trials).
+  std::size_t trial = 0;
+  /// The trial's independently derived seed: feed it to Rng or to a
+  /// pipeline seed option. Identical across worker counts.
+  std::uint64_t seed = 0;
+};
+
+/// \brief Runs independent trials on the shared thread pool, returning
+/// results in trial order regardless of execution order or worker count.
+class ExperimentRunner {
+ public:
+  explicit ExperimentRunner(const ExperimentRunnerOptions& options = {})
+      : options_(options) {}
+
+  /// The seed trial `trial` receives (SplitMix64-derived from the base).
+  std::uint64_t TrialSeed(std::size_t trial) const;
+
+  /// \brief Invokes fn(TrialContext) for each of `num_trials` trials,
+  /// possibly concurrently, and returns the results indexed by trial.
+  /// fn must not throw and must take all randomness from ctx.seed.
+  template <typename Fn>
+  auto RunTrials(std::size_t num_trials, Fn&& fn)
+      -> std::vector<decltype(fn(TrialContext{}))> {
+    // vector<bool> packs adjacent elements into one byte, which would
+    // make the concurrent per-trial writes below a data race.
+    static_assert(!std::is_same_v<decltype(fn(TrialContext{})), bool>,
+                  "wrap bool trial results in a struct");
+    std::vector<decltype(fn(TrialContext{}))> results(num_trials);
+    ThreadPool::Shared().ParallelFor(
+        0, num_trials,
+        [&](std::size_t trial) {
+          results[trial] = fn(TrialContext{trial, TrialSeed(trial)});
+        },
+        options_.max_workers);
+    return results;
+  }
+
+  /// \brief RunTrials + reduction in trial index order:
+  /// `reduce(trial_result)` is called for trial 0, 1, ..., in that order.
+  template <typename Fn, typename Reduce>
+  void ForEachTrial(std::size_t num_trials, Fn&& fn, Reduce&& reduce) {
+    auto results = RunTrials(num_trials, std::forward<Fn>(fn));
+    for (auto& result : results) reduce(result);
+  }
+
+ private:
+  ExperimentRunnerOptions options_;
+};
+
+}  // namespace framework
+}  // namespace hdldp
+
+#endif  // HDLDP_FRAMEWORK_EXPERIMENT_RUNNER_H_

@@ -31,19 +31,13 @@ double DuchiMechanism::Perturb(double t, double eps, Rng* rng) const {
   return rng->Bernoulli(ProbPositive(t, eps)) ? b : -b;
 }
 
-void DuchiMechanism::PerturbBatch(std::span<const double> ts, double eps,
-                                  Rng* rng, std::span<double> out) const {
+SamplerPlan DuchiMechanism::MakePlan(double eps) const {
   assert(ValidateBudget(eps).ok());
-  // Hoists B(eps) and the eps-only factors of ProbPositive() out of the
-  // loop; the per-value arithmetic keeps ProbPositive's evaluation order,
-  // so outputs are bit-identical to the scalar path.
-  const double b = OutputMagnitude(eps);
-  const double em = std::expm1(eps);
-  const double denom = 2.0 * (std::exp(eps) + 1.0);
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    const double t = Clamp(ts[i], -1.0, 1.0);
-    out[i] = rng->Bernoulli(0.5 + t * em / denom) ? b : -b;
-  }
+  // B(eps) and the eps-only factors of ProbPositive(); the plan keeps
+  // ProbPositive's evaluation order, so outputs are bit-identical to the
+  // scalar path.
+  return DuchiPlan{OutputMagnitude(eps), std::expm1(eps),
+                   2.0 * (std::exp(eps) + 1.0)};
 }
 
 Result<ConditionalMoments> DuchiMechanism::Moments(double t,

@@ -33,39 +33,17 @@ double HybridMechanism::Perturb(double t, double eps, Rng* rng) const {
   return duchi_.Perturb(t, eps, rng);
 }
 
-void HybridMechanism::PerturbBatch(std::span<const double> ts, double eps,
-                                   Rng* rng, std::span<double> out) const {
+SamplerPlan HybridMechanism::MakePlan(double eps) const {
   assert(ValidateBudget(eps).ok());
-  // Hoists the mixture weight plus both components' eps-only constants,
-  // inlining the components' hoisted loop bodies. Per-value expressions
-  // and RNG draw order match the scalar mixture exactly (the components'
-  // redundant re-clamp of t is value-preserving), so outputs stay
-  // bit-identical to the scalar path.
-  const double alpha = PiecewiseWeight(eps);
-  // Piecewise component constants.
+  // Resolves the mixture weight plus both components' eps-only constants;
+  // the nested component plans re-clamp t (value-preserving), matching
+  // the scalar mixture's component Perturb() calls bit for bit.
   const double s = std::exp(0.5 * eps);
-  const double q = PiecewiseMechanism::OutputBound(eps);
-  const double band_mass = s / (s + 1.0);
-  // Duchi component constants.
-  const double b = DuchiMechanism::OutputMagnitude(eps);
-  const double em = std::expm1(eps);
-  const double denom = 2.0 * (std::exp(eps) + 1.0);
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    const double t = Clamp(ts[i], -1.0, 1.0);
-    if (rng->Bernoulli(alpha)) {
-      const double l = 0.5 * (q + 1.0) * t - 0.5 * (q - 1.0);
-      const double r = l + q - 1.0;
-      if (rng->Bernoulli(band_mass)) {
-        out[i] = rng->Uniform(l, r);
-      } else {
-        const double left_len = l + q;
-        const double u = rng->Uniform(0.0, q + 1.0);
-        out[i] = u < left_len ? -q + u : r + (u - left_len);
-      }
-    } else {
-      out[i] = rng->Bernoulli(0.5 + t * em / denom) ? b : -b;
-    }
-  }
+  return HybridPlan{
+      PiecewiseWeight(eps),
+      PiecewisePlan{PiecewiseMechanism::OutputBound(eps), s / (s + 1.0)},
+      DuchiPlan{DuchiMechanism::OutputMagnitude(eps), std::expm1(eps),
+                2.0 * (std::exp(eps) + 1.0)}};
 }
 
 Result<ConditionalMoments> HybridMechanism::Moments(double t,

@@ -21,13 +21,9 @@ double LaplaceMechanism::Perturb(double t, double eps, Rng* rng) const {
   return t + rng->Laplace(Scale(eps));
 }
 
-void LaplaceMechanism::PerturbBatch(std::span<const double> ts, double eps,
-                                    Rng* rng, std::span<double> out) const {
+SamplerPlan LaplaceMechanism::MakePlan(double eps) const {
   assert(ValidateBudget(eps).ok());
-  const double scale = Scale(eps);
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    out[i] = Clamp(ts[i], -1.0, 1.0) + rng->Laplace(scale);
-  }
+  return LaplacePlan{Scale(eps)};
 }
 
 Result<ConditionalMoments> LaplaceMechanism::Moments(double t,

@@ -20,8 +20,7 @@ class LaplaceMechanism final : public Mechanism {
   Interval InputDomain() const override { return {-1.0, 1.0}; }
   Result<Interval> OutputDomain(double eps) const override;
   double Perturb(double t, double eps, Rng* rng) const override;
-  void PerturbBatch(std::span<const double> ts, double eps, Rng* rng,
-                    std::span<double> out) const override;
+  SamplerPlan MakePlan(double eps) const override;
   Result<ConditionalMoments> Moments(double t, double eps) const override;
   Result<double> Density(double x, double t, double eps) const override;
   Result<std::vector<double>> DensityBreakpoints(double t,

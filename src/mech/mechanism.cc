@@ -32,11 +32,13 @@ Status Mechanism::ValidateBudget(double eps) const {
   return Status::OK();
 }
 
+SamplerPlan Mechanism::MakePlan(double eps) const {
+  return GenericPlan{this, eps};
+}
+
 void Mechanism::PerturbBatch(std::span<const double> ts, double eps, Rng* rng,
                              std::span<double> out) const {
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    out[i] = Perturb(ts[i], eps, rng);
-  }
+  PerturbSpan(MakePlan(eps), ts, rng, out);
 }
 
 Status Mechanism::ValidateMomentArgs(double t, double eps) const {

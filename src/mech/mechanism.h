@@ -29,6 +29,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "mech/plan.h"
 
 namespace hdldp {
 namespace mech {
@@ -122,19 +123,35 @@ class Mechanism {
   /// (inputs are clamped defensively in release builds; debug asserts).
   virtual double Perturb(double t, double eps, Rng* rng) const = 0;
 
+  /// \brief Prepares a sampler for this mechanism at budget eps: every
+  /// eps-only constant (exp/expm1 terms, band masses, output bounds,
+  /// mixture weights) is computed here, once, so perturbation loops pay
+  /// zero transcendental evaluations and zero virtual dispatch per value.
+  ///
+  /// The returned plan draws from its Rng in exactly Perturb()'s order and
+  /// produces bit-identical outputs (tests/test_plan.cc). The base
+  /// implementation returns a GenericPlan deferring to Perturb(); the
+  /// registered mechanisms all override with a concrete plan struct.
+  ///
+  /// REQUIRES: ValidateBudget(eps).ok(). The plan does not keep `this`
+  /// alive (except GenericPlan, which holds a raw pointer): concrete plans
+  /// are self-contained value types safe to copy across threads.
+  virtual SamplerPlan MakePlan(double eps) const;
+
   /// \brief Perturbs `ts.size()` inputs at one shared budget, writing
   /// outputs into `out` (which must hold at least ts.size() entries).
   ///
   /// Contract: draws from `rng` in exactly the order of ts.size()
   /// sequential Perturb() calls and produces bit-identical outputs, so
   /// scalar and batched ingestion paths are interchangeable under a fixed
-  /// seed. Overrides exist to hoist eps-dependent constants (exp/expm1
-  /// evaluations) out of the per-value loop; the base implementation is
-  /// the plain scalar loop.
+  /// seed. Implemented as MakePlan(eps) + one plan pass, which hoists the
+  /// eps-dependent constants out of the per-value loop; callers running
+  /// many batches at one eps should MakePlan() once and use PerturbSpan()
+  /// to also hoist the plan construction.
   ///
   /// REQUIRES: ValidateBudget(eps).ok(); inputs are clamped like Perturb().
-  virtual void PerturbBatch(std::span<const double> ts, double eps, Rng* rng,
-                            std::span<double> out) const;
+  void PerturbBatch(std::span<const double> ts, double eps, Rng* rng,
+                    std::span<double> out) const;
 
   /// \brief Conditional moments of t* given t at budget eps.
   ///

@@ -61,27 +61,13 @@ double PiecewiseMechanism::Perturb(double t, double eps, Rng* rng) const {
   return u < left_len ? -q + u : r + (u - left_len);
 }
 
-void PiecewiseMechanism::PerturbBatch(std::span<const double> ts, double eps,
-                                      Rng* rng, std::span<double> out) const {
+SamplerPlan PiecewiseMechanism::MakePlan(double eps) const {
   assert(ValidateBudget(eps).ok());
   // Same expressions as Perturb(), with the eps-only terms (two exp and
-  // two expm1 evaluations per value) hoisted out of the loop; outputs stay
+  // two expm1 evaluations per value) resolved once; outputs stay
   // bit-identical to the scalar path.
   const double s = std::exp(0.5 * eps);
-  const double q = OutputBound(eps);
-  const double band_mass = s / (s + 1.0);
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    const double t = Clamp(ts[i], -1.0, 1.0);
-    const double l = 0.5 * (q + 1.0) * t - 0.5 * (q - 1.0);
-    const double r = l + q - 1.0;
-    if (rng->Bernoulli(band_mass)) {
-      out[i] = rng->Uniform(l, r);
-      continue;
-    }
-    const double left_len = l + q;
-    const double u = rng->Uniform(0.0, q + 1.0);
-    out[i] = u < left_len ? -q + u : r + (u - left_len);
-  }
+  return PiecewisePlan{OutputBound(eps), s / (s + 1.0)};
 }
 
 Result<ConditionalMoments> PiecewiseMechanism::Moments(double t,

@@ -1,0 +1,13 @@
+#include "mech/plan.h"
+
+#include "mech/mechanism.h"
+
+namespace hdldp {
+namespace mech {
+
+double GenericPlan::operator()(double t, Rng* rng) const {
+  return mechanism->Perturb(t, eps, rng);
+}
+
+}  // namespace mech
+}  // namespace hdldp

@@ -1,0 +1,260 @@
+// Prepared sampler plans: the eps-resolved form of a Mechanism.
+//
+// A plan holds every eps-only constant of one mechanism's Perturb() —
+// exp/expm1 terms, band masses, output bounds, mixture weights — computed
+// once (Mechanism::MakePlan) instead of once per value or per batch call.
+// SamplerPlan is a std::variant over the concrete per-mechanism plan
+// structs, so a perturbation loop is a single std::visit whose per-value
+// bodies are non-virtual and fully inlinable.
+//
+// Contract (checked by tests/test_plan.cc for every registered mechanism):
+// each plan's operator() performs exactly the arithmetic of the matching
+// Mechanism::Perturb() at the prepared eps, drawing from the Rng in the
+// same order, so scalar, batched and planned ingestion paths produce
+// bit-identical outputs under a fixed seed.
+
+#ifndef HDLDP_MECH_PLAN_H_
+#define HDLDP_MECH_PLAN_H_
+
+#include <algorithm>
+#include <span>
+#include <variant>
+
+#include "common/math.h"
+#include "common/rng.h"
+
+namespace hdldp {
+namespace mech {
+
+class Mechanism;
+
+// Implementation note on the plan bodies below: they are written to
+// compile branch-free. Ternary selects become two-element array indexing
+// (GCC keeps data-dependent ternaries as jumps otherwise) and clamps use
+// std::min/std::max (minsd/maxsd), because the selects here hinge on
+// ~50% random coins where a predicted-branch form eats a misprediction
+// every other value — measured at ~3x the whole body's cost for
+// Piecewise. Where both arms of a scalar branch consume exactly one RNG
+// draw, the draw is hoisted out of the select so the stream position
+// never depends on the outcome. All forms are value-identical (not just
+// distribution-identical) to the scalar Perturb() expressions.
+
+/// \brief Duchi et al.: biased coin between the two output atoms +-B(eps).
+struct DuchiPlan {
+  /// Output magnitude B(eps).
+  double magnitude = 0.0;
+  /// expm1(eps), the numerator factor of ProbPositive().
+  double expm1_eps = 0.0;
+  /// 2 (e^eps + 1), the denominator of ProbPositive().
+  double prob_denom = 1.0;
+
+  double operator()(double t, Rng* rng) const {
+    t = std::min(std::max(t, -1.0), 1.0);
+    const double p = 0.5 + t * expm1_eps / prob_denom;
+    if (p <= 0.0 || p >= 1.0) {
+      // Bernoulli(p)'s no-draw shortcuts: reachable at extreme budgets
+      // (eps ~ 40 rounds ProbPositive to 0/1 at |t| near 1). Constant
+      // direction per (eps, t) regime, so the branch predicts perfectly
+      // and the interior case below stays branch-free.
+      return p >= 1.0 ? magnitude : -magnitude;
+    }
+    const double sel[2] = {-magnitude, magnitude};
+    return sel[rng->UniformDouble() < p];
+  }
+};
+
+/// \brief Laplace: t plus Lap(2/eps) noise.
+struct LaplacePlan {
+  /// Noise scale 2 / eps.
+  double scale = 1.0;
+
+  double operator()(double t, Rng* rng) const {
+    return std::min(std::max(t, -1.0), 1.0) + rng->Laplace(scale);
+  }
+};
+
+/// \brief Piecewise: high-probability band inside [-Q, Q].
+struct PiecewisePlan {
+  /// Output bound Q(eps).
+  double bound = 0.0;
+  /// Mass s / (s + 1) of the band [l(t), r(t)], s = e^{eps/2}.
+  double band_mass = 0.0;
+
+  double operator()(double t, Rng* rng) const {
+    t = std::min(std::max(t, -1.0), 1.0);
+    const double l = 0.5 * (bound + 1.0) * t - 0.5 * (bound - 1.0);
+    const double r = l + bound - 1.0;
+    if (band_mass >= 1.0) {
+      // s/(s+1) rounds to 1.0 for eps >= ~75: Bernoulli(1) takes the
+      // band arm without drawing. Plan-constant condition — predicted
+      // perfectly, never taken at realistic budgets.
+      return l + (r - l) * rng->UniformDouble();
+    }
+    // band_mass lies inside (0, 1) and both arms of the band test consume
+    // exactly one further draw, so the test and the position draw happen
+    // unconditionally (same stream order as Perturb()) and the arms
+    // reproduce Rng::Uniform's expression operation for operation.
+    const bool in_band = rng->UniformDouble() < band_mass;
+    const double u01 = rng->UniformDouble();
+    const double band_val = l + (r - l) * u01;         // Uniform(l, r).
+    const double tail_u = (bound + 1.0) * u01;         // Uniform(0, Q + 1).
+    const double left_len = l + bound;
+    const double tail_sel[2] = {r + (tail_u - left_len), -bound + tail_u};
+    const double sel[2] = {tail_sel[tail_u < left_len], band_val};
+    return sel[in_band];
+  }
+};
+
+/// \brief Square wave: uniform window [t - b, t + b] vs uniform remainder.
+struct SquareWavePlan {
+  /// Window half-width b(eps).
+  double half_width = 0.0;
+  /// Mass 2 b e^eps / (2 b e^eps + 1) of the window.
+  double window_mass = 0.0;
+
+  double operator()(double t, Rng* rng) const {
+    t = std::min(std::max(t, 0.0), 1.0);
+    // Like PiecewisePlan: window_mass is strictly inside (0, 1) and both
+    // arms consume exactly one further draw, so draw unconditionally and
+    // select. The window arm replicates Rng::Uniform(t - b, t + b)
+    // operation for operation.
+    const bool in_window = rng->UniformDouble() < window_mass;
+    const double u = rng->UniformDouble();
+    const double lo = t - half_width;
+    const double hi = t + half_width;
+    const double window_val = lo + (hi - lo) * u;
+    const double tail_sel[2] = {hi + (u - t), -half_width + u};
+    const double sel[2] = {tail_sel[u < t], window_val};
+    return sel[in_window];
+  }
+};
+
+/// \brief Staircase: geometric band index, inner/outer sub-band split.
+struct StaircasePlan {
+  /// Step width Delta.
+  double delta = 2.0;
+  /// Inner sub-band fraction gamma(eps).
+  double gamma = 0.5;
+  /// Success probability 1 - e^{-eps} of the band-index geometric.
+  double geom_p = 0.5;
+  /// P(inner sub-band | band) = gamma / (gamma + q (1 - gamma)).
+  double inner_prob = 0.5;
+
+  double operator()(double t, Rng* rng) const {
+    t = std::min(std::max(t, -1.0), 1.0);
+    const auto k = static_cast<double>(rng->Geometric(geom_p));
+    const double inner_lo = k * delta;
+    const double inner_hi = (k + gamma) * delta;
+    const double outer_hi = (k + 1.0) * delta;
+    double magnitude;
+    if (inner_prob >= 1.0 || inner_prob <= 0.0) {
+      // Bernoulli's no-draw shortcuts (inner_prob rounds to 1.0 for
+      // eps >= ~80, to 0.0 if gamma underflows). Plan-constant
+      // condition — predicted perfectly.
+      magnitude = inner_prob >= 1.0
+                      ? inner_lo + (inner_hi - inner_lo) * rng->UniformDouble()
+                      : inner_hi + (outer_hi - inner_hi) * rng->UniformDouble();
+    } else {
+      // inner_prob lies inside (0, 1) and both sub-band arms consume
+      // exactly one draw: draw unconditionally, select arithmetically.
+      // The arms replicate Rng::Uniform's expressions operation for
+      // operation.
+      const bool inner = rng->UniformDouble() < inner_prob;
+      const double u = rng->UniformDouble();
+      const double mag_sel[2] = {inner_hi + (outer_hi - inner_hi) * u,
+                                 inner_lo + (inner_hi - inner_lo) * u};
+      magnitude = mag_sel[inner];
+    }
+    const double noise_sel[2] = {-magnitude, magnitude};
+    return t + noise_sel[rng->UniformDouble() < 0.5];
+  }
+};
+
+/// \brief SCDF: central plateau vs geometric side band.
+struct ScdfPlan {
+  /// Band width Delta.
+  double delta = 2.0;
+  /// Mass (1 - q) / (1 + q) of the central plateau, q = e^{-eps}.
+  double plateau_mass = 0.5;
+  /// Success probability 1 - q of the side-band geometric.
+  double geom_p = 0.5;
+
+  double operator()(double t, Rng* rng) const {
+    t = std::min(std::max(t, -1.0), 1.0);
+    // The two arms consume different draw counts (1 vs 3), so the
+    // plateau test stays a branch — a cheap one: plateau_mass ~ eps/2 at
+    // the tiny budgets of high-d runs, so it is strongly predictable.
+    double noise;
+    if (rng->Bernoulli(plateau_mass)) {
+      noise = rng->Uniform(-0.5 * delta, 0.5 * delta);
+    } else {
+      const auto k = static_cast<double>(1 + rng->Geometric(geom_p));
+      const double magnitude =
+          rng->Uniform((k - 0.5) * delta, (k + 0.5) * delta);
+      const double noise_sel[2] = {-magnitude, magnitude};
+      noise = noise_sel[rng->UniformDouble() < 0.5];
+    }
+    return t + noise;
+  }
+};
+
+/// \brief Hybrid: alpha-mixture of the Piecewise and Duchi plans. The
+/// nested plans re-clamp t, matching the scalar mixture's component calls
+/// value-for-value.
+struct HybridPlan {
+  /// Mixture weight alpha(eps) on the Piecewise component.
+  double alpha = 0.0;
+  PiecewisePlan piecewise;
+  DuchiPlan duchi;
+
+  double operator()(double t, Rng* rng) const {
+    t = std::min(std::max(t, -1.0), 1.0);
+    // The components consume different draw counts (2 vs 1), so the
+    // mixture coin has to stay a branch; the component bodies themselves
+    // are the branch-free plans above.
+    if (rng->Bernoulli(alpha)) {
+      return piecewise(t, rng);
+    }
+    return duchi(t, rng);
+  }
+};
+
+/// \brief Fallback for mechanisms without a specialized plan: defers to
+/// the virtual Perturb() per value. Correct for any mechanism, but pays
+/// the per-value dispatch the concrete plans exist to avoid.
+struct GenericPlan {
+  const Mechanism* mechanism = nullptr;
+  double eps = 1.0;
+
+  double operator()(double t, Rng* rng) const;
+};
+
+/// \brief A prepared sampler: one mechanism at one eps, constants resolved.
+using SamplerPlan =
+    std::variant<DuchiPlan, LaplacePlan, PiecewisePlan, SquareWavePlan,
+                 StaircasePlan, ScdfPlan, HybridPlan, GenericPlan>;
+
+/// \brief One draw from a prepared plan (native input -> native output).
+inline double PerturbOne(const SamplerPlan& plan, double t, Rng* rng) {
+  return std::visit([&](const auto& p) { return p(t, rng); }, plan);
+}
+
+/// \brief Perturbs `ts.size()` inputs through one std::visit: the variant
+/// is resolved once per span and the per-value plan bodies inline into the
+/// loop. Draws from `rng` in scalar Perturb() order; `out` must hold at
+/// least ts.size() entries.
+inline void PerturbSpan(const SamplerPlan& plan, std::span<const double> ts,
+                        Rng* rng, std::span<double> out) {
+  std::visit(
+      [&](const auto& p) {
+        for (std::size_t i = 0; i < ts.size(); ++i) {
+          out[i] = p(ts[i], rng);
+        }
+      },
+      plan);
+}
+
+}  // namespace mech
+}  // namespace hdldp
+
+#endif  // HDLDP_MECH_PLAN_H_

@@ -41,27 +41,12 @@ double ScdfMechanism::Perturb(double t, double eps, Rng* rng) const {
   return t + noise;
 }
 
-void ScdfMechanism::PerturbBatch(std::span<const double> ts, double eps,
-                                 Rng* rng, std::span<double> out) const {
+SamplerPlan ScdfMechanism::MakePlan(double eps) const {
   assert(ValidateBudget(eps).ok());
-  // q and the plateau mass depend only on eps; hoisted, bit-identical to
-  // the scalar path.
+  // q and the plateau mass depend only on eps; resolved once,
+  // bit-identical to the scalar path.
   const double q = std::exp(-eps);
-  const double plateau_mass = (1.0 - q) / (1.0 + q);
-  const double geom_p = 1.0 - q;
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    const double t = Clamp(ts[i], -1.0, 1.0);
-    double noise;
-    if (rng->Bernoulli(plateau_mass)) {
-      noise = rng->Uniform(-0.5 * kDelta, 0.5 * kDelta);
-    } else {
-      const auto k = static_cast<double>(1 + rng->Geometric(geom_p));
-      const double magnitude =
-          rng->Uniform((k - 0.5) * kDelta, (k + 0.5) * kDelta);
-      noise = rng->Bernoulli(0.5) ? magnitude : -magnitude;
-    }
-    out[i] = t + noise;
-  }
+  return ScdfPlan{kDelta, (1.0 - q) / (1.0 + q), 1.0 - q};
 }
 
 Result<ConditionalMoments> ScdfMechanism::Moments(double t, double eps) const {

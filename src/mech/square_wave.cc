@@ -56,24 +56,14 @@ double SquareWaveMechanism::Perturb(double t, double eps, Rng* rng) const {
   return u < t ? -b + u : (t + b) + (u - t);
 }
 
-void SquareWaveMechanism::PerturbBatch(std::span<const double> ts, double eps,
-                                       Rng* rng, std::span<double> out) const {
+SamplerPlan SquareWaveMechanism::MakePlan(double eps) const {
   assert(ValidateBudget(eps).ok());
-  // b(eps), e^eps and the window mass depend only on eps; hoisting them
-  // removes three exp/expm1 evaluations per value while keeping outputs
-  // bit-identical to the scalar path.
+  // b(eps), e^eps and the window mass depend only on eps; resolving them
+  // once removes three exp/expm1 evaluations per value while keeping
+  // outputs bit-identical to the scalar path.
   const double b = HalfWidth(eps);
   const double e = std::exp(eps);
-  const double window_mass = 2.0 * b * e / (2.0 * b * e + 1.0);
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    const double t = Clamp(ts[i], 0.0, 1.0);
-    if (rng->Bernoulli(window_mass)) {
-      out[i] = rng->Uniform(t - b, t + b);
-      continue;
-    }
-    const double u = rng->UniformDouble();
-    out[i] = u < t ? -b + u : (t + b) + (u - t);
-  }
+  return SquareWavePlan{b, 2.0 * b * e / (2.0 * b * e + 1.0)};
 }
 
 Result<ConditionalMoments> SquareWaveMechanism::Moments(double t,

@@ -57,29 +57,16 @@ double StaircaseMechanism::Perturb(double t, double eps, Rng* rng) const {
   return t + noise;
 }
 
-void StaircaseMechanism::PerturbBatch(std::span<const double> ts, double eps,
-                                      Rng* rng, std::span<double> out) const {
+SamplerPlan StaircaseMechanism::MakePlan(double eps) const {
   assert(ValidateBudget(eps).ok());
-  // q, gamma and the inner/outer band split depend only on eps; hoisted,
-  // bit-identical to the scalar path.
+  // q, gamma and the inner/outer band split depend only on eps; resolved
+  // once, bit-identical to the scalar path.
   const double q = std::exp(-eps);
   const double gamma = GammaAt(eps);
-  const double geom_p = 1.0 - q;
   const double inner_mass = gamma;
   const double outer_mass = q * (1.0 - gamma);
-  const double inner_prob = inner_mass / (inner_mass + outer_mass);
-  for (std::size_t i = 0; i < ts.size(); ++i) {
-    const double t = Clamp(ts[i], -1.0, 1.0);
-    const auto k = static_cast<double>(rng->Geometric(geom_p));
-    double magnitude;
-    if (rng->Bernoulli(inner_prob)) {
-      magnitude = rng->Uniform(k * kDelta, (k + gamma) * kDelta);
-    } else {
-      magnitude = rng->Uniform((k + gamma) * kDelta, (k + 1.0) * kDelta);
-    }
-    const double noise = rng->Bernoulli(0.5) ? magnitude : -magnitude;
-    out[i] = t + noise;
-  }
+  return StaircasePlan{kDelta, gamma, 1.0 - q,
+                       inner_mass / (inner_mass + outer_mass)};
 }
 
 Result<ConditionalMoments> StaircaseMechanism::Moments(double t,

@@ -54,6 +54,14 @@ class MeanAggregator {
     return ConsumeBatch(batch.dimensions, batch.values);
   }
 
+  /// \brief Folds complete user rows: `values` holds whole perturbed
+  /// tuples back to back (size a multiple of d, entry k belonging to
+  /// dimension k % d), as produced by Client::ReportDense. Per-dimension
+  /// accumulation order equals the scalar Consume() order, so estimates
+  /// are bit-identical; no per-entry dimension index or bounds check is
+  /// paid.
+  Status ConsumeDense(std::span<const double> values);
+
   /// \brief Folds another aggregator's state in (parallel reduction).
   /// Both aggregators must have the same dimensionality; the bias
   /// correction of *this* aggregator is kept.

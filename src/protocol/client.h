@@ -66,12 +66,24 @@ class Client {
   /// reuse across blocks).
   ///
   /// Consumes `rng` in exactly the order of the equivalent sequence of
-  /// Report() calls and produces bit-identical values, but pays one
-  /// virtual Mechanism::PerturbBatch call per user instead of m virtual
-  /// Perturb calls, which lets mechanisms hoist their eps-dependent
-  /// constants out of the per-value loop.
+  /// Report() calls and produces bit-identical values, but runs on the
+  /// prepared sampler plan instead of per-value virtual Perturb calls, so
+  /// no eps-dependent constant is recomputed anywhere in the loop. When
+  /// every dimension is reported (m == d) the per-user dimension sampling
+  /// is skipped entirely (it is a no-draw identity in that regime).
   Status ReportBatch(std::span<const double> tuples, Rng* rng,
                      protocol::ReportBatch* batch) const;
+
+  /// \brief Densest batched variant, only valid when report_dims() ==
+  /// num_dims(): perturbs whole tuples in place of (dimension, value)
+  /// pairs. `out` must hold tuples.size() entries and receives, in (user,
+  /// dimension) order, the perturbed value of every dimension — entry
+  /// k corresponds to dimension k % d. Consumes `rng` exactly like the
+  /// equivalent Report() sequence (dimension sampling draws nothing when
+  /// m == d), so values are bit-identical to the scalar path. Feed the
+  /// result to MeanAggregator::ConsumeDense.
+  Status ReportDense(std::span<const double> tuples, Rng* rng,
+                     std::span<double> out) const;
 
   /// \brief Streaming variant: invokes `sink(dimension, perturbed_value)`
   /// for each of the m sampled dimensions without materializing a report.
@@ -96,6 +108,10 @@ class Client {
   std::size_t report_dims_;
   double per_dim_epsilon_;
   mech::DomainMap domain_map_;
+  // Prepared at construction; keeps every eps-only constant out of the
+  // reporting hot loops. (GenericPlan fallbacks reference *mechanism_,
+  // which the shared_ptr above keeps alive.)
+  mech::SamplerPlan plan_;
   // Reused sampling/gather buffers; Client is thread-compatible, not
   // thread-safe, matching the one-client-per-worker usage of the pipeline.
   mutable std::vector<std::uint32_t> scratch_dims_;

@@ -1,10 +1,10 @@
 #include "protocol/pipeline.h"
 
 #include <algorithm>
-#include <thread>
 #include <vector>
 
 #include "common/math.h"
+#include "common/thread_pool.h"
 #include "protocol/aggregator.h"
 #include "protocol/metrics.h"
 
@@ -13,33 +13,56 @@ namespace protocol {
 
 namespace {
 
-// Users per ReportBatch/ConsumeBatch block in the simulation loop: large
+// Users per ReportBatch/ReportDense block in the simulation loop: large
 // enough to amortize per-block overhead, small enough to keep the batch
 // buffer in cache even at high dimensionality.
 constexpr std::size_t kBatchUsers = 64;
 
-// Simulates users [begin, end) into `aggregator` with an independent
-// stream derived from (seed, worker). Runs the batched ingestion path,
-// which is bit-identical to per-report ReportTo/Consume under the same
-// stream (see Client::ReportBatch) but amortizes virtual dispatch and
-// aggregator bookkeeping over blocks of kBatchUsers users.
-Status SimulateRange(const data::Dataset& dataset,
-                     mech::MechanismPtr mechanism,
-                     const ClientOptions& client_options, std::uint64_t seed,
-                     std::size_t worker, std::size_t begin, std::size_t end,
-                     MeanAggregator* aggregator) {
-  HDLDP_ASSIGN_OR_RETURN(
-      const Client client,
-      Client::Create(std::move(mechanism), dataset.num_dims(),
-                     client_options));
-  std::uint64_t mix = seed + 0x9e3779b97f4a7c15ULL * (worker + 1);
-  Rng rng(SplitMix64(&mix));
+// Users per chunk. A chunk is the unit of determinism AND of scheduling:
+// chunk c always covers users [c * kUsersPerChunk, ...), always draws
+// from the stream derived from (seed, c), and always reduces into the
+// global aggregator in chunk order — so estimates depend only on (data,
+// seed), never on how many workers happened to execute the chunks.
+constexpr std::size_t kUsersPerChunk = 4096;
+
+// Independent stream of chunk `chunk` under `seed`.
+std::uint64_t ChunkSeed(std::uint64_t seed, std::size_t chunk) {
+  std::uint64_t mix =
+      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(chunk) + 1);
+  return SplitMix64(&mix);
+}
+
+// Simulates users [begin, end) into `aggregator` with the chunk's own
+// stream. `client` is the one validated instance built by
+// RunMeanEstimation; it is copied here (a cheap value copy — shared
+// mechanism pointer, prepared plan, empty scratch) rather than re-running
+// Client::Create's validation per chunk. When every dimension is reported
+// the dense path (ReportDense + ConsumeDense) skips dimension sampling
+// and per-entry index bookkeeping entirely.
+Status SimulateChunk(const data::Dataset& dataset, const Client& client,
+                     std::uint64_t seed, std::size_t chunk, std::size_t begin,
+                     std::size_t end, MeanAggregator* aggregator) {
+  Rng rng(ChunkSeed(seed, chunk));
+  if (client.report_dims() == dataset.num_dims()) {
+    std::vector<double> dense(
+        std::min(kBatchUsers, end - begin) * dataset.num_dims());
+    for (std::size_t i = begin; i < end; i += kBatchUsers) {
+      const std::size_t block = std::min(kBatchUsers, end - i);
+      const std::span<double> out =
+          std::span<double>(dense).first(block * dataset.num_dims());
+      HDLDP_RETURN_NOT_OK(client.ReportDense(dataset.Rows(i, block), &rng,
+                                             out));
+      HDLDP_RETURN_NOT_OK(aggregator->ConsumeDense(out));
+    }
+    return Status::OK();
+  }
+  const Client local = client;  // Own scratch buffers for this chunk.
   ReportBatch batch;
   for (std::size_t i = begin; i < end; i += kBatchUsers) {
     const std::size_t block = std::min(kBatchUsers, end - i);
     batch.Clear();
-    HDLDP_RETURN_NOT_OK(client.ReportBatch(dataset.Rows(i, block), &rng,
-                                           &batch));
+    HDLDP_RETURN_NOT_OK(local.ReportBatch(dataset.Rows(i, block), &rng,
+                                          &batch));
     HDLDP_RETURN_NOT_OK(aggregator->ConsumeBatch(batch));
   }
   return Status::OK();
@@ -55,46 +78,39 @@ Result<MeanEstimationResult> RunMeanEstimation(const data::Dataset& dataset,
   client_options.report_dims = options.report_dims;
   HDLDP_ASSIGN_OR_RETURN(
       const Client client,
-      Client::Create(mechanism, dataset.num_dims(), client_options));
+      Client::Create(std::move(mechanism), dataset.num_dims(),
+                     client_options));
   HDLDP_ASSIGN_OR_RETURN(
       MeanAggregator aggregator,
       MeanAggregator::Create(dataset.num_dims(), client.domain_map()));
 
-  const std::size_t workers =
-      std::max<std::size_t>(1, std::min(options.num_threads,
-                                        dataset.num_users()));
-  if (workers == 1) {
-    HDLDP_RETURN_NOT_OK(SimulateRange(dataset, mechanism, client_options,
-                                      options.seed, /*worker=*/0, 0,
-                                      dataset.num_users(), &aggregator));
-  } else {
-    std::vector<MeanAggregator> locals;
-    std::vector<Status> statuses(workers);
-    locals.reserve(workers);
-    for (std::size_t w = 0; w < workers; ++w) {
-      HDLDP_ASSIGN_OR_RETURN(
-          MeanAggregator local,
-          MeanAggregator::Create(dataset.num_dims(), client.domain_map()));
-      locals.push_back(std::move(local));
-    }
-    {
-      std::vector<std::thread> threads;
-      threads.reserve(workers);
-      for (std::size_t w = 0; w < workers; ++w) {
-        const std::size_t begin = w * dataset.num_users() / workers;
-        const std::size_t end = (w + 1) * dataset.num_users() / workers;
-        threads.emplace_back([&, w, begin, end] {
-          statuses[w] =
-              SimulateRange(dataset, mechanism, client_options, options.seed,
-                            w, begin, end, &locals[w]);
-        });
-      }
-      for (auto& thread : threads) thread.join();
-    }
-    for (std::size_t w = 0; w < workers; ++w) {
-      HDLDP_RETURN_NOT_OK(statuses[w]);
-      HDLDP_RETURN_NOT_OK(aggregator.Merge(locals[w]));
-    }
+  const std::size_t num_chunks =
+      (dataset.num_users() + kUsersPerChunk - 1) / kUsersPerChunk;
+  std::vector<MeanAggregator> locals;
+  std::vector<Status> statuses(num_chunks);
+  locals.reserve(num_chunks);
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    HDLDP_ASSIGN_OR_RETURN(
+        MeanAggregator local,
+        MeanAggregator::Create(dataset.num_dims(), client.domain_map()));
+    locals.push_back(std::move(local));
+  }
+  const std::size_t workers = std::max<std::size_t>(1, options.num_threads);
+  ThreadPool::Shared().ParallelFor(
+      0, num_chunks,
+      [&](std::size_t c) {
+        const std::size_t begin = c * kUsersPerChunk;
+        const std::size_t end =
+            std::min(dataset.num_users(), begin + kUsersPerChunk);
+        statuses[c] = SimulateChunk(dataset, client, options.seed, c, begin,
+                                    end, &locals[c]);
+      },
+      workers);
+  // Reduce in chunk order: with each chunk's stream fixed by (seed, c),
+  // this makes the estimate identical for every num_threads value.
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    HDLDP_RETURN_NOT_OK(statuses[c]);
+    HDLDP_RETURN_NOT_OK(aggregator.Merge(locals[c]));
   }
 
   MeanEstimationResult result;
@@ -125,13 +141,20 @@ Result<SingleDimensionResult> RunSingleDimension(
   HDLDP_ASSIGN_OR_RETURN(
       const mech::DomainMap map,
       mech::DomainMap::Between(data_domain, mechanism.InputDomain()));
+  // One prepared plan for the whole pass; one visit resolves the variant
+  // outside the per-user loop.
+  const mech::SamplerPlan plan = mechanism.MakePlan(per_dim_epsilon);
   NeumaierSum sum;
   std::int64_t count = 0;
-  for (const double t : values) {
-    if (!rng->Bernoulli(inclusion_prob)) continue;
-    sum.Add(mechanism.Perturb(map.Forward(t), per_dim_epsilon, rng));
-    ++count;
-  }
+  std::visit(
+      [&](const auto& p) {
+        for (const double t : values) {
+          if (!rng->Bernoulli(inclusion_prob)) continue;
+          sum.Add(p(map.Forward(t), rng));
+          ++count;
+        }
+      },
+      plan);
   SingleDimensionResult result;
   result.report_count = count;
   result.estimated_mean =

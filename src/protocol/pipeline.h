@@ -30,13 +30,15 @@ struct PipelineOptions {
   double total_epsilon = 1.0;
   /// Dimensions reported per user (m); 0 means all d.
   std::size_t report_dims = 0;
-  /// Seed of the run; identical (seed, num_threads) pairs reproduce
-  /// identical estimates.
+  /// Seed of the run. Estimates are a pure function of (dataset, options
+  /// minus num_threads): the simulation is decomposed into fixed-size
+  /// user chunks whose streams derive from (seed, chunk_index) and whose
+  /// partial aggregates reduce in chunk order, so the result is identical
+  /// for every num_threads value.
   std::uint64_t seed = 1;
-  /// Worker threads simulating disjoint user ranges. 1 = serial. Each
-  /// worker draws from an independent stream forked from `seed`, so
-  /// results differ across thread counts but are deterministic for a
-  /// fixed count.
+  /// Maximum worker threads simulating chunks concurrently (on the shared
+  /// ThreadPool). 1 = serial. Affects wall-clock time only, never the
+  /// estimate.
   std::size_t num_threads = 1;
 };
 

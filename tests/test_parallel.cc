@@ -64,25 +64,49 @@ TEST_F(ParallelPipelineTest, DeterministicForFixedThreadCount) {
   EXPECT_EQ(a.report_counts, b.report_counts);
 }
 
-TEST_F(ParallelPipelineTest, StatisticallyMatchesSerial) {
+TEST_F(ParallelPipelineTest, BitIdenticalForAnyThreadCount) {
+  // Streams derive from (seed, chunk_index) and partial aggregates merge
+  // in chunk order, so the estimate is a pure function of (data, seed):
+  // every num_threads value must reproduce the serial result bit for bit.
   PipelineOptions serial;
   serial.total_epsilon = 4.0;
   serial.report_dims = 4;
   serial.seed = 5;
-  PipelineOptions parallel = serial;
-  parallel.num_threads = 3;
   const auto mech = mech::MakeMechanism("laplace").value();
   const auto s = RunMeanEstimation(*dataset_, mech, serial).value();
-  const auto p = RunMeanEstimation(*dataset_, mech, parallel).value();
-  // Different streams, same estimator: both near truth, comparable error.
+  for (const std::size_t threads : {2u, 3u, 8u, 64u}) {
+    PipelineOptions parallel = serial;
+    parallel.num_threads = threads;
+    const auto p = RunMeanEstimation(*dataset_, mech, parallel).value();
+    EXPECT_EQ(s.estimated_mean, p.estimated_mean) << threads;
+    EXPECT_EQ(s.report_counts, p.report_counts) << threads;
+    EXPECT_EQ(s.mse, p.mse) << threads;
+  }
   for (std::size_t j = 0; j < dataset_->num_dims(); ++j) {
-    EXPECT_NEAR(p.estimated_mean[j], s.true_mean[j], 0.2) << j;
+    EXPECT_NEAR(s.estimated_mean[j], s.true_mean[j], 0.2) << j;
   }
   std::int64_t total = 0;
-  for (const auto r : p.report_counts) total += r;
+  for (const auto r : s.report_counts) total += r;
   EXPECT_EQ(total, 30000 * 4);
-  EXPECT_LT(p.mse, 0.02);
   EXPECT_LT(s.mse, 0.02);
+}
+
+TEST_F(ParallelPipelineTest, DenseAllDimsPathInvariantToThreadCount) {
+  // report_dims = 0 (all d) exercises the ReportDense/ConsumeDense fast
+  // path; it must hold the same thread-count invariance.
+  PipelineOptions serial;
+  serial.total_epsilon = 8.0;
+  serial.seed = 12;
+  const auto mech = mech::MakeMechanism("square_wave").value();
+  const auto s = RunMeanEstimation(*dataset_, mech, serial).value();
+  PipelineOptions parallel = serial;
+  parallel.num_threads = 5;
+  const auto p = RunMeanEstimation(*dataset_, mech, parallel).value();
+  EXPECT_EQ(s.estimated_mean, p.estimated_mean);
+  EXPECT_EQ(s.report_counts, p.report_counts);
+  std::int64_t total = 0;
+  for (const auto r : s.report_counts) total += r;
+  EXPECT_EQ(total, 30000 * 8);
 }
 
 TEST_F(ParallelPipelineTest, ThreadCountsBeyondUsersClamp) {
