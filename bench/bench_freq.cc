@@ -22,6 +22,48 @@ namespace {
 constexpr std::size_t kPaperUsers = 100000;
 constexpr std::size_t kDims = 20;  // Categorical dimensions.
 
+// One JSON row per (cardinality, mechanism, eps) cell for the
+// HDLDP_BENCH_JSON record (mirrors the BENCH_micro.json CI artifact).
+struct JsonRow {
+  std::size_t cardinality = 0;
+  std::string mechanism;
+  double eps = 0.0;
+  double seconds = 0.0;
+  double mse_raw = 0.0;
+  double mse_recalibrated = 0.0;
+};
+
+std::vector<JsonRow>& JsonRows() {
+  static std::vector<JsonRow> rows;
+  return rows;
+}
+
+void WriteJson(const char* path, double total_seconds, std::size_t users,
+               std::size_t repeats) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_freq: cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"benchmark\": \"bench_freq\",\n"
+               "  \"users\": %zu,\n  \"repeats\": %zu,\n"
+               "  \"wall_seconds\": %.6f,\n  \"cells\": [\n",
+               users, repeats, total_seconds);
+  const auto& rows = JsonRows();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"cardinality\": %zu, \"mechanism\": \"%s\", "
+                 "\"eps\": %g, \"seconds\": %.6f, \"mse_raw\": %.6g, "
+                 "\"mse_recalibrated\": %.6g}%s\n",
+                 rows[i].cardinality, rows[i].mechanism.c_str(), rows[i].eps,
+                 rows[i].seconds, rows[i].mse_raw, rows[i].mse_recalibrated,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
 void RunCardinality(std::size_t users, std::size_t cardinality,
                     std::size_t repeats) {
   const auto schema = hdldp::freq::CategoricalSchema::Create(
@@ -39,7 +81,11 @@ void RunCardinality(std::size_t users, std::size_t cardinality,
     for (const double eps : {0.5, 1.0, 2.0}) {
       double raw = 0.0;
       double recal = 0.0;
-      // Trial-parallel repeats, reduced in trial order.
+      const hdldp::bench::Stopwatch cell_watch;
+      // Trial-parallel repeats, reduced in trial order. Each trial also
+      // streams its chunks over the shared pool (the nesting-safe
+      // ParallelFor), so HDLDP_BENCH_THREADS bounds total concurrency
+      // without changing any estimate.
       hdldp::framework::ExperimentRunnerOptions runner_options;
       runner_options.seed = 0xF8E000 + cardinality +
                             static_cast<std::uint64_t>(eps * 1000.0);
@@ -51,6 +97,7 @@ void RunCardinality(std::size_t users, std::size_t cardinality,
             hdldp::freq::FrequencyOptions opts;
             opts.total_epsilon = eps;
             opts.seed = ctx.seed;
+            opts.num_threads = hdldp::bench::MaxWorkers();
             opts.clip_and_normalize = true;
             opts.hdr4me.regularizer = hdldp::hdr4me::Regularizer::kL1;
             const auto result =
@@ -69,6 +116,8 @@ void RunCardinality(std::size_t users, std::size_t cardinality,
       recal /= static_cast<double>(repeats);
       std::printf("%-12s %8g %14.5g %14.5g %9.2fx\n", mech_name, eps, raw,
                   recal, raw / recal);
+      JsonRows().push_back({cardinality, mech_name, eps, cell_watch.Seconds(),
+                            raw, recal});
     }
   }
   std::printf("\n");
@@ -82,8 +131,15 @@ int main() {
       "n=100,000 users, 20 categorical dims, Zipf(1.2) categories");
   const std::size_t users = hdldp::bench::ScaledUsers(kPaperUsers);
   const std::size_t repeats = hdldp::bench::Repeats();
+  const hdldp::bench::Stopwatch watch;
   for (const std::size_t cardinality : {4u, 16u}) {
     RunCardinality(users, cardinality, repeats);
+  }
+  const double total_seconds = watch.Seconds();
+  std::printf("end-to-end wall time: %.3f s\n", total_seconds);
+  // Machine-readable record (CI uploads it next to BENCH_micro.json).
+  if (const char* json_path = std::getenv("HDLDP_BENCH_JSON")) {
+    WriteJson(json_path, total_seconds, users, repeats);
   }
   return 0;
 }

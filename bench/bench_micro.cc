@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/rng_lanes.h"
 #include "framework/deviation_model.h"
 #include "framework/value_distribution.h"
 #include "hdr4me/recalibrate.h"
@@ -62,12 +63,47 @@ void BM_PerturbPlan(benchmark::State& state, const char* name, double eps) {
   state.SetItemsProcessed(state.iterations());
 }
 
+// Lane-parallel sampling throughput: the same prepared plan driven by
+// the 4-wide lane generator (v2 stream contract) over a resident span.
+// The ratio to BM_PerturbPlan is the per-mechanism lane speedup tracked
+// in BENCH_micro.json.
+void BM_PerturbLanes(benchmark::State& state, const char* name, double eps) {
+  const auto mechanism = hdldp::mech::MakeMechanism(name).value();
+  const hdldp::mech::SamplerPlan plan = mechanism->MakePlan(eps);
+  hdldp::RngLanes lanes(42);
+  constexpr std::size_t kSpan = 4096;
+  std::vector<double> ts(kSpan);
+  const double lo = mechanism->InputDomain().lo;
+  for (std::size_t i = 0; i < kSpan; ++i) {
+    const double t = -1.0 + 2.0 * static_cast<double>(i) / (kSpan - 1);
+    ts[i] = lo == 0.0 ? 0.5 * (t + 1.0) : t;
+  }
+  std::vector<double> out(kSpan);
+  for (auto _ : state) {
+    hdldp::mech::PerturbLanes(plan, ts, &lanes, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kSpan);
+}
+
 void BM_RngUniform(benchmark::State& state) {
   hdldp::Rng rng(1);
   for (auto _ : state) {
     benchmark::DoNotOptimize(rng.UniformDouble());
   }
   state.SetItemsProcessed(state.iterations());
+}
+
+void BM_RngUniformLanes(benchmark::State& state) {
+  hdldp::RngLanes lanes(1);
+  double u[hdldp::RngLanes::kLanes];
+  for (auto _ : state) {
+    lanes.UniformDoubleLanes(u);
+    benchmark::DoNotOptimize(u[0]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          hdldp::RngLanes::kLanes);
 }
 
 void BM_AggregatorConsume(benchmark::State& state) {
@@ -277,6 +313,41 @@ void BM_IngestPlan(benchmark::State& state, const char* name) {
                           kIngestUsers * kIngestDims);
 }
 
+void BM_IngestLanes(benchmark::State& state, const char* name) {
+  // The v2 lane ingestion path (what the frequency pipeline runs per
+  // chunk): one prepared plan, the whole block gathered through the
+  // domain map and perturbed as a single lane span, ConsumeDense folding
+  // complete rows. Pinned against BM_IngestPlan (the PR 2 plan path) for
+  // the per-mechanism lane speedup.
+  const auto mechanism = hdldp::mech::MakeMechanism(name).value();
+  hdldp::protocol::ClientOptions opts;
+  const auto client =
+      hdldp::protocol::Client::Create(mechanism, kIngestDims, opts).value();
+  const hdldp::mech::SamplerPlan plan =
+      mechanism->MakePlan(client.PerDimensionEpsilon());
+  const hdldp::mech::DomainMap& map = client.domain_map();
+  auto agg = hdldp::protocol::MeanAggregator::Create(kIngestDims,
+                                                     client.domain_map())
+                 .value();
+  const std::vector<double> tuples = IngestTuples();
+  hdldp::RngLanes lanes(11);
+  std::vector<double> natives(kIngestUsers * kIngestDims);
+  std::vector<double> perturbed(kIngestUsers * kIngestDims);
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < natives.size(); ++k) {
+      natives[k] = map.Forward(tuples[k]);
+    }
+    hdldp::mech::PerturbLanes(plan, natives, &lanes, perturbed);
+    if (!agg.ConsumeDense(perturbed).ok()) {
+      state.SkipWithError("lane ingestion failed");
+      return;
+    }
+  }
+  benchmark::DoNotOptimize(agg.EstimatedMean());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kIngestUsers * kIngestDims);
+}
+
 void BM_RecalibrateL1(benchmark::State& state) {
   const auto dims = static_cast<std::size_t>(state.range(0));
   hdldp::Rng rng(3);
@@ -324,20 +395,36 @@ BENCHMARK_CAPTURE(BM_PerturbPlan, laplace_eps001, "laplace", 0.01);
 BENCHMARK_CAPTURE(BM_PerturbPlan, piecewise_eps001, "piecewise", 0.01);
 BENCHMARK_CAPTURE(BM_PerturbPlan, square_wave_eps001, "square_wave", 0.01);
 BENCHMARK_CAPTURE(BM_PerturbPlan, hybrid_eps1, "hybrid", 1.0);
+BENCHMARK_CAPTURE(BM_PerturbPlan, staircase_eps1, "staircase", 1.0);
+BENCHMARK_CAPTURE(BM_PerturbPlan, scdf_eps1, "scdf", 1.0);
+BENCHMARK_CAPTURE(BM_PerturbLanes, laplace_eps001, "laplace", 0.01);
+BENCHMARK_CAPTURE(BM_PerturbLanes, piecewise_eps001, "piecewise", 0.01);
+BENCHMARK_CAPTURE(BM_PerturbLanes, square_wave_eps001, "square_wave", 0.01);
+BENCHMARK_CAPTURE(BM_PerturbLanes, hybrid_eps1, "hybrid", 1.0);
+BENCHMARK_CAPTURE(BM_PerturbLanes, staircase_eps1, "staircase", 1.0);
+BENCHMARK_CAPTURE(BM_PerturbLanes, scdf_eps1, "scdf", 1.0);
 BENCHMARK(BM_RngUniform);
+BENCHMARK(BM_RngUniformLanes);
 BENCHMARK(BM_AggregatorConsume)->Arg(100)->Arg(10000);
+BENCHMARK_CAPTURE(BM_IngestScalar, laplace, "laplace");
+BENCHMARK_CAPTURE(BM_IngestPlan, laplace, "laplace");
+BENCHMARK_CAPTURE(BM_IngestLanes, laplace, "laplace");
 BENCHMARK_CAPTURE(BM_IngestScalar, piecewise, "piecewise");
 BENCHMARK_CAPTURE(BM_IngestBatch, piecewise, "piecewise");
 BENCHMARK_CAPTURE(BM_IngestPlan, piecewise, "piecewise");
+BENCHMARK_CAPTURE(BM_IngestLanes, piecewise, "piecewise");
 BENCHMARK_CAPTURE(BM_IngestScalar, duchi, "duchi");
 BENCHMARK_CAPTURE(BM_IngestBatch, duchi, "duchi");
 BENCHMARK_CAPTURE(BM_IngestPlan, duchi, "duchi");
+BENCHMARK_CAPTURE(BM_IngestLanes, duchi, "duchi");
 BENCHMARK_CAPTURE(BM_IngestScalar, square_wave, "square_wave");
 BENCHMARK_CAPTURE(BM_IngestBatch, square_wave, "square_wave");
 BENCHMARK_CAPTURE(BM_IngestPlan, square_wave, "square_wave");
+BENCHMARK_CAPTURE(BM_IngestLanes, square_wave, "square_wave");
 BENCHMARK_CAPTURE(BM_IngestScalar, hybrid, "hybrid");
 BENCHMARK_CAPTURE(BM_IngestBatch, hybrid, "hybrid");
 BENCHMARK_CAPTURE(BM_IngestPlan, hybrid, "hybrid");
+BENCHMARK_CAPTURE(BM_IngestLanes, hybrid, "hybrid");
 BENCHMARK(BM_RecalibrateL1)->Arg(1000)->Arg(100000);
 BENCHMARK_CAPTURE(BM_ModelDeviation, piecewise, "piecewise");
 BENCHMARK_CAPTURE(BM_ModelDeviation, square_wave, "square_wave");

@@ -1,0 +1,304 @@
+// Deterministic 4-lane math for the lane sampling path.
+//
+// This header provides the building blocks the v2 lane samplers
+// (SeedScheme::kV2Lanes) are written in:
+//
+//   * Vec / Mask      one double (or predicate) per lane, with an
+//                     operation set restricted to exactly-rounded IEEE-754
+//                     arithmetic and pure bit manipulation;
+//   * LogVec          a lanewise natural log built only from those
+//                     operations (fdlibm e_log's reduction and minimax
+//                     series, ~1-2 ulp — sampling-grade accuracy);
+//   * LogScalar       the one-value reference implementation of the same
+//                     operation sequence, always compiled.
+//
+// SIMD builds (translation units compiled with AVX2, see the top-level
+// CMakeLists; suppressed by HDLDP_DISABLE_SIMD) back Vec with a __m256d
+// and AVX2 intrinsics; portable builds back it with double[4] loops.
+// Because every operation in the set is exactly rounded (add/sub/mul/div,
+// floor) or bit-exact (min/max, compare + blend, abs, negate), any
+// sampler body composed from them produces bit-identical lanes on every
+// build — tests/test_rng_lanes.cc pins the kernels, and the no-SIMD CI
+// job re-runs the same pinned streams on the portable backend.
+
+#ifndef HDLDP_COMMON_LANE_MATH_H_
+#define HDLDP_COMMON_LANE_MATH_H_
+
+#include <bit>
+#include <cstdint>
+#include <limits>
+
+#if defined(__AVX2__) && !defined(HDLDP_DISABLE_SIMD)
+#define HDLDP_SIMD_AVX2 1
+#include <immintrin.h>
+#else
+#define HDLDP_SIMD_AVX2 0
+#endif
+
+namespace hdldp {
+namespace lanes {
+
+/// Number of parallel lanes in every lane kernel.
+inline constexpr std::size_t kLanes = 4;
+
+// fdlibm e_log constants: ln2 split plus the minimax series for
+// log(1+f) - f + f^2/2 over |s| <= 0.1716, s = f/(2+f).
+inline constexpr double kLn2Hi = 6.93147180369123816490e-01;
+inline constexpr double kLn2Lo = 1.90821492927058770002e-10;
+inline constexpr double kLg1 = 6.666666666666735130e-01;
+inline constexpr double kLg2 = 3.999999999940941908e-01;
+inline constexpr double kLg3 = 2.857142874366239149e-01;
+inline constexpr double kLg4 = 2.222219843214978396e-01;
+inline constexpr double kLg5 = 1.818357216161805012e-01;
+inline constexpr double kLg6 = 1.531383769920937332e-01;
+inline constexpr double kLg7 = 1.479819860511658591e-01;
+// Mantissa field of sqrt(2): mantissas at or above it renormalize to the
+// [sqrt(2)/2, sqrt(2)) half-octave below.
+inline constexpr std::uint64_t kSqrt2Mantissa = 0x6A09E667F3BCDULL;
+inline constexpr std::uint64_t kMantissaMask = 0x000FFFFFFFFFFFFFULL;
+// Magic constant for exact small-non-negative-integer -> double moves.
+inline constexpr std::uint64_t kExpMagic = 0x4330000000000000ULL;
+inline constexpr double kTwo52 = 4503599627370496.0;
+
+/// \brief Scalar reference of the lane log: natural log of one normal
+/// positive double (w == 0 returns -inf). Callers guarantee w >= 0 and
+/// finite; hdldp's samplers feed w in [0, 1] on the 2^-52 uniform grid.
+inline double LogScalar(double w) {
+  const std::uint64_t ix = std::bit_cast<std::uint64_t>(w);
+  const std::uint64_t exp = ix >> 52;
+  const std::uint64_t man = ix & kMantissaMask;
+  // Renormalize to z in [sqrt(2)/2, sqrt(2)): mantissas >= sqrt(2)'s drop
+  // a half octave (adj = 1) so the series argument f stays small.
+  const std::uint64_t adj = man >= kSqrt2Mantissa ? 1u : 0u;
+  // exp + adj < 2^52, so the magic-constant move is exact and matches the
+  // vector body operation for operation.
+  const double kd =
+      std::bit_cast<double>((exp + adj) | kExpMagic) - kTwo52 - 1023.0;
+  const double z = std::bit_cast<double>(man | ((1023ULL - adj) << 52));
+  const double f = z - 1.0;
+  const double s = f / (2.0 + f);
+  const double zz = s * s;
+  const double w4 = zz * zz;
+  const double t1 = w4 * (kLg2 + w4 * (kLg4 + w4 * kLg6));
+  const double t2 = zz * (kLg1 + w4 * (kLg3 + w4 * (kLg5 + w4 * kLg7)));
+  const double r = t2 + t1;
+  const double hfsq = 0.5 * f * f;
+  const double result =
+      kd * kLn2Hi - ((hfsq - (s * (hfsq + r) + kd * kLn2Lo)) - f);
+  return w == 0.0 ? -std::numeric_limits<double>::infinity() : result;
+}
+
+// ---------------------------------------------------------------------------
+// Vec / Mask backends.
+// ---------------------------------------------------------------------------
+
+#if HDLDP_SIMD_AVX2
+
+struct Vec {
+  __m256d v;
+};
+struct Mask {
+  __m256d m;
+};
+
+inline Vec Broadcast(double x) { return {_mm256_set1_pd(x)}; }
+inline Vec Load(const double* p) { return {_mm256_loadu_pd(p)}; }
+inline void Store(double* p, Vec a) { _mm256_storeu_pd(p, a.v); }
+inline Vec operator+(Vec a, Vec b) { return {_mm256_add_pd(a.v, b.v)}; }
+inline Vec operator-(Vec a, Vec b) { return {_mm256_sub_pd(a.v, b.v)}; }
+inline Vec operator*(Vec a, Vec b) { return {_mm256_mul_pd(a.v, b.v)}; }
+inline Vec operator/(Vec a, Vec b) { return {_mm256_div_pd(a.v, b.v)}; }
+inline Vec Min(Vec a, Vec b) { return {_mm256_min_pd(a.v, b.v)}; }
+inline Vec Max(Vec a, Vec b) { return {_mm256_max_pd(a.v, b.v)}; }
+inline Mask Lt(Vec a, Vec b) { return {_mm256_cmp_pd(a.v, b.v, _CMP_LT_OQ)}; }
+/// m ? a : b, lanewise.
+inline Vec Select(Mask m, Vec a, Vec b) {
+  return {_mm256_blendv_pd(b.v, a.v, m.m)};
+}
+inline Vec Floor(Vec a) {
+  return {_mm256_round_pd(a.v, _MM_FROUND_TO_NEG_INF | _MM_FROUND_NO_EXC)};
+}
+inline Vec Abs(Vec a) {
+  return {_mm256_andnot_pd(_mm256_set1_pd(-0.0), a.v)};
+}
+inline Vec Neg(Vec a) { return {_mm256_xor_pd(a.v, _mm256_set1_pd(-0.0))}; }
+
+/// \brief Lanewise natural log; same operation sequence as LogScalar.
+inline Vec LogVec(Vec w) {
+  const __m256i ix = _mm256_castpd_si256(w.v);
+  const __m256i exp = _mm256_srli_epi64(ix, 52);
+  const __m256i man = _mm256_and_si256(
+      ix, _mm256_set1_epi64x(static_cast<long long>(kMantissaMask)));
+  // man >= kSqrt2Mantissa as a signed compare (both operands < 2^52);
+  // the mask is 0 or -1, so subtracting it adds adj.
+  const __m256i adj_mask = _mm256_cmpgt_epi64(
+      man, _mm256_set1_epi64x(static_cast<long long>(kSqrt2Mantissa - 1)));
+  const __m256i exp_adj = _mm256_sub_epi64(exp, adj_mask);
+  const __m256d kd = _mm256_sub_pd(
+      _mm256_sub_pd(
+          _mm256_castsi256_pd(_mm256_or_si256(
+              exp_adj, _mm256_set1_epi64x(static_cast<long long>(kExpMagic)))),
+          _mm256_set1_pd(kTwo52)),
+      _mm256_set1_pd(1023.0));
+  const __m256i zexp = _mm256_slli_epi64(
+      _mm256_add_epi64(_mm256_set1_epi64x(1023), adj_mask), 52);
+  const __m256d z = _mm256_castsi256_pd(_mm256_or_si256(man, zexp));
+  const __m256d f = _mm256_sub_pd(z, _mm256_set1_pd(1.0));
+  const __m256d s = _mm256_div_pd(f, _mm256_add_pd(_mm256_set1_pd(2.0), f));
+  const __m256d zz = _mm256_mul_pd(s, s);
+  const __m256d w4 = _mm256_mul_pd(zz, zz);
+  const __m256d t1 = _mm256_mul_pd(
+      w4,
+      _mm256_add_pd(
+          _mm256_set1_pd(kLg2),
+          _mm256_mul_pd(w4, _mm256_add_pd(_mm256_set1_pd(kLg4),
+                                          _mm256_mul_pd(
+                                              w4, _mm256_set1_pd(kLg6))))));
+  const __m256d t2 = _mm256_mul_pd(
+      zz,
+      _mm256_add_pd(
+          _mm256_set1_pd(kLg1),
+          _mm256_mul_pd(
+              w4,
+              _mm256_add_pd(
+                  _mm256_set1_pd(kLg3),
+                  _mm256_mul_pd(
+                      w4, _mm256_add_pd(_mm256_set1_pd(kLg5),
+                                        _mm256_mul_pd(
+                                            w4, _mm256_set1_pd(kLg7))))))));
+  const __m256d r = _mm256_add_pd(t2, t1);
+  const __m256d hfsq =
+      _mm256_mul_pd(_mm256_set1_pd(0.5), _mm256_mul_pd(f, f));
+  // kd*Hi - ((hfsq - (s*(hfsq+r) + kd*Lo)) - f), associated as in scalar.
+  const __m256d inner =
+      _mm256_add_pd(_mm256_mul_pd(s, _mm256_add_pd(hfsq, r)),
+                    _mm256_mul_pd(kd, _mm256_set1_pd(kLn2Lo)));
+  const __m256d result =
+      _mm256_sub_pd(_mm256_mul_pd(kd, _mm256_set1_pd(kLn2Hi)),
+                    _mm256_sub_pd(_mm256_sub_pd(hfsq, inner), f));
+  // w == 0 -> -inf.
+  const __m256d zero_mask = _mm256_cmp_pd(w.v, _mm256_setzero_pd(), _CMP_EQ_OQ);
+  const __m256d neg_inf =
+      _mm256_set1_pd(-std::numeric_limits<double>::infinity());
+  return {_mm256_blendv_pd(result, neg_inf, zero_mask)};
+}
+
+#else  // !HDLDP_SIMD_AVX2
+
+struct Vec {
+  double v[kLanes];
+};
+struct Mask {
+  bool m[kLanes];
+};
+
+inline Vec Broadcast(double x) {
+  Vec r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = x;
+  return r;
+}
+inline Vec Load(const double* p) {
+  Vec r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = p[l];
+  return r;
+}
+inline void Store(double* p, Vec a) {
+  for (std::size_t l = 0; l < kLanes; ++l) p[l] = a.v[l];
+}
+inline Vec operator+(Vec a, Vec b) {
+  Vec r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = a.v[l] + b.v[l];
+  return r;
+}
+inline Vec operator-(Vec a, Vec b) {
+  Vec r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = a.v[l] - b.v[l];
+  return r;
+}
+inline Vec operator*(Vec a, Vec b) {
+  Vec r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = a.v[l] * b.v[l];
+  return r;
+}
+inline Vec operator/(Vec a, Vec b) {
+  Vec r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = a.v[l] / b.v[l];
+  return r;
+}
+// minpd/maxpd operand convention: the second operand wins ties (hdldp
+// only feeds finite data, where the two conventions agree in value).
+inline Vec Min(Vec a, Vec b) {
+  Vec r;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    r.v[l] = a.v[l] < b.v[l] ? a.v[l] : b.v[l];
+  }
+  return r;
+}
+inline Vec Max(Vec a, Vec b) {
+  Vec r;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    r.v[l] = a.v[l] > b.v[l] ? a.v[l] : b.v[l];
+  }
+  return r;
+}
+inline Mask Lt(Vec a, Vec b) {
+  Mask r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.m[l] = a.v[l] < b.v[l];
+  return r;
+}
+inline Vec Select(Mask m, Vec a, Vec b) {
+  Vec r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = m.m[l] ? a.v[l] : b.v[l];
+  return r;
+}
+inline Vec Floor(Vec a) {
+  Vec r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = __builtin_floor(a.v[l]);
+  return r;
+}
+inline Vec Abs(Vec a) {
+  Vec r;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    r.v[l] = std::bit_cast<double>(std::bit_cast<std::uint64_t>(a.v[l]) &
+                                   0x7FFFFFFFFFFFFFFFULL);
+  }
+  return r;
+}
+inline Vec Neg(Vec a) {
+  Vec r;
+  for (std::size_t l = 0; l < kLanes; ++l) {
+    r.v[l] = std::bit_cast<double>(std::bit_cast<std::uint64_t>(a.v[l]) ^
+                                   0x8000000000000000ULL);
+  }
+  return r;
+}
+
+inline Vec LogVec(Vec w) {
+  Vec r;
+  for (std::size_t l = 0; l < kLanes; ++l) r.v[l] = LogScalar(w.v[l]);
+  return r;
+}
+
+#endif  // HDLDP_SIMD_AVX2
+
+/// Min(Max(a, lo), hi) in the minpd/maxpd convention — the lane twin of
+/// the scalar plan bodies' std::min(std::max(t, lo), hi).
+inline Vec Clamp(Vec a, double lo, double hi) {
+  return Min(Max(a, Broadcast(lo)), Broadcast(hi));
+}
+
+/// \brief Array form of LogVec (whatever backend this build selected).
+inline void Log4(const double in[kLanes], double out[kLanes]) {
+  Store(out, LogVec(Load(in)));
+}
+
+/// \brief Always-scalar array log: the bit-identity baseline Log4 is
+/// tested against on SIMD builds.
+inline void Log4Scalar(const double in[kLanes], double out[kLanes]) {
+  for (std::size_t l = 0; l < kLanes; ++l) out[l] = LogScalar(in[l]);
+}
+
+}  // namespace lanes
+}  // namespace hdldp
+
+#endif  // HDLDP_COMMON_LANE_MATH_H_

@@ -61,6 +61,21 @@ class Rng {
   /// correlations between streams.
   Rng Fork();
 
+  /// \brief Reconstructs a generator from a raw 256-bit xoshiro state (as
+  /// produced by ExportState). Used by RngLanes to hand a lane's stream to
+  /// scalar samplers and take it back; the Gaussian pair cache is NOT part
+  /// of the exported state (no lane sampler draws Gaussians).
+  static Rng FromState(const std::uint64_t state[4]) {
+    Rng rng(0);
+    for (int w = 0; w < 4; ++w) rng.s_[w] = state[w];
+    return rng;
+  }
+
+  /// \brief Copies the raw 256-bit xoshiro state into `out`.
+  void ExportState(std::uint64_t out[4]) const {
+    for (int w = 0; w < 4; ++w) out[w] = s_[w];
+  }
+
   /// \brief Uniform double in [0, 1) with 53 random bits.
   double UniformDouble() {
     // 53 high bits -> uniform in [0, 1) on the representable grid.
@@ -141,6 +156,33 @@ class Rng {
 /// \brief SplitMix64 step: mixes `x` into the next state and returns a
 /// 64-bit output. Used for seeding and for hashing seeds together.
 std::uint64_t SplitMix64(std::uint64_t* x);
+
+/// \brief Versioned RNG stream contract of a pipeline run.
+///
+/// kV1Scalar: one scalar xoshiro256++ stream (53-bit uniforms, libm
+/// transforms) — the pre-lane-era contract, preserved so recorded runs
+/// keep their exact outputs. kV2Lanes: four lane streams per 4096-user
+/// chunk (52-bit uniforms, deterministic lane log) — the fast path,
+/// invariant to thread count and to SIMD-vs-scalar builds. Full
+/// contract documentation in common/rng_lanes.h. A seed means different
+/// draws under the two schemes by design; each scheme guarantees only
+/// that its own outputs never change.
+enum class SeedScheme {
+  kV1Scalar = 1,
+  kV2Lanes = 2,
+};
+
+/// \brief Independent stream seed of chunk `chunk` under `seed`.
+///
+/// The parallel pipelines decompose a population into fixed-size user
+/// chunks; chunk c always draws from Rng(ChunkSeed(seed, c)) (or the lane
+/// generator seeded with it), which is what makes estimates a pure
+/// function of (data, seed) regardless of the worker count.
+inline std::uint64_t ChunkSeed(std::uint64_t seed, std::size_t chunk) {
+  std::uint64_t mix =
+      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(chunk) + 1);
+  return SplitMix64(&mix);
+}
 
 }  // namespace hdldp
 

@@ -38,26 +38,50 @@ Result<DeviationModel> ModelDeviation(const mech::Mechanism& mechanism,
                                       const ValueDistribution& values,
                                       double expected_reports,
                                       const mech::Interval& data_domain) {
+  HDLDP_ASSIGN_OR_RETURN(
+      const DeviationModelBuilder builder,
+      DeviationModelBuilder::Create(mechanism, eps_per_dim, values.values(),
+                                    data_domain));
+  return builder.Model(values.probabilities(), expected_reports);
+}
+
+Result<DeviationModelBuilder> DeviationModelBuilder::Create(
+    const mech::Mechanism& mechanism, double eps_per_dim,
+    std::span<const double> support, const mech::Interval& data_domain) {
   HDLDP_RETURN_NOT_OK(mechanism.ValidateBudget(eps_per_dim));
-  if (!(expected_reports > 0.0)) {
-    return Status::InvalidArgument("ModelDeviation requires reports > 0");
-  }
   HDLDP_ASSIGN_OR_RETURN(
       const mech::DomainMap map,
       mech::DomainMap::Between(data_domain, mechanism.InputDomain()));
+  std::vector<mech::ConditionalMoments> atom_moments;
+  atom_moments.reserve(support.size());
+  for (const double value : support) {
+    HDLDP_ASSIGN_OR_RETURN(
+        const mech::ConditionalMoments m,
+        mechanism.Moments(map.Forward(value), eps_per_dim));
+    atom_moments.push_back(m);
+  }
+  return DeviationModelBuilder(std::move(atom_moments), map.scale());
+}
 
+Result<DeviationModel> DeviationModelBuilder::Model(
+    std::span<const double> probabilities, double expected_reports) const {
+  if (probabilities.size() != atom_moments_.size()) {
+    return Status::InvalidArgument(
+        "DeviationModelBuilder::Model probabilities do not match support");
+  }
+  if (!(expected_reports > 0.0)) {
+    return Status::InvalidArgument("ModelDeviation requires reports > 0");
+  }
   // Lemma 2 and Lemma 3 unify as the p_z-weighted averages of the
   // conditional moments: for unbounded mechanisms the conditional moments
   // are value-independent, so the weighting is a no-op.
   NeumaierSum bias_acc;
   NeumaierSum var_acc;
   NeumaierSum third_acc;
-  for (std::size_t z = 0; z < values.support_size(); ++z) {
-    const double p = values.probabilities()[z];
+  for (std::size_t z = 0; z < atom_moments_.size(); ++z) {
+    const double p = probabilities[z];
     if (p == 0.0) continue;
-    const double native_value = map.Forward(values.values()[z]);
-    HDLDP_ASSIGN_OR_RETURN(const mech::ConditionalMoments m,
-                           mechanism.Moments(native_value, eps_per_dim));
+    const mech::ConditionalMoments& m = atom_moments_[z];
     bias_acc.Add(p * m.bias);
     var_acc.Add(p * m.variance);
     third_acc.Add(p * m.third_abs_central);
@@ -65,7 +89,7 @@ Result<DeviationModel> ModelDeviation(const mech::Mechanism& mechanism,
 
   // Map native-domain moments back into the data domain:
   // data = (native - offset) / scale, so bias /= s, var /= s^2, rho /= s^3.
-  const double s = map.scale();
+  const double s = scale_;
   DeviationModel model;
   model.per_report_variance = var_acc.Total() / (s * s);
   model.per_report_third_abs = third_acc.Total() / (s * s * s);

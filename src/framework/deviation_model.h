@@ -65,13 +65,62 @@ struct DeviationModel {
 ///
 /// `values` is the distribution of original values in the *data domain*
 /// `data_domain`; `expected_reports` is r = n m / d. The mechanism's
-/// conditional moments are evaluated in its native domain and mapped back.
+/// conditional moments are evaluated in its native domain and mapped
+/// back. Every support atom must lie inside `data_domain` — including
+/// atoms carrying zero probability, whose moments are evaluated (for the
+/// DeviationModelBuilder reuse below) even though they contribute
+/// nothing to the model.
 Result<DeviationModel> ModelDeviation(const mech::Mechanism& mechanism,
                                       double eps_per_dim,
                                       const ValueDistribution& values,
                                       double expected_reports,
                                       const mech::Interval& data_domain = {
                                           -1.0, 1.0});
+
+/// \brief Prepared form of ModelDeviation for many distributions over one
+/// shared support.
+///
+/// The expensive part of a Lemma 3 model is the per-atom conditional
+/// moments Moments(v_z, eps); they depend only on (mechanism, eps,
+/// data_domain, v_z), not on the probabilities or the report count.
+/// Create() evaluates them once; Model() then assembles a DeviationModel
+/// from any probability weighting of the same support with a handful of
+/// flops. ModelDeviation() itself delegates here, so Model() is
+/// *bit-identical* to calling ModelDeviation() with a ValueDistribution
+/// over (support, probabilities) — the freq pipeline leans on that to
+/// build one model per expanded entry (all Bernoulli over {0, 1}) without
+/// re-evaluating mechanism moments per entry.
+class DeviationModelBuilder {
+ public:
+  /// Evaluates the conditional moments of every support atom (data
+  /// domain). Validates the budget and the domain map once. The support
+  /// is only read here — the builder keeps the derived moments, not the
+  /// values.
+  static Result<DeviationModelBuilder> Create(
+      const mech::Mechanism& mechanism, double eps_per_dim,
+      std::span<const double> support,
+      const mech::Interval& data_domain = {-1.0, 1.0});
+
+  /// \brief The Lemma 2/3 model for the distribution putting
+  /// probabilities[z] on support atom z. `probabilities` must match the
+  /// support's length (entries may be 0; they contribute nothing, exactly
+  /// as in ModelDeviation).
+  Result<DeviationModel> Model(std::span<const double> probabilities,
+                               double expected_reports) const;
+
+  std::size_t support_size() const { return atom_moments_.size(); }
+
+ private:
+  DeviationModelBuilder(std::vector<mech::ConditionalMoments> atom_moments,
+                        double scale)
+      : atom_moments_(std::move(atom_moments)), scale_(scale) {}
+
+  // Conditional moments of each support atom, in the mechanism's native
+  // domain (mapped back by Model()).
+  std::vector<mech::ConditionalMoments> atom_moments_;
+  // DomainMap scale of data_domain -> native domain.
+  double scale_;
+};
 
 /// \brief The framework's MSE prediction for naive aggregation:
 /// (1/d) sum_j (delta_j^2 + sigma_j^2), the expectation of paper Eq. 3

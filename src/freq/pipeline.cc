@@ -1,11 +1,16 @@
 #include "freq/pipeline.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
 #include "common/math.h"
 #include "common/rng.h"
+#include "common/rng_lanes.h"
+#include "common/thread_pool.h"
 #include "framework/deviation_model.h"
+#include "mech/plan.h"
+#include "protocol/aggregator.h"
 #include "protocol/budget.h"
 #include "protocol/metrics.h"
 
@@ -13,6 +18,26 @@ namespace hdldp {
 namespace freq {
 
 namespace {
+
+// Users per deterministic chunk under SeedScheme::kV2Lanes: chunk c
+// always covers users [c * kUsersPerChunk, ...), always draws from the
+// four lane streams of ChunkSeed(seed, c), and always reduces in chunk
+// order, so estimates depend only on (data, seed) — never on the worker
+// count or on whether the build has SIMD.
+constexpr std::size_t kUsersPerChunk = 4096;
+
+// Entry budget of the per-user-block perturbation buffers: blocks of
+// ~this many expanded entries amortize the per-span variant visit while
+// staying cache-resident even for wide schemas.
+constexpr std::size_t kEntriesPerBlock = 16384;
+
+// Independent stream for the dimension-sampling draws of a chunk (m < d
+// only): keeps the lane streams purely for perturbation draws, so the
+// entry streams stay aligned to groups of four regardless of m.
+std::uint64_t DimSamplerSeed(std::uint64_t chunk_seed) {
+  std::uint64_t mix = chunk_seed + 0x517cc1b727220a95ULL;
+  return SplitMix64(&mix);
+}
 
 // Flattens per-dimension frequency vectors into the expanded entry space.
 std::vector<double> Flatten(const std::vector<std::vector<double>>& nested) {
@@ -54,6 +79,119 @@ void ClipAndNormalize(const CategoricalSchema& schema,
   }
 }
 
+// The legacy kV1Scalar ingestion loop: one scalar stream, per-entry
+// virtual Perturb, exactly the pre-lane-era draw order. Frozen so runs
+// recorded under v1 seeds keep their outputs bit for bit.
+void IngestV1Scalar(const CategoricalDataset& dataset,
+                    const mech::Mechanism& mechanism,
+                    const mech::DomainMap& map, double per_entry_eps,
+                    std::uint64_t seed, std::size_t m,
+                    std::vector<NeumaierSum>* sums,
+                    std::vector<std::int64_t>* dim_reports) {
+  const CategoricalSchema& schema = dataset.schema();
+  const std::size_t d = schema.num_dims();
+  Rng rng(seed);
+  std::vector<std::uint32_t> sampled;
+  for (std::size_t i = 0; i < dataset.num_users(); ++i) {
+    sampled.clear();
+    rng.SampleWithoutReplacement(d, m, &sampled);
+    for (const std::uint32_t j : sampled) {
+      ++(*dim_reports)[j];
+      const std::size_t off = schema.EntryOffset(j);
+      const std::uint32_t category = dataset.At(i, j);
+      for (std::size_t k = 0; k < schema.Cardinality(j); ++k) {
+        const double entry = k == category ? 1.0 : 0.0;
+        (*sums)[off + k].Add(
+            mechanism.Perturb(map.Forward(entry), per_entry_eps, &rng));
+      }
+    }
+  }
+}
+
+// One kV2Lanes chunk with every dimension reported (m == d): users fill
+// dense one-hot blocks (all entries native-zero except each dimension's
+// category), the whole block streams through the prepared plan on the
+// chunk's lane generator, and ConsumeDense folds complete expanded rows.
+Status SimulateDenseChunk(const CategoricalDataset& dataset,
+                          const mech::SamplerPlan& plan,
+                          double native_zero, double native_one,
+                          std::uint64_t seed, std::size_t chunk,
+                          std::size_t begin, std::size_t end,
+                          protocol::MeanAggregator* aggregator) {
+  const CategoricalSchema& schema = dataset.schema();
+  const std::size_t d = schema.num_dims();
+  const std::size_t entries = schema.total_entries();
+  const std::size_t block_users =
+      std::max<std::size_t>(1, kEntriesPerBlock / entries);
+  RngLanes lanes(ChunkSeed(seed, chunk));
+  std::vector<double> natives(block_users * entries, native_zero);
+  std::vector<double> perturbed(block_users * entries);
+  for (std::size_t i = begin; i < end; i += block_users) {
+    const std::size_t block = std::min(block_users, end - i);
+    // Set each user's d one-hot entries, perturb, then un-set them — far
+    // cheaper than refilling the whole block buffer with native_zero.
+    for (std::size_t u = 0; u < block; ++u) {
+      double* row = natives.data() + u * entries;
+      for (std::size_t j = 0; j < d; ++j) {
+        row[schema.EntryOffset(j) + dataset.At(i + u, j)] = native_one;
+      }
+    }
+    const std::span<const double> in =
+        std::span<const double>(natives).first(block * entries);
+    const std::span<double> out =
+        std::span<double>(perturbed).first(block * entries);
+    PerturbLanes(plan, in, &lanes, out);
+    HDLDP_RETURN_NOT_OK(aggregator->ConsumeDense(out));
+    for (std::size_t u = 0; u < block; ++u) {
+      double* row = natives.data() + u * entries;
+      for (std::size_t j = 0; j < d; ++j) {
+        row[schema.EntryOffset(j) + dataset.At(i + u, j)] = native_zero;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+// One kV2Lanes chunk with dimension sampling (m < d): per user, the
+// chunk's dimension-sampler stream picks the m dimensions, their one-hot
+// entries stream through the plan as one lane span, and ConsumeBatch
+// folds (entry index, value) pairs.
+Status SimulateSampledChunk(const CategoricalDataset& dataset,
+                            const mech::SamplerPlan& plan,
+                            double native_zero, double native_one,
+                            std::size_t m, std::uint64_t seed,
+                            std::size_t chunk, std::size_t begin,
+                            std::size_t end,
+                            protocol::MeanAggregator* aggregator) {
+  const CategoricalSchema& schema = dataset.schema();
+  const std::size_t d = schema.num_dims();
+  const std::uint64_t chunk_seed = ChunkSeed(seed, chunk);
+  RngLanes lanes(chunk_seed);
+  Rng dims_rng(DimSamplerSeed(chunk_seed));
+  std::vector<std::uint32_t> sampled;
+  std::vector<std::uint32_t> entry_indices;
+  std::vector<double> natives;
+  std::vector<double> perturbed;
+  for (std::size_t i = begin; i < end; ++i) {
+    sampled.clear();
+    dims_rng.SampleWithoutReplacement(d, m, &sampled);
+    entry_indices.clear();
+    natives.clear();
+    for (const std::uint32_t j : sampled) {
+      const std::size_t off = schema.EntryOffset(j);
+      const std::uint32_t category = dataset.At(i, j);
+      for (std::size_t k = 0; k < schema.Cardinality(j); ++k) {
+        entry_indices.push_back(static_cast<std::uint32_t>(off + k));
+        natives.push_back(k == category ? native_one : native_zero);
+      }
+    }
+    perturbed.resize(natives.size());
+    PerturbLanes(plan, natives, &lanes, perturbed);
+    HDLDP_RETURN_NOT_OK(aggregator->ConsumeBatch(entry_indices, perturbed));
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Result<FrequencyEstimationResult> RunFrequencyEstimation(
@@ -81,54 +219,86 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
       mech::DomainMap::Between(entry_domain, mechanism->InputDomain()));
 
   const std::size_t total_entries = schema.total_entries();
-  std::vector<NeumaierSum> sums(total_entries);
+  std::vector<double> raw_flat(total_entries, 0.0);
   std::vector<std::int64_t> dim_reports(d, 0);
 
-  Rng rng(options.seed);
-  std::vector<std::uint32_t> sampled;
-  for (std::size_t i = 0; i < dataset.num_users(); ++i) {
-    sampled.clear();
-    rng.SampleWithoutReplacement(d, m, &sampled);
-    for (const std::uint32_t j : sampled) {
-      ++dim_reports[j];
+  if (options.seed_scheme == SeedScheme::kV1Scalar) {
+    std::vector<NeumaierSum> sums(total_entries);
+    IngestV1Scalar(dataset, *mechanism, map, per_entry_eps, options.seed, m,
+                   &sums, &dim_reports);
+    // Naive aggregation: per-entry mean mapped back to [0, 1].
+    for (std::size_t j = 0; j < d; ++j) {
       const std::size_t off = schema.EntryOffset(j);
-      const std::uint32_t category = dataset.At(i, j);
+      const double r = static_cast<double>(dim_reports[j]);
       for (std::size_t k = 0; k < schema.Cardinality(j); ++k) {
-        const double entry = k == category ? 1.0 : 0.0;
-        sums[off + k].Add(
-            mechanism->Perturb(map.Forward(entry), per_entry_eps, &rng));
+        raw_flat[off + k] =
+            r == 0.0 ? 0.0 : map.Backward(sums[off + k].Total() / r);
       }
+    }
+  } else {
+    // kV2Lanes: prepared plan + lane streams + deterministic chunk tree.
+    const mech::SamplerPlan plan = mechanism->MakePlan(per_entry_eps);
+    const double native_zero = map.Forward(0.0);
+    const double native_one = map.Forward(1.0);
+    const std::size_t num_chunks =
+        (dataset.num_users() + kUsersPerChunk - 1) / kUsersPerChunk;
+    HDLDP_ASSIGN_OR_RETURN(
+        const protocol::MeanAggregator aggregator,
+        protocol::MeanAggregator::ReduceChunks(
+            total_entries, map, num_chunks, options.num_threads,
+            [&](std::size_t c, protocol::MeanAggregator* scratch) {
+              const std::size_t begin = c * kUsersPerChunk;
+              const std::size_t end =
+                  std::min(dataset.num_users(), begin + kUsersPerChunk);
+              if (m == d) {
+                return SimulateDenseChunk(dataset, plan, native_zero,
+                                          native_one, options.seed, c, begin,
+                                          end, scratch);
+              }
+              return SimulateSampledChunk(dataset, plan, native_zero,
+                                          native_one, m, options.seed, c,
+                                          begin, end, scratch);
+            }));
+    // Every entry of dimension j is perturbed on each of its reports, so
+    // the first entry's count is the dimension's report count r_j, and
+    // EstimatedMean is exactly the per-entry Backward(sum / r).
+    raw_flat = aggregator.EstimatedMean();
+    for (std::size_t j = 0; j < d; ++j) {
+      dim_reports[j] = aggregator.ReportCount(schema.EntryOffset(j));
     }
   }
 
-  // Naive aggregation: per-entry mean mapped back to [0, 1].
-  std::vector<double> raw_flat(total_entries, 0.0);
   for (std::size_t j = 0; j < d; ++j) {
-    const std::size_t off = schema.EntryOffset(j);
-    const double r = static_cast<double>(dim_reports[j]);
-    for (std::size_t k = 0; k < schema.Cardinality(j); ++k) {
-      raw_flat[off + k] =
-          r == 0.0 ? 0.0 : map.Backward(sums[off + k].Total() / r);
+    if (dim_reports[j] == 0) {
+      return Status::FailedPrecondition(
+          "categorical dimension " + std::to_string(j) +
+          " received no reports; the Lemma 3 re-calibration model is "
+          "undefined at r = 0 (raise num_users or report_dims)");
     }
   }
 
   // HDR4ME re-calibration over the expanded space. Each entry's original
   // values are Bernoulli(f); plug in the (clamped) raw estimate as f for
-  // the Lemma 3 value distribution.
+  // the Lemma 3 value distribution. The per-atom mechanism moments are
+  // shared by every entry (the support is always {0, 1} at one eps), so
+  // they are evaluated once through DeviationModelBuilder instead of per
+  // entry — bit-identical to the per-entry ModelDeviation calls it
+  // replaces.
+  static constexpr double kOneHotSupport[2] = {0.0, 1.0};
+  HDLDP_ASSIGN_OR_RETURN(
+      const framework::DeviationModelBuilder model_builder,
+      framework::DeviationModelBuilder::Create(*mechanism, per_entry_eps,
+                                               kOneHotSupport, entry_domain));
   std::vector<framework::GaussianDeviation> deviations;
   deviations.reserve(total_entries);
   for (std::size_t j = 0; j < d; ++j) {
     const std::size_t off = schema.EntryOffset(j);
-    const double r = std::max<double>(1.0, static_cast<double>(dim_reports[j]));
+    const double r = static_cast<double>(dim_reports[j]);
     for (std::size_t k = 0; k < schema.Cardinality(j); ++k) {
       const double f = Clamp(raw_flat[off + k], 0.0, 1.0);
-      HDLDP_ASSIGN_OR_RETURN(
-          const framework::ValueDistribution values,
-          framework::ValueDistribution::Create({0.0, 1.0}, {1.0 - f, f}));
-      HDLDP_ASSIGN_OR_RETURN(
-          const framework::DeviationModel model,
-          framework::ModelDeviation(*mechanism, per_entry_eps, values, r,
-                                    entry_domain));
+      const double probs[2] = {1.0 - f, f};
+      HDLDP_ASSIGN_OR_RETURN(const framework::DeviationModel model,
+                             model_builder.Model(probs, r));
       deviations.push_back(model.deviation);
     }
   }

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "freq/encoding.h"
 #include "hdr4me/recalibrate.h"
 #include "mech/mechanism.h"
@@ -29,8 +30,21 @@ struct FrequencyOptions {
   double total_epsilon = 1.0;
   /// Categorical dimensions sampled per user (m); 0 means all d.
   std::size_t report_dims = 0;
-  /// Seed of the run.
+  /// Seed of the run. Estimates are a pure function of (dataset, options
+  /// minus num_threads) under either seed scheme.
   std::uint64_t seed = 1;
+  /// RNG stream contract (see common/rng_lanes.h). kV2Lanes (default)
+  /// streams fixed 4096-user chunks over the shared thread pool, chunk c
+  /// perturbing through the prepared sampler plan with the four lane
+  /// streams of ChunkSeed(seed, c) — the fast path. kV1Scalar replays
+  /// the legacy serial loop (one scalar stream, per-entry Perturb) and
+  /// reproduces pre-lane-era runs bit for bit under their old seeds.
+  SeedScheme seed_scheme = SeedScheme::kV2Lanes;
+  /// Maximum worker threads simulating chunks concurrently under
+  /// kV2Lanes (on the shared ThreadPool). 1 = serial, 0 = one per
+  /// hardware thread. Affects wall-clock time only, never the estimates.
+  /// Ignored under kV1Scalar, which is single-stream by definition.
+  std::size_t num_threads = 1;
   /// HDR4ME configuration for the re-calibrated estimate.
   hdr4me::Hdr4meOptions hdr4me;
   /// Post-process estimates: clip to [0, 1] and renormalize each
@@ -54,6 +68,11 @@ struct FrequencyEstimationResult {
 };
 
 /// \brief Runs the full frequency-estimation protocol.
+///
+/// Fails with FailedPrecondition if any categorical dimension ends the
+/// ingestion phase with zero reports (the Lemma 3 model is undefined at
+/// r = 0): raise num_users or report_dims instead of trusting estimates
+/// that silently pretended r = 1.
 Result<FrequencyEstimationResult> RunFrequencyEstimation(
     const CategoricalDataset& dataset, mech::MechanismPtr mechanism,
     const FrequencyOptions& options);

@@ -9,5 +9,19 @@ double GenericPlan::operator()(double t, Rng* rng) const {
   return mechanism->Perturb(t, eps, rng);
 }
 
+void PerturbLanesGeneric(const GenericPlan& plan, std::span<const double> ts,
+                         RngLanes* rng, std::span<double> out) {
+  // Lane l serves values l, l + kLanes, ...: extract the lane's stream
+  // once, run the virtual sampler over the lane's stride, write the
+  // stream position back.
+  for (std::size_t l = 0; l < RngLanes::kLanes && l < ts.size(); ++l) {
+    Rng lane_rng = rng->ExtractLane(l);
+    for (std::size_t i = l; i < ts.size(); i += RngLanes::kLanes) {
+      out[i] = plan.mechanism->Perturb(ts[i], plan.eps, &lane_rng);
+    }
+    rng->InjectLane(l, lane_rng);
+  }
+}
+
 }  // namespace mech
 }  // namespace hdldp

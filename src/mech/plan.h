@@ -17,17 +17,35 @@
 #define HDLDP_MECH_PLAN_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <span>
+#include <type_traits>
 #include <variant>
 
+#include "common/lane_math.h"
 #include "common/math.h"
 #include "common/rng.h"
+#include "common/rng_lanes.h"
 
 namespace hdldp {
 namespace mech {
 
 class Mechanism;
 
+// Lane bodies (the Lanes4 methods): each concrete plan also perturbs four
+// values at once, value l drawing only from lane l of an RngLanes — the
+// v2 stream contract (SeedScheme::kV2Lanes, see common/rng_lanes.h).
+// Lane bodies draw a *fixed* number of lane rounds per value (data-
+// dependent no-draw shortcuts are replaced by always-draw selects, which
+// is what keeps the four lanes in lockstep), consume 52-bit lane uniforms
+// instead of the scalar path's 53-bit ones, and use lanes::Log4 in place
+// of libm log1p. They therefore produce *different draws* than the
+// scalar bodies under any seed — the v2 contract pins them to (data,
+// seed) across thread counts and SIMD-vs-scalar builds instead. The per-
+// lane arithmetic is written as plain 4-iteration loops of exactly-
+// rounded operations, so SIMD and scalar builds agree bit for bit no
+// matter how the compiler vectorizes them.
+//
 // Implementation note on the plan bodies below: they are written to
 // compile branch-free. Ternary selects become two-element array indexing
 // (GCC keeps data-dependent ternaries as jumps otherwise) and clamps use
@@ -61,6 +79,27 @@ struct DuchiPlan {
     const double sel[2] = {-magnitude, magnitude};
     return sel[rng->UniformDouble() < p];
   }
+
+  /// The lane select from a clamped input and one coin; shared between
+  /// Lanes4 and HybridPlan's Duchi arm. The extreme-budget no-draw
+  /// shortcut becomes an always-draw select (coin < p is constant-true
+  /// for p >= 1 since coin < 1, constant-false for p <= 0 since
+  /// coin >= 0).
+  lanes::Vec LaneArm(lanes::Vec tc, lanes::Vec coin) const {
+    using lanes::Broadcast;
+    const lanes::Vec p = Broadcast(0.5) +
+                         tc * Broadcast(expm1_eps) / Broadcast(prob_denom);
+    const lanes::Vec mag = Broadcast(magnitude);
+    return lanes::Select(lanes::Lt(coin, p), mag, lanes::Neg(mag));
+  }
+
+  /// Lane body: one lane round per value.
+  void Lanes4(const double t[RngLanes::kLanes], RngLanes* rng,
+              double out[RngLanes::kLanes]) const {
+    const lanes::Vec u = rng->UniformVec();
+    const lanes::Vec tc = lanes::Clamp(lanes::Load(t), -1.0, 1.0);
+    lanes::Store(out, LaneArm(tc, u));
+  }
 };
 
 /// \brief Laplace: t plus Lap(2/eps) noise.
@@ -70,6 +109,24 @@ struct LaplacePlan {
 
   double operator()(double t, Rng* rng) const {
     return std::min(std::max(t, -1.0), 1.0) + rng->Laplace(scale);
+  }
+
+  /// Lane body: one lane round per value; the inverse-CDF transform runs
+  /// through lanes::LogVec on w = 1 - 2|u - 0.5| (exact on the uniform
+  /// grid) instead of libm log1p(-2|u - 0.5|).
+  void Lanes4(const double t[RngLanes::kLanes], RngLanes* rng,
+              double out[RngLanes::kLanes]) const {
+    using lanes::Broadcast;
+    using lanes::Vec;
+    const Vec u = rng->UniformVec();
+    const Vec w = Broadcast(1.0) -
+                  Broadcast(2.0) * lanes::Abs(u - Broadcast(0.5));
+    const Vec lw = lanes::LogVec(w);
+    const Vec tc = lanes::Clamp(lanes::Load(t), -1.0, 1.0);
+    const Vec sc = Broadcast(scale);
+    const Vec sign =
+        lanes::Select(lanes::Lt(u, Broadcast(0.5)), sc, lanes::Neg(sc));
+    lanes::Store(out, tc + sign * lw);
   }
 };
 
@@ -103,6 +160,36 @@ struct PiecewisePlan {
     const double sel[2] = {tail_sel[tail_u < left_len], band_val};
     return sel[in_band];
   }
+
+  /// The lane band/tail select from a clamped input, the band coin and
+  /// the position draw; shared between Lanes4 and HybridPlan's
+  /// Piecewise arm. band_mass >= 1 degenerates to a constant-true
+  /// select instead of skipping the coin draw.
+  lanes::Vec LaneArm(lanes::Vec tc, lanes::Vec coin, lanes::Vec pos) const {
+    using lanes::Broadcast;
+    using lanes::Vec;
+    const Vec lo = Broadcast(0.5 * (bound + 1.0)) * tc -
+                   Broadcast(0.5 * (bound - 1.0));
+    const Vec hi = lo + Broadcast(bound - 1.0);
+    const Vec band_val = lo + (hi - lo) * pos;
+    const Vec tail_u = Broadcast(bound + 1.0) * pos;
+    const Vec left_len = lo + Broadcast(bound);
+    const Vec tail_val = lanes::Select(lanes::Lt(tail_u, left_len),
+                                       Broadcast(-bound) + tail_u,
+                                       hi + (tail_u - left_len));
+    return lanes::Select(lanes::Lt(coin, Broadcast(band_mass)), band_val,
+                         tail_val);
+  }
+
+  /// Lane body: two lane rounds per value (band coin, position), the
+  /// scalar interior arithmetic unchanged.
+  void Lanes4(const double t[RngLanes::kLanes], RngLanes* rng,
+              double out[RngLanes::kLanes]) const {
+    const lanes::Vec ub = rng->UniformVec();
+    const lanes::Vec up = rng->UniformVec();
+    const lanes::Vec tc = lanes::Clamp(lanes::Load(t), -1.0, 1.0);
+    lanes::Store(out, LaneArm(tc, ub, up));
+  }
 };
 
 /// \brief Square wave: uniform window [t - b, t + b] vs uniform remainder.
@@ -127,6 +214,25 @@ struct SquareWavePlan {
     const double sel[2] = {tail_sel[u < t], window_val};
     return sel[in_window];
   }
+
+  /// Lane body: two lane rounds per value, scalar arithmetic unchanged.
+  void Lanes4(const double t[RngLanes::kLanes], RngLanes* rng,
+              double out[RngLanes::kLanes]) const {
+    using lanes::Broadcast;
+    using lanes::Vec;
+    const Vec uw = rng->UniformVec();
+    const Vec u = rng->UniformVec();
+    const Vec tc = lanes::Clamp(lanes::Load(t), 0.0, 1.0);
+    const Vec b = Broadcast(half_width);
+    const Vec lo = tc - b;
+    const Vec hi = tc + b;
+    const Vec window_val = lo + (hi - lo) * u;
+    const Vec tail_val = lanes::Select(lanes::Lt(u, tc),
+                                       Broadcast(-half_width) + u,
+                                       hi + (u - tc));
+    lanes::Store(out, lanes::Select(lanes::Lt(uw, Broadcast(window_mass)),
+                                    window_val, tail_val));
+  }
 };
 
 /// \brief Staircase: geometric band index, inner/outer sub-band split.
@@ -139,6 +245,10 @@ struct StaircasePlan {
   double geom_p = 0.5;
   /// P(inner sub-band | band) = gamma / (gamma + q (1 - gamma)).
   double inner_prob = 0.5;
+  /// log1p(-geom_p), the inverse-CDF denominator of the band-index
+  /// geometric; -inf when geom_p rounds to 1 (eps >= ~100), where the
+  /// lane body pins the index to 0. Used only by Lanes4.
+  double geom_log_denom = -0.6931471805599453;
 
   double operator()(double t, Rng* rng) const {
     t = std::min(std::max(t, -1.0), 1.0);
@@ -168,6 +278,37 @@ struct StaircasePlan {
     const double noise_sel[2] = {-magnitude, magnitude};
     return t + noise_sel[rng->UniformDouble() < 0.5];
   }
+
+  /// Lane body: four lane rounds per value (band index, sub-band coin,
+  /// position, sign). The geometric index comes from the same inverse
+  /// CDF as Rng::Geometric, with lanes::LogVec supplying the numerator.
+  void Lanes4(const double t[RngLanes::kLanes], RngLanes* rng,
+              double out[RngLanes::kLanes]) const {
+    using lanes::Broadcast;
+    using lanes::Vec;
+    const Vec ug = rng->UniformVec();
+    const Vec us = rng->UniformVec();
+    const Vec up = rng->UniformVec();
+    const Vec usn = rng->UniformVec();
+    const Vec lg = lanes::LogVec(Broadcast(1.0) - ug);
+    const Vec tc = lanes::Clamp(lanes::Load(t), -1.0, 1.0);
+    // geom_p rounding to 1 makes geom_log_denom -inf; pin k to the only
+    // band with mass. Plan-constant condition, hoisted by the compiler.
+    const Vec k = geom_p >= 1.0
+                      ? Broadcast(0.0)
+                      : lanes::Floor(lg / Broadcast(geom_log_denom));
+    const Vec d = Broadcast(delta);
+    const Vec inner_lo = k * d;
+    const Vec inner_hi = (k + Broadcast(gamma)) * d;
+    const Vec outer_hi = (k + Broadcast(1.0)) * d;
+    const Vec magnitude =
+        lanes::Select(lanes::Lt(us, Broadcast(inner_prob)),
+                      inner_lo + (inner_hi - inner_lo) * up,
+                      inner_hi + (outer_hi - inner_hi) * up);
+    const Vec noise = lanes::Select(lanes::Lt(usn, Broadcast(0.5)), magnitude,
+                                    lanes::Neg(magnitude));
+    lanes::Store(out, tc + noise);
+  }
 };
 
 /// \brief SCDF: central plateau vs geometric side band.
@@ -178,6 +319,8 @@ struct ScdfPlan {
   double plateau_mass = 0.5;
   /// Success probability 1 - q of the side-band geometric.
   double geom_p = 0.5;
+  /// log1p(-geom_p); -inf when geom_p rounds to 1. Used only by Lanes4.
+  double geom_log_denom = -0.6931471805599453;
 
   double operator()(double t, Rng* rng) const {
     t = std::min(std::max(t, -1.0), 1.0);
@@ -195,6 +338,34 @@ struct ScdfPlan {
       noise = noise_sel[rng->UniformDouble() < 0.5];
     }
     return t + noise;
+  }
+
+  /// Lane body: four lane rounds per value (plateau coin, band index,
+  /// position, sign). Unlike the scalar body's 1-vs-3 draw split, every
+  /// lane consumes all four rounds and the unused draws are discarded —
+  /// distribution-identical since each draw feeds at most one decision.
+  void Lanes4(const double t[RngLanes::kLanes], RngLanes* rng,
+              double out[RngLanes::kLanes]) const {
+    using lanes::Broadcast;
+    using lanes::Vec;
+    const Vec upl = rng->UniformVec();
+    const Vec ug = rng->UniformVec();
+    const Vec up = rng->UniformVec();
+    const Vec usn = rng->UniformVec();
+    const Vec lg = lanes::LogVec(Broadcast(1.0) - ug);
+    const Vec tc = lanes::Clamp(lanes::Load(t), -1.0, 1.0);
+    const Vec d = Broadcast(delta);
+    const Vec plateau_noise = Broadcast(-0.5 * delta) + d * up;
+    const Vec k = Broadcast(1.0) +
+                  (geom_p >= 1.0
+                       ? Broadcast(0.0)
+                       : lanes::Floor(lg / Broadcast(geom_log_denom)));
+    const Vec magnitude = (k - Broadcast(0.5)) * d + d * up;
+    const Vec side_noise = lanes::Select(lanes::Lt(usn, Broadcast(0.5)),
+                                         magnitude, lanes::Neg(magnitude));
+    const Vec noise = lanes::Select(lanes::Lt(upl, Broadcast(plateau_mass)),
+                                    plateau_noise, side_noise);
+    lanes::Store(out, tc + noise);
   }
 };
 
@@ -217,6 +388,26 @@ struct HybridPlan {
     }
     return duchi(t, rng);
   }
+
+  /// Lane body: three lane rounds per value (mixture coin, component
+  /// coin, position). Unlike the scalar 2-vs-1 draw split, both
+  /// components are evaluated from the same fixed draws and the winner is
+  /// selected — the Duchi arm reads only the component coin, so each draw
+  /// still feeds at most one decision and the mixture law is unchanged.
+  void Lanes4(const double t[RngLanes::kLanes], RngLanes* rng,
+              double out[RngLanes::kLanes]) const {
+    using lanes::Vec;
+    const Vec um = rng->UniformVec();
+    const Vec uc = rng->UniformVec();
+    const Vec up = rng->UniformVec();
+    const Vec tc = lanes::Clamp(lanes::Load(t), -1.0, 1.0);
+    // The component arms are the nested plans' own lane selects: uc is
+    // the piecewise band coin / duchi output coin, up the position.
+    const Vec pw_val = piecewise.LaneArm(tc, uc, up);
+    const Vec duchi_val = duchi.LaneArm(tc, uc);
+    lanes::Store(out, lanes::Select(lanes::Lt(um, lanes::Broadcast(alpha)),
+                                    pw_val, duchi_val));
+  }
 };
 
 /// \brief Fallback for mechanisms without a specialized plan: defers to
@@ -228,6 +419,15 @@ struct GenericPlan {
 
   double operator()(double t, Rng* rng) const;
 };
+
+/// \brief Lane-parallel span fallback for GenericPlan: value i draws from
+/// lane i % kLanes (the same lane assignment PerturbLanes gives concrete
+/// plans), via a scalar Rng extracted from and re-injected into each
+/// lane. Never consumes padding draws — a generic sampler's draw count
+/// is unknowable, so its lane contract is simply "scalar Perturb() on the
+/// lane's stream".
+void PerturbLanesGeneric(const GenericPlan& plan, std::span<const double> ts,
+                         RngLanes* rng, std::span<double> out);
 
 /// \brief A prepared sampler: one mechanism at one eps, constants resolved.
 using SamplerPlan =
@@ -249,6 +449,38 @@ inline void PerturbSpan(const SamplerPlan& plan, std::span<const double> ts,
       [&](const auto& p) {
         for (std::size_t i = 0; i < ts.size(); ++i) {
           out[i] = p(ts[i], rng);
+        }
+      },
+      plan);
+}
+
+/// \brief Lane-parallel span perturbation (v2 stream contract): value
+/// base + l of each group of kLanes consecutive values draws from lane l.
+/// A trailing partial group is padded — the dead lanes draw and their
+/// outputs are discarded, keeping every lane's consumption a pure
+/// function of ts.size() (GenericPlan, whose draw count per value is
+/// unknowable, instead runs scalar per lane and never pads; see
+/// PerturbLanesGeneric). `out` must hold at least ts.size() entries.
+inline void PerturbLanes(const SamplerPlan& plan, std::span<const double> ts,
+                         RngLanes* rng, std::span<double> out) {
+  std::visit(
+      [&](const auto& p) {
+        using P = std::decay_t<decltype(p)>;
+        if constexpr (std::is_same_v<P, GenericPlan>) {
+          PerturbLanesGeneric(p, ts, rng, out);
+        } else {
+          constexpr std::size_t kL = RngLanes::kLanes;
+          std::size_t i = 0;
+          for (; i + kL <= ts.size(); i += kL) {
+            p.Lanes4(&ts[i], rng, &out[i]);
+          }
+          if (i < ts.size()) {
+            double t4[kL] = {0.0, 0.0, 0.0, 0.0};
+            double o4[kL];
+            for (std::size_t l = 0; i + l < ts.size(); ++l) t4[l] = ts[i + l];
+            p.Lanes4(t4, rng, o4);
+            for (std::size_t l = 0; i + l < ts.size(); ++l) out[i + l] = o4[l];
+          }
         }
       },
       plan);

@@ -46,7 +46,8 @@ SamplerPlan ScdfMechanism::MakePlan(double eps) const {
   // q and the plateau mass depend only on eps; resolved once,
   // bit-identical to the scalar path.
   const double q = std::exp(-eps);
-  return ScdfPlan{kDelta, (1.0 - q) / (1.0 + q), 1.0 - q};
+  return ScdfPlan{kDelta, (1.0 - q) / (1.0 + q), 1.0 - q,
+                  std::log1p(-(1.0 - q))};
 }
 
 Result<ConditionalMoments> ScdfMechanism::Moments(double t, double eps) const {

@@ -66,7 +66,8 @@ SamplerPlan StaircaseMechanism::MakePlan(double eps) const {
   const double inner_mass = gamma;
   const double outer_mass = q * (1.0 - gamma);
   return StaircasePlan{kDelta, gamma, 1.0 - q,
-                       inner_mass / (inner_mass + outer_mass)};
+                       inner_mass / (inner_mass + outer_mass),
+                       std::log1p(-(1.0 - q))};
 }
 
 Result<ConditionalMoments> StaircaseMechanism::Moments(double t,

@@ -1,6 +1,10 @@
 #include "protocol/aggregator.h"
 
+#include <algorithm>
 #include <string>
+#include <utility>
+
+#include "common/thread_pool.h"
 
 namespace hdldp {
 namespace protocol {
@@ -107,6 +111,63 @@ Status MeanAggregator::Merge(const MeanAggregator& other) {
     counts_[j] += other.counts_[j];
   }
   return Status::OK();
+}
+
+void MeanAggregator::Reset() {
+  std::fill(sums_.begin(), sums_.end(), NeumaierSum());
+  std::fill(counts_.begin(), counts_.end(), std::int64_t{0});
+}
+
+Result<MeanAggregator> MeanAggregator::ReduceChunks(
+    std::size_t num_dims, const mech::DomainMap& domain_map,
+    std::size_t num_chunks, std::size_t max_concurrency,
+    const std::function<Status(std::size_t chunk, MeanAggregator* scratch)>&
+        simulate_chunk) {
+  HDLDP_ASSIGN_OR_RETURN(MeanAggregator global,
+                         MeanAggregator::Create(num_dims, domain_map));
+  if (num_chunks == 0) return global;
+  // Group geometry is a pure function of num_chunks (determinism).
+  const std::size_t group_size =
+      (num_chunks + kMaxReductionGroups - 1) / kMaxReductionGroups;
+  const std::size_t num_groups = (num_chunks + group_size - 1) / group_size;
+  std::vector<MeanAggregator> group_locals;
+  std::vector<Status> statuses(num_groups);
+  group_locals.reserve(num_groups);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    HDLDP_ASSIGN_OR_RETURN(MeanAggregator local,
+                           MeanAggregator::Create(num_dims, domain_map));
+    group_locals.push_back(std::move(local));
+  }
+  ThreadPool::Shared().ParallelFor(
+      0, num_groups,
+      [&](std::size_t g) {
+        // One scratch per group task, reset between chunks: the live
+        // footprint is num_groups + in-flight scratches, not num_chunks.
+        auto scratch_or = MeanAggregator::Create(num_dims, domain_map);
+        if (!scratch_or.ok()) {
+          statuses[g] = scratch_or.status();
+          return;
+        }
+        MeanAggregator scratch = std::move(scratch_or).value();
+        const std::size_t begin = g * group_size;
+        const std::size_t end = std::min(num_chunks, begin + group_size);
+        for (std::size_t c = begin; c < end; ++c) {
+          scratch.Reset();
+          const Status status = simulate_chunk(c, &scratch);
+          if (!status.ok()) {
+            statuses[g] = status;
+            return;
+          }
+          statuses[g] = group_locals[g].Merge(scratch);
+          if (!statuses[g].ok()) return;
+        }
+      },
+      max_concurrency);
+  for (std::size_t g = 0; g < num_groups; ++g) {
+    HDLDP_RETURN_NOT_OK(statuses[g]);
+    HDLDP_RETURN_NOT_OK(global.Merge(group_locals[g]));
+  }
+  return global;
 }
 
 Status MeanAggregator::SetBiasCorrection(std::vector<double> native_bias) {

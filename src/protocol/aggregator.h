@@ -12,11 +12,13 @@
 #define HDLDP_PROTOCOL_AGGREGATOR_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "common/math.h"
 #include "common/result.h"
+#include "common/status.h"
 #include "mech/mechanism.h"
 #include "protocol/report.h"
 
@@ -66,6 +68,38 @@ class MeanAggregator {
   /// Both aggregators must have the same dimensionality; the bias
   /// correction of *this* aggregator is kept.
   Status Merge(const MeanAggregator& other);
+
+  /// \brief Zeroes all sums and counts (bias correction and domain map
+  /// are kept), so one scratch aggregator can serve many chunks.
+  void Reset();
+
+  /// Upper bound on simultaneously-live partial aggregators in
+  /// ReduceChunks (beyond the per-worker scratch): caps the reduction
+  /// footprint at kMaxReductionGroups * d accumulators no matter how many
+  /// chunks a million-user run splits into.
+  static constexpr std::size_t kMaxReductionGroups = 512;
+
+  /// \brief Deterministic two-level parallel reduction over
+  /// `num_chunks` chunk simulations.
+  ///
+  /// Chunks are assigned to ceil(num_chunks / G) groups of G = ceil(num_
+  /// chunks / kMaxReductionGroups) consecutive chunks — a pure function
+  /// of num_chunks, never of the worker count. Each group runs as one
+  /// ParallelFor task that simulates its chunks *in chunk order* into a
+  /// reused scratch aggregator (`simulate_chunk(c, &scratch)` must fold
+  /// chunk c's reports into the scratch it is given) and merges each
+  /// scratch into the group accumulator; the group accumulators then
+  /// merge in group order. Estimates are therefore identical for every
+  /// `max_concurrency` (0 = one per hardware thread), and for
+  /// num_chunks <= kMaxReductionGroups (G = 1) the merge sequence is
+  /// exactly the flat chunk-order merge of the PR 2 pipeline, bit for
+  /// bit. The first failing chunk's Status is returned (by lowest group;
+  /// later chunks of a failed group are skipped).
+  static Result<MeanAggregator> ReduceChunks(
+      std::size_t num_dims, const mech::DomainMap& domain_map,
+      std::size_t num_chunks, std::size_t max_concurrency,
+      const std::function<Status(std::size_t chunk, MeanAggregator* scratch)>&
+          simulate_chunk);
 
   /// \brief Sets a per-dimension additive bias correction subtracted from
   /// each dimension's native-space mean (the calibration step). Must have

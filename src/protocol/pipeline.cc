@@ -4,7 +4,6 @@
 #include <vector>
 
 #include "common/math.h"
-#include "common/thread_pool.h"
 #include "protocol/aggregator.h"
 #include "protocol/metrics.h"
 
@@ -20,17 +19,10 @@ constexpr std::size_t kBatchUsers = 64;
 
 // Users per chunk. A chunk is the unit of determinism AND of scheduling:
 // chunk c always covers users [c * kUsersPerChunk, ...), always draws
-// from the stream derived from (seed, c), and always reduces into the
-// global aggregator in chunk order — so estimates depend only on (data,
+// from the stream derived from ChunkSeed(seed, c) (common/rng.h), and
+// always reduces in chunk order — so estimates depend only on (data,
 // seed), never on how many workers happened to execute the chunks.
 constexpr std::size_t kUsersPerChunk = 4096;
-
-// Independent stream of chunk `chunk` under `seed`.
-std::uint64_t ChunkSeed(std::uint64_t seed, std::size_t chunk) {
-  std::uint64_t mix =
-      seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(chunk) + 1);
-  return SplitMix64(&mix);
-}
 
 // Simulates users [begin, end) into `aggregator` with the chunk's own
 // stream. `client` is the one validated instance built by
@@ -80,38 +72,24 @@ Result<MeanEstimationResult> RunMeanEstimation(const data::Dataset& dataset,
       const Client client,
       Client::Create(std::move(mechanism), dataset.num_dims(),
                      client_options));
-  HDLDP_ASSIGN_OR_RETURN(
-      MeanAggregator aggregator,
-      MeanAggregator::Create(dataset.num_dims(), client.domain_map()));
-
   const std::size_t num_chunks =
       (dataset.num_users() + kUsersPerChunk - 1) / kUsersPerChunk;
-  std::vector<MeanAggregator> locals;
-  std::vector<Status> statuses(num_chunks);
-  locals.reserve(num_chunks);
-  for (std::size_t c = 0; c < num_chunks; ++c) {
-    HDLDP_ASSIGN_OR_RETURN(
-        MeanAggregator local,
-        MeanAggregator::Create(dataset.num_dims(), client.domain_map()));
-    locals.push_back(std::move(local));
-  }
   const std::size_t workers = std::max<std::size_t>(1, options.num_threads);
-  ThreadPool::Shared().ParallelFor(
-      0, num_chunks,
-      [&](std::size_t c) {
-        const std::size_t begin = c * kUsersPerChunk;
-        const std::size_t end =
-            std::min(dataset.num_users(), begin + kUsersPerChunk);
-        statuses[c] = SimulateChunk(dataset, client, options.seed, c, begin,
-                                    end, &locals[c]);
-      },
-      workers);
-  // Reduce in chunk order: with each chunk's stream fixed by (seed, c),
-  // this makes the estimate identical for every num_threads value.
-  for (std::size_t c = 0; c < num_chunks; ++c) {
-    HDLDP_RETURN_NOT_OK(statuses[c]);
-    HDLDP_RETURN_NOT_OK(aggregator.Merge(locals[c]));
-  }
+  // Two-level chunk reduction: streams fixed by ChunkSeed(seed, c) and a
+  // merge order fixed by the chunk index make the estimate identical for
+  // every num_threads value, while the tree caps live aggregator state
+  // for populations spanning many thousands of chunks.
+  HDLDP_ASSIGN_OR_RETURN(
+      const MeanAggregator aggregator,
+      MeanAggregator::ReduceChunks(
+          dataset.num_dims(), client.domain_map(), num_chunks, workers,
+          [&](std::size_t c, MeanAggregator* scratch) {
+            const std::size_t begin = c * kUsersPerChunk;
+            const std::size_t end =
+                std::min(dataset.num_users(), begin + kUsersPerChunk);
+            return SimulateChunk(dataset, client, options.seed, c, begin, end,
+                                 scratch);
+          }));
 
   MeanEstimationResult result;
   result.estimated_mean = aggregator.EstimatedMean();
