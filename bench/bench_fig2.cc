@@ -20,6 +20,7 @@
 #include "bench_util.h"
 #include "common/rng.h"
 #include "common/stats.h"
+#include "data/generators.h"
 #include "framework/deviation_model.h"
 #include "framework/experiment_runner.h"
 #include "framework/value_distribution.h"
@@ -33,8 +34,13 @@ constexpr std::size_t kDims = 5000;
 constexpr std::size_t kReportDims = 50;
 constexpr double kEpsilon = 1.0;
 
+// Dimensionality of the end-to-end mean-pipeline wall-time cells below:
+// small enough that the materialized dataset stays modest, large enough
+// that m << d keeps the sampled engine path honest.
+constexpr std::size_t kPipelineDims = 500;
+
 void RunMechanism(const std::string& name, std::size_t users,
-                  std::size_t trials) {
+                  std::size_t trials, hdldp::bench::JsonRecord* record) {
   using hdldp::framework::ModelDeviation;
   using hdldp::framework::ValueDistribution;
 
@@ -62,6 +68,7 @@ void RunMechanism(const std::string& name, std::size_t users,
   const double lo = model.deviation.mean - span;
   const double hi = model.deviation.mean + span;
   auto histogram = hdldp::Histogram::Create(lo, hi, 25).value();
+  const hdldp::bench::Stopwatch cell_watch;
   hdldp::framework::ExperimentRunnerOptions runner_options;
   runner_options.seed = 0xF16'2F00 + name.size();
   runner_options.max_workers = hdldp::bench::MaxWorkers();
@@ -78,6 +85,12 @@ void RunMechanism(const std::string& name, std::size_t users,
       },
       [&](double deviation) { histogram.Add(deviation); });
 
+  record->NewCell();
+  record->Cell("kind", std::string("fig2_trials"));
+  record->Cell("mechanism", name);
+  record->Cell("trials", trials);
+  record->Cell("seconds", cell_watch.Seconds());
+
   std::printf("--- %s (CLT model: delta=%.4g, sigma=%.4g) ---\n",
               name.c_str(), model.deviation.mean, model.deviation.stddev);
   std::printf("%14s %14s %14s\n", "deviation", "pdf(CLT)", "pdf(experiment)");
@@ -85,6 +98,50 @@ void RunMechanism(const std::string& name, std::size_t users,
     const double x = histogram.BinCenter(b);
     std::printf("%14.5g %14.5g %14.5g\n", x, model.deviation.Pdf(x),
                 histogram.DensityAt(b));
+  }
+  std::printf("\n");
+}
+
+// End-to-end RunMeanEstimation wall time per mechanism (the engine's
+// lane-parallel chunk pipeline): the record these cells feed is what
+// tracks the mean-path perf trajectory across PRs, next to bench_freq's.
+// Both engine paths are recorded — the dense m == d driver (where the
+// lane speedup lives) and the sampled m < d driver (dimension-sampling
+// bound) — so a regression of either is visible in BENCH_records.
+void RunMeanPipeline(std::size_t users, hdldp::bench::JsonRecord* record) {
+  hdldp::Rng data_rng(0xF16'2D00);
+  const auto dataset =
+      hdldp::data::GenerateUniform(
+          {.num_users = users, .num_dims = kPipelineDims}, &data_rng)
+          .value();
+  std::printf("--- end-to-end mean pipeline (n=%zu, d=%zu, kV2Lanes) ---\n",
+              users, kPipelineDims);
+  std::printf("%-12s %6s %12s %14s\n", "mechanism", "m", "wall (s)",
+              "naive-MSE");
+  for (const auto name :
+       {"laplace", "piecewise", "square_wave", "staircase", "scdf"}) {
+    const auto mechanism = hdldp::mech::MakeMechanism(name).value();
+    for (const std::size_t m : {kReportDims, std::size_t{0}}) {
+      hdldp::protocol::PipelineOptions opts;
+      opts.total_epsilon = kEpsilon;
+      opts.report_dims = m;
+      opts.seed = 0xF16'2;
+      opts.num_threads = hdldp::bench::MaxWorkers();
+      const hdldp::bench::Stopwatch watch;
+      const auto run =
+          hdldp::protocol::RunMeanEstimation(dataset, mechanism, opts)
+              .value();
+      const double seconds = watch.Seconds();
+      const std::size_t effective_m = m == 0 ? kPipelineDims : m;
+      std::printf("%-12s %6zu %12.3f %14.5g\n", name, effective_m, seconds,
+                  run.mse);
+      record->NewCell();
+      record->Cell("kind", std::string("mean_pipeline"));
+      record->Cell("mechanism", std::string(name));
+      record->Cell("report_dims", effective_m);
+      record->Cell("seconds", seconds);
+      record->Cell("mse", run.mse);
+    }
   }
   std::printf("\n");
 }
@@ -98,8 +155,19 @@ int main() {
   const std::size_t users = hdldp::bench::ScaledUsers(kPaperUsers);
   const std::size_t trials = hdldp::bench::Repeats() * 100;
   std::printf("effective   : n=%zu, trials=%zu\n\n", users, trials);
+  hdldp::bench::JsonRecord record("bench_fig2");
+  record.Meta("users", users);
+  record.Meta("trials", trials);
+  const hdldp::bench::Stopwatch watch;
   for (const auto name : {"laplace", "piecewise", "square_wave"}) {
-    RunMechanism(name, users, trials);
+    RunMechanism(name, users, trials, &record);
   }
+  RunMeanPipeline(users, &record);
+  const double total_seconds = watch.Seconds();
+  std::printf("end-to-end wall time: %.3f s\n", total_seconds);
+  record.Meta("wall_seconds", total_seconds);
+  // Machine-readable record: BENCH_mean.json in the CI BENCH_records
+  // artifact (same HDLDP_BENCH_JSON convention as bench_freq).
+  record.WriteIfRequested();
   return 0;
 }

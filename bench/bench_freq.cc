@@ -22,50 +22,8 @@ namespace {
 constexpr std::size_t kPaperUsers = 100000;
 constexpr std::size_t kDims = 20;  // Categorical dimensions.
 
-// One JSON row per (cardinality, mechanism, eps) cell for the
-// HDLDP_BENCH_JSON record (mirrors the BENCH_micro.json CI artifact).
-struct JsonRow {
-  std::size_t cardinality = 0;
-  std::string mechanism;
-  double eps = 0.0;
-  double seconds = 0.0;
-  double mse_raw = 0.0;
-  double mse_recalibrated = 0.0;
-};
-
-std::vector<JsonRow>& JsonRows() {
-  static std::vector<JsonRow> rows;
-  return rows;
-}
-
-void WriteJson(const char* path, double total_seconds, std::size_t users,
-               std::size_t repeats) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "bench_freq: cannot write %s\n", path);
-    return;
-  }
-  std::fprintf(f,
-               "{\n  \"benchmark\": \"bench_freq\",\n"
-               "  \"users\": %zu,\n  \"repeats\": %zu,\n"
-               "  \"wall_seconds\": %.6f,\n  \"cells\": [\n",
-               users, repeats, total_seconds);
-  const auto& rows = JsonRows();
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::fprintf(f,
-                 "    {\"cardinality\": %zu, \"mechanism\": \"%s\", "
-                 "\"eps\": %g, \"seconds\": %.6f, \"mse_raw\": %.6g, "
-                 "\"mse_recalibrated\": %.6g}%s\n",
-                 rows[i].cardinality, rows[i].mechanism.c_str(), rows[i].eps,
-                 rows[i].seconds, rows[i].mse_raw, rows[i].mse_recalibrated,
-                 i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-}
-
 void RunCardinality(std::size_t users, std::size_t cardinality,
-                    std::size_t repeats) {
+                    std::size_t repeats, hdldp::bench::JsonRecord* record) {
   const auto schema = hdldp::freq::CategoricalSchema::Create(
                           std::vector<std::size_t>(kDims, cardinality))
                           .value();
@@ -116,8 +74,13 @@ void RunCardinality(std::size_t users, std::size_t cardinality,
       recal /= static_cast<double>(repeats);
       std::printf("%-12s %8g %14.5g %14.5g %9.2fx\n", mech_name, eps, raw,
                   recal, raw / recal);
-      JsonRows().push_back({cardinality, mech_name, eps, cell_watch.Seconds(),
-                            raw, recal});
+      record->NewCell();
+      record->Cell("cardinality", cardinality);
+      record->Cell("mechanism", std::string(mech_name));
+      record->Cell("eps", eps);
+      record->Cell("seconds", cell_watch.Seconds());
+      record->Cell("mse_raw", raw);
+      record->Cell("mse_recalibrated", recal);
     }
   }
   std::printf("\n");
@@ -131,15 +94,17 @@ int main() {
       "n=100,000 users, 20 categorical dims, Zipf(1.2) categories");
   const std::size_t users = hdldp::bench::ScaledUsers(kPaperUsers);
   const std::size_t repeats = hdldp::bench::Repeats();
+  hdldp::bench::JsonRecord record("bench_freq");
+  record.Meta("users", users);
+  record.Meta("repeats", repeats);
   const hdldp::bench::Stopwatch watch;
   for (const std::size_t cardinality : {4u, 16u}) {
-    RunCardinality(users, cardinality, repeats);
+    RunCardinality(users, cardinality, repeats, &record);
   }
   const double total_seconds = watch.Seconds();
   std::printf("end-to-end wall time: %.3f s\n", total_seconds);
   // Machine-readable record (CI uploads it next to BENCH_micro.json).
-  if (const char* json_path = std::getenv("HDLDP_BENCH_JSON")) {
-    WriteJson(json_path, total_seconds, users, repeats);
-  }
+  record.Meta("wall_seconds", total_seconds);
+  record.WriteIfRequested();
   return 0;
 }

@@ -66,7 +66,10 @@ void BM_PerturbPlan(benchmark::State& state, const char* name, double eps) {
 // Lane-parallel sampling throughput: the same prepared plan driven by
 // the 4-wide lane generator (v2 stream contract) over a resident span.
 // The ratio to BM_PerturbPlan is the per-mechanism lane speedup tracked
-// in BENCH_micro.json.
+// in BENCH_micro.json. The hybrid rows also pin the shared-round draw
+// layout (2 lane rounds per value instead of the original 3; the mixture
+// coin doubles as the component coin via threshold folding) — a
+// regression back to 3 rounds shows up here as a ~25% throughput drop.
 void BM_PerturbLanes(benchmark::State& state, const char* name, double eps) {
   const auto mechanism = hdldp::mech::MakeMechanism(name).value();
   const hdldp::mech::SamplerPlan plan = mechanism->MakePlan(eps);
@@ -314,11 +317,12 @@ void BM_IngestPlan(benchmark::State& state, const char* name) {
 }
 
 void BM_IngestLanes(benchmark::State& state, const char* name) {
-  // The v2 lane ingestion path (what the frequency pipeline runs per
-  // chunk): one prepared plan, the whole block gathered through the
-  // domain map and perturbed as a single lane span, ConsumeDense folding
-  // complete rows. Pinned against BM_IngestPlan (the PR 2 plan path) for
-  // the per-mechanism lane speedup.
+  // The v2 lane ingestion path (what engine::ChunkedEstimation's dense
+  // driver runs per chunk for both the mean and frequency pipelines):
+  // one prepared plan, the whole block gathered through the domain map
+  // and perturbed as a single lane span, ConsumeDense folding complete
+  // rows. Pinned against BM_IngestPlan (the PR 2 plan path) for the
+  // per-mechanism lane speedup.
   const auto mechanism = hdldp::mech::MakeMechanism(name).value();
   hdldp::protocol::ClientOptions opts;
   const auto client =

@@ -23,6 +23,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 namespace hdldp {
 namespace bench {
@@ -77,6 +78,96 @@ class Stopwatch {
 
  private:
   std::chrono::steady_clock::time_point start_;
+};
+
+/// \brief Machine-readable benchmark record, shared by every bench that
+/// contributes to the BENCH_records CI artifact (bench_fig2 ->
+/// BENCH_mean.json, bench_freq -> BENCH_freq.json, ...).
+///
+/// One top-level object of scalar metadata fields plus a "cells" array of
+/// flat objects — build it as the bench runs, then WriteIfRequested()
+/// writes it to the HDLDP_BENCH_JSON path (a silent no-op when the
+/// variable is unset, so interactive runs pay nothing).
+class JsonRecord {
+ public:
+  explicit JsonRecord(const std::string& benchmark) {
+    Meta("benchmark", benchmark);
+  }
+
+  /// Adds a top-level metadata field.
+  void Meta(const std::string& key, const std::string& value) {
+    meta_.push_back(Quote(key) + ": " + Quote(value));
+  }
+  void Meta(const std::string& key, double value) {
+    meta_.push_back(Quote(key) + ": " + Number(value));
+  }
+  void Meta(const std::string& key, std::size_t value) {
+    meta_.push_back(Quote(key) + ": " + std::to_string(value));
+  }
+
+  /// Starts a new cell; subsequent Cell() calls populate it. A Cell()
+  /// call with no open cell opens one, so the first cell's NewCell() is
+  /// optional.
+  void NewCell() { cells_.emplace_back(); }
+  void Cell(const std::string& key, const std::string& value) {
+    OpenCell().push_back(Quote(key) + ": " + Quote(value));
+  }
+  void Cell(const std::string& key, double value) {
+    OpenCell().push_back(Quote(key) + ": " + Number(value));
+  }
+  void Cell(const std::string& key, std::size_t value) {
+    OpenCell().push_back(Quote(key) + ": " + std::to_string(value));
+  }
+
+  /// Writes the record to $HDLDP_BENCH_JSON if set. Returns whether a
+  /// file was written (failures print to stderr and return false).
+  bool WriteIfRequested() const {
+    const char* path = std::getenv("HDLDP_BENCH_JSON");
+    if (path == nullptr) return false;
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path);
+      return false;
+    }
+    std::fprintf(f, "{\n");
+    for (const std::string& field : meta_) {
+      std::fprintf(f, "  %s,\n", field.c_str());
+    }
+    std::fprintf(f, "  \"cells\": [\n");
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      std::string row;
+      for (std::size_t k = 0; k < cells_[i].size(); ++k) {
+        row += (k == 0 ? "" : ", ") + cells_[i][k];
+      }
+      std::fprintf(f, "    {%s}%s\n", row.c_str(),
+                   i + 1 < cells_.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+  }
+
+ private:
+  static std::string Quote(const std::string& s) {
+    std::string quoted = "\"";
+    for (const char c : s) {
+      if (c == '"' || c == '\\') quoted += '\\';
+      quoted += c;
+    }
+    return quoted + "\"";
+  }
+  static std::string Number(double v) {
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+    return buffer;
+  }
+  std::vector<std::string>& OpenCell() {
+    if (cells_.empty()) cells_.emplace_back();
+    return cells_.back();
+  }
+
+  std::vector<std::string> meta_;
+  std::vector<std::vector<std::string>> cells_;
 };
 
 }  // namespace bench

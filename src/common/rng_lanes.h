@@ -17,19 +17,30 @@
 //              scheme (the frequency pipeline unconditionally; the mean
 //              pipeline for populations up to
 //              MeanAggregator::kMaxReductionGroups x 4096 users — about
-//              2.1M — beyond which the PR 3 two-level reduction tree,
-//              not the RNG streams, re-associates the compensated merge
-//              and may move low-order bits).
+//              2.1M — beyond which the two-level reduction tree, not the
+//              RNG streams, re-associates the compensated merge and may
+//              move low-order bits).
 //   kV2Lanes   four lane streams per 4096-user chunk, seeded
 //              LaneSeed(ChunkSeed(seed, chunk), lane); uniforms carry 52
 //              random bits (the widest exact uint64->double move that
 //              vectorizes) and log transforms use lanes::Log4. Outputs
 //              are a pure function of (data, seed): independent of the
 //              thread count AND of whether the binary was built with
-//              SIMD.
+//              SIMD. The default of both estimation pipelines
+//              (engine::ChunkedEstimation drives the chunk/lane/reduce
+//              orchestration for mean and frequency alike).
 //
 // A seed value means different draws under the two schemes by design;
 // what each scheme guarantees is that its own outputs never change.
+// (One recorded exception: the Hybrid lane body's draw layout was
+// re-specified from three rounds to the shared-coin two-round form one
+// PR after kV2Lanes shipped, before any recorded v2 hybrid runs
+// existed; the re-recorded goldens in tests/test_rng_lanes.cc freeze
+// the layout from that point on.)
+// Note the lane count is part of the v2 stream layout: value base + l of
+// each 4-value group draws from lane l, so widening to 8 lanes (AVX-512)
+// cannot reuse this contract — it would be a kV3 scheme with its own
+// golden streams, selected the same way v1 stays selectable today.
 
 #ifndef HDLDP_COMMON_RNG_LANES_H_
 #define HDLDP_COMMON_RNG_LANES_H_

@@ -1,0 +1,29 @@
+#include "engine/chunked_estimation.h"
+
+namespace hdldp {
+namespace engine {
+
+ChunkedEstimation::ChunkedEstimation(std::size_t num_users,
+                                     const EngineOptions& options)
+    : num_users_(num_users),
+      num_chunks_((num_users + kUsersPerChunk - 1) / kUsersPerChunk),
+      options_(options) {}
+
+ChunkRange ChunkedEstimation::Range(std::size_t c) const {
+  ChunkRange range;
+  range.chunk = c;
+  range.begin = c * kUsersPerChunk;
+  range.end = std::min(num_users_, range.begin + kUsersPerChunk);
+  range.chunk_seed = ChunkSeed(options_.seed, c);
+  return range;
+}
+
+Rng ChunkedEstimation::DimSamplerStream(const ChunkRange& range) const {
+  // Fixed mix keeps the dimension-sampler stream decorrelated from the
+  // chunk's lane streams (which also derive from chunk_seed).
+  std::uint64_t mix = range.chunk_seed + 0x517cc1b727220a95ULL;
+  return Rng(SplitMix64(&mix));
+}
+
+}  // namespace engine
+}  // namespace hdldp

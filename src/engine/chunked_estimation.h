@@ -1,0 +1,213 @@
+// engine::ChunkedEstimation — the unified lane-parallel estimation core.
+//
+// Every streaming-aggregation pipeline in hdldp (mean estimation over
+// numerical tuples, frequency estimation over one-hot encodings, and any
+// future workload) shares the same skeleton:
+//
+//   1. decompose the population into fixed 4096-user chunks,
+//   2. derive each chunk's random streams from (seed, chunk) — and, under
+//      SeedScheme::kV2Lanes, the four lane streams from
+//      (seed, chunk, lane) — so draws never depend on scheduling,
+//   3. perturb each chunk's values through one prepared mech::SamplerPlan
+//      (dense whole-row spans when every dimension is reported, per-user
+//      gathered spans when m < d),
+//   4. reduce the per-chunk partial aggregates through a deterministic
+//      two-level tree (engine/reduce.h).
+//
+// Only step 3's per-value body differs between workloads. This class owns
+// steps 1, 2 and 4 outright and drives step 3 through small workload
+// callbacks, so a pipeline is a thin config: what a user row looks like
+// in the mechanism's native domain, and nothing else. protocol/
+// pipeline.cc and freq/pipeline.cc are the two instantiations.
+//
+// Determinism contract: for a fixed (data, seed, seed_scheme), estimates
+// are bit-identical for every num_threads value and across SIMD-vs-scalar
+// builds (the lane kernels are exactly rounded; see common/rng_lanes.h
+// for the full v1/v2 stream contract).
+
+#ifndef HDLDP_ENGINE_CHUNKED_ESTIMATION_H_
+#define HDLDP_ENGINE_CHUNKED_ESTIMATION_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/rng_lanes.h"
+#include "common/status.h"
+#include "engine/reduce.h"
+#include "mech/plan.h"
+
+namespace hdldp {
+namespace engine {
+
+/// Users per chunk. A chunk is the unit of determinism AND of scheduling:
+/// chunk c always covers users [c * kUsersPerChunk, ...), always draws
+/// from the streams derived from ChunkSeed(seed, c), and always reduces
+/// in chunk order — so estimates depend only on (data, seed), never on
+/// how many workers happened to execute the chunks.
+inline constexpr std::size_t kUsersPerChunk = 4096;
+
+/// Entry budget of the per-block perturbation buffers in the dense
+/// driver: blocks of ~this many expanded entries amortize the per-span
+/// variant visit while staying cache-resident even for wide rows.
+inline constexpr std::size_t kEntriesPerBlock = 16384;
+
+/// \brief Configuration shared by every chunked estimation run.
+struct EngineOptions {
+  /// Seed of the run; all chunk streams derive from it.
+  std::uint64_t seed = 1;
+  /// RNG stream contract of the run (see common/rng_lanes.h), the
+  /// single source a workload body dispatches on (via
+  /// ChunkedEstimation::options()): the engine's lane drivers implement
+  /// kV2Lanes, while pipelines keep their own frozen kV1Scalar bodies
+  /// (on ScalarStream) for pre-lane-era reproducibility.
+  SeedScheme seed_scheme = SeedScheme::kV2Lanes;
+  /// Maximum worker threads simulating chunks concurrently on the shared
+  /// ThreadPool (0 = one per hardware thread). Affects wall-clock time
+  /// only, never the estimates.
+  std::size_t num_threads = 1;
+};
+
+/// \brief One chunk of the schedule: its index, user range and stream
+/// seed. A pure function of (num_users, seed, chunk).
+struct ChunkRange {
+  std::size_t chunk = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  std::uint64_t chunk_seed = 0;
+
+  std::size_t num_users() const { return end - begin; }
+};
+
+/// \brief Chunk scheduling, stream seeding, plan dispatch and reduction
+/// for one estimation run. Cheap value type; thread-compatible (all
+/// methods are const and allocate their own scratch).
+class ChunkedEstimation {
+ public:
+  ChunkedEstimation(std::size_t num_users, const EngineOptions& options);
+
+  std::size_t num_users() const { return num_users_; }
+  std::size_t num_chunks() const { return num_chunks_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// User range and stream seed of chunk c.
+  ChunkRange Range(std::size_t c) const;
+
+  /// \brief The chunk's four perturbation lane streams (kV2Lanes): lane l
+  /// is exactly Rng(LaneSeed(ChunkSeed(seed, chunk), l)).
+  RngLanes LaneStreams(const ChunkRange& range) const {
+    return RngLanes(range.chunk_seed);
+  }
+
+  /// \brief The chunk's single scalar stream (kV1Scalar legacy bodies).
+  Rng ScalarStream(const ChunkRange& range) const {
+    return Rng(range.chunk_seed);
+  }
+
+  /// \brief Independent stream for the dimension-sampling draws of a
+  /// chunk (m < d only): keeps the lane streams purely for perturbation
+  /// draws, so the entry streams stay aligned to groups of four
+  /// regardless of m.
+  Rng DimSamplerStream(const ChunkRange& range) const;
+
+  /// \brief Runs `body(range, scratch)` for every chunk and reduces the
+  /// scratches through the deterministic two-level tree (engine/
+  /// reduce.h), bounded by options().num_threads workers. `make_acc` is
+  /// `() -> Result<Acc>`; `body` is `(const ChunkRange&, Acc*) -> Status`
+  /// and may run concurrently across chunks (scratches are per-worker).
+  template <typename Acc, typename MakeAcc, typename Body>
+  Result<Acc> Reduce(MakeAcc&& make_acc, Body&& body) const {
+    return ReduceChunks<Acc>(
+        num_chunks_, options_.num_threads, std::forward<MakeAcc>(make_acc),
+        [this, &body](std::size_t c, Acc* scratch) {
+          return body(Range(c), scratch);
+        });
+  }
+
+  /// \brief Dense per-chunk driver (every dimension reported): streams
+  /// the chunk's users through `plan` on the chunk's lane generator in
+  /// blocks of ~kEntriesPerBlock entries and folds complete expanded
+  /// rows via `agg->ConsumeDense`.
+  ///
+  /// `fill(user_begin, block_users, natives)` must write the native-
+  /// domain inputs of users [user_begin, user_begin + block_users) into
+  /// the first block_users * row_width entries of `natives`. The buffer
+  /// is allocated once per chunk, initialized to `native_fill`, and
+  /// handed back to `fill` un-reset across blocks — a fill callback that
+  /// only touches a sparse subset of entries (e.g. one-hot encodings) can
+  /// un-set the previous block's writes instead of re-initializing the
+  /// whole buffer.
+  template <typename Agg, typename FillBlock>
+  Status PerturbDenseChunk(const mech::SamplerPlan& plan,
+                           const ChunkRange& range, std::size_t row_width,
+                           double native_fill, Agg* agg,
+                           FillBlock&& fill) const {
+    const std::size_t block_users =
+        std::max<std::size_t>(1, kEntriesPerBlock / row_width);
+    RngLanes lanes = LaneStreams(range);
+    std::vector<double> natives(block_users * row_width, native_fill);
+    std::vector<double> perturbed(block_users * row_width);
+    for (std::size_t i = range.begin; i < range.end; i += block_users) {
+      const std::size_t block = std::min(block_users, range.end - i);
+      fill(i, block, std::span<double>(natives));
+      const std::span<const double> in =
+          std::span<const double>(natives).first(block * row_width);
+      const std::span<double> out =
+          std::span<double>(perturbed).first(block * row_width);
+      mech::PerturbLanes(plan, in, &lanes, out);
+      HDLDP_RETURN_NOT_OK(agg->ConsumeDense(out));
+    }
+    return Status::OK();
+  }
+
+  /// \brief Sampled per-chunk driver (m < num_dims): per user, the
+  /// chunk's dimension-sampler stream picks the m dimensions, the
+  /// workload expands them into (entry index, native value) pairs, and
+  /// the user's entries stream through `plan` as one lane span into
+  /// `agg->ConsumeBatch`.
+  ///
+  /// `expand(user, dim, entry_indices, natives)` is called once per
+  /// sampled dimension, in the sampler's draw order, and must append the
+  /// dimension's expanded entries to both vectors (one entry for a
+  /// numerical dimension, Cardinality(dim) entries for a one-hot one).
+  template <typename Agg, typename ExpandDim>
+  Status PerturbSampledChunk(const mech::SamplerPlan& plan,
+                             const ChunkRange& range, std::size_t num_dims,
+                             std::size_t report_dims, Agg* agg,
+                             ExpandDim&& expand) const {
+    RngLanes lanes = LaneStreams(range);
+    Rng dims_rng = DimSamplerStream(range);
+    std::vector<std::uint32_t> sampled;
+    std::vector<std::uint32_t> entry_indices;
+    std::vector<double> natives;
+    std::vector<double> perturbed;
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      sampled.clear();
+      dims_rng.SampleWithoutReplacement(num_dims, report_dims, &sampled);
+      entry_indices.clear();
+      natives.clear();
+      for (const std::uint32_t j : sampled) {
+        expand(i, j, &entry_indices, &natives);
+      }
+      perturbed.resize(natives.size());
+      mech::PerturbLanes(plan, natives, &lanes, perturbed);
+      HDLDP_RETURN_NOT_OK(agg->ConsumeBatch(entry_indices, perturbed));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::size_t num_users_;
+  std::size_t num_chunks_;
+  EngineOptions options_;
+};
+
+}  // namespace engine
+}  // namespace hdldp
+
+#endif  // HDLDP_ENGINE_CHUNKED_ESTIMATION_H_

@@ -1,0 +1,121 @@
+// Deterministic two-level chunk reduction: the shared merge core of every
+// chunked estimation pipeline (mean, frequency, and whatever workload
+// comes next).
+//
+// A population is decomposed into fixed-size user chunks (see
+// chunked_estimation.h for the geometry); each chunk folds its reports
+// into a scratch accumulator and the scratches merge through a two-level
+// tree whose shape is a pure function of the chunk count — never of the
+// worker count. That is what makes estimates identical for every
+// max_concurrency value while capping the live reduction footprint at
+// kMaxReductionGroups accumulators no matter how many chunks a
+// million-user run splits into.
+
+#ifndef HDLDP_ENGINE_REDUCE_H_
+#define HDLDP_ENGINE_REDUCE_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+
+namespace hdldp {
+namespace engine {
+
+/// Upper bound on simultaneously-live partial accumulators in
+/// ReduceChunks (beyond the per-worker scratch).
+inline constexpr std::size_t kMaxReductionGroups = 512;
+
+/// \brief Shape of the two-level reduction: chunks are assigned to
+/// `num_groups` groups of `group_size` consecutive chunks.
+struct ReductionGeometry {
+  std::size_t group_size = 1;
+  std::size_t num_groups = 0;
+};
+
+/// \brief Group geometry for `num_chunks` chunks — a pure function of the
+/// chunk count (determinism), with num_groups <= kMaxReductionGroups.
+/// For num_chunks <= kMaxReductionGroups every group holds one chunk, so
+/// the merge sequence degenerates to the flat chunk-order merge of the
+/// PR 2 pipelines, bit for bit.
+inline ReductionGeometry GroupGeometry(std::size_t num_chunks) {
+  ReductionGeometry geometry;
+  if (num_chunks == 0) return geometry;
+  geometry.group_size =
+      (num_chunks + kMaxReductionGroups - 1) / kMaxReductionGroups;
+  geometry.num_groups =
+      (num_chunks + geometry.group_size - 1) / geometry.group_size;
+  return geometry;
+}
+
+/// \brief Deterministic two-level parallel reduction over `num_chunks`
+/// chunk simulations, generic over the accumulator type.
+///
+/// `Acc` must provide `void Reset()` and `Status Merge(const Acc&)`.
+/// `make_acc` is `() -> Result<Acc>` and may be invoked concurrently from
+/// worker threads (one global, one per group, one scratch per in-flight
+/// group task). `body` is `(std::size_t chunk, Acc*) -> Status` and must
+/// fold chunk c's reports into the scratch it is given; it runs once per
+/// chunk, chunks of a group strictly in chunk order.
+///
+/// Each group runs as one ParallelFor task on the shared pool that
+/// simulates its chunks in chunk order into a reused scratch and merges
+/// each scratch into the group accumulator; the group accumulators then
+/// merge in group order. Estimates are therefore identical for every
+/// `max_concurrency` (0 = one per hardware thread). The first failing
+/// chunk's Status is returned (by lowest group; later chunks of a failed
+/// group are skipped).
+template <typename Acc, typename MakeAcc, typename Body>
+Result<Acc> ReduceChunks(std::size_t num_chunks, std::size_t max_concurrency,
+                         MakeAcc&& make_acc, Body&& body) {
+  HDLDP_ASSIGN_OR_RETURN(Acc global, make_acc());
+  if (num_chunks == 0) return global;
+  const ReductionGeometry geometry = GroupGeometry(num_chunks);
+  std::vector<Acc> group_locals;
+  std::vector<Status> statuses(geometry.num_groups);
+  group_locals.reserve(geometry.num_groups);
+  for (std::size_t g = 0; g < geometry.num_groups; ++g) {
+    HDLDP_ASSIGN_OR_RETURN(Acc local, make_acc());
+    group_locals.push_back(std::move(local));
+  }
+  ThreadPool::Shared().ParallelFor(
+      0, geometry.num_groups,
+      [&](std::size_t g) {
+        // One scratch per group task, reset between chunks: the live
+        // footprint is num_groups + in-flight scratches, not num_chunks.
+        auto scratch_or = make_acc();
+        if (!scratch_or.ok()) {
+          statuses[g] = scratch_or.status();
+          return;
+        }
+        Acc scratch = std::move(scratch_or).value();
+        const std::size_t begin = g * geometry.group_size;
+        const std::size_t end =
+            std::min(num_chunks, begin + geometry.group_size);
+        for (std::size_t c = begin; c < end; ++c) {
+          scratch.Reset();
+          const Status status = body(c, &scratch);
+          if (!status.ok()) {
+            statuses[g] = status;
+            return;
+          }
+          statuses[g] = group_locals[g].Merge(scratch);
+          if (!statuses[g].ok()) return;
+        }
+      },
+      max_concurrency);
+  for (std::size_t g = 0; g < geometry.num_groups; ++g) {
+    HDLDP_RETURN_NOT_OK(statuses[g]);
+    HDLDP_RETURN_NOT_OK(global.Merge(group_locals[g]));
+  }
+  return global;
+}
+
+}  // namespace engine
+}  // namespace hdldp
+
+#endif  // HDLDP_ENGINE_REDUCE_H_

@@ -6,8 +6,7 @@
 
 #include "common/math.h"
 #include "common/rng.h"
-#include "common/rng_lanes.h"
-#include "common/thread_pool.h"
+#include "engine/chunked_estimation.h"
 #include "framework/deviation_model.h"
 #include "mech/plan.h"
 #include "protocol/aggregator.h"
@@ -18,26 +17,6 @@ namespace hdldp {
 namespace freq {
 
 namespace {
-
-// Users per deterministic chunk under SeedScheme::kV2Lanes: chunk c
-// always covers users [c * kUsersPerChunk, ...), always draws from the
-// four lane streams of ChunkSeed(seed, c), and always reduces in chunk
-// order, so estimates depend only on (data, seed) — never on the worker
-// count or on whether the build has SIMD.
-constexpr std::size_t kUsersPerChunk = 4096;
-
-// Entry budget of the per-user-block perturbation buffers: blocks of
-// ~this many expanded entries amortize the per-span variant visit while
-// staying cache-resident even for wide schemas.
-constexpr std::size_t kEntriesPerBlock = 16384;
-
-// Independent stream for the dimension-sampling draws of a chunk (m < d
-// only): keeps the lane streams purely for perturbation draws, so the
-// entry streams stay aligned to groups of four regardless of m.
-std::uint64_t DimSamplerSeed(std::uint64_t chunk_seed) {
-  std::uint64_t mix = chunk_seed + 0x517cc1b727220a95ULL;
-  return SplitMix64(&mix);
-}
 
 // Flattens per-dimension frequency vectors into the expanded entry space.
 std::vector<double> Flatten(const std::vector<std::vector<double>>& nested) {
@@ -108,90 +87,6 @@ void IngestV1Scalar(const CategoricalDataset& dataset,
   }
 }
 
-// One kV2Lanes chunk with every dimension reported (m == d): users fill
-// dense one-hot blocks (all entries native-zero except each dimension's
-// category), the whole block streams through the prepared plan on the
-// chunk's lane generator, and ConsumeDense folds complete expanded rows.
-Status SimulateDenseChunk(const CategoricalDataset& dataset,
-                          const mech::SamplerPlan& plan,
-                          double native_zero, double native_one,
-                          std::uint64_t seed, std::size_t chunk,
-                          std::size_t begin, std::size_t end,
-                          protocol::MeanAggregator* aggregator) {
-  const CategoricalSchema& schema = dataset.schema();
-  const std::size_t d = schema.num_dims();
-  const std::size_t entries = schema.total_entries();
-  const std::size_t block_users =
-      std::max<std::size_t>(1, kEntriesPerBlock / entries);
-  RngLanes lanes(ChunkSeed(seed, chunk));
-  std::vector<double> natives(block_users * entries, native_zero);
-  std::vector<double> perturbed(block_users * entries);
-  for (std::size_t i = begin; i < end; i += block_users) {
-    const std::size_t block = std::min(block_users, end - i);
-    // Set each user's d one-hot entries, perturb, then un-set them — far
-    // cheaper than refilling the whole block buffer with native_zero.
-    for (std::size_t u = 0; u < block; ++u) {
-      double* row = natives.data() + u * entries;
-      for (std::size_t j = 0; j < d; ++j) {
-        row[schema.EntryOffset(j) + dataset.At(i + u, j)] = native_one;
-      }
-    }
-    const std::span<const double> in =
-        std::span<const double>(natives).first(block * entries);
-    const std::span<double> out =
-        std::span<double>(perturbed).first(block * entries);
-    PerturbLanes(plan, in, &lanes, out);
-    HDLDP_RETURN_NOT_OK(aggregator->ConsumeDense(out));
-    for (std::size_t u = 0; u < block; ++u) {
-      double* row = natives.data() + u * entries;
-      for (std::size_t j = 0; j < d; ++j) {
-        row[schema.EntryOffset(j) + dataset.At(i + u, j)] = native_zero;
-      }
-    }
-  }
-  return Status::OK();
-}
-
-// One kV2Lanes chunk with dimension sampling (m < d): per user, the
-// chunk's dimension-sampler stream picks the m dimensions, their one-hot
-// entries stream through the plan as one lane span, and ConsumeBatch
-// folds (entry index, value) pairs.
-Status SimulateSampledChunk(const CategoricalDataset& dataset,
-                            const mech::SamplerPlan& plan,
-                            double native_zero, double native_one,
-                            std::size_t m, std::uint64_t seed,
-                            std::size_t chunk, std::size_t begin,
-                            std::size_t end,
-                            protocol::MeanAggregator* aggregator) {
-  const CategoricalSchema& schema = dataset.schema();
-  const std::size_t d = schema.num_dims();
-  const std::uint64_t chunk_seed = ChunkSeed(seed, chunk);
-  RngLanes lanes(chunk_seed);
-  Rng dims_rng(DimSamplerSeed(chunk_seed));
-  std::vector<std::uint32_t> sampled;
-  std::vector<std::uint32_t> entry_indices;
-  std::vector<double> natives;
-  std::vector<double> perturbed;
-  for (std::size_t i = begin; i < end; ++i) {
-    sampled.clear();
-    dims_rng.SampleWithoutReplacement(d, m, &sampled);
-    entry_indices.clear();
-    natives.clear();
-    for (const std::uint32_t j : sampled) {
-      const std::size_t off = schema.EntryOffset(j);
-      const std::uint32_t category = dataset.At(i, j);
-      for (std::size_t k = 0; k < schema.Cardinality(j); ++k) {
-        entry_indices.push_back(static_cast<std::uint32_t>(off + k));
-        natives.push_back(k == category ? native_one : native_zero);
-      }
-    }
-    perturbed.resize(natives.size());
-    PerturbLanes(plan, natives, &lanes, perturbed);
-    HDLDP_RETURN_NOT_OK(aggregator->ConsumeBatch(entry_indices, perturbed));
-  }
-  return Status::OK();
-}
-
 }  // namespace
 
 Result<FrequencyEstimationResult> RunFrequencyEstimation(
@@ -236,28 +131,69 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
       }
     }
   } else {
-    // kV2Lanes: prepared plan + lane streams + deterministic chunk tree.
+    // kV2Lanes: the engine owns chunk geometry, (seed, chunk, lane)
+    // stream seeding, plan dispatch and the deterministic reduction tree;
+    // the lambdas below only define the one-hot encoding of a user row.
     const mech::SamplerPlan plan = mechanism->MakePlan(per_entry_eps);
     const double native_zero = map.Forward(0.0);
     const double native_one = map.Forward(1.0);
-    const std::size_t num_chunks =
-        (dataset.num_users() + kUsersPerChunk - 1) / kUsersPerChunk;
+    engine::EngineOptions engine_options;
+    engine_options.seed = options.seed;
+    engine_options.seed_scheme = options.seed_scheme;
+    engine_options.num_threads = options.num_threads;
+    const engine::ChunkedEstimation core(dataset.num_users(), engine_options);
     HDLDP_ASSIGN_OR_RETURN(
         const protocol::MeanAggregator aggregator,
-        protocol::MeanAggregator::ReduceChunks(
-            total_entries, map, num_chunks, options.num_threads,
-            [&](std::size_t c, protocol::MeanAggregator* scratch) {
-              const std::size_t begin = c * kUsersPerChunk;
-              const std::size_t end =
-                  std::min(dataset.num_users(), begin + kUsersPerChunk);
+        core.Reduce<protocol::MeanAggregator>(
+            [&] {
+              return protocol::MeanAggregator::Create(total_entries, map);
+            },
+            [&](const engine::ChunkRange& range,
+                protocol::MeanAggregator* scratch) {
               if (m == d) {
-                return SimulateDenseChunk(dataset, plan, native_zero,
-                                          native_one, options.seed, c, begin,
-                                          end, scratch);
+                // Dense one-hot fill: the block buffer arrives at
+                // native_zero; set each user's d category entries and
+                // un-set the previous block's — far cheaper than
+                // refilling the whole buffer per block.
+                std::size_t prev_user = 0;
+                std::size_t prev_block = 0;
+                const auto paint = [&](std::size_t user, std::size_t block,
+                                       std::span<double> natives,
+                                       double value) {
+                  for (std::size_t u = 0; u < block; ++u) {
+                    double* row = natives.data() + u * total_entries;
+                    for (std::size_t j = 0; j < d; ++j) {
+                      row[schema.EntryOffset(j) + dataset.At(user + u, j)] =
+                          value;
+                    }
+                  }
+                };
+                return core.PerturbDenseChunk(
+                    plan, range, total_entries, native_zero, scratch,
+                    [&](std::size_t user, std::size_t block,
+                        std::span<double> natives) {
+                      paint(prev_user, prev_block, natives, native_zero);
+                      paint(user, block, natives, native_one);
+                      prev_user = user;
+                      prev_block = block;
+                    });
               }
-              return SimulateSampledChunk(dataset, plan, native_zero,
-                                          native_one, m, options.seed, c,
-                                          begin, end, scratch);
+              // Sampled path: each sampled dimension expands into its
+              // Cardinality(j) one-hot entries.
+              return core.PerturbSampledChunk(
+                  plan, range, d, m, scratch,
+                  [&](std::size_t user, std::uint32_t j,
+                      std::vector<std::uint32_t>* entry_indices,
+                      std::vector<double>* natives) {
+                    const std::size_t off = schema.EntryOffset(j);
+                    const std::uint32_t category = dataset.At(user, j);
+                    for (std::size_t k = 0; k < schema.Cardinality(j); ++k) {
+                      entry_indices->push_back(
+                          static_cast<std::uint32_t>(off + k));
+                      natives->push_back(k == category ? native_one
+                                                       : native_zero);
+                    }
+                  });
             }));
     // Every entry of dimension j is perturbed on each of its reports, so
     // the first entry's count is the dimension's report count r_j, and

@@ -8,6 +8,11 @@
 // eps/(2m) per entry keeps the report eps-LDP overall). The collector
 // averages per entry to estimate frequencies, then HDR4ME re-calibrates
 // the expanded (sum_j v_j)-dimensional mean exactly as in mean estimation.
+//
+// The kV2Lanes ingestion is a thin workload config over
+// engine::ChunkedEstimation (engine/chunked_estimation.h), sharing its
+// chunk scheduling, stream seeding, plan dispatch and reduction tree with
+// the mean pipeline; only the one-hot row encoding lives here.
 
 #ifndef HDLDP_FREQ_PIPELINE_H_
 #define HDLDP_FREQ_PIPELINE_H_

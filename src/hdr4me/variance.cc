@@ -91,6 +91,7 @@ Result<VarianceEstimationResult> RunVarianceEstimation(
   mean_opts.total_epsilon = options.total_epsilon;
   mean_opts.report_dims = options.report_dims;
   mean_opts.seed = options.seed;
+  mean_opts.seed_scheme = options.seed_scheme;
   HDLDP_ASSIGN_OR_RETURN(
       const auto mean_run,
       protocol::RunMeanEstimation(values_half, mechanism, mean_opts));

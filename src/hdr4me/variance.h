@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/rng.h"
 #include "data/dataset.h"
 #include "hdr4me/recalibrate.h"
 #include "mech/mechanism.h"
@@ -37,6 +38,11 @@ struct VarianceOptions {
   std::size_t report_dims = 0;
   /// Seed of the run.
   std::uint64_t seed = 1;
+  /// RNG stream contract of the two internal mean-estimation runs (see
+  /// common/rng_lanes.h): kV2Lanes (default) is the engine's lane fast
+  /// path; kV1Scalar replays the pre-engine scalar chunk streams so
+  /// recorded variance runs stay reproducible.
+  SeedScheme seed_scheme = SeedScheme::kV2Lanes;
   /// Re-calibrate both halves with HDR4ME before combining.
   bool recalibrate = false;
   /// HDR4ME configuration (read when `recalibrate` is set).

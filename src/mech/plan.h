@@ -80,17 +80,26 @@ struct DuchiPlan {
     return sel[rng->UniformDouble() < p];
   }
 
-  /// The lane select from a clamped input and one coin; shared between
-  /// Lanes4 and HybridPlan's Duchi arm. The extreme-budget no-draw
-  /// shortcut becomes an always-draw select (coin < p is constant-true
-  /// for p >= 1 since coin < 1, constant-false for p <= 0 since
-  /// coin >= 0).
+  /// Per-lane ProbPositive for clamped inputs; shared between LaneArm's
+  /// coin compare and HybridPlan's shared-coin threshold.
+  lanes::Vec LaneProb(lanes::Vec tc) const {
+    return lanes::Broadcast(0.5) +
+           tc * lanes::Broadcast(expm1_eps) / lanes::Broadcast(prob_denom);
+  }
+
+  /// The output select from a precomputed sign decision (HybridPlan folds
+  /// its shared coin into the mask it passes here).
+  lanes::Vec LaneArmMasked(lanes::Mask positive) const {
+    const lanes::Vec mag = lanes::Broadcast(magnitude);
+    return lanes::Select(positive, mag, lanes::Neg(mag));
+  }
+
+  /// The lane select from a clamped input and one coin. The extreme-
+  /// budget no-draw shortcut becomes an always-draw select (coin < p is
+  /// constant-true for p >= 1 since coin < 1, constant-false for p <= 0
+  /// since coin >= 0).
   lanes::Vec LaneArm(lanes::Vec tc, lanes::Vec coin) const {
-    using lanes::Broadcast;
-    const lanes::Vec p = Broadcast(0.5) +
-                         tc * Broadcast(expm1_eps) / Broadcast(prob_denom);
-    const lanes::Vec mag = Broadcast(magnitude);
-    return lanes::Select(lanes::Lt(coin, p), mag, lanes::Neg(mag));
+    return LaneArmMasked(lanes::Lt(coin, LaneProb(tc)));
   }
 
   /// Lane body: one lane round per value.
@@ -161,11 +170,11 @@ struct PiecewisePlan {
     return sel[in_band];
   }
 
-  /// The lane band/tail select from a clamped input, the band coin and
-  /// the position draw; shared between Lanes4 and HybridPlan's
-  /// Piecewise arm. band_mass >= 1 degenerates to a constant-true
-  /// select instead of skipping the coin draw.
-  lanes::Vec LaneArm(lanes::Vec tc, lanes::Vec coin, lanes::Vec pos) const {
+  /// The lane band/tail select from a clamped input, a precomputed band
+  /// decision and the position draw (HybridPlan folds its shared coin
+  /// into the mask it passes here).
+  lanes::Vec LaneArmMasked(lanes::Vec tc, lanes::Mask in_band,
+                           lanes::Vec pos) const {
     using lanes::Broadcast;
     using lanes::Vec;
     const Vec lo = Broadcast(0.5 * (bound + 1.0)) * tc -
@@ -177,8 +186,16 @@ struct PiecewisePlan {
     const Vec tail_val = lanes::Select(lanes::Lt(tail_u, left_len),
                                        Broadcast(-bound) + tail_u,
                                        hi + (tail_u - left_len));
-    return lanes::Select(lanes::Lt(coin, Broadcast(band_mass)), band_val,
-                         tail_val);
+    return lanes::Select(in_band, band_val, tail_val);
+  }
+
+  /// The lane band/tail select from a clamped input, the band coin and
+  /// the position draw; shared between Lanes4 and HybridPlan's Piecewise
+  /// arm. band_mass >= 1 degenerates to a constant-true select instead
+  /// of skipping the coin draw.
+  lanes::Vec LaneArm(lanes::Vec tc, lanes::Vec coin, lanes::Vec pos) const {
+    return LaneArmMasked(tc, lanes::Lt(coin, lanes::Broadcast(band_mass)),
+                         pos);
   }
 
   /// Lane body: two lane rounds per value (band coin, position), the
@@ -389,24 +406,36 @@ struct HybridPlan {
     return duchi(t, rng);
   }
 
-  /// Lane body: three lane rounds per value (mixture coin, component
-  /// coin, position). Unlike the scalar 2-vs-1 draw split, both
-  /// components are evaluated from the same fixed draws and the winner is
-  /// selected — the Duchi arm reads only the component coin, so each draw
-  /// still feeds at most one decision and the mixture law is unchanged.
+  /// Lane body: two lane rounds per value (shared mixture/component
+  /// coin, position). The scalar body spends 2-vs-1 draws on a 1-draw
+  /// mixture decision; here the mixture coin is *reused* as the winning
+  /// component's coin by inverse-CDF rescaling — conditional on
+  /// um < alpha, um / alpha is again Uniform[0, 1), and conditional on
+  /// um >= alpha so is (um - alpha) / (1 - alpha). The rescales are
+  /// folded into the component thresholds (um / alpha < q is um <
+  /// alpha * q, and the Duchi compare shifts to um < alpha +
+  /// (1 - alpha) * p), so no division is paid and the alpha = 0 / 1
+  /// degenerate weights stay exact; only the position draw remains and
+  /// the Duchi arm discards it. Distribution-identical to the retired
+  /// three-round layout up to the 2^-52 grid, at 2/3 the draw budget.
   void Lanes4(const double t[RngLanes::kLanes], RngLanes* rng,
               double out[RngLanes::kLanes]) const {
+    using lanes::Broadcast;
     using lanes::Vec;
     const Vec um = rng->UniformVec();
-    const Vec uc = rng->UniformVec();
     const Vec up = rng->UniformVec();
     const Vec tc = lanes::Clamp(lanes::Load(t), -1.0, 1.0);
-    // The component arms are the nested plans' own lane selects: uc is
-    // the piecewise band coin / duchi output coin, up the position.
-    const Vec pw_val = piecewise.LaneArm(tc, uc, up);
-    const Vec duchi_val = duchi.LaneArm(tc, uc);
-    lanes::Store(out, lanes::Select(lanes::Lt(um, lanes::Broadcast(alpha)),
-                                    pw_val, duchi_val));
+    const Vec a = Broadcast(alpha);
+    const lanes::Mask pick_piecewise = lanes::Lt(um, a);
+    const lanes::Mask in_band =
+        lanes::Lt(um, Broadcast(alpha * piecewise.band_mass));
+    const lanes::Mask positive = lanes::Lt(
+        um, a + (Broadcast(1.0) - a) * duchi.LaneProb(tc));
+    // The component arms are the nested plans' own lane selects, fed the
+    // pre-thresholded shared coin; up is the piecewise position.
+    const Vec pw_val = piecewise.LaneArmMasked(tc, in_band, up);
+    const Vec duchi_val = duchi.LaneArmMasked(positive);
+    lanes::Store(out, lanes::Select(pick_piecewise, pw_val, duchi_val));
   }
 };
 

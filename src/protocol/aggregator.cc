@@ -4,7 +4,7 @@
 #include <string>
 #include <utility>
 
-#include "common/thread_pool.h"
+#include "engine/reduce.h"
 
 namespace hdldp {
 namespace protocol {
@@ -123,51 +123,12 @@ Result<MeanAggregator> MeanAggregator::ReduceChunks(
     std::size_t num_chunks, std::size_t max_concurrency,
     const std::function<Status(std::size_t chunk, MeanAggregator* scratch)>&
         simulate_chunk) {
-  HDLDP_ASSIGN_OR_RETURN(MeanAggregator global,
-                         MeanAggregator::Create(num_dims, domain_map));
-  if (num_chunks == 0) return global;
-  // Group geometry is a pure function of num_chunks (determinism).
-  const std::size_t group_size =
-      (num_chunks + kMaxReductionGroups - 1) / kMaxReductionGroups;
-  const std::size_t num_groups = (num_chunks + group_size - 1) / group_size;
-  std::vector<MeanAggregator> group_locals;
-  std::vector<Status> statuses(num_groups);
-  group_locals.reserve(num_groups);
-  for (std::size_t g = 0; g < num_groups; ++g) {
-    HDLDP_ASSIGN_OR_RETURN(MeanAggregator local,
-                           MeanAggregator::Create(num_dims, domain_map));
-    group_locals.push_back(std::move(local));
-  }
-  ThreadPool::Shared().ParallelFor(
-      0, num_groups,
-      [&](std::size_t g) {
-        // One scratch per group task, reset between chunks: the live
-        // footprint is num_groups + in-flight scratches, not num_chunks.
-        auto scratch_or = MeanAggregator::Create(num_dims, domain_map);
-        if (!scratch_or.ok()) {
-          statuses[g] = scratch_or.status();
-          return;
-        }
-        MeanAggregator scratch = std::move(scratch_or).value();
-        const std::size_t begin = g * group_size;
-        const std::size_t end = std::min(num_chunks, begin + group_size);
-        for (std::size_t c = begin; c < end; ++c) {
-          scratch.Reset();
-          const Status status = simulate_chunk(c, &scratch);
-          if (!status.ok()) {
-            statuses[g] = status;
-            return;
-          }
-          statuses[g] = group_locals[g].Merge(scratch);
-          if (!statuses[g].ok()) return;
-        }
-      },
-      max_concurrency);
-  for (std::size_t g = 0; g < num_groups; ++g) {
-    HDLDP_RETURN_NOT_OK(statuses[g]);
-    HDLDP_RETURN_NOT_OK(global.Merge(group_locals[g]));
-  }
-  return global;
+  // The orchestration lives in engine/reduce.h (shared with every chunked
+  // pipeline); this wrapper only binds the accumulator factory.
+  return engine::ReduceChunks<MeanAggregator>(
+      num_chunks, max_concurrency,
+      [&] { return MeanAggregator::Create(num_dims, domain_map); },
+      simulate_chunk);
 }
 
 Status MeanAggregator::SetBiasCorrection(std::vector<double> native_bias) {

@@ -19,6 +19,7 @@
 #include "common/math.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "engine/reduce.h"
 #include "mech/mechanism.h"
 #include "protocol/report.h"
 
@@ -77,24 +78,17 @@ class MeanAggregator {
   /// ReduceChunks (beyond the per-worker scratch): caps the reduction
   /// footprint at kMaxReductionGroups * d accumulators no matter how many
   /// chunks a million-user run splits into.
-  static constexpr std::size_t kMaxReductionGroups = 512;
+  static constexpr std::size_t kMaxReductionGroups =
+      engine::kMaxReductionGroups;
 
   /// \brief Deterministic two-level parallel reduction over
-  /// `num_chunks` chunk simulations.
-  ///
-  /// Chunks are assigned to ceil(num_chunks / G) groups of G = ceil(num_
-  /// chunks / kMaxReductionGroups) consecutive chunks — a pure function
-  /// of num_chunks, never of the worker count. Each group runs as one
-  /// ParallelFor task that simulates its chunks *in chunk order* into a
-  /// reused scratch aggregator (`simulate_chunk(c, &scratch)` must fold
-  /// chunk c's reports into the scratch it is given) and merges each
-  /// scratch into the group accumulator; the group accumulators then
-  /// merge in group order. Estimates are therefore identical for every
-  /// `max_concurrency` (0 = one per hardware thread), and for
-  /// num_chunks <= kMaxReductionGroups (G = 1) the merge sequence is
-  /// exactly the flat chunk-order merge of the PR 2 pipeline, bit for
-  /// bit. The first failing chunk's Status is returned (by lowest group;
-  /// later chunks of a failed group are skipped).
+  /// `num_chunks` chunk simulations: engine::ReduceChunks (see
+  /// engine/reduce.h for the full geometry and determinism contract)
+  /// bound to MeanAggregator accumulators of this dimensionality.
+  /// Estimates are identical for every `max_concurrency` (0 = one per
+  /// hardware thread), and for num_chunks <= kMaxReductionGroups the
+  /// merge sequence is exactly the flat chunk-order merge of the PR 2
+  /// pipeline, bit for bit.
   static Result<MeanAggregator> ReduceChunks(
       std::size_t num_dims, const mech::DomainMap& domain_map,
       std::size_t num_chunks, std::size_t max_concurrency,

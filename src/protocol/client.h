@@ -56,6 +56,12 @@ class Client {
   /// The mechanism in use.
   const mech::Mechanism& mechanism() const { return *mechanism_; }
 
+  /// \brief The sampler plan prepared at Create() (mechanism at eps / m,
+  /// every eps-only constant resolved). The engine's lane drivers
+  /// dispatch on it directly; keep this Client alive while the plan is
+  /// in use (GenericPlan fallbacks reference the mechanism it owns).
+  const mech::SamplerPlan& plan() const { return plan_; }
+
   /// \brief Builds one user's report. `tuple` must have d entries in the
   /// data domain (values are clamped defensively).
   Result<UserReport> Report(std::span<const double> tuple, Rng* rng) const;

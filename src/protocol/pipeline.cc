@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/math.h"
+#include "engine/chunked_estimation.h"
 #include "protocol/aggregator.h"
 #include "protocol/metrics.h"
 
@@ -12,34 +13,27 @@ namespace protocol {
 
 namespace {
 
-// Users per ReportBatch/ReportDense block in the simulation loop: large
-// enough to amortize per-block overhead, small enough to keep the batch
-// buffer in cache even at high dimensionality.
+// Users per ReportBatch/ReportDense block in the legacy kV1Scalar chunk
+// body: large enough to amortize per-block overhead, small enough to keep
+// the batch buffer in cache even at high dimensionality.
 constexpr std::size_t kBatchUsers = 64;
 
-// Users per chunk. A chunk is the unit of determinism AND of scheduling:
-// chunk c always covers users [c * kUsersPerChunk, ...), always draws
-// from the stream derived from ChunkSeed(seed, c) (common/rng.h), and
-// always reduces in chunk order — so estimates depend only on (data,
-// seed), never on how many workers happened to execute the chunks.
-constexpr std::size_t kUsersPerChunk = 4096;
-
-// Simulates users [begin, end) into `aggregator` with the chunk's own
-// stream. `client` is the one validated instance built by
-// RunMeanEstimation; it is copied here (a cheap value copy — shared
-// mechanism pointer, prepared plan, empty scratch) rather than re-running
-// Client::Create's validation per chunk. When every dimension is reported
-// the dense path (ReportDense + ConsumeDense) skips dimension sampling
-// and per-entry index bookkeeping entirely.
-Status SimulateChunk(const data::Dataset& dataset, const Client& client,
-                     std::uint64_t seed, std::size_t chunk, std::size_t begin,
-                     std::size_t end, MeanAggregator* aggregator) {
-  Rng rng(ChunkSeed(seed, chunk));
+// The legacy kV1Scalar chunk body: one scalar stream per chunk, the
+// ReportDense / ReportBatch draw order of the pre-lane-era pipeline.
+// Frozen so mean estimates recorded under v1 seeds keep their outputs bit
+// for bit (tests/test_engine.cc pins them). `client` is the one validated
+// instance built by RunMeanEstimation; it is copied here (a cheap value
+// copy — shared mechanism pointer, prepared plan, empty scratch) rather
+// than re-running Client::Create's validation per chunk.
+Status SimulateChunkV1(const data::Dataset& dataset, const Client& client,
+                       const engine::ChunkRange& range,
+                       MeanAggregator* aggregator) {
+  Rng rng(range.chunk_seed);
   if (client.report_dims() == dataset.num_dims()) {
     std::vector<double> dense(
-        std::min(kBatchUsers, end - begin) * dataset.num_dims());
-    for (std::size_t i = begin; i < end; i += kBatchUsers) {
-      const std::size_t block = std::min(kBatchUsers, end - i);
+        std::min(kBatchUsers, range.num_users()) * dataset.num_dims());
+    for (std::size_t i = range.begin; i < range.end; i += kBatchUsers) {
+      const std::size_t block = std::min(kBatchUsers, range.end - i);
       const std::span<double> out =
           std::span<double>(dense).first(block * dataset.num_dims());
       HDLDP_RETURN_NOT_OK(client.ReportDense(dataset.Rows(i, block), &rng,
@@ -50,8 +44,8 @@ Status SimulateChunk(const data::Dataset& dataset, const Client& client,
   }
   const Client local = client;  // Own scratch buffers for this chunk.
   ReportBatch batch;
-  for (std::size_t i = begin; i < end; i += kBatchUsers) {
-    const std::size_t block = std::min(kBatchUsers, end - i);
+  for (std::size_t i = range.begin; i < range.end; i += kBatchUsers) {
+    const std::size_t block = std::min(kBatchUsers, range.end - i);
     batch.Clear();
     HDLDP_RETURN_NOT_OK(local.ReportBatch(dataset.Rows(i, block), &rng,
                                           &batch));
@@ -72,23 +66,51 @@ Result<MeanEstimationResult> RunMeanEstimation(const data::Dataset& dataset,
       const Client client,
       Client::Create(std::move(mechanism), dataset.num_dims(),
                      client_options));
-  const std::size_t num_chunks =
-      (dataset.num_users() + kUsersPerChunk - 1) / kUsersPerChunk;
-  const std::size_t workers = std::max<std::size_t>(1, options.num_threads);
-  // Two-level chunk reduction: streams fixed by ChunkSeed(seed, c) and a
-  // merge order fixed by the chunk index make the estimate identical for
-  // every num_threads value, while the tree caps live aggregator state
-  // for populations spanning many thousands of chunks.
+  const std::size_t d = dataset.num_dims();
+  const std::size_t m = client.report_dims();
+  const mech::DomainMap map = client.domain_map();
+  const mech::SamplerPlan& plan = client.plan();
+
+  engine::EngineOptions engine_options;
+  engine_options.seed = options.seed;
+  engine_options.seed_scheme = options.seed_scheme;
+  engine_options.num_threads = options.num_threads;
+  const engine::ChunkedEstimation core(dataset.num_users(), engine_options);
+
+  // The whole orchestration — chunk geometry, (seed, chunk, lane) stream
+  // seeding, plan dispatch, deterministic two-level reduction — lives in
+  // the engine; the lambdas below only say what a user row looks like in
+  // the mechanism's native domain.
   HDLDP_ASSIGN_OR_RETURN(
       const MeanAggregator aggregator,
-      MeanAggregator::ReduceChunks(
-          dataset.num_dims(), client.domain_map(), num_chunks, workers,
-          [&](std::size_t c, MeanAggregator* scratch) {
-            const std::size_t begin = c * kUsersPerChunk;
-            const std::size_t end =
-                std::min(dataset.num_users(), begin + kUsersPerChunk);
-            return SimulateChunk(dataset, client, options.seed, c, begin, end,
-                                 scratch);
+      core.Reduce<MeanAggregator>(
+          [&] { return MeanAggregator::Create(d, map); },
+          [&](const engine::ChunkRange& range, MeanAggregator* scratch) {
+            if (core.options().seed_scheme == SeedScheme::kV1Scalar) {
+              return SimulateChunkV1(dataset, client, range, scratch);
+            }
+            if (m == d) {
+              // Dense fast path: whole tuples map onto native rows.
+              return core.PerturbDenseChunk(
+                  plan, range, d, 0.0, scratch,
+                  [&](std::size_t user, std::size_t block,
+                      std::span<double> natives) {
+                    const std::span<const double> rows =
+                        dataset.Rows(user, block);
+                    for (std::size_t k = 0; k < rows.size(); ++k) {
+                      natives[k] = map.Forward(rows[k]);
+                    }
+                  });
+            }
+            // Sampled path: each sampled dimension contributes one entry.
+            return core.PerturbSampledChunk(
+                plan, range, d, m, scratch,
+                [&](std::size_t user, std::uint32_t j,
+                    std::vector<std::uint32_t>* entry_indices,
+                    std::vector<double>* natives) {
+                  entry_indices->push_back(j);
+                  natives->push_back(map.Forward(dataset.At(user, j)));
+                });
           }));
 
   MeanEstimationResult result;

@@ -4,6 +4,13 @@
 // the aggregator, so memory stays O(n*d) for the dataset plus O(d) for
 // the collector state even at paper scale.
 //
+// The run is a thin workload config over engine::ChunkedEstimation
+// (engine/chunked_estimation.h): the engine owns chunk scheduling,
+// stream seeding, plan dispatch and the deterministic reduction tree;
+// this pipeline only says what a user row looks like in the mechanism's
+// native domain (dense whole tuples when m == d, gathered sampled
+// dimensions when m < d).
+//
 // RunSingleDimension is the specialized harness behind Figure 2: each user
 // includes a tracked dimension with probability m/d (sampling m of d
 // without replacement makes every dimension's inclusion marginal m/d), so
@@ -31,14 +38,22 @@ struct PipelineOptions {
   /// Dimensions reported per user (m); 0 means all d.
   std::size_t report_dims = 0;
   /// Seed of the run. Estimates are a pure function of (dataset, options
-  /// minus num_threads): the simulation is decomposed into fixed-size
-  /// user chunks whose streams derive from (seed, chunk_index) and whose
-  /// partial aggregates reduce in chunk order, so the result is identical
-  /// for every num_threads value.
+  /// minus num_threads) under either seed scheme: the simulation is
+  /// decomposed into fixed-size user chunks whose streams derive from
+  /// (seed, chunk_index) and whose partial aggregates reduce through the
+  /// deterministic engine tree, so the result is identical for every
+  /// num_threads value.
   std::uint64_t seed = 1;
+  /// RNG stream contract (see common/rng_lanes.h). kV2Lanes (default)
+  /// perturbs through the prepared sampler plan with the four lane
+  /// streams of ChunkSeed(seed, chunk) — the fast path, also invariant
+  /// to SIMD-vs-scalar builds. kV1Scalar replays the legacy per-chunk
+  /// scalar stream (ReportDense / ReportBatch draw order) and reproduces
+  /// pre-lane-era mean estimates bit for bit under their old seeds.
+  SeedScheme seed_scheme = SeedScheme::kV2Lanes;
   /// Maximum worker threads simulating chunks concurrently (on the shared
-  /// ThreadPool). 1 = serial. Affects wall-clock time only, never the
-  /// estimate.
+  /// ThreadPool). 1 = serial, 0 = one per hardware thread. Affects
+  /// wall-clock time only, never the estimate.
   std::size_t num_threads = 1;
 };
 

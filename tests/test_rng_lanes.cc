@@ -166,8 +166,11 @@ const LaneGolden kLaneGoldens[] = {
     {"duchi", 0.001, {0x409f40002bb0cf7cULL, 0xc09f40002bb0cf7cULL, 0xc09f40002bb0cf7cULL, 0xc09f40002bb0cf7cULL, 0xc09f40002bb0cf7cULL, 0xc09f40002bb0cf7cULL}},
     {"duchi", 1.0, {0x40014fc6ceb099bfULL, 0xc0014fc6ceb099bfULL, 0xc0014fc6ceb099bfULL, 0xc0014fc6ceb099bfULL, 0xc0014fc6ceb099bfULL, 0xc0014fc6ceb099bfULL}},
     {"duchi", 100.0, {0xbff0000000000000ULL, 0xbff0000000000000ULL, 0xbff0000000000000ULL, 0xbff0000000000000ULL, 0x3ff0000000000000ULL, 0x3ff0000000000000ULL}},
-    {"hybrid", 0.001, {0xc09f40002bb0cf7cULL, 0xc09f40002bb0cf7cULL, 0xc09f40002bb0cf7cULL, 0xc09f40002bb0cf7cULL, 0x409f40002bb0cf7cULL, 0xc09f40002bb0cf7cULL}},
-    {"hybrid", 1.0, {0x400cfcc46c98f658ULL, 0xc0014fc6ceb099bfULL, 0xc0014fc6ceb099bfULL, 0xc0014fc6ceb099bfULL, 0x3fd73d506f392445ULL, 0xc004a9290fa28464ULL}},
+    // Hybrid goldens re-recorded for the two-round shared-coin layout
+    // (the mixture coin is rescaled into the winning component's coin;
+    // see HybridPlan::Lanes4).
+    {"hybrid", 0.001, {0x409f40002bb0cf7cULL, 0xc09f40002bb0cf7cULL, 0xc09f40002bb0cf7cULL, 0xc09f40002bb0cf7cULL, 0xc09f40002bb0cf7cULL, 0x409f40002bb0cf7cULL}},
+    {"hybrid", 1.0, {0xbffaf7017b2f25aeULL, 0xc0014fc6ceb099bfULL, 0x40014fc6ceb099bfULL, 0x40014fc6ceb099bfULL, 0xc0014fc6ceb099bfULL, 0xc00430cc81e64b3bULL}},
     {"hybrid", 100.0, {0xbff0000000000000ULL, 0xbfe3333333333333ULL, 0xbfc9999999999998ULL, 0x3fc9999999999998ULL, 0x3fe3333333333334ULL, 0x3ff0000000000000ULL}},
     {"laplace", 0.001, {0xc098bc661bae19acULL, 0x40a43a9960dee2bcULL, 0x4062075a28b61cfaULL, 0x4090ac3bee848e08ULL, 0x4099578ea9372016ULL, 0x40ad37c08abeef67ULL}},
     {"laplace", 1.0, {0xc004a823e53652c6ULL, 0x3fffd6a0edb6728cULL, 0xbfac73b3fb72a248ULL, 0x3ff4450d72662620ULL, 0x4001c5335568d1c3ULL, 0x4012f49beced05d6ULL}},

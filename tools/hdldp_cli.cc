@@ -5,14 +5,22 @@
 //   hdldp_cli mean    --mechanism=piecewise --dataset=gaussian
 //                     --users=20000 --dims=128 --epsilon=0.5
 //                     [--report-dims=0] [--seed=1] [--threads=1]
-//                     [--recalibrate=both|l1|l2|none] [--gate]
+//                     [--seed-scheme=v2] [--recalibrate=both|l1|l2|none]
+//                     [--gate]
 //       Runs the full mean-estimation protocol and prints naive and
 //       HDR4ME-enhanced MSE.
 //
 //   hdldp_cli freq    --mechanism=piecewise --users=20000 --questions=16
 //                     --categories=8 [--zipf=1.0] [--epsilon=1]
-//                     [--sampled=4] [--seed=1]
+//                     [--sampled=4] [--seed=1] [--threads=1]
+//                     [--seed-scheme=v2]
 //       Runs the Section V-C frequency-estimation protocol.
+//
+// --seed-scheme selects the RNG stream contract (common/rng_lanes.h):
+// "v2" (default) is the lane-parallel fast path, "v1" replays the legacy
+// scalar streams so pre-lane-era runs are reproducible without
+// recompiling. --threads bounds worker concurrency (0 = one per hardware
+// thread); estimates never depend on it.
 //
 //   hdldp_cli analyze --epsilon=0.001 --reports=10000 [--xi=0.001,0.01,...]
 //       Pure analytical benchmark of all registered mechanisms at a
@@ -20,7 +28,7 @@
 //
 //   hdldp_cli variance --mechanism=piecewise --dataset=gaussian
 //                      --users=20000 --dims=64 --epsilon=1
-//                      [--recalibrate] [--seed=1]
+//                      [--recalibrate] [--seed=1] [--seed-scheme=v2]
 //       Runs the split-population variance-estimation extension.
 //
 // All flags are --key=value; unknown keys are errors.
@@ -131,6 +139,13 @@ class Flags {
   mutable std::set<std::string> consumed_;
 };
 
+Result<hdldp::SeedScheme> ParseSeedScheme(const std::string& value) {
+  if (value == "v2" || value == "2") return hdldp::SeedScheme::kV2Lanes;
+  if (value == "v1" || value == "1") return hdldp::SeedScheme::kV1Scalar;
+  return Status::InvalidArgument("unknown --seed-scheme '" + value +
+                                 "' (want v1|v2)");
+}
+
 Result<hdldp::data::Dataset> MakeDataset(const std::string& name,
                                          std::size_t users, std::size_t dims,
                                          hdldp::Rng* rng) {
@@ -170,6 +185,9 @@ Status RunMean(Flags flags) {
   const std::size_t report_dims = flags.GetSize("report-dims", 0);
   const std::uint64_t seed = flags.GetSize("seed", 1);
   const std::size_t threads = flags.GetSize("threads", 1);
+  HDLDP_ASSIGN_OR_RETURN(
+      const hdldp::SeedScheme seed_scheme,
+      ParseSeedScheme(flags.GetString("seed-scheme", "v2")));
   const std::string recalibrate = flags.GetString("recalibrate", "both");
   const bool gate = flags.GetBool("gate");
   HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
@@ -184,6 +202,7 @@ Status RunMean(Flags flags) {
   opts.total_epsilon = epsilon;
   opts.report_dims = report_dims;
   opts.seed = seed;
+  opts.seed_scheme = seed_scheme;
   opts.num_threads = threads;
   HDLDP_ASSIGN_OR_RETURN(
       const auto run,
@@ -251,6 +270,10 @@ Status RunFreq(Flags flags) {
   const double epsilon = flags.GetDouble("epsilon", 1.0);
   const std::size_t sampled = flags.GetSize("sampled", 0);
   const std::uint64_t seed = flags.GetSize("seed", 1);
+  const std::size_t threads = flags.GetSize("threads", 1);
+  HDLDP_ASSIGN_OR_RETURN(
+      const hdldp::SeedScheme seed_scheme,
+      ParseSeedScheme(flags.GetString("seed-scheme", "v2")));
   HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
 
   HDLDP_ASSIGN_OR_RETURN(auto schema,
@@ -266,6 +289,8 @@ Status RunFreq(Flags flags) {
   opts.total_epsilon = epsilon;
   opts.report_dims = sampled;
   opts.seed = seed;
+  opts.seed_scheme = seed_scheme;
+  opts.num_threads = threads;
   HDLDP_ASSIGN_OR_RETURN(
       const auto result,
       hdldp::freq::RunFrequencyEstimation(dataset, mechanism, opts));
@@ -324,6 +349,9 @@ Status RunVariance(Flags flags) {
   const std::size_t dims = flags.GetSize("dims", 64);
   const double epsilon = flags.GetDouble("epsilon", 1.0);
   const std::uint64_t seed = flags.GetSize("seed", 1);
+  HDLDP_ASSIGN_OR_RETURN(
+      const hdldp::SeedScheme seed_scheme,
+      ParseSeedScheme(flags.GetString("seed-scheme", "v2")));
   const bool recalibrate = flags.GetBool("recalibrate");
   HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
 
@@ -335,6 +363,7 @@ Status RunVariance(Flags flags) {
   hdldp::hdr4me::VarianceOptions opts;
   opts.total_epsilon = epsilon;
   opts.seed = seed;
+  opts.seed_scheme = seed_scheme;
   opts.recalibrate = recalibrate;
   HDLDP_ASSIGN_OR_RETURN(
       const auto result,
