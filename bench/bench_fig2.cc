@@ -14,7 +14,9 @@
 // histogram in trial order, so output is identical for any
 // HDLDP_BENCH_THREADS.
 
+#include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <vector>
 
 #include "bench_util.h"
@@ -106,41 +108,76 @@ void RunMechanism(const std::string& name, std::size_t users,
 // lane-parallel chunk pipeline): the record these cells feed is what
 // tracks the mean-path perf trajectory across PRs, next to bench_freq's.
 // Both engine paths are recorded — the dense m == d driver (where the
-// lane speedup lives) and the sampled m < d driver (dimension-sampling
-// bound) — so a regression of either is visible in BENCH_records.
+// lane speedup lives) and the sampled m < d driver, the latter under
+// BOTH the legacy kV2Lanes per-user layout and the kV3Batched
+// cross-user layout, single-core so the before/after cells are
+// comparable across runners — so a regression of either path or either
+// scheme is visible in BENCH_records.
 void RunMeanPipeline(std::size_t users, hdldp::bench::JsonRecord* record) {
   hdldp::Rng data_rng(0xF16'2D00);
   const auto dataset =
       hdldp::data::GenerateUniform(
           {.num_users = users, .num_dims = kPipelineDims}, &data_rng)
           .value();
-  std::printf("--- end-to-end mean pipeline (n=%zu, d=%zu, kV2Lanes) ---\n",
-              users, kPipelineDims);
-  std::printf("%-12s %6s %12s %14s\n", "mechanism", "m", "wall (s)",
-              "naive-MSE");
+  // Fill the dataset's TrueMean memo outside the timed cells so the
+  // first cell is not charged for the shared one-time pass.
+  (void)dataset.TrueMean();
+  std::printf("--- end-to-end mean pipeline (n=%zu, d=%zu) ---\n", users,
+              kPipelineDims);
+  std::printf("%-12s %6s %7s %12s %14s\n", "mechanism", "m", "scheme",
+              "wall (s)", "naive-MSE");
   for (const auto name :
        {"laplace", "piecewise", "square_wave", "staircase", "scdf"}) {
     const auto mechanism = hdldp::mech::MakeMechanism(name).value();
+    double sampled_seconds[2] = {0.0, 0.0};  // v2, v3.
     for (const std::size_t m : {kReportDims, std::size_t{0}}) {
-      hdldp::protocol::PipelineOptions opts;
-      opts.total_epsilon = kEpsilon;
-      opts.report_dims = m;
-      opts.seed = 0xF16'2;
-      opts.num_threads = hdldp::bench::MaxWorkers();
-      const hdldp::bench::Stopwatch watch;
-      const auto run =
-          hdldp::protocol::RunMeanEstimation(dataset, mechanism, opts)
-              .value();
-      const double seconds = watch.Seconds();
-      const std::size_t effective_m = m == 0 ? kPipelineDims : m;
-      std::printf("%-12s %6zu %12.3f %14.5g\n", name, effective_m, seconds,
-                  run.mse);
-      record->NewCell();
-      record->Cell("kind", std::string("mean_pipeline"));
-      record->Cell("mechanism", std::string(name));
-      record->Cell("report_dims", effective_m);
-      record->Cell("seconds", seconds);
-      record->Cell("mse", run.mse);
+      const bool sampled = m != 0;
+      // Sampled cells compare both layouts; dense cells record the
+      // default only (v3 dense is laid out exactly as v2).
+      std::vector<hdldp::SeedScheme> schemes = {hdldp::SeedScheme::kV3Batched};
+      if (sampled) {
+        schemes.insert(schemes.begin(), hdldp::SeedScheme::kV2Lanes);
+      }
+      for (std::size_t s = 0; s < schemes.size(); ++s) {
+        hdldp::protocol::PipelineOptions opts;
+        opts.total_epsilon = kEpsilon;
+        opts.report_dims = m;
+        opts.seed = 0xF16'2;
+        opts.seed_scheme = schemes[s];
+        // Dense cells keep the multi-worker trajectory; the sampled
+        // scheme-comparison cells run single-core by design.
+        opts.num_threads = sampled ? 1 : hdldp::bench::MaxWorkers();
+        // Best-of-repeats: single runs of tens of milliseconds are too
+        // noisy on shared runners for before/after cells.
+        const std::size_t timing_reps =
+            std::max<std::size_t>(hdldp::bench::Repeats(), 3);
+        double seconds = std::numeric_limits<double>::infinity();
+        hdldp::protocol::MeanEstimationResult run;
+        for (std::size_t r = 0; r < timing_reps; ++r) {
+          const hdldp::bench::Stopwatch watch;
+          run = hdldp::protocol::RunMeanEstimation(dataset, mechanism, opts)
+                    .value();
+          seconds = std::min(seconds, watch.Seconds());
+        }
+        if (sampled) sampled_seconds[s] = seconds;
+        const std::size_t effective_m = m == 0 ? kPipelineDims : m;
+        const char* scheme_name =
+            schemes[s] == hdldp::SeedScheme::kV2Lanes ? "v2" : "v3";
+        std::printf("%-12s %6zu %7s %12.3f %14.5g\n", name, effective_m,
+                    scheme_name, seconds, run.mse);
+        record->NewCell();
+        record->Cell("kind", std::string("mean_pipeline"));
+        record->Cell("mechanism", std::string(name));
+        record->Cell("report_dims", effective_m);
+        record->Cell("scheme", std::string(scheme_name));
+        record->Cell("sampled", static_cast<std::size_t>(sampled ? 1 : 0));
+        record->Cell("seconds", seconds);
+        record->Cell("mse", run.mse);
+      }
+    }
+    if (sampled_seconds[1] > 0.0) {
+      std::printf("%-12s sampled v2/v3 speedup: %.2fx\n", name,
+                  sampled_seconds[0] / sampled_seconds[1]);
     }
   }
   std::printf("\n");

@@ -6,7 +6,9 @@
 // The expanded one-hot space has sum_j v_j entries, each perturbed at
 // eps/(2m): exactly the high-dimensional regime HDR4ME targets.
 
+#include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -86,6 +88,75 @@ void RunCardinality(std::size_t users, std::size_t cardinality,
   std::printf("\n");
 }
 
+// Sampled-path (m < d) wall-time cells: the kV2Lanes per-user layout vs
+// the kV3Batched cross-user layout, single-core so the before/after
+// cells are comparable across runners. m spans the small-payload regime
+// the batched layout targets (m = 1: one dimension's one-hot entries per
+// user) and a mid-size m; both cardinalities are recorded because the
+// small-cardinality cells are overhead-bound (where batching wins most)
+// while the large ones are perturbation-bound.
+void RunSampledPath(std::size_t users, std::size_t repeats,
+                    hdldp::bench::JsonRecord* record) {
+  for (const std::size_t cardinality : {4u, 16u}) {
+    const auto schema = hdldp::freq::CategoricalSchema::Create(
+                            std::vector<std::size_t>(kDims, cardinality))
+                            .value();
+    hdldp::Rng data_rng(0xF8E0 + cardinality);
+    const auto dataset =
+        hdldp::freq::GenerateCategorical(users, schema, 1.2, &data_rng)
+            .value();
+    std::printf("--- sampled path, v=%zu categories (single core) ---\n",
+                cardinality);
+    std::printf("%-12s %4s %7s %12s %10s\n", "mechanism", "m", "scheme",
+                "wall (s)", "raw-MSE");
+    for (const auto mech_name : {"laplace", "piecewise"}) {
+      for (const std::size_t m : {1u, 5u}) {
+        double seconds_by_scheme[2] = {0.0, 0.0};
+        for (const auto& [scheme, scheme_name] :
+             {std::pair{hdldp::SeedScheme::kV2Lanes, "v2"},
+              std::pair{hdldp::SeedScheme::kV3Batched, "v3"}}) {
+          hdldp::freq::FrequencyOptions opts;
+          opts.total_epsilon = 1.0;
+          opts.report_dims = m;
+          opts.seed = 0xF8E;
+          opts.seed_scheme = scheme;
+          opts.num_threads = 1;
+          // Best-of-repeats: single runs of a few milliseconds are too
+          // noisy on shared runners for before/after cells.
+          double mse_raw = 0.0;
+          double seconds = std::numeric_limits<double>::infinity();
+          for (std::size_t r = 0; r < repeats; ++r) {
+            const hdldp::bench::Stopwatch watch;
+            const auto result =
+                hdldp::freq::RunFrequencyEstimation(
+                    dataset, hdldp::mech::MakeMechanism(mech_name).value(),
+                    opts)
+                    .value();
+            seconds = std::min(seconds, watch.Seconds());
+            mse_raw = result.mse_raw;
+          }
+          seconds_by_scheme[scheme == hdldp::SeedScheme::kV3Batched] =
+              seconds;
+          std::printf("%-12s %4zu %7s %12.5f %10.4g\n", mech_name, m,
+                      scheme_name, seconds, mse_raw);
+          record->NewCell();
+          record->Cell("kind", std::string("freq_sampled"));
+          record->Cell("cardinality", cardinality);
+          record->Cell("mechanism", std::string(mech_name));
+          record->Cell("report_dims", m);
+          record->Cell("scheme", std::string(scheme_name));
+          record->Cell("sampled", std::size_t{1});
+          record->Cell("seconds", seconds);
+          record->Cell("mse_raw", mse_raw);
+        }
+        std::printf("%-12s %4zu v2/v3 speedup: %.2fx\n", mech_name, m,
+                    seconds_by_scheme[0] / seconds_by_scheme[1]);
+      }
+    }
+    std::printf("\n");
+  }
+}
+
 }  // namespace
 
 int main() {
@@ -101,6 +172,7 @@ int main() {
   for (const std::size_t cardinality : {4u, 16u}) {
     RunCardinality(users, cardinality, repeats, &record);
   }
+  RunSampledPath(users, std::max<std::size_t>(repeats, 3), &record);
   const double total_seconds = watch.Seconds();
   std::printf("end-to-end wall time: %.3f s\n", total_seconds);
   // Machine-readable record (CI uploads it next to BENCH_micro.json).

@@ -15,6 +15,7 @@
 
 #include "common/rng.h"
 #include "common/rng_lanes.h"
+#include "engine/chunked_estimation.h"
 #include "framework/deviation_model.h"
 #include "framework/value_distribution.h"
 #include "hdr4me/recalibrate.h"
@@ -88,6 +89,84 @@ void BM_PerturbLanes(benchmark::State& state, const char* name, double eps) {
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           kSpan);
+}
+
+// Dimension-sampling throughput: scalar Floyd (one SampleWithoutReplacement
+// call per user, O(m) suffix-probe per draw) vs the chunk-granular batched
+// sampler (bitmask membership probe + sorted bit-walk emission, the v3
+// sampled driver's front end). Items are sampled dimensions, so items/s
+// ratios are the batched-sampler speedup per (d, m) shape.
+void BM_SampleDims(benchmark::State& state, bool batched, std::size_t d,
+                   std::size_t m) {
+  hdldp::Rng rng(9);
+  hdldp::BatchSamplerScratch scratch;
+  std::vector<std::uint32_t> out;
+  constexpr std::size_t kUsers = 512;
+  for (auto _ : state) {
+    out.clear();
+    if (batched) {
+      rng.SampleWithoutReplacementBatch(d, m, kUsers, /*sorted=*/true,
+                                        &scratch, &out);
+    } else {
+      for (std::size_t u = 0; u < kUsers; ++u) {
+        rng.SampleWithoutReplacement(d, m, &out);
+      }
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kUsers * m);
+}
+
+// Sampled-path ingestion through the real engine driver: one 4096-user
+// chunk of a mean-style workload (each sampled dimension expands to one
+// gathered entry), v2's per-user lane spans vs v3's cross-user batched
+// blocks. The v2-vs-v3 ratio per (mechanism, m) is the batched-stream
+// speedup tracked in BENCH_micro.json.
+void BM_IngestSampled(benchmark::State& state, const char* name,
+                      hdldp::SeedScheme scheme, std::size_t m) {
+  constexpr std::size_t kDims = 512;
+  constexpr std::size_t kUsers = 4096;  // One engine chunk.
+  const auto mechanism = hdldp::mech::MakeMechanism(name).value();
+  const auto map =
+      hdldp::mech::DomainMap::Between({-1.0, 1.0}, mechanism->InputDomain())
+          .value();
+  const hdldp::mech::SamplerPlan plan =
+      mechanism->MakePlan(1.0 / static_cast<double>(m));
+  hdldp::Rng data_rng(7);
+  std::vector<double> tuples(kUsers * kDims);
+  for (double& v : tuples) v = data_rng.Uniform(-1.0, 1.0);
+  hdldp::engine::EngineOptions engine_options;
+  engine_options.seed = 1;
+  engine_options.seed_scheme = scheme;
+  const hdldp::engine::ChunkedEstimation core(kUsers, engine_options);
+  const hdldp::engine::ChunkRange range = core.Range(0);
+  auto agg = hdldp::protocol::MeanAggregator::Create(kDims, map).value();
+  for (auto _ : state) {
+    agg.Reset();
+    const auto status = core.PerturbSampledChunk(
+        plan, range, kDims, m, &agg,
+        [&](std::size_t user, std::span<const std::uint32_t> dims,
+            std::vector<std::uint32_t>* entry_indices,
+            std::vector<double>* natives) {
+          entry_indices->insert(entry_indices->end(), dims.begin(),
+                                dims.end());
+          const std::size_t base = natives->size();
+          natives->resize(base + dims.size());
+          double* out = natives->data() + base;
+          const double* row = tuples.data() + user * kDims;
+          for (std::size_t k = 0; k < dims.size(); ++k) {
+            out[k] = map.Forward(row[dims[k]]);
+          }
+        });
+    if (!status.ok()) {
+      state.SkipWithError("sampled ingestion failed");
+      return;
+    }
+  }
+  benchmark::DoNotOptimize(agg.EstimatedMean());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kUsers * m);
 }
 
 void BM_RngUniform(benchmark::State& state) {
@@ -407,6 +486,34 @@ BENCHMARK_CAPTURE(BM_PerturbLanes, square_wave_eps001, "square_wave", 0.01);
 BENCHMARK_CAPTURE(BM_PerturbLanes, hybrid_eps1, "hybrid", 1.0);
 BENCHMARK_CAPTURE(BM_PerturbLanes, staircase_eps1, "staircase", 1.0);
 BENCHMARK_CAPTURE(BM_PerturbLanes, scdf_eps1, "scdf", 1.0);
+BENCHMARK_CAPTURE(BM_SampleDims, scalar_d128_m1, false, 128, 1);
+BENCHMARK_CAPTURE(BM_SampleDims, batched_d128_m1, true, 128, 1);
+BENCHMARK_CAPTURE(BM_SampleDims, scalar_d128_m8, false, 128, 8);
+BENCHMARK_CAPTURE(BM_SampleDims, batched_d128_m8, true, 128, 8);
+BENCHMARK_CAPTURE(BM_SampleDims, scalar_d128_m64, false, 128, 64);
+BENCHMARK_CAPTURE(BM_SampleDims, batched_d128_m64, true, 128, 64);
+BENCHMARK_CAPTURE(BM_SampleDims, scalar_d1024_m1, false, 1024, 1);
+BENCHMARK_CAPTURE(BM_SampleDims, batched_d1024_m1, true, 1024, 1);
+BENCHMARK_CAPTURE(BM_SampleDims, scalar_d1024_m8, false, 1024, 8);
+BENCHMARK_CAPTURE(BM_SampleDims, batched_d1024_m8, true, 1024, 8);
+BENCHMARK_CAPTURE(BM_SampleDims, scalar_d1024_m64, false, 1024, 64);
+BENCHMARK_CAPTURE(BM_SampleDims, batched_d1024_m64, true, 1024, 64);
+BENCHMARK_CAPTURE(BM_IngestSampled, laplace_m8_v2, "laplace",
+                  hdldp::SeedScheme::kV2Lanes, 8);
+BENCHMARK_CAPTURE(BM_IngestSampled, laplace_m8_v3, "laplace",
+                  hdldp::SeedScheme::kV3Batched, 8);
+BENCHMARK_CAPTURE(BM_IngestSampled, laplace_m64_v2, "laplace",
+                  hdldp::SeedScheme::kV2Lanes, 64);
+BENCHMARK_CAPTURE(BM_IngestSampled, laplace_m64_v3, "laplace",
+                  hdldp::SeedScheme::kV3Batched, 64);
+BENCHMARK_CAPTURE(BM_IngestSampled, piecewise_m8_v2, "piecewise",
+                  hdldp::SeedScheme::kV2Lanes, 8);
+BENCHMARK_CAPTURE(BM_IngestSampled, piecewise_m8_v3, "piecewise",
+                  hdldp::SeedScheme::kV3Batched, 8);
+BENCHMARK_CAPTURE(BM_IngestSampled, piecewise_m64_v2, "piecewise",
+                  hdldp::SeedScheme::kV2Lanes, 64);
+BENCHMARK_CAPTURE(BM_IngestSampled, piecewise_m64_v3, "piecewise",
+                  hdldp::SeedScheme::kV3Batched, 64);
 BENCHMARK(BM_RngUniform);
 BENCHMARK(BM_RngUniformLanes);
 BENCHMARK(BM_AggregatorConsume)->Arg(100)->Arg(10000);

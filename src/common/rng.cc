@@ -1,5 +1,6 @@
 #include "common/rng.h"
 
+#include <bit>
 #include <cassert>
 #include <cmath>
 
@@ -103,6 +104,74 @@ void Rng::SampleWithoutReplacement(std::size_t d, std::size_t m,
       }
     }
     out->push_back(seen ? static_cast<std::uint32_t>(j) : candidate);
+  }
+}
+
+void Rng::SampleWithoutReplacementBatch(std::size_t d, std::size_t m,
+                                        std::size_t count, bool sorted,
+                                        BatchSamplerScratch* scratch,
+                                        std::vector<std::uint32_t>* out) {
+  assert(m <= d);
+  out->reserve(out->size() + m * count);
+  if (m == d) {
+    // No draws, matching the scalar fast path; 0..d-1 is already sorted.
+    for (std::size_t u = 0; u < count; ++u) {
+      for (std::size_t j = 0; j < d; ++j) {
+        out->push_back(static_cast<std::uint32_t>(j));
+      }
+    }
+    return;
+  }
+  const std::size_t words = (d + 63) / 64;
+  if (scratch->mark_bits.size() < words) {
+    scratch->mark_bits.resize(words, 0);  // New words start cleared.
+  }
+  std::uint64_t* bits = scratch->mark_bits.data();
+  for (std::size_t u = 0; u < count; ++u) {
+    const std::size_t base = out->size();
+    std::size_t lo_word = words;
+    std::size_t hi_word = 0;
+    // Floyd's algorithm, draw-for-draw identical to
+    // SampleWithoutReplacement: the membership test's outcome is the
+    // same whether it probes the appended suffix or the bitmask, so
+    // UniformInt sees the same bound sequence. The fallback pick j can
+    // never be set already (earlier iterations only pick values < j).
+    for (std::size_t j = d - m; j < d; ++j) {
+      const auto candidate = static_cast<std::uint32_t>(
+          UniformInt(static_cast<std::uint64_t>(j) + 1));
+      const bool seen = (bits[candidate >> 6] >> (candidate & 63)) & 1u;
+      const std::uint32_t pick =
+          seen ? static_cast<std::uint32_t>(j) : candidate;
+      const std::size_t word = pick >> 6;
+      bits[word] |= std::uint64_t{1} << (pick & 63);
+      lo_word = std::min(lo_word, word);
+      hi_word = std::max(hi_word, word);
+      if (!sorted) out->push_back(pick);
+    }
+    if (sorted) {
+      // Emit the m set bits ascending — sortedness falls out of the
+      // walk, never from a comparison sort (whose data-dependent
+      // branches mispredict on random picks). Each word is cleared as
+      // it is consumed so the mask is ready for the next user; only the
+      // word range the picks landed in is touched, and the walk stops
+      // at the m-th bit.
+      std::size_t emitted = 0;
+      for (std::size_t w = lo_word; w <= hi_word && emitted < m; ++w) {
+        std::uint64_t word = bits[w];
+        bits[w] = 0;
+        while (word != 0) {
+          const unsigned bit = static_cast<unsigned>(std::countr_zero(word));
+          word &= word - 1;
+          out->push_back(static_cast<std::uint32_t>((w << 6) + bit));
+          ++emitted;
+        }
+      }
+    } else {
+      for (std::size_t k = base; k < out->size(); ++k) {
+        const std::uint32_t pick = (*out)[k];
+        bits[pick >> 6] &= ~(std::uint64_t{1} << (pick & 63));
+      }
+    }
   }
 }
 

@@ -18,6 +18,18 @@
 
 namespace hdldp {
 
+/// \brief Reusable scratch of Rng::SampleWithoutReplacementBatch: the
+/// d-bit membership bitmask Floyd's probe tests, hoisted out of the
+/// per-user loop so a chunk of thousands of users pays one allocation.
+/// Bit j set means dimension j is already sampled for the user currently
+/// being drawn; the sampler leaves every bit cleared again between
+/// users (the sorted emission clears as it walks), so the mask never
+/// needs a wipe. Cheap to default-construct; one instance per worker
+/// thread.
+struct BatchSamplerScratch {
+  std::vector<std::uint64_t> mark_bits;
+};
+
 /// \brief Deterministic pseudo-random generator with distribution helpers.
 ///
 /// Satisfies the C++ UniformRandomBitGenerator concept, so it can also be
@@ -143,6 +155,23 @@ class Rng {
   void SampleWithoutReplacement(std::size_t d, std::size_t m,
                                 std::vector<std::uint32_t>* out);
 
+  /// \brief Draws `count` independent m-of-d samples in one call (Floyd
+  /// per user), appending each user's `m` distinct indices to *out —
+  /// sorted ascending when `sorted` is set, in Floyd draw order
+  /// otherwise. The RNG consumes exactly the draws of `count` successive
+  /// SampleWithoutReplacement calls (ordering happens after the draws),
+  /// so the stream position afterwards is identical; only the output
+  /// order differs. `scratch` hoists the membership bitmask out of the
+  /// per-user loop: the probe is an O(1) bit test instead of the scalar
+  /// path's O(m) suffix scan, and the sorted order falls out of walking
+  /// the set bits ascending rather than a comparison sort — which is
+  /// what makes chunk-granular batch sampling cheap at large m.
+  /// Requires m <= d.
+  void SampleWithoutReplacementBatch(std::size_t d, std::size_t m,
+                                     std::size_t count, bool sorted,
+                                     BatchSamplerScratch* scratch,
+                                     std::vector<std::uint32_t>* out);
+
  private:
   static std::uint64_t Rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));
@@ -162,14 +191,19 @@ std::uint64_t SplitMix64(std::uint64_t* x);
 /// kV1Scalar: one scalar xoshiro256++ stream (53-bit uniforms, libm
 /// transforms) — the pre-lane-era contract, preserved so recorded runs
 /// keep their exact outputs. kV2Lanes: four lane streams per 4096-user
-/// chunk (52-bit uniforms, deterministic lane log) — the fast path,
-/// invariant to thread count and to SIMD-vs-scalar builds. Full
-/// contract documentation in common/rng_lanes.h. A seed means different
-/// draws under the two schemes by design; each scheme guarantees only
-/// that its own outputs never change.
+/// chunk (52-bit uniforms, deterministic lane log), one lane span per
+/// user on the sampled (m < d) path. kV3Batched: identical to kV2Lanes
+/// on dense (m == d) runs; on sampled runs the chunk's dimension draws
+/// happen up front (sorted per user) and many users' expanded entries
+/// pack into one long lane span — the fast sampled path, still invariant
+/// to thread count and to SIMD-vs-scalar builds. Full contract
+/// documentation in common/rng_lanes.h. A seed means different draws
+/// under the schemes by design; each scheme guarantees only that its own
+/// outputs never change.
 enum class SeedScheme {
   kV1Scalar = 1,
   kV2Lanes = 2,
+  kV3Batched = 3,
 };
 
 /// \brief Independent stream seed of chunk `chunk` under `seed`.

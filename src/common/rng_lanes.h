@@ -26,21 +26,50 @@
 //              vectorizes) and log transforms use lanes::Log4. Outputs
 //              are a pure function of (data, seed): independent of the
 //              thread count AND of whether the binary was built with
-//              SIMD. The default of both estimation pipelines
-//              (engine::ChunkedEstimation drives the chunk/lane/reduce
-//              orchestration for mean and frequency alike).
+//              SIMD. On the sampled (m < d) path each user's expanded
+//              entries form their own lane span (per-user padding of the
+//              trailing partial lane group), with the user's m
+//              dimensions drawn one user at a time from the chunk's
+//              dimension-sampler stream and expanded in Floyd draw
+//              order.
+//   kV3Batched the batched-sampling stream contract. Dense (m == d)
+//              runs are IDENTICAL to kV2Lanes — same streams, same draw
+//              layout, bit-for-bit equal outputs. Sampled (m < d) runs
+//              keep the kV2 stream seeding (dimension draws from the
+//              chunk's dimension-sampler stream, perturbation draws from
+//              the chunk's four lane streams) but change the layout:
+//              (1) all kUsersPerChunk x m dimension draws of a chunk
+//              happen up front (Floyd per user, in user order — the
+//              UniformInt draw sequence of v2 — with each user's picks
+//              then sorted ascending, so expansion walks entries in
+//              index order); (2) consecutive users' expanded entries
+//              pack into one lane span of >=
+//              engine::kSampledEntriesPerBlock entries (flushed at the
+//              first user boundary reaching the budget, plus the
+//              chunk's remainder), perturbed by a
+//              single PerturbLanes call — entry base + l of each
+//              4-entry group draws from lane l ACROSS user boundaries,
+//              and only a block's trailing partial group pads. Same
+//              determinism guarantees as v2: outputs are a pure function
+//              of (data, seed), invariant to thread count and
+//              SIMD-vs-scalar builds. The default of both estimation
+//              pipelines since the block layout landed.
 //
-// A seed value means different draws under the two schemes by design;
-// what each scheme guarantees is that its own outputs never change.
-// (One recorded exception: the Hybrid lane body's draw layout was
+// A seed value means different draws under the schemes by design; what
+// each scheme guarantees is that its own outputs never change. (One
+// recorded exception: the Hybrid lane body's draw layout was
 // re-specified from three rounds to the shared-coin two-round form one
 // PR after kV2Lanes shipped, before any recorded v2 hybrid runs
 // existed; the re-recorded goldens in tests/test_rng_lanes.cc freeze
 // the layout from that point on.)
-// Note the lane count is part of the v2 stream layout: value base + l of
-// each 4-value group draws from lane l, so widening to 8 lanes (AVX-512)
-// cannot reuse this contract — it would be a kV3 scheme with its own
-// golden streams, selected the same way v1 stays selectable today.
+// Note the lane count is part of the v2/v3 stream layouts: value base +
+// l of each 4-value group draws from lane l, so widening to 8 lanes
+// (AVX-512) cannot reuse these contracts — it would be a kV4 scheme
+// with its own golden streams, selected the same way v1 and v2 stay
+// selectable today. The block budget (engine::kSampledEntriesPerBlock)
+// and the flush-at-user-boundary rule are likewise part of the v3 layout:
+// changing either re-aligns entries to lanes and would be a new scheme,
+// not a tuning knob.
 
 #ifndef HDLDP_COMMON_RNG_LANES_H_
 #define HDLDP_COMMON_RNG_LANES_H_

@@ -21,17 +21,23 @@ Result<Dataset> Dataset::Create(std::size_t num_users, std::size_t num_dims) {
 }
 
 std::vector<double> Dataset::TrueMean() const {
+  const std::shared_ptr<const MeanCache> cached =
+      mean_cache_.load(std::memory_order_acquire);
+  if (cached != nullptr && cached->version == version_) return cached->mean;
   // Column sums with compensated accumulation; one pass over the matrix.
   std::vector<NeumaierSum> sums(num_dims_);
   for (std::size_t i = 0; i < num_users_; ++i) {
     const double* row = values_.data() + i * num_dims_;
     for (std::size_t j = 0; j < num_dims_; ++j) sums[j].Add(row[j]);
   }
-  std::vector<double> means(num_dims_);
+  auto fresh = std::make_shared<MeanCache>();
+  fresh->version = version_;
+  fresh->mean.resize(num_dims_);
   for (std::size_t j = 0; j < num_dims_; ++j) {
-    means[j] = sums[j].Total() / static_cast<double>(num_users_);
+    fresh->mean[j] = sums[j].Total() / static_cast<double>(num_users_);
   }
-  return means;
+  mean_cache_.store(fresh, std::memory_order_release);
+  return fresh->mean;
 }
 
 void Dataset::DimensionRange(std::size_t j, double* min_out,
@@ -63,6 +69,7 @@ void Dataset::NormalizeDimensions() {
 }
 
 void Dataset::ClampValues(double lo, double hi) {
+  ++version_;  // Direct values_ mutation; invalidate the TrueMean memo.
   for (double& v : values_) v = Clamp(v, lo, hi);
 }
 

@@ -9,7 +9,10 @@
 #ifndef HDLDP_DATA_DATASET_H_
 #define HDLDP_DATA_DATASET_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -35,6 +38,7 @@ class Dataset {
   }
   /// Sets the value of user i in dimension j.
   void Set(std::size_t i, std::size_t j, double v) {
+    ++version_;
     values_[i * num_dims_ + j] = v;
   }
 
@@ -48,11 +52,66 @@ class Dataset {
   std::span<const double> Rows(std::size_t i, std::size_t count) const {
     return {values_.data() + i * num_dims_, count * num_dims_};
   }
+  /// \brief Mutable view of user i's tuple. Invalidates the TrueMean
+  /// memo at handout — writes through the span are invisible to the
+  /// version counter, so do not hold it across a TrueMean() call (every
+  /// caller today, the generators, finishes writing before the first
+  /// read).
   std::span<double> MutableRow(std::size_t i) {
+    ++version_;
     return {values_.data() + i * num_dims_, num_dims_};
   }
 
-  /// \brief Per-dimension true mean, the paper's theta-bar.
+  // The TrueMean memo below makes copies/moves non-trivial (an atomic
+  // member has no implicit copy): copies duplicate the matrix and adopt
+  // the source's cache snapshot, mutation replaces only this object's
+  // snapshot.
+  Dataset(const Dataset& other)
+      : num_users_(other.num_users_),
+        num_dims_(other.num_dims_),
+        values_(other.values_),
+        version_(other.version_),
+        mean_cache_(other.mean_cache_.load(std::memory_order_acquire)) {}
+  Dataset& operator=(const Dataset& other) {
+    if (this != &other) {
+      num_users_ = other.num_users_;
+      num_dims_ = other.num_dims_;
+      values_ = other.values_;
+      version_ = other.version_;
+      mean_cache_.store(other.mean_cache_.load(std::memory_order_acquire),
+                        std::memory_order_release);
+    }
+    return *this;
+  }
+  Dataset(Dataset&& other) noexcept
+      : num_users_(other.num_users_),
+        num_dims_(other.num_dims_),
+        values_(std::move(other.values_)),
+        version_(other.version_),
+        mean_cache_(other.mean_cache_.load(std::memory_order_acquire)) {}
+  Dataset& operator=(Dataset&& other) noexcept {
+    if (this != &other) {
+      num_users_ = other.num_users_;
+      num_dims_ = other.num_dims_;
+      values_ = std::move(other.values_);
+      version_ = other.version_;
+      mean_cache_.store(other.mean_cache_.load(std::memory_order_acquire),
+                        std::memory_order_release);
+    }
+    return *this;
+  }
+
+  /// \brief Per-dimension true mean, the paper's theta-bar. Memoized:
+  /// the first call after a mutation pays the pass over the matrix,
+  /// later calls return the cached column means — experiment loops call
+  /// this once per pipeline run on the same dataset, where the pass was
+  /// a fixed ~40% of a sampled run's wall time. The cached values are
+  /// the exact bits of the uncached computation (same compensated
+  /// per-column sums in user order). Safe under concurrent const access
+  /// (trial-parallel benches share one dataset): the memo is published
+  /// through an atomic shared_ptr, and a lost race merely recomputes
+  /// identical values. Mutators invalidate by bumping this object's
+  /// version, never touching other copies.
   std::vector<double> TrueMean() const;
 
   /// \brief Per-dimension [min, max].
@@ -78,9 +137,18 @@ class Dataset {
  private:
   Dataset(std::size_t num_users, std::size_t num_dims);
 
+  struct MeanCache {
+    std::uint64_t version = 0;
+    std::vector<double> mean;
+  };
+
   std::size_t num_users_;
   std::size_t num_dims_;
   std::vector<double> values_;
+  // Mutation counter backing the TrueMean memo: bumping it is all a hot
+  // mutator (Set runs once per generated value) pays for invalidation.
+  std::uint64_t version_ = 0;
+  mutable std::atomic<std::shared_ptr<const MeanCache>> mean_cache_{};
 };
 
 }  // namespace data

@@ -3,6 +3,11 @@
 namespace hdldp {
 namespace engine {
 
+SampledChunkScratch& PerWorkerSampledScratch() {
+  static thread_local SampledChunkScratch scratch;
+  return scratch;
+}
+
 ChunkedEstimation::ChunkedEstimation(std::size_t num_users,
                                      const EngineOptions& options)
     : num_users_(num_users),

@@ -6,11 +6,12 @@
 //
 //   1. decompose the population into fixed 4096-user chunks,
 //   2. derive each chunk's random streams from (seed, chunk) — and, under
-//      SeedScheme::kV2Lanes, the four lane streams from
+//      SeedScheme::kV2Lanes / kV3Batched, the four lane streams from
 //      (seed, chunk, lane) — so draws never depend on scheduling,
 //   3. perturb each chunk's values through one prepared mech::SamplerPlan
-//      (dense whole-row spans when every dimension is reported, per-user
-//      gathered spans when m < d),
+//      (dense whole-row spans when every dimension is reported; when
+//      m < d, cross-user entry blocks under kV3Batched or per-user
+//      gathered spans under kV2Lanes),
 //   4. reduce the per-chunk partial aggregates through a deterministic
 //      two-level tree (engine/reduce.h).
 //
@@ -57,6 +58,37 @@ inline constexpr std::size_t kUsersPerChunk = 4096;
 /// variant visit while staying cache-resident even for wide rows.
 inline constexpr std::size_t kEntriesPerBlock = 16384;
 
+/// Flush threshold of the v3 batched sampled driver. Smaller than the
+/// dense block budget: the sampled path streams four parallel arrays
+/// (dims, natives, perturbed, plus the scatter fold) per block, and a
+/// budget this size keeps them L1/L2-resident while still amortizing
+/// the per-block variant visit over thousands of entries. Part of the
+/// kV3Batched stream layout (see common/rng_lanes.h) — changing it
+/// re-aligns sampled entries to lanes, so it is frozen with the scheme.
+inline constexpr std::size_t kSampledEntriesPerBlock = 4096;
+
+/// \brief Reusable scratch of the sampled chunk drivers: the sampled
+/// dimension indices, the expanded (entry index, native value) pairs and
+/// the perturbed outputs of the block in flight, plus the batch
+/// sampler's membership markers. Hoisted out of the per-chunk loop into
+/// one instance per worker thread (PerWorkerSampledScratch) so neither
+/// the v3 batched driver nor the v2 legacy driver reallocates per chunk.
+/// Contents carry no state across uses — every driver clears before
+/// writing — so sharing one instance per thread across engine instances
+/// and workloads is safe and invisible to outputs.
+struct SampledChunkScratch {
+  BatchSamplerScratch sampler;
+  std::vector<std::uint32_t> sampled;
+  std::vector<std::uint32_t> entry_indices;
+  std::vector<double> natives;
+  std::vector<double> perturbed;
+};
+
+/// \brief The calling worker thread's SampledChunkScratch (thread-local,
+/// created on first use, reused for every subsequent chunk the thread
+/// simulates).
+SampledChunkScratch& PerWorkerSampledScratch();
+
 /// \brief Configuration shared by every chunked estimation run.
 struct EngineOptions {
   /// Seed of the run; all chunk streams derive from it.
@@ -64,9 +96,12 @@ struct EngineOptions {
   /// RNG stream contract of the run (see common/rng_lanes.h), the
   /// single source a workload body dispatches on (via
   /// ChunkedEstimation::options()): the engine's lane drivers implement
-  /// kV2Lanes, while pipelines keep their own frozen kV1Scalar bodies
-  /// (on ScalarStream) for pre-lane-era reproducibility.
-  SeedScheme seed_scheme = SeedScheme::kV2Lanes;
+  /// kV3Batched (the default; dense chunks are laid out exactly as
+  /// kV2Lanes, sampled chunks batch entries across users) and the legacy
+  /// kV2Lanes per-user sampled layout, while pipelines keep their own
+  /// frozen kV1Scalar bodies (on ScalarStream) for pre-lane-era
+  /// reproducibility.
+  SeedScheme seed_scheme = SeedScheme::kV3Batched;
   /// Maximum worker threads simulating chunks concurrently on the shared
   /// ThreadPool (0 = one per hardware thread). Affects wall-clock time
   /// only, never the estimates.
@@ -86,7 +121,7 @@ struct ChunkRange {
 
 /// \brief Chunk scheduling, stream seeding, plan dispatch and reduction
 /// for one estimation run. Cheap value type; thread-compatible (all
-/// methods are const and allocate their own scratch).
+/// methods are const and scratch is per worker thread).
 class ChunkedEstimation {
  public:
   ChunkedEstimation(std::size_t num_users, const EngineOptions& options);
@@ -165,43 +200,91 @@ class ChunkedEstimation {
     return Status::OK();
   }
 
-  /// \brief Sampled per-chunk driver (m < num_dims): per user, the
-  /// chunk's dimension-sampler stream picks the m dimensions, the
+  /// \brief Sampled per-chunk driver (m < num_dims): the chunk's
+  /// dimension-sampler stream picks each user's m dimensions, the
   /// workload expands them into (entry index, native value) pairs, and
-  /// the user's entries stream through `plan` as one lane span into
-  /// `agg->ConsumeBatch`.
+  /// the entries stream through `plan` on the chunk's lane generator.
   ///
-  /// `expand(user, dim, entry_indices, natives)` is called once per
-  /// sampled dimension, in the sampler's draw order, and must append the
-  /// dimension's expanded entries to both vectors (one entry for a
-  /// numerical dimension, Cardinality(dim) entries for a one-hot one).
-  template <typename Agg, typename ExpandDim>
+  /// Layout depends on options().seed_scheme (see common/rng_lanes.h):
+  ///
+  ///   kV3Batched  all of the chunk's dimension draws happen up front
+  ///               (Rng::SampleWithoutReplacementBatch, sorted per
+  ///               user), then consecutive users' entries pack into
+  ///               cross-user blocks of >= kSampledEntriesPerBlock
+  ///               entries —
+  ///               one PerturbLanes call and one `agg->ConsumeScattered`
+  ///               per block, so lane utilization and scatter locality
+  ///               no longer die at small m.
+  ///   kV2Lanes    the frozen legacy layout: per user, draw m dimensions
+  ///               (Floyd draw order), expand, perturb the user's
+  ///               entries as their own lane span, `agg->ConsumeBatch`.
+  ///               (kV1Scalar runs never reach the engine drivers; the
+  ///               pipelines keep their own frozen v1 bodies.)
+  ///
+  /// `expand(user, dims, entry_indices, natives)` is called once per
+  /// user with the user's `report_dims` sampled dimensions — ascending
+  /// under kV3Batched, in the sampler's draw order under kV2Lanes — and
+  /// must append each dimension's expanded entries to both vectors in
+  /// the given dimension order (one entry for a numerical dimension,
+  /// Cardinality(dim) entries for a one-hot one). Handing the workload
+  /// the whole span at once lets it bulk-append instead of paying
+  /// per-dimension capacity checks.
+  template <typename Agg, typename ExpandUser>
   Status PerturbSampledChunk(const mech::SamplerPlan& plan,
                              const ChunkRange& range, std::size_t num_dims,
                              std::size_t report_dims, Agg* agg,
-                             ExpandDim&& expand) const {
+                             ExpandUser&& expand) const {
+    SampledChunkScratch& s = PerWorkerSampledScratch();
     RngLanes lanes = LaneStreams(range);
     Rng dims_rng = DimSamplerStream(range);
-    std::vector<std::uint32_t> sampled;
-    std::vector<std::uint32_t> entry_indices;
-    std::vector<double> natives;
-    std::vector<double> perturbed;
-    for (std::size_t i = range.begin; i < range.end; ++i) {
-      sampled.clear();
-      dims_rng.SampleWithoutReplacement(num_dims, report_dims, &sampled);
-      entry_indices.clear();
-      natives.clear();
-      for (const std::uint32_t j : sampled) {
-        expand(i, j, &entry_indices, &natives);
+    if (options_.seed_scheme == SeedScheme::kV3Batched) {
+      s.sampled.clear();
+      dims_rng.SampleWithoutReplacementBatch(num_dims, report_dims,
+                                             range.num_users(), /*sorted=*/true,
+                                             &s.sampler, &s.sampled);
+      s.entry_indices.clear();
+      s.natives.clear();
+      const std::uint32_t* user_dims = s.sampled.data();
+      for (std::size_t i = range.begin; i < range.end;
+           ++i, user_dims += report_dims) {
+        expand(i, std::span<const std::uint32_t>(user_dims, report_dims),
+               &s.entry_indices, &s.natives);
+        if (s.natives.size() >= kSampledEntriesPerBlock) {
+          HDLDP_RETURN_NOT_OK(FlushSampledBlock(plan, &lanes, &s, agg));
+        }
       }
-      perturbed.resize(natives.size());
-      mech::PerturbLanes(plan, natives, &lanes, perturbed);
-      HDLDP_RETURN_NOT_OK(agg->ConsumeBatch(entry_indices, perturbed));
+      return FlushSampledBlock(plan, &lanes, &s, agg);
+    }
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      s.sampled.clear();
+      dims_rng.SampleWithoutReplacement(num_dims, report_dims, &s.sampled);
+      s.entry_indices.clear();
+      s.natives.clear();
+      expand(i, std::span<const std::uint32_t>(s.sampled),
+             &s.entry_indices, &s.natives);
+      s.perturbed.resize(s.natives.size());
+      mech::PerturbLanes(plan, s.natives, &lanes, s.perturbed);
+      HDLDP_RETURN_NOT_OK(agg->ConsumeBatch(s.entry_indices, s.perturbed));
     }
     return Status::OK();
   }
 
  private:
+  /// Perturbs and scatters the v3 block in flight (a no-op when empty),
+  /// leaving the scratch ready for the next block.
+  template <typename Agg>
+  static Status FlushSampledBlock(const mech::SamplerPlan& plan,
+                                  RngLanes* lanes, SampledChunkScratch* s,
+                                  Agg* agg) {
+    if (s->natives.empty()) return Status::OK();
+    s->perturbed.resize(s->natives.size());
+    mech::PerturbLanes(plan, s->natives, lanes, s->perturbed);
+    const Status status = agg->ConsumeScattered(s->entry_indices, s->perturbed);
+    s->entry_indices.clear();
+    s->natives.clear();
+    return status;
+  }
+
   std::size_t num_users_;
   std::size_t num_chunks_;
   EngineOptions options_;

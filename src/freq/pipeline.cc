@@ -131,8 +131,9 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
       }
     }
   } else {
-    // kV2Lanes: the engine owns chunk geometry, (seed, chunk, lane)
-    // stream seeding, plan dispatch and the deterministic reduction tree;
+    // kV2Lanes / kV3Batched: the engine owns chunk geometry, (seed,
+    // chunk, lane) stream seeding, plan dispatch (including the v3
+    // cross-user sampled batching) and the deterministic reduction tree;
     // the lambdas below only define the one-hot encoding of a user row.
     const mech::SamplerPlan plan = mechanism->MakePlan(per_entry_eps);
     const double native_zero = map.Forward(0.0);
@@ -179,19 +180,31 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
                     });
               }
               // Sampled path: each sampled dimension expands into its
-              // Cardinality(j) one-hot entries.
+              // Cardinality(j) one-hot entries, appended as bulk runs
+              // (resize-fill plus a single category write per dimension)
+              // instead of per-entry push_backs — identical contents, so
+              // v2 outputs are unchanged and v3 blocks fill faster.
               return core.PerturbSampledChunk(
                   plan, range, d, m, scratch,
-                  [&](std::size_t user, std::uint32_t j,
+                  [&](std::size_t user, std::span<const std::uint32_t> dims,
                       std::vector<std::uint32_t>* entry_indices,
                       std::vector<double>* natives) {
-                    const std::size_t off = schema.EntryOffset(j);
-                    const std::uint32_t category = dataset.At(user, j);
-                    for (std::size_t k = 0; k < schema.Cardinality(j); ++k) {
-                      entry_indices->push_back(
-                          static_cast<std::uint32_t>(off + k));
-                      natives->push_back(k == category ? native_one
-                                                       : native_zero);
+                    std::size_t total = 0;
+                    for (const std::uint32_t j : dims) {
+                      total += schema.Cardinality(j);
+                    }
+                    std::size_t base = natives->size();
+                    natives->resize(base + total, native_zero);
+                    entry_indices->resize(base + total);
+                    for (const std::uint32_t j : dims) {
+                      const std::size_t off = schema.EntryOffset(j);
+                      const std::size_t cardinality = schema.Cardinality(j);
+                      (*natives)[base + dataset.At(user, j)] = native_one;
+                      std::uint32_t* idx = entry_indices->data() + base;
+                      for (std::size_t k = 0; k < cardinality; ++k) {
+                        idx[k] = static_cast<std::uint32_t>(off + k);
+                      }
+                      base += cardinality;
                     }
                   });
             }));

@@ -38,13 +38,17 @@ struct FrequencyOptions {
   /// Seed of the run. Estimates are a pure function of (dataset, options
   /// minus num_threads) under either seed scheme.
   std::uint64_t seed = 1;
-  /// RNG stream contract (see common/rng_lanes.h). kV2Lanes (default)
+  /// RNG stream contract (see common/rng_lanes.h). kV3Batched (default)
   /// streams fixed 4096-user chunks over the shared thread pool, chunk c
   /// perturbing through the prepared sampler plan with the four lane
-  /// streams of ChunkSeed(seed, c) — the fast path. kV1Scalar replays
-  /// the legacy serial loop (one scalar stream, per-entry Perturb) and
-  /// reproduces pre-lane-era runs bit for bit under their old seeds.
-  SeedScheme seed_scheme = SeedScheme::kV2Lanes;
+  /// streams of ChunkSeed(seed, c); dense (m == d) runs are laid out
+  /// exactly as kV2Lanes while sampled (m < d) runs batch many users'
+  /// one-hot entries into each lane span — the fast path. kV2Lanes
+  /// replays the per-user sampled lane spans of the first lane-era
+  /// releases; kV1Scalar replays the legacy serial loop (one scalar
+  /// stream, per-entry Perturb) and reproduces pre-lane-era runs bit for
+  /// bit under their old seeds.
+  SeedScheme seed_scheme = SeedScheme::kV3Batched;
   /// Maximum worker threads simulating chunks concurrently under
   /// kV2Lanes (on the shared ThreadPool). 1 = serial, 0 = one per
   /// hardware thread. Affects wall-clock time only, never the estimates.

@@ -39,10 +39,11 @@ struct VarianceOptions {
   /// Seed of the run.
   std::uint64_t seed = 1;
   /// RNG stream contract of the two internal mean-estimation runs (see
-  /// common/rng_lanes.h): kV2Lanes (default) is the engine's lane fast
-  /// path; kV1Scalar replays the pre-engine scalar chunk streams so
-  /// recorded variance runs stay reproducible.
-  SeedScheme seed_scheme = SeedScheme::kV2Lanes;
+  /// common/rng_lanes.h): kV3Batched (default) is the engine's lane fast
+  /// path with cross-user sampled batching; kV2Lanes replays the
+  /// per-user sampled lane spans and kV1Scalar the pre-engine scalar
+  /// chunk streams, so recorded variance runs stay reproducible.
+  SeedScheme seed_scheme = SeedScheme::kV3Batched;
   /// Re-calibrate both halves with HDR4ME before combining.
   bool recalibrate = false;
   /// HDR4ME configuration (read when `recalibrate` is set).

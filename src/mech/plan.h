@@ -483,13 +483,16 @@ inline void PerturbSpan(const SamplerPlan& plan, std::span<const double> ts,
       plan);
 }
 
-/// \brief Lane-parallel span perturbation (v2 stream contract): value
-/// base + l of each group of kLanes consecutive values draws from lane l.
-/// A trailing partial group is padded — the dead lanes draw and their
-/// outputs are discarded, keeping every lane's consumption a pure
+/// \brief Lane-parallel span perturbation (v2/v3 stream contracts):
+/// value base + l of each group of kLanes consecutive values draws from
+/// lane l. A trailing partial group is padded — the dead lanes draw and
+/// their outputs are discarded, keeping every lane's consumption a pure
 /// function of ts.size() (GenericPlan, whose draw count per value is
 /// unknowable, instead runs scalar per lane and never pads; see
-/// PerturbLanesGeneric). `out` must hold at least ts.size() entries.
+/// PerturbLanesGeneric). The span-to-user mapping is the caller's
+/// contract: v2 sampled spans hold one user, v3 sampled spans pack
+/// entries across users (common/rng_lanes.h). `out` must hold at least
+/// ts.size() entries.
 inline void PerturbLanes(const SamplerPlan& plan, std::span<const double> ts,
                          RngLanes* rng, std::span<double> out) {
   std::visit(

@@ -57,6 +57,18 @@ class MeanAggregator {
     return ConsumeBatch(batch.dimensions, batch.values);
   }
 
+  /// \brief Folds a flat block of scattered entries — same arguments,
+  /// same validation and bit-identical per-dimension accumulation order
+  /// as ConsumeBatch — but built for the large cross-user blocks of the
+  /// v3 batched sampled driver: when the accumulator arrays exceed the
+  /// L1-resident range, entries are first bucketed by dimension group
+  /// (stable counting sort into internal scratch) so the compensated
+  /// adds of each pass touch one cache-resident slice of `sums_` instead
+  /// of scattering across all of it. Falls back to the plain fold for
+  /// small dimensionalities or small blocks.
+  Status ConsumeScattered(std::span<const std::uint32_t> dimensions,
+                          std::span<const double> values);
+
   /// \brief Folds complete user rows: `values` holds whole perturbed
   /// tuples back to back (size a multiple of d, entry k belonging to
   /// dimension k % d), as produced by Client::ReportDense. Per-dimension
@@ -122,6 +134,14 @@ class MeanAggregator {
   std::vector<NeumaierSum> sums_;
   std::vector<std::int64_t> counts_;
   std::vector<double> native_bias_;
+
+  // ConsumeScattered's bucket-pass scratch. Not aggregation state:
+  // Reset() and Merge() ignore it, and its contents never outlive one
+  // ConsumeScattered call.
+  std::vector<std::uint32_t> scatter_dims_;
+  std::vector<double> scatter_values_;
+  std::vector<std::size_t> scatter_begin_;
+  std::vector<std::size_t> scatter_cursor_;
 };
 
 }  // namespace protocol

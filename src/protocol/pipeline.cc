@@ -102,14 +102,24 @@ Result<MeanEstimationResult> RunMeanEstimation(const data::Dataset& dataset,
                     }
                   });
             }
-            // Sampled path: each sampled dimension contributes one entry.
+            // Sampled path: each sampled dimension contributes one
+            // entry, bulk-appended per user (v3 batches many users'
+            // entries into each lane span; v2 keeps one span per user —
+            // the engine driver dispatches).
             return core.PerturbSampledChunk(
                 plan, range, d, m, scratch,
-                [&](std::size_t user, std::uint32_t j,
+                [&](std::size_t user, std::span<const std::uint32_t> dims,
                     std::vector<std::uint32_t>* entry_indices,
                     std::vector<double>* natives) {
-                  entry_indices->push_back(j);
-                  natives->push_back(map.Forward(dataset.At(user, j)));
+                  entry_indices->insert(entry_indices->end(), dims.begin(),
+                                        dims.end());
+                  const std::size_t base = natives->size();
+                  natives->resize(base + dims.size());
+                  double* out = natives->data() + base;
+                  const std::span<const double> row = dataset.Row(user);
+                  for (std::size_t k = 0; k < dims.size(); ++k) {
+                    out[k] = map.Forward(row[dims[k]]);
+                  }
                 });
           }));
 

@@ -44,13 +44,17 @@ struct PipelineOptions {
   /// deterministic engine tree, so the result is identical for every
   /// num_threads value.
   std::uint64_t seed = 1;
-  /// RNG stream contract (see common/rng_lanes.h). kV2Lanes (default)
+  /// RNG stream contract (see common/rng_lanes.h). kV3Batched (default)
   /// perturbs through the prepared sampler plan with the four lane
-  /// streams of ChunkSeed(seed, chunk) — the fast path, also invariant
-  /// to SIMD-vs-scalar builds. kV1Scalar replays the legacy per-chunk
-  /// scalar stream (ReportDense / ReportBatch draw order) and reproduces
-  /// pre-lane-era mean estimates bit for bit under their old seeds.
-  SeedScheme seed_scheme = SeedScheme::kV2Lanes;
+  /// streams of ChunkSeed(seed, chunk); dense (m == d) runs are laid out
+  /// exactly as kV2Lanes while sampled (m < d) runs batch many users'
+  /// entries into each lane span — the fast path, invariant to
+  /// SIMD-vs-scalar builds. kV2Lanes replays the per-user sampled lane
+  /// spans of the first lane-era releases; kV1Scalar replays the legacy
+  /// per-chunk scalar stream (ReportDense / ReportBatch draw order) and
+  /// reproduces pre-lane-era mean estimates bit for bit under their old
+  /// seeds.
+  SeedScheme seed_scheme = SeedScheme::kV3Batched;
   /// Maximum worker threads simulating chunks concurrently (on the shared
   /// ThreadPool). 1 = serial, 0 = one per hardware thread. Affects
   /// wall-clock time only, never the estimate.

@@ -192,6 +192,73 @@ TEST(ConsumeBatchTest, RejectsMalformedBatchWithoutMutating) {
   EXPECT_EQ(agg.TotalReports(), 2);
 }
 
+// ConsumeScattered is ConsumeBatch with a cache-bucketed fold: same
+// validation, bit-identical per-dimension accumulation order. The v3
+// sampled engine driver feeds whole cross-user blocks through it, so
+// this equivalence is what keeps v3 estimates independent of block
+// geometry details like the bucket width.
+TEST(ConsumeScatteredTest, BitIdenticalToConsumeBatch) {
+  Rng rng(77);
+  // Both fold regimes: single-bucket (d <= 512) and multi-bucket.
+  for (const std::size_t dims_count : {std::size_t{100}, std::size_t{3000}}) {
+    SCOPED_TRACE(dims_count);
+    constexpr std::size_t kEntries = 40000;
+    std::vector<std::uint32_t> dims(kEntries);
+    std::vector<double> values(kEntries);
+    for (std::size_t k = 0; k < kEntries; ++k) {
+      dims[k] = static_cast<std::uint32_t>(rng.UniformInt(dims_count));
+      values[k] = rng.Uniform(-3.0, 3.0);
+    }
+    auto batch = MeanAggregator::Create(dims_count, mech::DomainMap()).value();
+    auto scattered =
+        MeanAggregator::Create(dims_count, mech::DomainMap()).value();
+    ASSERT_TRUE(batch.ConsumeBatch(dims, values).ok());
+    ASSERT_TRUE(scattered.ConsumeScattered(dims, values).ok());
+    EXPECT_EQ(batch.EstimatedMean(), scattered.EstimatedMean());
+    EXPECT_EQ(batch.TotalReports(), scattered.TotalReports());
+    for (std::size_t j = 0; j < dims_count; ++j) {
+      ASSERT_EQ(batch.ReportCount(j), scattered.ReportCount(j)) << j;
+    }
+  }
+}
+
+TEST(ConsumeScatteredTest, RunShapedBlocksStayBitIdentical) {
+  // One-hot expansions produce ascending index runs; interleave runs
+  // with isolated entries to exercise the shape the v3 freq path feeds.
+  constexpr std::size_t kDims = 640;
+  Rng rng(5);
+  std::vector<std::uint32_t> dims;
+  std::vector<double> values;
+  for (int rep = 0; rep < 3000; ++rep) {
+    const auto off = static_cast<std::uint32_t>(rng.UniformInt(kDims - 8));
+    for (std::uint32_t k = 0; k < 8; ++k) {
+      dims.push_back(off + k);
+      values.push_back(rng.Uniform(-1.0, 1.0));
+    }
+    dims.push_back(static_cast<std::uint32_t>(rng.UniformInt(kDims)));
+    values.push_back(rng.Uniform(-1.0, 1.0));
+  }
+  auto batch = MeanAggregator::Create(kDims, mech::DomainMap()).value();
+  auto scattered = MeanAggregator::Create(kDims, mech::DomainMap()).value();
+  ASSERT_TRUE(batch.ConsumeBatch(dims, values).ok());
+  ASSERT_TRUE(scattered.ConsumeScattered(dims, values).ok());
+  EXPECT_EQ(batch.EstimatedMean(), scattered.EstimatedMean());
+  EXPECT_EQ(batch.TotalReports(), scattered.TotalReports());
+}
+
+TEST(ConsumeScatteredTest, RejectsMalformedBlocksWithoutMutating) {
+  auto agg = MeanAggregator::Create(3, mech::DomainMap()).value();
+  const std::vector<std::uint32_t> dims{0, 1, 7};  // 7 out of range.
+  const std::vector<double> values{0.1, 0.2, 0.3};
+  EXPECT_FALSE(agg.ConsumeScattered(dims, values).ok());
+  EXPECT_EQ(agg.TotalReports(), 0);
+  const std::vector<std::uint32_t> short_dims{0, 1};
+  EXPECT_FALSE(agg.ConsumeScattered(short_dims, values).ok());
+  EXPECT_EQ(agg.TotalReports(), 0);
+  EXPECT_TRUE(agg.ConsumeScattered({}, {}).ok());
+  EXPECT_EQ(agg.TotalReports(), 0);
+}
+
 }  // namespace
 }  // namespace protocol
 }  // namespace hdldp

@@ -4,11 +4,16 @@
 //
 //   (a) SeedScheme::kV1Scalar mean runs reproduce the pre-engine (PR 3)
 //       pipeline's estimates bit for bit, at any thread count;
-//   (b) SeedScheme::kV2Lanes (the new default) mean estimates match
-//       golden outputs recorded on an AVX2 build — the no-SIMD CI
-//       configuration re-runs this same table, which is what pins
-//       lane-vs-scalar cross-build bit-identity of the whole mean path;
-//   (c) estimates under both schemes are invariant to num_threads;
+//   (b) SeedScheme::kV2Lanes mean estimates match golden outputs
+//       recorded on an AVX2 build — the no-SIMD CI configuration re-runs
+//       this same table, which is what pins lane-vs-scalar cross-build
+//       bit-identity of the whole mean path (the laplace row is sampled
+//       m < d, so it also freezes the v2 per-user sampled layout against
+//       the batched v3 rewrite);
+//   (c) SeedScheme::kV3Batched (the default) sampled estimates match
+//       their own AVX2-recorded goldens, dense v3 runs equal dense v2
+//       runs bit for bit, and estimates under all schemes are invariant
+//       to num_threads;
 //   (d) the generic two-level reduction drives arbitrary accumulator
 //       types with the same deterministic geometry.
 
@@ -237,16 +242,72 @@ TEST(MeanPipelineGoldenTest, V2LaneGoldensPinCrossBuildBitIdentity) {
   }
 }
 
-TEST(MeanPipelineGoldenTest, V2LanesIsTheDefaultScheme) {
-  EXPECT_EQ(protocol::PipelineOptions{}.seed_scheme, SeedScheme::kV2Lanes);
+// kV3Batched sampled (m < d) outputs recorded on an AVX2 build: the
+// cross-user block layout (sorted batched dimension draws, lane spans of
+// >= engine::kSampledEntriesPerBlock (4096) entries, scattered block
+// folds) is frozen by these rows, and the
+// release-nosimd CI job replays them on the portable scalar kernels. The
+// laplace row shares its config with the kV2Goldens laplace row: same
+// dimension draws (hence identical report counts) through a different
+// perturbation layout.
+const MeanGolden kV3Goldens[] = {
+    {"piecewise", 9000, 5, 2, 2.0, 33,
+     {0xbfa346d7849d86e0ULL, 0x3f872498c155ea44ULL, 0x3f98354e796bdfbfULL,
+      0xbf163e475d8be124ULL, 0xbfac73dd76fdef23ULL},
+     {3631, 3606, 3540, 3617, 3606},
+     0x3f50e2ec08295b6fULL},
+    {"laplace", 9000, 6, 2, 2.0, 33,
+     {0xbfa65867f71d1de3ULL, 0x3f911c2877c6aae4ULL, 0xbfa584426bbf4e41ULL,
+      0xbfa74acd5a49d41eULL, 0x3f9442c96062fbe5ULL, 0xbfb1e986b27f36b1ULL},
+     {2996, 3070, 2959, 2929, 2981, 3065},
+     0x3f5e8ec75b355010ULL},
+    {"square_wave", 5000, 4, 1, 8.0, 12,
+     {0xbf6ab02f88e3e900ULL, 0x3f765b4c6bc0cc00ULL, 0xbf8f86a8cb1233c0ULL,
+      0xbfa395738fa66460ULL},
+     {1228, 1297, 1256, 1219},
+     0x3f315e8fd87a97f2ULL},
+};
+
+TEST(MeanPipelineGoldenTest, V3SampledGoldensPinTheBatchedLayout) {
+  for (const MeanGolden& golden : kV3Goldens) {
+    SCOPED_TRACE(golden.mechanism);
+    CheckGolden(golden, SeedScheme::kV3Batched, 1);
+    CheckGolden(golden, SeedScheme::kV3Batched, 4);
+  }
+}
+
+TEST(MeanPipelineGoldenTest, V3BatchedIsTheDefaultScheme) {
+  EXPECT_EQ(protocol::PipelineOptions{}.seed_scheme, SeedScheme::kV3Batched);
+  EXPECT_EQ(engine::EngineOptions{}.seed_scheme, SeedScheme::kV3Batched);
+}
+
+TEST(MeanPipelineGoldenTest, V3DenseEqualsV2DenseBitForBit) {
+  // The v3 contract changes only the sampled layout; a dense (m == d)
+  // run must reproduce the v2 estimates exactly.
+  const data::Dataset ds = GoldenDataset(9000, 5);
+  for (const auto name : {"piecewise", "hybrid"}) {
+    SCOPED_TRACE(name);
+    protocol::PipelineOptions opts;
+    opts.total_epsilon = 2.0;
+    opts.seed = 33;
+    opts.num_threads = 2;
+    opts.seed_scheme = SeedScheme::kV2Lanes;
+    const auto mech = mech::MakeMechanism(name).value();
+    const auto v2 = protocol::RunMeanEstimation(ds, mech, opts).value();
+    opts.seed_scheme = SeedScheme::kV3Batched;
+    const auto v3 = protocol::RunMeanEstimation(ds, mech, opts).value();
+    EXPECT_EQ(v2.estimated_mean, v3.estimated_mean);
+    EXPECT_EQ(v2.report_counts, v3.report_counts);
+    EXPECT_EQ(v2.mse, v3.mse);
+  }
 }
 
 // --- Thread-count invariance of the engine-driven mean pipeline ------------
 
-TEST(MeanPipelineEngineTest, EstimatesInvariantToThreadCountUnderBothSchemes) {
+TEST(MeanPipelineEngineTest, EstimatesInvariantToThreadCountUnderAllSchemes) {
   const data::Dataset ds = GoldenDataset(9000, 5);
   for (const SeedScheme scheme :
-       {SeedScheme::kV1Scalar, SeedScheme::kV2Lanes}) {
+       {SeedScheme::kV1Scalar, SeedScheme::kV2Lanes, SeedScheme::kV3Batched}) {
     for (const std::size_t report_dims : {std::size_t{0}, std::size_t{3}}) {
       SCOPED_TRACE(static_cast<int>(scheme));
       SCOPED_TRACE(report_dims);

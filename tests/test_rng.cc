@@ -223,6 +223,96 @@ TEST(RngTest, SampleWithoutReplacementAppends) {
   EXPECT_EQ(picks[0], 99u);
 }
 
+TEST(RngTest, BatchSamplerMatchesScalarFloydDrawForDraw) {
+  // Unsorted batch output must equal successive scalar calls exactly
+  // (same picks in the same order), and leave the generator at the same
+  // stream position — the batch sampler only hoists the membership
+  // probe, it never changes the draw sequence.
+  constexpr std::size_t kD = 37;
+  constexpr std::size_t kM = 9;
+  constexpr std::size_t kCount = 200;
+  Rng batch_rng(7);
+  Rng scalar_rng(7);
+  BatchSamplerScratch scratch;
+  std::vector<std::uint32_t> batched;
+  batch_rng.SampleWithoutReplacementBatch(kD, kM, kCount, /*sorted=*/false,
+                                          &scratch, &batched);
+  std::vector<std::uint32_t> scalar;
+  for (std::size_t u = 0; u < kCount; ++u) {
+    scalar_rng.SampleWithoutReplacement(kD, kM, &scalar);
+  }
+  EXPECT_EQ(batched, scalar);
+  EXPECT_EQ(batch_rng.Next(), scalar_rng.Next());
+}
+
+TEST(RngTest, BatchSamplerSortedIsThePerUserSortedPermutation) {
+  constexpr std::size_t kD = 500;
+  constexpr std::size_t kM = 50;
+  constexpr std::size_t kCount = 64;
+  Rng sorted_rng(11);
+  Rng unsorted_rng(11);
+  BatchSamplerScratch scratch_a;
+  BatchSamplerScratch scratch_b;
+  std::vector<std::uint32_t> sorted;
+  std::vector<std::uint32_t> unsorted;
+  sorted_rng.SampleWithoutReplacementBatch(kD, kM, kCount, true, &scratch_a,
+                                           &sorted);
+  unsorted_rng.SampleWithoutReplacementBatch(kD, kM, kCount, false, &scratch_b,
+                                             &unsorted);
+  ASSERT_EQ(sorted.size(), kM * kCount);
+  // Same draws either way, so the stream positions agree.
+  EXPECT_EQ(sorted_rng.Next(), unsorted_rng.Next());
+  for (std::size_t u = 0; u < kCount; ++u) {
+    const auto begin = sorted.begin() + static_cast<std::ptrdiff_t>(u * kM);
+    EXPECT_TRUE(std::is_sorted(begin, begin + kM)) << "user " << u;
+    // Strictly sorted == sorted + distinct.
+    EXPECT_EQ(std::adjacent_find(begin, begin + kM), begin + kM);
+    std::vector<std::uint32_t> user_sorted(
+        unsorted.begin() + static_cast<std::ptrdiff_t>(u * kM),
+        unsorted.begin() + static_cast<std::ptrdiff_t>((u + 1) * kM));
+    std::sort(user_sorted.begin(), user_sorted.end());
+    EXPECT_TRUE(std::equal(begin, begin + kM, user_sorted.begin()))
+        << "user " << u;
+    for (std::size_t k = 0; k < kM; ++k) {
+      EXPECT_LT(begin[k], kD);
+    }
+  }
+}
+
+TEST(RngTest, BatchSamplerFullSetNeedsNoDrawsAndAppends) {
+  Rng rng(3);
+  Rng untouched(3);
+  BatchSamplerScratch scratch;
+  std::vector<std::uint32_t> picks = {1234};
+  rng.SampleWithoutReplacementBatch(6, 6, 3, true, &scratch, &picks);
+  ASSERT_EQ(picks.size(), 1 + 3 * 6);
+  EXPECT_EQ(picks[0], 1234u);
+  for (std::size_t u = 0; u < 3; ++u) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      EXPECT_EQ(picks[1 + u * 6 + j], j);
+    }
+  }
+  EXPECT_EQ(rng.Next(), untouched.Next());
+}
+
+TEST(RngTest, BatchSamplerScratchReusesAcrossShapes) {
+  // One scratch serving different (d, m) shapes must keep producing
+  // valid samples: the bitmask is left fully cleared between users.
+  Rng rng(19);
+  BatchSamplerScratch scratch;
+  std::vector<std::uint32_t> out;
+  rng.SampleWithoutReplacementBatch(1000, 13, 20, true, &scratch, &out);
+  out.clear();
+  rng.SampleWithoutReplacementBatch(10, 3, 50, true, &scratch, &out);
+  ASSERT_EQ(out.size(), 150u);
+  for (std::size_t u = 0; u < 50; ++u) {
+    const auto begin = out.begin() + static_cast<std::ptrdiff_t>(u * 3);
+    EXPECT_TRUE(std::is_sorted(begin, begin + 3));
+    EXPECT_EQ(std::adjacent_find(begin, begin + 3), begin + 3);
+    EXPECT_LT(begin[2], 10u);
+  }
+}
+
 TEST(RngTest, SplitMix64KnownSequenceIsStable) {
   // Regression anchor: document the stream so accidental engine changes
   // surface as test failures (benchmarks depend on reproducibility).

@@ -5,9 +5,12 @@
 //       in-process where both are compiled (NextLanes vs NextLanesScalar,
 //       Log4 vs Log4Scalar), and across builds via golden lane streams
 //       that the no-SIMD CI configuration re-checks;
-//   (b) kV2Lanes frequency estimates are invariant to the thread count;
-//   (c) legacy single-stream seeds (SeedScheme::kV1Scalar) still
-//       reproduce the pre-lane-era pipeline's estimates bit for bit.
+//   (b) kV2Lanes and kV3Batched frequency estimates are invariant to
+//       the thread count, and the sampled goldens of both schemes pin
+//       their layouts (per-user spans vs cross-user batched blocks);
+//   (c) legacy seeds (SeedScheme::kV1Scalar scalar streams, kV2Lanes
+//       per-user sampled spans) still reproduce their recorded
+//       estimates bit for bit.
 
 #include <gtest/gtest.h>
 
@@ -37,6 +40,19 @@ std::vector<double> Flatten(const std::vector<std::vector<double>>& nested) {
   std::vector<double> flat;
   for (const auto& v : nested) flat.insert(flat.end(), v.begin(), v.end());
   return flat;
+}
+
+std::uint64_t Bits(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  return bits;
+}
+
+std::vector<std::uint64_t> BitsOf(const std::vector<double>& values) {
+  std::vector<std::uint64_t> bits;
+  bits.reserve(values.size());
+  for (const double v : values) bits.push_back(Bits(v));
+  return bits;
 }
 
 TEST(RngLanesTest, LaneStreamsAreTheDocumentedScalarStreams) {
@@ -457,12 +473,109 @@ TEST(FreqLanesTest, V1ScalarSeedsReproducePreLaneEstimates) {
   EXPECT_EQ(square_wave.mse_recalibrated, 0.025191549590640315);
 }
 
+// v2 sampled outputs captured from the PR 4 build (one lane span and one
+// scatter per user): the batched v3 rewrite must leave the legacy scheme
+// reproducing them bit for bit, through the shared per-worker scratch
+// and the bulk one-hot expansion. Dataset = LaneTestDataset(9000),
+// eps = 2, seed = 33, m = 2, no clip/normalize.
+TEST(FreqLanesTest, V2SampledSeedsReproducePr4Estimates) {
+  const auto ds = LaneTestDataset(9000);
+  freq::FrequencyOptions opts;
+  opts.total_epsilon = 2.0;
+  opts.seed = 33;
+  opts.report_dims = 2;
+  opts.seed_scheme = SeedScheme::kV2Lanes;
+  opts.clip_and_normalize = false;
+
+  const std::vector<std::uint64_t> piecewise_raw = {
+      0x3fde7aa10dd14031ULL, 0x3fd0643240255479ULL, 0x3fd151fba9272318ULL,
+      0x3fdf452fb4fa0bb7ULL, 0x3fd1a9b9bcabf451ULL, 0x3fc65a828b5fd1b4ULL,
+      0x3fc2dab08ea3e2a8ULL, 0x3fe3769c87977f1bULL, 0x3fd78ea392301833ULL};
+  const auto piecewise =
+      freq::RunFrequencyEstimation(ds, mech::MakeMechanism("piecewise").value(),
+                                   opts)
+          .value();
+  EXPECT_EQ(BitsOf(Flatten(piecewise.raw)), piecewise_raw);
+  EXPECT_EQ(Bits(piecewise.mse_raw), 0x3f4ba9e4924cadbdULL);
+
+  const std::vector<std::uint64_t> laplace_raw = {
+      0x3fd975507413dbf1ULL, 0x3fd1cb946c23e3b4ULL, 0x3fcda279052ad70eULL,
+      0x3fdbdaae3b6caf67ULL, 0x3fd1ed10ef571226ULL, 0x3fbf809147dc7a2cULL,
+      0x3fc1b46910fa5cd6ULL, 0x3fe2f359dac9f7eaULL, 0x3fd88291a03fa05aULL};
+  const auto laplace =
+      freq::RunFrequencyEstimation(ds, mech::MakeMechanism("laplace").value(),
+                                   opts)
+          .value();
+  EXPECT_EQ(BitsOf(Flatten(laplace.raw)), laplace_raw);
+  EXPECT_EQ(Bits(laplace.mse_raw), 0x3f5bdbe6332616bfULL);
+}
+
+// v3 sampled outputs recorded on an AVX2 build (same config as the v2
+// goldens above, so the two tables contrast the layouts directly); the
+// release-nosimd CI job replays them on the portable scalar kernels.
+TEST(FreqLanesTest, V3SampledGoldensPinTheBatchedLayout) {
+  const auto ds = LaneTestDataset(9000);
+  freq::FrequencyOptions opts;
+  opts.total_epsilon = 2.0;
+  opts.seed = 33;
+  opts.report_dims = 2;
+  opts.seed_scheme = SeedScheme::kV3Batched;
+  opts.clip_and_normalize = false;
+
+  const std::vector<std::uint64_t> piecewise_raw = {
+      0x3fdd7aa6bb52a143ULL, 0x3fd363e34d74daa2ULL, 0x3fcb44bc20d56e3eULL,
+      0x3fdddbcb16b817b7ULL, 0x3fcc788b185954b2ULL, 0x3fc47b2888120736ULL,
+      0x3fc3639a5adb3dcaULL, 0x3fe4be98345b0aa9ULL, 0x3fd5a36d48df4954ULL};
+  const auto piecewise =
+      freq::RunFrequencyEstimation(ds, mech::MakeMechanism("piecewise").value(),
+                                   opts)
+          .value();
+  EXPECT_EQ(BitsOf(Flatten(piecewise.raw)), piecewise_raw);
+  EXPECT_EQ(Bits(piecewise.mse_raw), 0x3f3ccb3dc9c6767eULL);
+
+  const std::vector<std::uint64_t> laplace_raw = {
+      0x3fdd029833466cd2ULL, 0x3fcfdce62edcbfe2ULL, 0x3fc88574051d4592ULL,
+      0x3fda70d815c80cb1ULL, 0x3fd02815fbfe1cf7ULL, 0x3fc1fc2087fe502eULL,
+      0x3fb50744d48a52c4ULL, 0x3fe29bb9d1442242ULL, 0x3fd5b91cf923bb8eULL};
+  const auto laplace =
+      freq::RunFrequencyEstimation(ds, mech::MakeMechanism("laplace").value(),
+                                   opts)
+          .value();
+  EXPECT_EQ(BitsOf(Flatten(laplace.raw)), laplace_raw);
+  EXPECT_EQ(Bits(laplace.mse_raw), 0x3f56c02fd873b2fcULL);
+}
+
+TEST(FreqLanesTest, V3SampledEstimatesInvariantToThreadCount) {
+  const auto ds = LaneTestDataset(9000);  // Spans three 4096-user chunks.
+  freq::FrequencyOptions opts;
+  opts.total_epsilon = 2.0;
+  opts.seed = 33;
+  opts.report_dims = 2;
+  opts.seed_scheme = SeedScheme::kV3Batched;
+  opts.num_threads = 1;
+  const auto mech = mech::MakeMechanism("piecewise").value();
+  const auto serial = freq::RunFrequencyEstimation(ds, mech, opts).value();
+  for (const std::size_t threads : {0u, 2u, 5u, 16u}) {
+    freq::FrequencyOptions parallel = opts;
+    parallel.num_threads = threads;
+    const auto p = freq::RunFrequencyEstimation(ds, mech, parallel).value();
+    EXPECT_EQ(serial.raw, p.raw) << threads;
+    EXPECT_EQ(serial.recalibrated, p.recalibrated) << threads;
+    EXPECT_EQ(serial.mse_raw, p.mse_raw) << threads;
+  }
+}
+
+TEST(FreqLanesTest, V3BatchedIsTheDefaultScheme) {
+  EXPECT_EQ(freq::FrequencyOptions{}.seed_scheme, SeedScheme::kV3Batched);
+}
+
 TEST(FreqLanesTest, UnreportedDimensionIsAProperError) {
   // One user reporting one of three dimensions: two dimensions are
   // guaranteed unreported, which used to silently model r = 1.
   const auto ds = LaneTestDataset(1);
   for (const SeedScheme scheme :
-       {SeedScheme::kV1Scalar, SeedScheme::kV2Lanes}) {
+       {SeedScheme::kV1Scalar, SeedScheme::kV2Lanes,
+       SeedScheme::kV3Batched}) {
     freq::FrequencyOptions opts;
     opts.total_epsilon = 1.0;
     opts.report_dims = 1;

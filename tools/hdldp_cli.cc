@@ -5,7 +5,7 @@
 //   hdldp_cli mean    --mechanism=piecewise --dataset=gaussian
 //                     --users=20000 --dims=128 --epsilon=0.5
 //                     [--report-dims=0] [--seed=1] [--threads=1]
-//                     [--seed-scheme=v2] [--recalibrate=both|l1|l2|none]
+//                     [--seed-scheme=v3] [--recalibrate=both|l1|l2|none]
 //                     [--gate]
 //       Runs the full mean-estimation protocol and prints naive and
 //       HDR4ME-enhanced MSE.
@@ -13,14 +13,16 @@
 //   hdldp_cli freq    --mechanism=piecewise --users=20000 --questions=16
 //                     --categories=8 [--zipf=1.0] [--epsilon=1]
 //                     [--sampled=4] [--seed=1] [--threads=1]
-//                     [--seed-scheme=v2]
+//                     [--seed-scheme=v3]
 //       Runs the Section V-C frequency-estimation protocol.
 //
 // --seed-scheme selects the RNG stream contract (common/rng_lanes.h):
-// "v2" (default) is the lane-parallel fast path, "v1" replays the legacy
-// scalar streams so pre-lane-era runs are reproducible without
-// recompiling. --threads bounds worker concurrency (0 = one per hardware
-// thread); estimates never depend on it.
+// "v3" (default) is the lane-parallel fast path with cross-user sampled
+// batching, "v2" replays the per-user sampled lane spans and "v1" the
+// legacy scalar streams, so recorded runs of either era are reproducible
+// without recompiling; unknown names are a one-line error, never a
+// silent default. --threads bounds worker concurrency (0 = one per
+// hardware thread); estimates never depend on it.
 //
 //   hdldp_cli analyze --epsilon=0.001 --reports=10000 [--xi=0.001,0.01,...]
 //       Pure analytical benchmark of all registered mechanisms at a
@@ -28,7 +30,7 @@
 //
 //   hdldp_cli variance --mechanism=piecewise --dataset=gaussian
 //                      --users=20000 --dims=64 --epsilon=1
-//                      [--recalibrate] [--seed=1] [--seed-scheme=v2]
+//                      [--recalibrate] [--seed=1] [--seed-scheme=v3]
 //       Runs the split-population variance-estimation extension.
 //
 // All flags are --key=value; unknown keys are errors.
@@ -140,10 +142,11 @@ class Flags {
 };
 
 Result<hdldp::SeedScheme> ParseSeedScheme(const std::string& value) {
+  if (value == "v3" || value == "3") return hdldp::SeedScheme::kV3Batched;
   if (value == "v2" || value == "2") return hdldp::SeedScheme::kV2Lanes;
   if (value == "v1" || value == "1") return hdldp::SeedScheme::kV1Scalar;
   return Status::InvalidArgument("unknown --seed-scheme '" + value +
-                                 "' (want v1|v2)");
+                                 "' (want v1|v2|v3)");
 }
 
 Result<hdldp::data::Dataset> MakeDataset(const std::string& name,
@@ -187,7 +190,7 @@ Status RunMean(Flags flags) {
   const std::size_t threads = flags.GetSize("threads", 1);
   HDLDP_ASSIGN_OR_RETURN(
       const hdldp::SeedScheme seed_scheme,
-      ParseSeedScheme(flags.GetString("seed-scheme", "v2")));
+      ParseSeedScheme(flags.GetString("seed-scheme", "v3")));
   const std::string recalibrate = flags.GetString("recalibrate", "both");
   const bool gate = flags.GetBool("gate");
   HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
@@ -273,7 +276,7 @@ Status RunFreq(Flags flags) {
   const std::size_t threads = flags.GetSize("threads", 1);
   HDLDP_ASSIGN_OR_RETURN(
       const hdldp::SeedScheme seed_scheme,
-      ParseSeedScheme(flags.GetString("seed-scheme", "v2")));
+      ParseSeedScheme(flags.GetString("seed-scheme", "v3")));
   HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
 
   HDLDP_ASSIGN_OR_RETURN(auto schema,
@@ -351,7 +354,7 @@ Status RunVariance(Flags flags) {
   const std::uint64_t seed = flags.GetSize("seed", 1);
   HDLDP_ASSIGN_OR_RETURN(
       const hdldp::SeedScheme seed_scheme,
-      ParseSeedScheme(flags.GetString("seed-scheme", "v2")));
+      ParseSeedScheme(flags.GetString("seed-scheme", "v3")));
   const bool recalibrate = flags.GetBool("recalibrate");
   HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
 
