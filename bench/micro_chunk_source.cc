@@ -1,0 +1,85 @@
+// Chunk-source delivery rows for bench_micro. Kept in a separate
+// translation unit on purpose: folding <filesystem> plus the data-source
+// headers into bench_micro.cc pushed that TU over GCC's unit-growth
+// inlining budget and measurably deflated the pre-existing hot
+// PerturbLanes/IngestLanes instantiations (~15% on the pinned
+// lane-vs-plan ratio rows). A separate TU leaves their codegen alone.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "data/chunk_source.h"
+#include "data/dataset.h"
+#include "data/generator_source.h"
+#include "data/generators.h"
+#include "data/shard.h"
+
+namespace {
+
+// Chunk delivery throughput of the three ChunkSource families over the
+// same chunk-keyed population: resident zero-copy spans, mmap-windowed
+// shard files, and on-demand synthesis. Every delivered double is
+// touched (summed), so the shard rows pay their page faults and the
+// ratios compare what the estimation engine actually experiences per
+// delivery path. Items are delivered doubles.
+void BM_ChunkSourceRead(benchmark::State& state, const char* kind) {
+  constexpr std::size_t kUsers = 8 * hdldp::data::kUsersPerChunk;
+  constexpr std::size_t kDims = 16;
+  hdldp::data::GaussianSpec spec;
+  spec.num_users = kUsers;
+  spec.num_dims = kDims;
+  const std::uint64_t seed = 17;
+  std::optional<hdldp::data::Dataset> dataset;
+  std::optional<hdldp::data::ResidentChunkSource> resident;
+  std::optional<hdldp::data::GeneratorChunkSource> generator;
+  std::optional<hdldp::data::ShardFileSource> shard;
+  const hdldp::data::ChunkSource* source = nullptr;
+  if (std::string_view(kind) == "resident") {
+    dataset = hdldp::data::GenerateChunkKeyed(spec, seed).value();
+    resident.emplace(&*dataset);
+    source = &*resident;
+  } else if (std::string_view(kind) == "generator") {
+    generator = hdldp::data::GeneratorChunkSource::Create(spec, seed).value();
+    source = &*generator;
+  } else {
+    const std::string dir =
+        (std::filesystem::temp_directory_path() / "hdldp_bench_shard")
+            .string();
+    std::filesystem::remove_all(dir);
+    const auto writer_source =
+        hdldp::data::GeneratorChunkSource::Create(spec, seed).value();
+    if (!hdldp::data::WriteShards(writer_source, dir).ok()) {
+      state.SkipWithError("shard write failed");
+      return;
+    }
+    shard = hdldp::data::ShardFileSource::Open(dir).value();
+    source = &*shard;
+  }
+  hdldp::data::ChunkBuffer buffer;
+  double sink = 0.0;
+  for (auto _ : state) {
+    for (std::size_t c = 0; c < source->num_chunks(); ++c) {
+      const auto rows = source->Chunk(c, &buffer);
+      if (!rows.ok()) {
+        state.SkipWithError("chunk pull failed");
+        return;
+      }
+      for (const double v : rows.value()) sink += v;
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kUsers * kDims);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_ChunkSourceRead, resident, "resident");
+BENCHMARK_CAPTURE(BM_ChunkSourceRead, shard, "shard");
+BENCHMARK_CAPTURE(BM_ChunkSourceRead, generator, "generator");

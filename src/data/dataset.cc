@@ -1,6 +1,8 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cstring>
 #include <limits>
 
 #include "common/math.h"
@@ -20,7 +22,28 @@ Result<Dataset> Dataset::Create(std::size_t num_users, std::size_t num_dims) {
   return Dataset(num_users, num_dims);
 }
 
+Status Dataset::FillRows(std::size_t first_row,
+                         std::span<const double> values) {
+  if (num_dims_ == 0 || values.size() % num_dims_ != 0) {
+    return Status::InvalidArgument(
+        "FillRows requires a whole number of rows");
+  }
+  const std::size_t count = values.size() / num_dims_;
+  if (first_row + count > num_users_) {
+    return Status::OutOfRange("FillRows range exceeds num_users");
+  }
+  ++version_;
+  std::memcpy(values_.data() + first_row * num_dims_, values.data(),
+              values.size() * sizeof(double));
+  return Status::OK();
+}
+
 std::vector<double> Dataset::TrueMean() const {
+  // Debug poison for the MutableRow footgun: a memo taken now could be
+  // invalidated by later writes through an already-handed-out span.
+  assert(!mutable_row_outstanding_ &&
+         "TrueMean while a MutableRow span is outstanding; call "
+         "CommitMutableRows after writing");
   const std::shared_ptr<const MeanCache> cached =
       mean_cache_.load(std::memory_order_acquire);
   if (cached != nullptr && cached->version == version_) return cached->mean;

@@ -52,20 +52,43 @@ class Dataset {
   std::span<const double> Rows(std::size_t i, std::size_t count) const {
     return {values_.data() + i * num_dims_, count * num_dims_};
   }
+  /// \brief Bulk row store: copies `values` (a whole number of rows,
+  /// row-major) over rows [first_row, first_row + values.size()/d). One
+  /// version bump per call, so bulk writers (generators, chunk
+  /// materialization) pay O(1) invalidation instead of O(values).
+  Status FillRows(std::size_t first_row, std::span<const double> values);
+
   /// \brief Mutable view of user i's tuple. Invalidates the TrueMean
-  /// memo at handout — writes through the span are invisible to the
-  /// version counter, so do not hold it across a TrueMean() call (every
-  /// caller today, the generators, finishes writing before the first
-  /// read).
+  /// memo at handout — but writes through the span are invisible to the
+  /// version counter, so a TrueMean() memoized while a span is live can
+  /// go stale. Debug builds poison this: TrueMean() asserts no span is
+  /// outstanding; call CommitMutableRows() when writing is done. Prefer
+  /// FillRows for bulk writes.
   std::span<double> MutableRow(std::size_t i) {
     ++version_;
+#ifndef NDEBUG
+    mutable_row_outstanding_ = true;
+#endif
     return {values_.data() + i * num_dims_, num_dims_};
+  }
+
+  /// \brief Declares every span handed out by MutableRow dead: writes
+  /// are finished and reads are safe again. Invalidates the memo (the
+  /// writes it covers bypassed the version counter).
+  void CommitMutableRows() {
+    ++version_;
+#ifndef NDEBUG
+    mutable_row_outstanding_ = false;
+#endif
   }
 
   // The TrueMean memo below makes copies/moves non-trivial (an atomic
   // member has no implicit copy): copies duplicate the matrix and adopt
   // the source's cache snapshot, mutation replaces only this object's
   // snapshot.
+  // A copy never carries the poison flag: outstanding MutableRow spans
+  // point into the source's buffer, not the copy's. Moves carry it — the
+  // buffer (and any spans into it) moves along.
   Dataset(const Dataset& other)
       : num_users_(other.num_users_),
         num_dims_(other.num_dims_),
@@ -78,6 +101,7 @@ class Dataset {
       num_dims_ = other.num_dims_;
       values_ = other.values_;
       version_ = other.version_;
+      mutable_row_outstanding_ = false;
       mean_cache_.store(other.mean_cache_.load(std::memory_order_acquire),
                         std::memory_order_release);
     }
@@ -88,6 +112,7 @@ class Dataset {
         num_dims_(other.num_dims_),
         values_(std::move(other.values_)),
         version_(other.version_),
+        mutable_row_outstanding_(other.mutable_row_outstanding_),
         mean_cache_(other.mean_cache_.load(std::memory_order_acquire)) {}
   Dataset& operator=(Dataset&& other) noexcept {
     if (this != &other) {
@@ -95,6 +120,7 @@ class Dataset {
       num_dims_ = other.num_dims_;
       values_ = std::move(other.values_);
       version_ = other.version_;
+      mutable_row_outstanding_ = other.mutable_row_outstanding_;
       mean_cache_.store(other.mean_cache_.load(std::memory_order_acquire),
                         std::memory_order_release);
     }
@@ -148,6 +174,9 @@ class Dataset {
   // Mutation counter backing the TrueMean memo: bumping it is all a hot
   // mutator (Set runs once per generated value) pays for invalidation.
   std::uint64_t version_ = 0;
+  // Debug poison (see MutableRow): true while a handed-out mutable span
+  // may still receive writes the version counter cannot see.
+  bool mutable_row_outstanding_ = false;
   mutable std::atomic<std::shared_ptr<const MeanCache>> mean_cache_{};
 };
 

@@ -25,9 +25,10 @@ Result<Dataset> GenerateUniform(const UniformSpec& spec, Rng* rng) {
   }
   HDLDP_ASSIGN_OR_RETURN(Dataset out,
                          Dataset::Create(spec.num_users, spec.num_dims));
+  std::vector<double> row(spec.num_dims);
   for (std::size_t i = 0; i < spec.num_users; ++i) {
-    auto row = out.MutableRow(i);
     for (double& v : row) v = rng->Uniform(spec.lo, spec.hi);
+    HDLDP_RETURN_NOT_OK(out.FillRows(i, row));
   }
   return out;
 }
@@ -45,12 +46,13 @@ Result<Dataset> GenerateGaussian(const GaussianSpec& spec, Rng* rng) {
       std::ceil(spec.high_fraction * static_cast<double>(spec.num_dims)));
   HDLDP_ASSIGN_OR_RETURN(Dataset out,
                          Dataset::Create(spec.num_users, spec.num_dims));
+  std::vector<double> row(spec.num_dims);
   for (std::size_t i = 0; i < spec.num_users; ++i) {
-    auto row = out.MutableRow(i);
     for (std::size_t j = 0; j < spec.num_dims; ++j) {
       const double mean = j < num_high ? spec.high_mean : spec.low_mean;
       row[j] = rng->Gaussian(mean, spec.stddev);
     }
+    HDLDP_RETURN_NOT_OK(out.FillRows(i, row));
   }
   out.ClampValues(-1.0, 1.0);
   return out;
@@ -69,11 +71,12 @@ Result<Dataset> GeneratePoisson(const PoissonSpec& spec, Rng* rng) {
   }
   HDLDP_ASSIGN_OR_RETURN(Dataset out,
                          Dataset::Create(spec.num_users, spec.num_dims));
+  std::vector<double> row(spec.num_dims);
   for (std::size_t i = 0; i < spec.num_users; ++i) {
-    auto row = out.MutableRow(i);
     for (std::size_t j = 0; j < spec.num_dims; ++j) {
       row[j] = static_cast<double>(rng->Poisson(lambdas[j]));
     }
+    HDLDP_RETURN_NOT_OK(out.FillRows(i, row));
   }
   out.NormalizeDimensions();
   return out;
@@ -109,9 +112,9 @@ Result<Dataset> GenerateCorrelated(const CorrelatedSpec& spec, Rng* rng) {
   HDLDP_ASSIGN_OR_RETURN(Dataset out,
                          Dataset::Create(spec.num_users, spec.num_dims));
   std::vector<double> factors(spec.num_factors);
+  std::vector<double> row(spec.num_dims);
   for (std::size_t i = 0; i < spec.num_users; ++i) {
     for (double& f : factors) f = rng->Gaussian();
-    auto row = out.MutableRow(i);
     for (std::size_t j = 0; j < spec.num_dims; ++j) {
       double shared = 0.0;
       for (std::size_t f = 0; f < spec.num_factors; ++f) {
@@ -119,6 +122,7 @@ Result<Dataset> GenerateCorrelated(const CorrelatedSpec& spec, Rng* rng) {
       }
       row[j] = w * shared + noise_w * rng->Gaussian();
     }
+    HDLDP_RETURN_NOT_OK(out.FillRows(i, row));
   }
   out.NormalizeDimensions();
   return out;
@@ -148,14 +152,15 @@ Result<Dataset> GenerateDiscrete(const DiscreteSpec& spec, Rng* rng) {
   cdf.back() = 1.0;
   HDLDP_ASSIGN_OR_RETURN(Dataset out,
                          Dataset::Create(spec.num_users, spec.num_dims));
+  std::vector<double> row(spec.num_dims);
   for (std::size_t i = 0; i < spec.num_users; ++i) {
-    auto row = out.MutableRow(i);
     for (double& v : row) {
       const double u = rng->UniformDouble();
       std::size_t k = 0;
       while (k + 1 < cdf.size() && u >= cdf[k]) ++k;
       v = spec.values[k];
     }
+    HDLDP_RETURN_NOT_OK(out.FillRows(i, row));
   }
   return out;
 }

@@ -1,0 +1,434 @@
+#include "data/shard.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace hdldp {
+namespace data {
+namespace {
+
+constexpr std::size_t kHeaderBytes = 4096;
+constexpr char kMagic[8] = {'H', 'D', 'L', 'S', 'H', 'A', 'R', 'D'};
+
+constexpr std::size_t kOffVersion = 8;
+constexpr std::size_t kOffFlags = 12;
+constexpr std::size_t kOffNumDims = 16;
+constexpr std::size_t kOffUsersPerChunk = 24;
+constexpr std::size_t kOffNumUsers = 32;
+constexpr std::size_t kOffFirstUser = 40;
+
+struct ShardHeader {
+  std::uint32_t version = kShardFormatVersion;
+  std::uint32_t flags = 0;
+  std::uint64_t num_dims = 0;
+  std::uint64_t users_per_chunk = kUsersPerChunk;
+  std::uint64_t num_users = 0;
+  std::uint64_t first_user = 0;
+};
+
+void EncodeHeader(const ShardHeader& h, unsigned char* block) {
+  std::memset(block, 0, kHeaderBytes);
+  std::memcpy(block, kMagic, sizeof(kMagic));
+  std::memcpy(block + kOffVersion, &h.version, 4);
+  std::memcpy(block + kOffFlags, &h.flags, 4);
+  std::memcpy(block + kOffNumDims, &h.num_dims, 8);
+  std::memcpy(block + kOffUsersPerChunk, &h.users_per_chunk, 8);
+  std::memcpy(block + kOffNumUsers, &h.num_users, 8);
+  std::memcpy(block + kOffFirstUser, &h.first_user, 8);
+}
+
+Result<ShardHeader> DecodeHeader(const unsigned char* block,
+                                 const std::string& path) {
+  if (std::memcmp(block, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("corrupt shard header (bad magic): " +
+                                   path);
+  }
+  ShardHeader h;
+  std::memcpy(&h.version, block + kOffVersion, 4);
+  std::memcpy(&h.flags, block + kOffFlags, 4);
+  std::memcpy(&h.num_dims, block + kOffNumDims, 8);
+  std::memcpy(&h.users_per_chunk, block + kOffUsersPerChunk, 8);
+  std::memcpy(&h.num_users, block + kOffNumUsers, 8);
+  std::memcpy(&h.first_user, block + kOffFirstUser, 8);
+  if (h.version != kShardFormatVersion) {
+    return Status::InvalidArgument(
+        "unsupported shard format version " + std::to_string(h.version) +
+        " (reader supports " + std::to_string(kShardFormatVersion) +
+        "): " + path);
+  }
+  if (h.flags != 0) {
+    return Status::InvalidArgument("unknown shard header flags: " + path);
+  }
+  if (h.users_per_chunk != kUsersPerChunk) {
+    return Status::InvalidArgument(
+        "shard users_per_chunk " + std::to_string(h.users_per_chunk) +
+        " does not match engine chunk size " +
+        std::to_string(kUsersPerChunk) + ": " + path);
+  }
+  if (h.num_dims == 0 || h.num_users == 0) {
+    return Status::InvalidArgument("empty shard part file: " + path);
+  }
+  return h;
+}
+
+std::string PartPath(const std::string& dir, std::size_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "part-%05zu.hds", index);
+  return dir + "/" + name;
+}
+
+Status WriteFully(int fd, const void* data, std::size_t len,
+                  const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("write failed for " + path + ": " +
+                              std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PReadFully(int fd, void* data, std::size_t len, std::size_t offset,
+                  const std::string& path) {
+  char* p = static_cast<char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::pread(fd, p, len, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("read failed for " + path + ": " +
+                              std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::InvalidArgument("truncated shard file: " + path);
+    }
+    p += n;
+    offset += static_cast<std::size_t>(n);
+    len -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+ShardWriter::ShardWriter(std::string dir, std::size_t num_dims,
+                         const ShardWriterOptions& options)
+    : dir_(std::move(dir)), num_dims_(num_dims), options_(options) {}
+
+ShardWriter::ShardWriter(ShardWriter&& other) noexcept
+    : dir_(std::move(other.dir_)),
+      num_dims_(other.num_dims_),
+      options_(other.options_),
+      fd_(other.fd_),
+      file_index_(other.file_index_),
+      rows_in_file_(other.rows_in_file_),
+      rows_written_(other.rows_written_),
+      finished_(other.finished_) {
+  other.fd_ = -1;
+}
+
+ShardWriter& ShardWriter::operator=(ShardWriter&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    dir_ = std::move(other.dir_);
+    num_dims_ = other.num_dims_;
+    options_ = other.options_;
+    fd_ = other.fd_;
+    file_index_ = other.file_index_;
+    rows_in_file_ = other.rows_in_file_;
+    rows_written_ = other.rows_written_;
+    finished_ = other.finished_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+ShardWriter::~ShardWriter() {
+  // An unfinished shard is not readable; just release the descriptor.
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<ShardWriter> ShardWriter::Create(const std::string& dir,
+                                        std::size_t num_dims,
+                                        const ShardWriterOptions& options) {
+  if (num_dims == 0) {
+    return Status::InvalidArgument("ShardWriter requires num_dims > 0");
+  }
+  if (options.chunks_per_file == 0) {
+    return Status::InvalidArgument("ShardWriter requires chunks_per_file > 0");
+  }
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("cannot create shard directory " + dir + ": " +
+                            std::strerror(errno));
+  }
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::Internal("cannot open shard directory " + dir + ": " +
+                            std::strerror(errno));
+  }
+  bool has_parts = false;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".hds") {
+      has_parts = true;
+      break;
+    }
+  }
+  ::closedir(d);
+  if (has_parts) {
+    return Status::FailedPrecondition(
+        "shard directory already contains part files: " + dir);
+  }
+  return ShardWriter(dir, num_dims, options);
+}
+
+Status ShardWriter::OpenNextFile() {
+  const std::string path = PartPath(dir_, file_index_);
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd_ < 0) {
+    return Status::Internal("cannot create shard part " + path + ": " +
+                            std::strerror(errno));
+  }
+  // Placeholder header; num_users is patched on close.
+  ShardHeader header;
+  header.num_dims = num_dims_;
+  header.num_users = 0;
+  header.first_user = rows_written_;
+  unsigned char block[kHeaderBytes];
+  EncodeHeader(header, block);
+  HDLDP_RETURN_NOT_OK(WriteFully(fd_, block, kHeaderBytes, path));
+  rows_in_file_ = 0;
+  return Status::OK();
+}
+
+Status ShardWriter::CloseCurrentFile() {
+  const std::string path = PartPath(dir_, file_index_);
+  const std::uint64_t users = rows_in_file_;
+  ssize_t n;
+  do {
+    n = ::pwrite(fd_, &users, 8, static_cast<off_t>(kOffNumUsers));
+  } while (n < 0 && errno == EINTR);
+  if (n != 8) {
+    return Status::Internal("cannot patch shard header " + path + ": " +
+                            std::strerror(errno));
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    return Status::Internal("close failed for " + path + ": " +
+                            std::strerror(errno));
+  }
+  fd_ = -1;
+  ++file_index_;
+  rows_in_file_ = 0;
+  return Status::OK();
+}
+
+Status ShardWriter::Append(std::span<const double> values) {
+  if (finished_) {
+    return Status::FailedPrecondition("Append after Finish");
+  }
+  if (values.size() % num_dims_ != 0) {
+    return Status::InvalidArgument(
+        "Append size must be a multiple of num_dims");
+  }
+  const std::size_t rows_per_file = options_.chunks_per_file * kUsersPerChunk;
+  std::size_t rows = values.size() / num_dims_;
+  const double* p = values.data();
+  while (rows > 0) {
+    if (fd_ < 0) HDLDP_RETURN_NOT_OK(OpenNextFile());
+    const std::size_t take = std::min(rows, rows_per_file - rows_in_file_);
+    HDLDP_RETURN_NOT_OK(WriteFully(fd_, p, take * num_dims_ * sizeof(double),
+                                   PartPath(dir_, file_index_)));
+    p += take * num_dims_;
+    rows -= take;
+    rows_in_file_ += take;
+    rows_written_ += take;
+    if (rows_in_file_ == rows_per_file) HDLDP_RETURN_NOT_OK(CloseCurrentFile());
+  }
+  return Status::OK();
+}
+
+Status ShardWriter::Finish() {
+  if (finished_) {
+    return Status::FailedPrecondition("Finish called twice");
+  }
+  if (rows_written_ == 0) {
+    return Status::FailedPrecondition("Finish with no rows appended");
+  }
+  if (fd_ >= 0) HDLDP_RETURN_NOT_OK(CloseCurrentFile());
+  finished_ = true;
+  return Status::OK();
+}
+
+Result<std::size_t> WriteShards(const ChunkSource& source,
+                                const std::string& dir,
+                                const ShardWriterOptions& options) {
+  HDLDP_ASSIGN_OR_RETURN(ShardWriter writer,
+                         ShardWriter::Create(dir, source.num_dims(), options));
+  ChunkBuffer buffer;
+  for (std::size_t c = 0; c < source.num_chunks(); ++c) {
+    HDLDP_ASSIGN_OR_RETURN(const std::span<const double> rows,
+                           source.Chunk(c, &buffer));
+    HDLDP_RETURN_NOT_OK(writer.Append(rows));
+  }
+  HDLDP_RETURN_NOT_OK(writer.Finish());
+  return writer.rows_written();
+}
+
+ShardFileSource::ShardFileSource(ShardFileSource&& other) noexcept
+    : parts_(std::move(other.parts_)),
+      num_users_(other.num_users_),
+      num_dims_(other.num_dims_) {
+  other.parts_.clear();
+}
+
+ShardFileSource& ShardFileSource::operator=(ShardFileSource&& other) noexcept {
+  if (this != &other) {
+    CloseAll();
+    parts_ = std::move(other.parts_);
+    num_users_ = other.num_users_;
+    num_dims_ = other.num_dims_;
+    other.parts_.clear();
+  }
+  return *this;
+}
+
+ShardFileSource::~ShardFileSource() { CloseAll(); }
+
+void ShardFileSource::CloseAll() {
+  for (PartFile& part : parts_) {
+    if (part.fd >= 0) ::close(part.fd);
+    part.fd = -1;
+  }
+}
+
+Result<ShardFileSource> ShardFileSource::Open(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::NotFound("shard directory not found: " + dir);
+  }
+  std::vector<std::string> names;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".hds") {
+      names.push_back(name);
+    }
+  }
+  ::closedir(d);
+  if (names.empty()) {
+    return Status::NotFound("no .hds part files in shard directory: " + dir);
+  }
+  std::sort(names.begin(), names.end());
+
+  ShardFileSource source;
+  for (const std::string& name : names) {
+    PartFile part;
+    part.path = dir + "/" + name;
+    part.fd = ::open(part.path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (part.fd < 0) {
+      return Status::Internal("cannot open shard part " + part.path + ": " +
+                              std::strerror(errno));
+    }
+    source.parts_.push_back(part);  // Owned now; CloseAll covers errors below.
+    unsigned char block[kHeaderBytes];
+    HDLDP_RETURN_NOT_OK(PReadFully(part.fd, block, kHeaderBytes, 0, part.path));
+    HDLDP_ASSIGN_OR_RETURN(const ShardHeader header,
+                           DecodeHeader(block, part.path));
+    if (source.num_dims_ == 0) {
+      source.num_dims_ = header.num_dims;
+    } else if (header.num_dims != source.num_dims_) {
+      return Status::InvalidArgument(
+          "shard parts disagree on num_dims: " + part.path);
+    }
+    if (header.first_user != source.num_users_) {
+      return Status::InvalidArgument(
+          "shard parts are not contiguous (expected first_user " +
+          std::to_string(source.num_users_) + ", found " +
+          std::to_string(header.first_user) + "): " + part.path);
+    }
+    struct stat st;
+    if (::fstat(part.fd, &st) != 0) {
+      return Status::Internal("cannot stat shard part " + part.path + ": " +
+                              std::strerror(errno));
+    }
+    const std::uint64_t expected_size =
+        kHeaderBytes + header.num_users * header.num_dims * sizeof(double);
+    if (static_cast<std::uint64_t>(st.st_size) != expected_size) {
+      return Status::InvalidArgument(
+          "truncated or oversized shard file (expected " +
+          std::to_string(expected_size) + " bytes, found " +
+          std::to_string(st.st_size) + "): " + part.path);
+    }
+    source.parts_.back().first_user = header.first_user;
+    source.parts_.back().num_users = header.num_users;
+    source.num_users_ += header.num_users;
+  }
+  // Chunks must never span files: all parts but the last hold whole chunks.
+  for (std::size_t i = 0; i + 1 < source.parts_.size(); ++i) {
+    if (source.parts_[i].num_users % kUsersPerChunk != 0) {
+      return Status::InvalidArgument(
+          "non-final shard part holds a partial chunk: " +
+          source.parts_[i].path);
+    }
+  }
+  return source;
+}
+
+Result<std::span<const double>> ShardFileSource::Chunk(
+    std::size_t chunk, ChunkBuffer* buffer) const {
+  if (chunk >= num_chunks()) {
+    return Status::OutOfRange("chunk index out of range");
+  }
+  const std::size_t begin = ChunkBegin(chunk);
+  const std::size_t users = ChunkUsers(chunk);
+  // Parts are sorted by first_user; find the one containing `begin`.
+  std::size_t lo = 0, hi = parts_.size() - 1;
+  while (lo < hi) {
+    const std::size_t mid = (lo + hi + 1) / 2;
+    if (parts_[mid].first_user <= begin) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  const PartFile& part = parts_[lo];
+  const std::size_t local_row = begin - part.first_user;
+  if (local_row + users > part.num_users) {
+    return Status::Internal("chunk spans shard parts: " + part.path);
+  }
+  const std::size_t byte_offset =
+      kHeaderBytes + local_row * num_dims_ * sizeof(double);
+  const std::size_t byte_len = users * num_dims_ * sizeof(double);
+  // Map one chunk-sized window, aligned down to the page boundary (a
+  // no-op on 4 KiB pages — header block and chunk stride are both 4 KiB
+  // multiples). The buffer unmaps the previous window, so each reader
+  // holds at most one chunk of mapped address space at a time.
+  const std::size_t page = static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+  const std::size_t map_offset = byte_offset & ~(page - 1);
+  const std::size_t delta = byte_offset - map_offset;
+  void* addr = ::mmap(nullptr, byte_len + delta, PROT_READ, MAP_PRIVATE,
+                      part.fd, static_cast<off_t>(map_offset));
+  if (addr == MAP_FAILED) {
+    return Status::Internal("mmap failed for " + part.path + ": " +
+                            std::strerror(errno));
+  }
+  buffer->AdoptWindow(addr, byte_len + delta);
+  return std::span<const double>(
+      reinterpret_cast<const double*>(static_cast<const char*>(addr) + delta),
+      users * num_dims_);
+}
+
+}  // namespace data
+}  // namespace hdldp

@@ -1,0 +1,150 @@
+// On-disk shard format + mmap-windowed ChunkSource reader.
+//
+// A shard directory holds a population as one or more files named
+// part-00000.hds, part-00001.hds, ... Each file is:
+//
+//   [0, 4096)      header block (fixed 4096 bytes, zero padded):
+//       offset 0   magic   "HDLSHARD"           (8 bytes)
+//       offset 8   u32     format version (currently 1)
+//       offset 12  u32     flags (reserved, must be 0)
+//       offset 16  u64     num_dims
+//       offset 24  u64     users_per_chunk (must equal kUsersPerChunk)
+//       offset 32  u64     num_users stored in THIS file
+//       offset 40  u64     first_user — global index of this file's row 0
+//   [4096, ...)    num_users x num_dims row-major little-endian doubles
+//
+// and its size must be exactly 4096 + num_users * num_dims * 8 — any
+// other size is reported as truncation/corruption, never read past.
+// Every file except the directory's last must hold a whole number of
+// chunks, so a chunk never spans files and the reader can serve any
+// chunk with a single bounded mmap window. The 4096-byte header plus
+// 4096-user chunks of 8-byte values keep every chunk's byte offset
+// page-aligned on 4 KiB pages (larger pages fall back to an aligned
+// window with a pointer delta).
+//
+// The format stores raw values only — no seeds, no mechanism state —
+// so estimates over a shard directory are bit-identical to estimates
+// over the same values resident in memory (the determinism contract in
+// data/chunk_source.h).
+
+#ifndef HDLDP_DATA_SHARD_H_
+#define HDLDP_DATA_SHARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/chunk_source.h"
+
+namespace hdldp {
+namespace data {
+
+/// Current shard file format version.
+inline constexpr std::uint32_t kShardFormatVersion = 1;
+
+/// Options for ShardWriter.
+struct ShardWriterOptions {
+  /// Chunks per part file before rolling to the next one. The default
+  /// (1024 chunks = 4M users) keeps part files near 512 MB at d = 16.
+  std::size_t chunks_per_file = 1024;
+};
+
+/// \brief Streaming writer of a shard directory. Append rows in user
+/// order (any row granularity); the writer rolls part files at chunk
+/// boundaries and patches each header's user count on close. Not
+/// thread-safe; one writer per directory.
+class ShardWriter {
+ public:
+  /// Creates the directory if needed (must be empty of .hds files).
+  static Result<ShardWriter> Create(const std::string& dir,
+                                    std::size_t num_dims,
+                                    const ShardWriterOptions& options = {});
+
+  ShardWriter(const ShardWriter&) = delete;
+  ShardWriter& operator=(const ShardWriter&) = delete;
+  ShardWriter(ShardWriter&& other) noexcept;
+  ShardWriter& operator=(ShardWriter&& other) noexcept;
+  ~ShardWriter();
+
+  /// \brief Appends whole rows: values.size() must be a multiple of
+  /// num_dims. Rows may cross part-file boundaries; the writer splits
+  /// them at chunk granularity.
+  Status Append(std::span<const double> values);
+
+  /// \brief Flushes and closes the final part file. Required before the
+  /// directory is readable; appending or finishing again afterwards is a
+  /// FailedPrecondition. At least one row must have been appended.
+  Status Finish();
+
+  /// Rows appended so far.
+  std::size_t rows_written() const { return rows_written_; }
+
+ private:
+  ShardWriter(std::string dir, std::size_t num_dims,
+              const ShardWriterOptions& options);
+
+  Status OpenNextFile();
+  Status CloseCurrentFile();
+
+  std::string dir_;
+  std::size_t num_dims_ = 0;
+  ShardWriterOptions options_;
+  int fd_ = -1;
+  std::size_t file_index_ = 0;
+  std::size_t rows_in_file_ = 0;
+  std::size_t rows_written_ = 0;
+  bool finished_ = false;
+};
+
+/// \brief Streams every chunk of `source` into a new shard directory.
+Result<std::size_t> WriteShards(const ChunkSource& source,
+                                const std::string& dir,
+                                const ShardWriterOptions& options = {});
+
+/// \brief mmap-windowed reader of a shard directory.
+///
+/// Open() validates every part header (magic, version, geometry,
+/// contiguous first_user) and every file size up front, so Chunk() can
+/// only fail on I/O. Each pull maps exactly one chunk-sized window into
+/// the caller's ChunkBuffer (unmapping the previous window), keeping the
+/// per-reader address-space footprint at one chunk regardless of
+/// population size — this is what lets the out-of-core CI job run under
+/// an address-space ulimit far below n x d x 8.
+class ShardFileSource final : public ChunkSource {
+ public:
+  static Result<ShardFileSource> Open(const std::string& dir);
+
+  ShardFileSource(const ShardFileSource&) = delete;
+  ShardFileSource& operator=(const ShardFileSource&) = delete;
+  ShardFileSource(ShardFileSource&& other) noexcept;
+  ShardFileSource& operator=(ShardFileSource&& other) noexcept;
+  ~ShardFileSource() override;
+
+  std::size_t num_users() const override { return num_users_; }
+  std::size_t num_dims() const override { return num_dims_; }
+  Result<std::span<const double>> Chunk(std::size_t chunk,
+                                        ChunkBuffer* buffer) const override;
+
+ private:
+  struct PartFile {
+    std::string path;
+    int fd = -1;
+    std::size_t first_user = 0;
+    std::size_t num_users = 0;
+  };
+
+  ShardFileSource() = default;
+  void CloseAll();
+
+  std::vector<PartFile> parts_;
+  std::size_t num_users_ = 0;
+  std::size_t num_dims_ = 0;
+};
+
+}  // namespace data
+}  // namespace hdldp
+
+#endif  // HDLDP_DATA_SHARD_H_

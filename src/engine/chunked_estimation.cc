@@ -14,6 +14,25 @@ ChunkedEstimation::ChunkedEstimation(std::size_t num_users,
       num_chunks_((num_users + kUsersPerChunk - 1) / kUsersPerChunk),
       options_(options) {}
 
+ChunkedEstimation::ChunkedEstimation(const data::ChunkSource& source,
+                                     const EngineOptions& options)
+    : ChunkedEstimation(source.num_users(), options) {
+  source_ = &source;
+}
+
+Result<std::span<const double>> ChunkedEstimation::ChunkRows(
+    const ChunkRange& range) const {
+  if (source_ == nullptr) {
+    return Status::FailedPrecondition(
+        "ChunkRows requires a source-bound ChunkedEstimation");
+  }
+  // One buffer per worker thread: chunk bodies never run concurrently on
+  // the same thread, and a body is done with the previous span before
+  // its next pull.
+  static thread_local data::ChunkBuffer buffer;
+  return source_->Chunk(range.chunk, &buffer);
+}
+
 ChunkRange ChunkedEstimation::Range(std::size_t c) const {
   ChunkRange range;
   range.chunk = c;

@@ -40,6 +40,7 @@
 #include "common/rng.h"
 #include "common/rng_lanes.h"
 #include "common/status.h"
+#include "data/chunk_source.h"
 #include "engine/reduce.h"
 #include "mech/plan.h"
 
@@ -50,8 +51,11 @@ namespace engine {
 /// chunk c always covers users [c * kUsersPerChunk, ...), always draws
 /// from the streams derived from ChunkSeed(seed, c), and always reduces
 /// in chunk order — so estimates depend only on (data, seed), never on
-/// how many workers happened to execute the chunks.
-inline constexpr std::size_t kUsersPerChunk = 4096;
+/// how many workers happened to execute the chunks. The constant lives
+/// with the data layer (data/chunk_source.h) because it is also the
+/// delivery granularity of every ChunkSource; this alias keeps the
+/// engine-side name every pipeline already uses.
+inline constexpr std::size_t kUsersPerChunk = data::kUsersPerChunk;
 
 /// Entry budget of the per-block perturbation buffers in the dense
 /// driver: blocks of ~this many expanded entries amortize the per-span
@@ -126,12 +130,27 @@ class ChunkedEstimation {
  public:
   ChunkedEstimation(std::size_t num_users, const EngineOptions& options);
 
+  /// \brief Binds the run to a data source: chunk geometry comes from
+  /// `source` (whose chunking is definitionally the engine's) and
+  /// ChunkRows() becomes available to workload bodies. The source must
+  /// outlive the run and supports concurrent pulls (each worker thread
+  /// uses its own buffer).
+  ChunkedEstimation(const data::ChunkSource& source,
+                    const EngineOptions& options);
+
   std::size_t num_users() const { return num_users_; }
   std::size_t num_chunks() const { return num_chunks_; }
   const EngineOptions& options() const { return options_; }
 
   /// User range and stream seed of chunk c.
   ChunkRange Range(std::size_t c) const;
+
+  /// \brief The bound source's rows for `range` (row-major,
+  /// range.num_users() x d), pulled through the calling worker's
+  /// thread-local buffer — valid until that worker's next ChunkRows
+  /// call, i.e. for the current chunk body. Requires the source-bound
+  /// constructor. Index the span by (user - range.begin).
+  Result<std::span<const double>> ChunkRows(const ChunkRange& range) const;
 
   /// \brief The chunk's four perturbation lane streams (kV2Lanes): lane l
   /// is exactly Rng(LaneSeed(ChunkSeed(seed, chunk), l)).
@@ -288,6 +307,8 @@ class ChunkedEstimation {
   std::size_t num_users_;
   std::size_t num_chunks_;
   EngineOptions options_;
+  // Bound data source (nullptr when constructed from a bare user count).
+  const data::ChunkSource* source_ = nullptr;
 };
 
 }  // namespace engine

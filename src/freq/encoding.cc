@@ -89,6 +89,24 @@ std::vector<std::vector<double>> CategoricalDataset::TrueFrequencies() const {
   return freqs;
 }
 
+Result<std::span<const double>> CategoricalChunkSource::Chunk(
+    std::size_t chunk, data::ChunkBuffer* buffer) const {
+  if (chunk >= num_chunks()) {
+    return Status::OutOfRange("chunk index out of range");
+  }
+  const std::size_t d = num_dims();
+  const std::size_t begin = ChunkBegin(chunk);
+  const std::size_t users = ChunkUsers(chunk);
+  std::vector<double>& out = buffer->storage();
+  out.resize(users * d);
+  for (std::size_t i = 0; i < users; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      out[i * d + j] = static_cast<double>(dataset_->At(begin + i, j));
+    }
+  }
+  return std::span<const double>(out.data(), out.size());
+}
+
 Result<CategoricalDataset> GenerateCategorical(std::size_t num_users,
                                                CategoricalSchema schema,
                                                double zipf_exponent,

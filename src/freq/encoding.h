@@ -17,6 +17,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "data/chunk_source.h"
 
 namespace hdldp {
 namespace freq {
@@ -72,6 +73,28 @@ class CategoricalDataset {
   std::size_t num_users_;
   CategoricalSchema schema_;
   std::vector<std::uint32_t> values_;
+};
+
+/// \brief ChunkSource adapter over a resident CategoricalDataset:
+/// delivers category indices as doubles (the ChunkSource value type), so
+/// categorical populations ride the same streaming machinery as
+/// numerical ones — shard directories included (WriteShards accepts this
+/// source directly, and the streaming frequency pipeline reads the
+/// resulting shards back). Non-owning; the dataset must outlive it.
+class CategoricalChunkSource final : public data::ChunkSource {
+ public:
+  explicit CategoricalChunkSource(const CategoricalDataset* dataset)
+      : dataset_(dataset) {}
+
+  std::size_t num_users() const override { return dataset_->num_users(); }
+  std::size_t num_dims() const override {
+    return dataset_->schema().num_dims();
+  }
+  Result<std::span<const double>> Chunk(
+      std::size_t chunk, data::ChunkBuffer* buffer) const override;
+
+ private:
+  const CategoricalDataset* dataset_;
 };
 
 /// \brief Random categorical data with per-dimension Zipf(s) marginals

@@ -58,44 +58,109 @@ void ClipAndNormalize(const CategoricalSchema& schema,
   }
 }
 
-// The legacy kV1Scalar ingestion loop: one scalar stream, per-entry
-// virtual Perturb, exactly the pre-lane-era draw order. Frozen so runs
-// recorded under v1 seeds keep their outputs bit for bit.
-void IngestV1Scalar(const CategoricalDataset& dataset,
-                    const mech::Mechanism& mechanism,
-                    const mech::DomainMap& map, double per_entry_eps,
-                    std::uint64_t seed, std::size_t m,
-                    std::vector<NeumaierSum>* sums,
-                    std::vector<std::int64_t>* dim_reports) {
-  const CategoricalSchema& schema = dataset.schema();
+// Checks one chunk's worth of source rows against the schema: every
+// value must be an exact non-negative integer below its dimension's
+// cardinality. Streaming sources (shards, generators) deliver doubles,
+// and a bad value would otherwise index out of the one-hot layout.
+Status ValidateCategoricalChunk(std::span<const double> rows,
+                                const CategoricalSchema& schema,
+                                std::size_t chunk) {
   const std::size_t d = schema.num_dims();
-  Rng rng(seed);
-  std::vector<std::uint32_t> sampled;
-  for (std::size_t i = 0; i < dataset.num_users(); ++i) {
-    sampled.clear();
-    rng.SampleWithoutReplacement(d, m, &sampled);
-    for (const std::uint32_t j : sampled) {
-      ++(*dim_reports)[j];
-      const std::size_t off = schema.EntryOffset(j);
-      const std::uint32_t category = dataset.At(i, j);
-      for (std::size_t k = 0; k < schema.Cardinality(j); ++k) {
-        const double entry = k == category ? 1.0 : 0.0;
-        (*sums)[off + k].Add(
-            mechanism.Perturb(map.Forward(entry), per_entry_eps, &rng));
+  const std::size_t users = rows.size() / d;
+  for (std::size_t i = 0; i < users; ++i) {
+    for (std::size_t j = 0; j < d; ++j) {
+      const double v = rows[i * d + j];
+      if (!(v >= 0.0) || v != std::floor(v) ||
+          v >= static_cast<double>(schema.Cardinality(j))) {
+        return Status::InvalidArgument(
+            "categorical source chunk " + std::to_string(chunk) +
+            " holds an invalid category index in dimension " +
+            std::to_string(j));
       }
     }
   }
+  return Status::OK();
+}
+
+// Ground-truth frequencies in one streaming pass: per-category counts
+// are order-independent integer adds, so any source kind yields the
+// bits CategoricalDataset::TrueFrequencies computes resident.
+Result<std::vector<std::vector<double>>> SourceTrueFrequencies(
+    const data::ChunkSource& source, const CategoricalSchema& schema) {
+  const std::size_t d = schema.num_dims();
+  std::vector<std::vector<double>> freqs(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    freqs[j].assign(schema.Cardinality(j), 0.0);
+  }
+  data::ChunkBuffer buffer;
+  for (std::size_t c = 0; c < source.num_chunks(); ++c) {
+    HDLDP_ASSIGN_OR_RETURN(const std::span<const double> rows,
+                           source.Chunk(c, &buffer));
+    const std::size_t users = source.ChunkUsers(c);
+    for (std::size_t i = 0; i < users; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        freqs[j][static_cast<std::uint32_t>(rows[i * d + j])] += 1.0;
+      }
+    }
+  }
+  const auto n = static_cast<double>(source.num_users());
+  for (auto& f : freqs) {
+    for (double& v : f) v /= n;
+  }
+  return freqs;
+}
+
+// The legacy kV1Scalar ingestion loop: one scalar stream, per-entry
+// virtual Perturb, exactly the pre-lane-era draw order — chunks are
+// pulled in order and walked serially, so the draw sequence matches the
+// old whole-dataset loop user for user. Frozen so runs recorded under
+// v1 seeds keep their outputs bit for bit.
+Status IngestV1Scalar(const engine::ChunkedEstimation& core,
+                      const CategoricalSchema& schema,
+                      const mech::Mechanism& mechanism,
+                      const mech::DomainMap& map, double per_entry_eps,
+                      std::uint64_t seed, std::size_t m,
+                      std::vector<NeumaierSum>* sums,
+                      std::vector<std::int64_t>* dim_reports) {
+  const std::size_t d = schema.num_dims();
+  Rng rng(seed);
+  std::vector<std::uint32_t> sampled;
+  for (std::size_t c = 0; c < core.num_chunks(); ++c) {
+    const engine::ChunkRange range = core.Range(c);
+    HDLDP_ASSIGN_OR_RETURN(const std::span<const double> rows,
+                           core.ChunkRows(range));
+    HDLDP_RETURN_NOT_OK(ValidateCategoricalChunk(rows, schema, range.chunk));
+    for (std::size_t i = range.begin; i < range.end; ++i) {
+      const double* row = rows.data() + (i - range.begin) * d;
+      sampled.clear();
+      rng.SampleWithoutReplacement(d, m, &sampled);
+      for (const std::uint32_t j : sampled) {
+        ++(*dim_reports)[j];
+        const std::size_t off = schema.EntryOffset(j);
+        const auto category = static_cast<std::uint32_t>(row[j]);
+        for (std::size_t k = 0; k < schema.Cardinality(j); ++k) {
+          const double entry = k == category ? 1.0 : 0.0;
+          (*sums)[off + k].Add(
+              mechanism.Perturb(map.Forward(entry), per_entry_eps, &rng));
+        }
+      }
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
 
 Result<FrequencyEstimationResult> RunFrequencyEstimation(
-    const CategoricalDataset& dataset, mech::MechanismPtr mechanism,
-    const FrequencyOptions& options) {
+    const data::ChunkSource& source, const CategoricalSchema& schema,
+    mech::MechanismPtr mechanism, const FrequencyOptions& options) {
   if (mechanism == nullptr) {
     return Status::InvalidArgument("frequency estimation requires a mechanism");
   }
-  const CategoricalSchema& schema = dataset.schema();
+  if (source.num_dims() != schema.num_dims()) {
+    return Status::InvalidArgument(
+        "categorical source width does not match schema");
+  }
   const std::size_t d = schema.num_dims();
   const std::size_t m = options.report_dims == 0 ? d : options.report_dims;
   if (m > d) {
@@ -117,10 +182,17 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
   std::vector<double> raw_flat(total_entries, 0.0);
   std::vector<std::int64_t> dim_reports(d, 0);
 
+  engine::EngineOptions engine_options;
+  engine_options.seed = options.seed;
+  engine_options.seed_scheme = options.seed_scheme;
+  engine_options.num_threads = options.num_threads;
+  const engine::ChunkedEstimation core(source, engine_options);
+
   if (options.seed_scheme == SeedScheme::kV1Scalar) {
     std::vector<NeumaierSum> sums(total_entries);
-    IngestV1Scalar(dataset, *mechanism, map, per_entry_eps, options.seed, m,
-                   &sums, &dim_reports);
+    HDLDP_RETURN_NOT_OK(IngestV1Scalar(core, schema, *mechanism, map,
+                                       per_entry_eps, options.seed, m, &sums,
+                                       &dim_reports));
     // Naive aggregation: per-entry mean mapped back to [0, 1].
     for (std::size_t j = 0; j < d; ++j) {
       const std::size_t off = schema.EntryOffset(j);
@@ -138,11 +210,6 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
     const mech::SamplerPlan plan = mechanism->MakePlan(per_entry_eps);
     const double native_zero = map.Forward(0.0);
     const double native_one = map.Forward(1.0);
-    engine::EngineOptions engine_options;
-    engine_options.seed = options.seed;
-    engine_options.seed_scheme = options.seed_scheme;
-    engine_options.num_threads = options.num_threads;
-    const engine::ChunkedEstimation core(dataset.num_users(), engine_options);
     HDLDP_ASSIGN_OR_RETURN(
         const protocol::MeanAggregator aggregator,
         core.Reduce<protocol::MeanAggregator>(
@@ -150,7 +217,15 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
               return protocol::MeanAggregator::Create(total_entries, map);
             },
             [&](const engine::ChunkRange& range,
-                protocol::MeanAggregator* scratch) {
+                protocol::MeanAggregator* scratch) -> Status {
+              HDLDP_ASSIGN_OR_RETURN(const std::span<const double> rows,
+                                     core.ChunkRows(range));
+              HDLDP_RETURN_NOT_OK(
+                  ValidateCategoricalChunk(rows, schema, range.chunk));
+              const auto category_at = [&](std::size_t user, std::size_t j) {
+                return static_cast<std::uint32_t>(
+                    rows[(user - range.begin) * d + j]);
+              };
               if (m == d) {
                 // Dense one-hot fill: the block buffer arrives at
                 // native_zero; set each user's d category entries and
@@ -164,7 +239,7 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
                   for (std::size_t u = 0; u < block; ++u) {
                     double* row = natives.data() + u * total_entries;
                     for (std::size_t j = 0; j < d; ++j) {
-                      row[schema.EntryOffset(j) + dataset.At(user + u, j)] =
+                      row[schema.EntryOffset(j) + category_at(user + u, j)] =
                           value;
                     }
                   }
@@ -199,7 +274,7 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
                     for (const std::uint32_t j : dims) {
                       const std::size_t off = schema.EntryOffset(j);
                       const std::size_t cardinality = schema.Cardinality(j);
-                      (*natives)[base + dataset.At(user, j)] = native_one;
+                      (*natives)[base + category_at(user, j)] = native_one;
                       std::uint32_t* idx = entry_indices->data() + base;
                       for (std::size_t k = 0; k < cardinality; ++k) {
                         idx[k] = static_cast<std::uint32_t>(off + k);
@@ -257,7 +332,8 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
 
   FrequencyEstimationResult result;
   result.per_entry_epsilon = per_entry_eps;
-  result.true_frequencies = dataset.TrueFrequencies();
+  HDLDP_ASSIGN_OR_RETURN(result.true_frequencies,
+                         SourceTrueFrequencies(source, schema));
   result.raw = Unflatten(raw_flat, schema);
   result.recalibrated = Unflatten(recal.enhanced_mean, schema);
   if (options.clip_and_normalize) {
@@ -271,6 +347,14 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
       result.mse_recalibrated,
       protocol::MeanSquaredError(Flatten(result.recalibrated), truth));
   return result;
+}
+
+Result<FrequencyEstimationResult> RunFrequencyEstimation(
+    const CategoricalDataset& dataset, mech::MechanismPtr mechanism,
+    const FrequencyOptions& options) {
+  const CategoricalChunkSource source(&dataset);
+  return RunFrequencyEstimation(source, dataset.schema(),
+                                std::move(mechanism), options);
 }
 
 }  // namespace freq

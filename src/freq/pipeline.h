@@ -22,6 +22,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "data/chunk_source.h"
 #include "freq/encoding.h"
 #include "hdr4me/recalibrate.h"
 #include "mech/mechanism.h"
@@ -76,12 +77,25 @@ struct FrequencyEstimationResult {
   double mse_recalibrated = 0.0;
 };
 
-/// \brief Runs the full frequency-estimation protocol.
+/// \brief Runs the full frequency-estimation protocol over any chunked
+/// data source. `source` must deliver category indices as doubles (one
+/// column per categorical dimension, each value integral and <
+/// schema.Cardinality(j)); a CategoricalChunkSource adapts a resident
+/// CategoricalDataset, and shard directories written from one stream
+/// back through data::ShardFileSource. Every chunk is validated against
+/// the schema before perturbation. For a fixed (values, options), the
+/// estimate is bit-identical across source kinds and thread counts.
 ///
 /// Fails with FailedPrecondition if any categorical dimension ends the
 /// ingestion phase with zero reports (the Lemma 3 model is undefined at
 /// r = 0): raise num_users or report_dims instead of trusting estimates
 /// that silently pretended r = 1.
+Result<FrequencyEstimationResult> RunFrequencyEstimation(
+    const data::ChunkSource& source, const CategoricalSchema& schema,
+    mech::MechanismPtr mechanism, const FrequencyOptions& options);
+
+/// \brief Resident-dataset convenience wrapper: adapts `dataset` through
+/// CategoricalChunkSource and runs the source overload.
 Result<FrequencyEstimationResult> RunFrequencyEstimation(
     const CategoricalDataset& dataset, mech::MechanismPtr mechanism,
     const FrequencyOptions& options);

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <span>
+#include <utility>
+#include <vector>
 
 #include "common/math.h"
 #include "framework/deviation_model.h"
@@ -14,33 +17,24 @@ namespace hdr4me {
 
 namespace {
 
-// Squares every value; [-1, 1] data lands in [0, 1].
-Result<data::Dataset> SquaredDataset(const data::Dataset& source) {
-  HDLDP_ASSIGN_OR_RETURN(
-      data::Dataset out,
-      data::Dataset::Create(source.num_users(), source.num_dims()));
-  for (std::size_t i = 0; i < source.num_users(); ++i) {
-    for (std::size_t j = 0; j < source.num_dims(); ++j) {
-      const double v = Clamp(source.At(i, j), -1.0, 1.0);
-      out.Set(i, j, v * v);
-    }
-  }
-  return out;
-}
-
 // HDR4ME pass over one half's estimate, with per-dimension models built
-// from that half's empirical marginals.
+// from that half's empirical marginals (the first <= 2000 rows,
+// materialized from the half's source — a bounded gather regardless of
+// population size).
 Result<std::vector<double>> RecalibrateHalf(
-    const data::Dataset& half, const mech::Mechanism& mechanism,
+    const data::ChunkSource& half, const mech::Mechanism& mechanism,
     const std::vector<double>& estimate, double per_dim_eps,
     const mech::Interval& data_domain, const Hdr4meOptions& options,
     double reports) {
   const std::size_t rows = std::min<std::size_t>(half.num_users(), 2000);
+  const std::size_t d = half.num_dims();
+  HDLDP_ASSIGN_OR_RETURN(const std::vector<double> marginals,
+                         data::MaterializeRows(half, 0, rows));
   std::vector<framework::GaussianDeviation> deviations;
-  deviations.reserve(half.num_dims());
+  deviations.reserve(d);
   std::vector<double> column(rows);
-  for (std::size_t j = 0; j < half.num_dims(); ++j) {
-    for (std::size_t i = 0; i < rows; ++i) column[i] = half.At(i, j);
+  for (std::size_t j = 0; j < d; ++j) {
+    for (std::size_t i = 0; i < rows; ++i) column[i] = marginals[i * d + j];
     HDLDP_ASSIGN_OR_RETURN(
         const framework::ValueDistribution values,
         framework::ValueDistribution::FromSamples(column, 16));
@@ -58,35 +52,34 @@ Result<std::vector<double>> RecalibrateHalf(
 }  // namespace
 
 Result<VarianceEstimationResult> RunVarianceEstimation(
-    const data::Dataset& dataset, mech::MechanismPtr mechanism,
+    const data::ChunkSource& source, mech::MechanismPtr mechanism,
     const VarianceOptions& options) {
   if (mechanism == nullptr) {
     return Status::InvalidArgument("variance estimation requires a mechanism");
   }
-  if (dataset.num_users() < 2) {
+  const std::size_t n = source.num_users();
+  const std::size_t d = source.num_dims();
+  if (n < 2) {
     return Status::InvalidArgument(
         "variance estimation requires >= 2 users to split");
   }
-  // Half A keeps the raw values, half B the squares.
-  const std::size_t half_a = dataset.num_users() / 2;
-  HDLDP_ASSIGN_OR_RETURN(const data::Dataset values_half,
-                         dataset.TruncateUsers(half_a));
-  HDLDP_ASSIGN_OR_RETURN(const data::Dataset squares_full,
-                         SquaredDataset(dataset));
-  // The squares half is the complement; reuse TruncateUsers by copying
-  // rows half_a.. into a fresh dataset.
-  HDLDP_ASSIGN_OR_RETURN(
-      data::Dataset squares_half,
-      data::Dataset::Create(dataset.num_users() - half_a, dataset.num_dims()));
-  for (std::size_t i = half_a; i < dataset.num_users(); ++i) {
-    for (std::size_t j = 0; j < dataset.num_dims(); ++j) {
-      squares_half.Set(i - half_a, j, squares_full.At(i, j));
-    }
-  }
+  // Half A keeps the raw values, half B the squares. Both halves (and
+  // the square/embedding stages) are lazy views over `source` — each
+  // chunk is sliced or transformed on pull, so nothing is materialized.
+  const std::size_t half_a = n / 2;
+  const data::SlicedChunkSource values_half(&source, 0, half_a);
+  const data::SlicedChunkSource raw_half_b(&source, half_a, n - half_a);
+  const data::TransformedChunkSource squares_half(&raw_half_b, [](double v) {
+    const double c = Clamp(v, -1.0, 1.0);
+    return c * c;
+  });
+  // The squares live in [0, 1]; the generic pipeline assumes the [-1, 1]
+  // data domain, so run the squares through the affine embedding
+  // u = 2v - 1 and invert afterwards.
+  const data::TransformedChunkSource squares_embedded(
+      &squares_half, [](double v) { return 2.0 * v - 1.0; });
 
-  // Mean estimation on both halves. The squares live in [0, 1]; the
-  // generic pipeline assumes the [-1, 1] data domain, so run the squares
-  // through the affine embedding u = 2v - 1 and invert afterwards.
+  // Mean estimation on both halves.
   protocol::PipelineOptions mean_opts;
   mean_opts.total_epsilon = options.total_epsilon;
   mean_opts.report_dims = options.report_dims;
@@ -96,13 +89,6 @@ Result<VarianceEstimationResult> RunVarianceEstimation(
       const auto mean_run,
       protocol::RunMeanEstimation(values_half, mechanism, mean_opts));
 
-  HDLDP_ASSIGN_OR_RETURN(data::Dataset squares_embedded,
-                         squares_half.TruncateUsers(squares_half.num_users()));
-  for (std::size_t i = 0; i < squares_embedded.num_users(); ++i) {
-    for (std::size_t j = 0; j < squares_embedded.num_dims(); ++j) {
-      squares_embedded.Set(i, j, 2.0 * squares_half.At(i, j) - 1.0);
-    }
-  }
   protocol::PipelineOptions square_opts = mean_opts;
   square_opts.seed = options.seed ^ 0x5ECC0ull;
   HDLDP_ASSIGN_OR_RETURN(
@@ -111,8 +97,8 @@ Result<VarianceEstimationResult> RunVarianceEstimation(
 
   VarianceEstimationResult result;
   result.estimated_mean = mean_run.estimated_mean;
-  result.estimated_second_moment.resize(dataset.num_dims());
-  for (std::size_t j = 0; j < dataset.num_dims(); ++j) {
+  result.estimated_second_moment.resize(d);
+  for (std::size_t j = 0; j < d; ++j) {
     // Undo the [0,1] -> [-1,1] embedding.
     result.estimated_second_moment[j] =
         0.5 * (square_run.estimated_mean[j] + 1.0);
@@ -120,13 +106,13 @@ Result<VarianceEstimationResult> RunVarianceEstimation(
 
   if (options.recalibrate) {
     const double m = options.report_dims == 0
-                         ? static_cast<double>(dataset.num_dims())
+                         ? static_cast<double>(d)
                          : static_cast<double>(options.report_dims);
     const double eps_per_dim = options.total_epsilon / m;
     const double reports_a = static_cast<double>(values_half.num_users()) *
-                             m / static_cast<double>(dataset.num_dims());
+                             m / static_cast<double>(d);
     const double reports_b = static_cast<double>(squares_half.num_users()) *
-                             m / static_cast<double>(dataset.num_dims());
+                             m / static_cast<double>(d);
     HDLDP_ASSIGN_OR_RETURN(
         result.estimated_mean,
         RecalibrateHalf(values_half, *mechanism, result.estimated_mean,
@@ -140,26 +126,44 @@ Result<VarianceEstimationResult> RunVarianceEstimation(
   }
 
   // Combine and score.
-  result.estimated_variance.resize(dataset.num_dims());
-  for (std::size_t j = 0; j < dataset.num_dims(); ++j) {
+  result.estimated_variance.resize(d);
+  for (std::size_t j = 0; j < d; ++j) {
     result.estimated_variance[j] =
         std::max(0.0, result.estimated_second_moment[j] -
                           Sq(result.estimated_mean[j]));
   }
-  result.true_variance.resize(dataset.num_dims());
-  const auto true_mean = dataset.TrueMean();
-  for (std::size_t j = 0; j < dataset.num_dims(); ++j) {
-    NeumaierSum acc;
-    for (std::size_t i = 0; i < dataset.num_users(); ++i) {
-      acc.Add(Sq(dataset.At(i, j) - true_mean[j]));
+  // True variance: one streaming pass, chunks in user order, so the
+  // per-dimension compensated sums match the resident-dataset loop bit
+  // for bit.
+  HDLDP_ASSIGN_OR_RETURN(const std::vector<double> true_mean,
+                         source.TrueMean());
+  std::vector<NeumaierSum> acc(d);
+  data::ChunkBuffer buffer;
+  for (std::size_t c = 0; c < source.num_chunks(); ++c) {
+    HDLDP_ASSIGN_OR_RETURN(const std::span<const double> rows,
+                           source.Chunk(c, &buffer));
+    const std::size_t users = source.ChunkUsers(c);
+    for (std::size_t i = 0; i < users; ++i) {
+      for (std::size_t j = 0; j < d; ++j) {
+        acc[j].Add(Sq(rows[i * d + j] - true_mean[j]));
+      }
     }
-    result.true_variance[j] =
-        acc.Total() / static_cast<double>(dataset.num_users());
+  }
+  result.true_variance.resize(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    result.true_variance[j] = acc[j].Total() / static_cast<double>(n);
   }
   HDLDP_ASSIGN_OR_RETURN(
       result.mse, protocol::MeanSquaredError(result.estimated_variance,
                                              result.true_variance));
   return result;
+}
+
+Result<VarianceEstimationResult> RunVarianceEstimation(
+    const data::Dataset& dataset, mech::MechanismPtr mechanism,
+    const VarianceOptions& options) {
+  const data::ResidentChunkSource source(&dataset);
+  return RunVarianceEstimation(source, std::move(mechanism), options);
 }
 
 }  // namespace hdr4me

@@ -23,6 +23,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "data/chunk_source.h"
 #include "data/dataset.h"
 #include "hdr4me/recalibrate.h"
 #include "mech/mechanism.h"
@@ -64,8 +65,18 @@ struct VarianceEstimationResult {
   double mse = 0.0;
 };
 
-/// \brief Runs the split-population variance-estimation protocol.
-/// Requires at least 2 users; dataset values must lie in [-1, 1].
+/// \brief Runs the split-population variance-estimation protocol over
+/// any chunked data source: the two halves and the square/embedding
+/// views are lazy slices/transforms of `source`, never materialized, so
+/// out-of-core populations (shard directories, streaming generators)
+/// run in O(chunk) data memory. Requires at least 2 users; source
+/// values must lie in [-1, 1].
+Result<VarianceEstimationResult> RunVarianceEstimation(
+    const data::ChunkSource& source, mech::MechanismPtr mechanism,
+    const VarianceOptions& options);
+
+/// \brief Resident-dataset convenience wrapper: adapts `dataset` through
+/// data::ResidentChunkSource (zero-copy) and runs the source overload.
 Result<VarianceEstimationResult> RunVarianceEstimation(
     const data::Dataset& dataset, mech::MechanismPtr mechanism,
     const VarianceOptions& options);

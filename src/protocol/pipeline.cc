@@ -21,23 +21,27 @@ constexpr std::size_t kBatchUsers = 64;
 // The legacy kV1Scalar chunk body: one scalar stream per chunk, the
 // ReportDense / ReportBatch draw order of the pre-lane-era pipeline.
 // Frozen so mean estimates recorded under v1 seeds keep their outputs bit
-// for bit (tests/test_engine.cc pins them). `client` is the one validated
-// instance built by RunMeanEstimation; it is copied here (a cheap value
-// copy — shared mechanism pointer, prepared plan, empty scratch) rather
-// than re-running Client::Create's validation per chunk.
-Status SimulateChunkV1(const data::Dataset& dataset, const Client& client,
-                       const engine::ChunkRange& range,
+// for bit (tests/test_engine.cc pins them). `rows` is the chunk's
+// row-major block from the bound source — the same values the old
+// Dataset::Rows reads returned, so the draw sequence is unchanged.
+// `client` is the one validated instance built by RunMeanEstimation; it
+// is copied here (a cheap value copy — shared mechanism pointer, prepared
+// plan, empty scratch) rather than re-running Client::Create's validation
+// per chunk.
+Status SimulateChunkV1(std::span<const double> rows, std::size_t num_dims,
+                       const Client& client, const engine::ChunkRange& range,
                        MeanAggregator* aggregator) {
   Rng rng(range.chunk_seed);
-  if (client.report_dims() == dataset.num_dims()) {
+  if (client.report_dims() == num_dims) {
     std::vector<double> dense(
-        std::min(kBatchUsers, range.num_users()) * dataset.num_dims());
+        std::min(kBatchUsers, range.num_users()) * num_dims);
     for (std::size_t i = range.begin; i < range.end; i += kBatchUsers) {
       const std::size_t block = std::min(kBatchUsers, range.end - i);
       const std::span<double> out =
-          std::span<double>(dense).first(block * dataset.num_dims());
-      HDLDP_RETURN_NOT_OK(client.ReportDense(dataset.Rows(i, block), &rng,
-                                             out));
+          std::span<double>(dense).first(block * num_dims);
+      HDLDP_RETURN_NOT_OK(client.ReportDense(
+          rows.subspan((i - range.begin) * num_dims, block * num_dims), &rng,
+          out));
       HDLDP_RETURN_NOT_OK(aggregator->ConsumeDense(out));
     }
     return Status::OK();
@@ -47,8 +51,9 @@ Status SimulateChunkV1(const data::Dataset& dataset, const Client& client,
   for (std::size_t i = range.begin; i < range.end; i += kBatchUsers) {
     const std::size_t block = std::min(kBatchUsers, range.end - i);
     batch.Clear();
-    HDLDP_RETURN_NOT_OK(local.ReportBatch(dataset.Rows(i, block), &rng,
-                                          &batch));
+    HDLDP_RETURN_NOT_OK(local.ReportBatch(
+        rows.subspan((i - range.begin) * num_dims, block * num_dims), &rng,
+        &batch));
     HDLDP_RETURN_NOT_OK(aggregator->ConsumeBatch(batch));
   }
   return Status::OK();
@@ -56,7 +61,7 @@ Status SimulateChunkV1(const data::Dataset& dataset, const Client& client,
 
 }  // namespace
 
-Result<MeanEstimationResult> RunMeanEstimation(const data::Dataset& dataset,
+Result<MeanEstimationResult> RunMeanEstimation(const data::ChunkSource& source,
                                                mech::MechanismPtr mechanism,
                                                const PipelineOptions& options) {
   ClientOptions client_options;
@@ -64,9 +69,9 @@ Result<MeanEstimationResult> RunMeanEstimation(const data::Dataset& dataset,
   client_options.report_dims = options.report_dims;
   HDLDP_ASSIGN_OR_RETURN(
       const Client client,
-      Client::Create(std::move(mechanism), dataset.num_dims(),
+      Client::Create(std::move(mechanism), source.num_dims(),
                      client_options));
-  const std::size_t d = dataset.num_dims();
+  const std::size_t d = source.num_dims();
   const std::size_t m = client.report_dims();
   const mech::DomainMap map = client.domain_map();
   const mech::SamplerPlan& plan = client.plan();
@@ -75,19 +80,23 @@ Result<MeanEstimationResult> RunMeanEstimation(const data::Dataset& dataset,
   engine_options.seed = options.seed;
   engine_options.seed_scheme = options.seed_scheme;
   engine_options.num_threads = options.num_threads;
-  const engine::ChunkedEstimation core(dataset.num_users(), engine_options);
+  const engine::ChunkedEstimation core(source, engine_options);
 
   // The whole orchestration — chunk geometry, (seed, chunk, lane) stream
   // seeding, plan dispatch, deterministic two-level reduction — lives in
   // the engine; the lambdas below only say what a user row looks like in
-  // the mechanism's native domain.
+  // the mechanism's native domain. Each chunk body pulls its rows once
+  // up front (worker-local buffer, one chunk resident per worker).
   HDLDP_ASSIGN_OR_RETURN(
       const MeanAggregator aggregator,
       core.Reduce<MeanAggregator>(
           [&] { return MeanAggregator::Create(d, map); },
-          [&](const engine::ChunkRange& range, MeanAggregator* scratch) {
+          [&](const engine::ChunkRange& range,
+              MeanAggregator* scratch) -> Status {
+            HDLDP_ASSIGN_OR_RETURN(const std::span<const double> rows,
+                                   core.ChunkRows(range));
             if (core.options().seed_scheme == SeedScheme::kV1Scalar) {
-              return SimulateChunkV1(dataset, client, range, scratch);
+              return SimulateChunkV1(rows, d, client, range, scratch);
             }
             if (m == d) {
               // Dense fast path: whole tuples map onto native rows.
@@ -95,10 +104,10 @@ Result<MeanEstimationResult> RunMeanEstimation(const data::Dataset& dataset,
                   plan, range, d, 0.0, scratch,
                   [&](std::size_t user, std::size_t block,
                       std::span<double> natives) {
-                    const std::span<const double> rows =
-                        dataset.Rows(user, block);
-                    for (std::size_t k = 0; k < rows.size(); ++k) {
-                      natives[k] = map.Forward(rows[k]);
+                    const std::span<const double> block_rows = rows.subspan(
+                        (user - range.begin) * d, block * d);
+                    for (std::size_t k = 0; k < block_rows.size(); ++k) {
+                      natives[k] = map.Forward(block_rows[k]);
                     }
                   });
             }
@@ -116,7 +125,8 @@ Result<MeanEstimationResult> RunMeanEstimation(const data::Dataset& dataset,
                   const std::size_t base = natives->size();
                   natives->resize(base + dims.size());
                   double* out = natives->data() + base;
-                  const std::span<const double> row = dataset.Row(user);
+                  const std::span<const double> row =
+                      rows.subspan((user - range.begin) * d, d);
                   for (std::size_t k = 0; k < dims.size(); ++k) {
                     out[k] = map.Forward(row[dims[k]]);
                   }
@@ -125,15 +135,22 @@ Result<MeanEstimationResult> RunMeanEstimation(const data::Dataset& dataset,
 
   MeanEstimationResult result;
   result.estimated_mean = aggregator.EstimatedMean();
-  result.true_mean = dataset.TrueMean();
-  result.report_counts.reserve(dataset.num_dims());
-  for (std::size_t j = 0; j < dataset.num_dims(); ++j) {
+  HDLDP_ASSIGN_OR_RETURN(result.true_mean, source.TrueMean());
+  result.report_counts.reserve(d);
+  for (std::size_t j = 0; j < d; ++j) {
     result.report_counts.push_back(aggregator.ReportCount(j));
   }
   result.per_dim_epsilon = client.PerDimensionEpsilon();
   HDLDP_ASSIGN_OR_RETURN(
       result.mse, MeanSquaredError(result.estimated_mean, result.true_mean));
   return result;
+}
+
+Result<MeanEstimationResult> RunMeanEstimation(const data::Dataset& dataset,
+                                               mech::MechanismPtr mechanism,
+                                               const PipelineOptions& options) {
+  const data::ResidentChunkSource source(&dataset);
+  return RunMeanEstimation(source, std::move(mechanism), options);
 }
 
 Result<SingleDimensionResult> RunSingleDimension(

@@ -24,6 +24,7 @@
 
 #include "common/result.h"
 #include "common/rng.h"
+#include "data/chunk_source.h"
 #include "data/dataset.h"
 #include "mech/mechanism.h"
 #include "protocol/client.h"
@@ -75,10 +76,20 @@ struct MeanEstimationResult {
   double mse = 0.0;
 };
 
-/// \brief Runs the full protocol over `dataset` with `mechanism`.
-///
-/// Dataset values must already lie in [-1, 1] (the paper's normalized
-/// data domain); out-of-domain values are clamped by the client.
+/// \brief Runs the full protocol over any chunked data source —
+/// resident, on-disk shards, or a streaming generator — with
+/// `mechanism`. Memory stays O(chunk) for data delivery plus O(d) for
+/// the collector state, so n is bounded by disk (or nothing, for
+/// generator sources), not RAM. Source values must already lie in
+/// [-1, 1] (the paper's normalized data domain); out-of-domain values
+/// are clamped by the client. For a fixed (values, options), the
+/// estimate is bit-identical across source kinds and thread counts.
+Result<MeanEstimationResult> RunMeanEstimation(const data::ChunkSource& source,
+                                               mech::MechanismPtr mechanism,
+                                               const PipelineOptions& options);
+
+/// \brief Resident-dataset convenience wrapper: adapts `dataset` through
+/// data::ResidentChunkSource (zero-copy) and runs the source overload.
 Result<MeanEstimationResult> RunMeanEstimation(const data::Dataset& dataset,
                                                mech::MechanismPtr mechanism,
                                                const PipelineOptions& options);

@@ -87,6 +87,44 @@ TEST(DatasetTest, ResampleDimensionsDrawsExistingColumns) {
   EXPECT_FALSE(d.ResampleDimensions(0, &rng).ok());
 }
 
+TEST(DatasetTest, FillRowsStoresWholeRowBlocks) {
+  auto d = Dataset::Create(4, 3).value();
+  const std::vector<double> block = {1.0, 2.0, 3.0, 4.0, 5.0, 6.0};
+  ASSERT_TRUE(d.FillRows(1, block).ok());
+  EXPECT_EQ(d.At(0, 0), 0.0);
+  EXPECT_EQ(d.At(1, 0), 1.0);
+  EXPECT_EQ(d.At(1, 2), 3.0);
+  EXPECT_EQ(d.At(2, 1), 5.0);
+  EXPECT_EQ(d.At(3, 0), 0.0);
+}
+
+TEST(DatasetTest, FillRowsValidatesShapeAndRange) {
+  auto d = Dataset::Create(4, 3).value();
+  const std::vector<double> partial = {1.0, 2.0};  // Not a whole row.
+  EXPECT_EQ(d.FillRows(0, partial).code(), StatusCode::kInvalidArgument);
+  const std::vector<double> two_rows(6, 1.0);
+  EXPECT_EQ(d.FillRows(3, two_rows).code(), StatusCode::kOutOfRange);
+}
+
+TEST(DatasetTest, FillRowsInvalidatesTrueMeanMemo) {
+  auto d = Dataset::Create(2, 1).value();
+  EXPECT_EQ(d.TrueMean()[0], 0.0);  // Memoizes.
+  const std::vector<double> rows = {1.0, 3.0};
+  ASSERT_TRUE(d.FillRows(0, rows).ok());
+  EXPECT_EQ(d.TrueMean()[0], 2.0);
+}
+
+#if !defined(NDEBUG) && defined(GTEST_HAS_DEATH_TEST)
+TEST(DatasetDeathTest, TrueMeanAssertsWhileMutableRowOutstanding) {
+  auto d = Dataset::Create(2, 2).value();
+  auto row = d.MutableRow(0);
+  row[0] = 1.0;  // Invisible to the version counter until committed.
+  EXPECT_DEATH(d.TrueMean(), "MutableRow");
+  d.CommitMutableRows();
+  EXPECT_EQ(d.TrueMean()[0], 0.5);
+}
+#endif
+
 TEST(DatasetTest, TruncateUsersKeepsPrefix) {
   auto d = Dataset::Create(4, 2).value();
   for (std::size_t i = 0; i < 4; ++i) d.Set(i, 0, static_cast<double>(i));

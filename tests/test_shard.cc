@@ -1,0 +1,234 @@
+// Shard format tests: roundtrip (single and multi file, unaligned
+// appends), and every corruption path returning a Status — corrupt
+// magic, version mismatch, truncated file, bad geometry — never UB.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/chunk_source.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "data/shard.h"
+
+namespace hdldp {
+namespace data {
+namespace {
+
+// Fresh (removed-if-present) per-test shard directory path.
+std::string TempShardDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "hdldp_shard_" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+Dataset TestDataset(std::size_t users, std::size_t dims, std::uint64_t seed) {
+  Rng rng(seed);
+  return GenerateUniform({.num_users = users, .num_dims = dims}, &rng).value();
+}
+
+// Every chunk of `source` must hold exactly the dataset's rows, bitwise.
+void ExpectSourceMatches(const ChunkSource& source, const Dataset& dataset) {
+  ASSERT_EQ(source.num_users(), dataset.num_users());
+  ASSERT_EQ(source.num_dims(), dataset.num_dims());
+  ChunkBuffer buffer;
+  for (std::size_t c = 0; c < source.num_chunks(); ++c) {
+    const auto rows = source.Chunk(c, &buffer);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    const auto expected =
+        dataset.Rows(source.ChunkBegin(c), source.ChunkUsers(c));
+    ASSERT_EQ(rows.value().size(), expected.size()) << c;
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      ASSERT_EQ(rows.value()[k], expected[k]) << c << ":" << k;
+    }
+  }
+}
+
+// Flips bytes at `offset` in the first part file.
+void PatchPartFile(const std::string& dir, const char* bytes,
+                   std::size_t count, std::size_t offset) {
+  std::fstream f(dir + "/part-00000.hds",
+                 std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good());
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(bytes, static_cast<std::streamsize>(count));
+  ASSERT_TRUE(f.good());
+}
+
+TEST(ShardTest, RoundtripSingleFile) {
+  const std::string dir = TempShardDir("roundtrip_single");
+  const Dataset dataset = TestDataset(10000, 3, 21);
+  const ResidentChunkSource resident(&dataset);
+  const auto rows = WriteShards(resident, dir);
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  EXPECT_EQ(rows.value(), 10000u);
+
+  const auto opened = ShardFileSource::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ExpectSourceMatches(opened.value(), dataset);
+
+  // Streaming TrueMean over the mmap windows is bit-identical to the
+  // resident computation.
+  const auto mean = opened.value().TrueMean();
+  ASSERT_TRUE(mean.ok());
+  const auto expected = dataset.TrueMean();
+  for (std::size_t j = 0; j < expected.size(); ++j) {
+    EXPECT_EQ(mean.value()[j], expected[j]) << j;
+  }
+}
+
+TEST(ShardTest, RoundtripMultiFileAndReverseOrderPulls) {
+  const std::string dir = TempShardDir("roundtrip_multi");
+  const Dataset dataset = TestDataset(3 * kUsersPerChunk + 17, 2, 22);
+  const ResidentChunkSource resident(&dataset);
+  ShardWriterOptions options;
+  options.chunks_per_file = 1;  // Forces one chunk per part file.
+  ASSERT_TRUE(WriteShards(resident, dir, options).ok());
+
+  const auto opened = ShardFileSource::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ExpectSourceMatches(opened.value(), dataset);
+
+  // Chunks are random access: pulling back-to-front sees the same rows.
+  ChunkBuffer buffer;
+  for (std::size_t c = opened.value().num_chunks(); c-- > 0;) {
+    const auto rows = opened.value().Chunk(c, &buffer);
+    ASSERT_TRUE(rows.ok());
+    const auto expected = dataset.Rows(opened.value().ChunkBegin(c),
+                                       opened.value().ChunkUsers(c));
+    for (std::size_t k = 0; k < expected.size(); ++k) {
+      ASSERT_EQ(rows.value()[k], expected[k]);
+    }
+  }
+}
+
+TEST(ShardTest, WriterAcceptsAnyRowGranularity) {
+  // Appending row-by-row and in odd-sized batches must produce the same
+  // files as one whole-population append.
+  const Dataset dataset = TestDataset(kUsersPerChunk + 300, 3, 23);
+  const std::string dir_a = TempShardDir("granularity_a");
+  const std::string dir_b = TempShardDir("granularity_b");
+  ShardWriterOptions options;
+  options.chunks_per_file = 1;
+
+  {
+    auto writer = ShardWriter::Create(dir_a, 3, options);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(
+        writer.value().Append(dataset.Rows(0, dataset.num_users())).ok());
+    ASSERT_TRUE(writer.value().Finish().ok());
+  }
+  {
+    auto writer = ShardWriter::Create(dir_b, 3, options);
+    ASSERT_TRUE(writer.ok());
+    std::size_t row = 0;
+    const std::size_t batches[] = {1, 999, 2048, 1000, 300, 48};
+    for (const std::size_t batch : batches) {
+      ASSERT_TRUE(writer.value().Append(dataset.Rows(row, batch)).ok());
+      row += batch;
+    }
+    ASSERT_EQ(row, dataset.num_users());
+    ASSERT_TRUE(writer.value().Finish().ok());
+    EXPECT_EQ(writer.value().rows_written(), dataset.num_users());
+  }
+
+  const auto a = ShardFileSource::Open(dir_a);
+  const auto b = ShardFileSource::Open(dir_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ExpectSourceMatches(a.value(), dataset);
+  ExpectSourceMatches(b.value(), dataset);
+}
+
+TEST(ShardTest, WriterValidatesUsage) {
+  const std::string dir = TempShardDir("writer_validation");
+  auto writer = ShardWriter::Create(dir, 4, {});
+  ASSERT_TRUE(writer.ok());
+
+  // Partial rows never hit the disk.
+  const std::vector<double> partial(6, 0.5);
+  EXPECT_EQ(writer.value().Append(partial).code(),
+            StatusCode::kInvalidArgument);
+
+  // Finishing an empty shard is refused — an empty directory would be
+  // indistinguishable from a missing population.
+  EXPECT_EQ(writer.value().Finish().code(), StatusCode::kFailedPrecondition);
+
+  const std::vector<double> row(4, 0.25);
+  ASSERT_TRUE(writer.value().Append(row).ok());
+  ASSERT_TRUE(writer.value().Finish().ok());
+  EXPECT_EQ(writer.value().Finish().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(writer.value().Append(row).code(),
+            StatusCode::kFailedPrecondition);
+
+  // The directory now holds shards; a second writer must refuse it.
+  EXPECT_EQ(ShardWriter::Create(dir, 4, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ShardTest, OpenMissingOrEmptyDirectoryIsNotFound) {
+  EXPECT_EQ(
+      ShardFileSource::Open(TempShardDir("never_created")).status().code(),
+      StatusCode::kNotFound);
+
+  const std::string empty = TempShardDir("empty_dir");
+  std::filesystem::create_directories(empty);
+  EXPECT_EQ(ShardFileSource::Open(empty).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ShardTest, CorruptMagicIsInvalidArgument) {
+  const std::string dir = TempShardDir("corrupt_magic");
+  const Dataset dataset = TestDataset(100, 2, 24);
+  const ResidentChunkSource resident(&dataset);
+  ASSERT_TRUE(WriteShards(resident, dir).ok());
+  PatchPartFile(dir, "NOTSHARD", 8, 0);
+  const auto opened = ShardFileSource::Open(dir);
+  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardTest, VersionMismatchIsInvalidArgument) {
+  const std::string dir = TempShardDir("version_mismatch");
+  const Dataset dataset = TestDataset(100, 2, 25);
+  const ResidentChunkSource resident(&dataset);
+  ASSERT_TRUE(WriteShards(resident, dir).ok());
+  const std::uint32_t future_version = kShardFormatVersion + 1;
+  PatchPartFile(dir, reinterpret_cast<const char*>(&future_version), 4, 8);
+  const auto opened = ShardFileSource::Open(dir);
+  ASSERT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(opened.status().ToString().find("version"), std::string::npos);
+}
+
+TEST(ShardTest, TruncatedFileIsInvalidArgument) {
+  const std::string dir = TempShardDir("truncated");
+  const Dataset dataset = TestDataset(100, 2, 26);
+  const ResidentChunkSource resident(&dataset);
+  ASSERT_TRUE(WriteShards(resident, dir).ok());
+  const std::string path = dir + "/part-00000.hds";
+  // Drop the last 8 bytes: the size no longer matches the header.
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 8);
+  const auto opened = ShardFileSource::Open(dir);
+  ASSERT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(opened.status().ToString().find("truncated"), std::string::npos);
+}
+
+TEST(ShardTest, ChunkIndexOutOfRange) {
+  const std::string dir = TempShardDir("chunk_oob");
+  const Dataset dataset = TestDataset(100, 2, 27);
+  const ResidentChunkSource resident(&dataset);
+  ASSERT_TRUE(WriteShards(resident, dir).ok());
+  const auto opened = ShardFileSource::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  ChunkBuffer buffer;
+  EXPECT_EQ(opened.value().Chunk(1, &buffer).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace hdldp

@@ -1,20 +1,39 @@
 // hdldp_cli: command-line front end for the hdldp library.
 //
-// Three subcommands:
+// Subcommands:
 //
 //   hdldp_cli mean    --mechanism=piecewise --dataset=gaussian
 //                     --users=20000 --dims=128 --epsilon=0.5
 //                     [--report-dims=0] [--seed=1] [--threads=1]
 //                     [--seed-scheme=v3] [--recalibrate=both|l1|l2|none]
-//                     [--gate]
+//                     [--gate] [--input=<shard-dir>] [--chunk-keyed]
 //       Runs the full mean-estimation protocol and prints naive and
 //       HDR4ME-enhanced MSE.
 //
 //   hdldp_cli freq    --mechanism=piecewise --users=20000 --questions=16
 //                     --categories=8 [--zipf=1.0] [--epsilon=1]
 //                     [--sampled=4] [--seed=1] [--threads=1]
-//                     [--seed-scheme=v3]
+//                     [--seed-scheme=v3] [--input=<shard-dir>]
 //       Runs the Section V-C frequency-estimation protocol.
+//
+//   hdldp_cli generate --out=<shard-dir> --dataset=uniform
+//                      --users=1000000 --dims=16 [--seed=1]
+//                      [--chunks-per-file=1024]
+//       Streams a chunk-keyed synthetic population into an on-disk
+//       shard directory (data/shard.h) without ever materializing it;
+//       --dataset=categorical (with --questions/--categories/--zipf)
+//       writes category indices for the freq pipeline instead.
+//
+// Data-source flags shared by mean/freq/variance:
+//   --input=<shard-dir>  estimate over an on-disk shard directory
+//       (population size and dimensionality come from the shards; the
+//       in-memory generator flags --dataset/--users/--dims are
+//       rejected). Estimates are bit-identical to the same values
+//       resident in memory.
+//   --chunk-keyed        generate the in-memory population with the
+//       chunk-keyed contract (data/generator_source.h) instead of the
+//       classic sequential stream, so the run matches
+//       `generate --seed=<same seed>` + `--input` bit for bit.
 //
 // --seed-scheme selects the RNG stream contract (common/rng_lanes.h):
 // "v3" (default) is the lane-parallel fast path with cross-user sampled
@@ -38,13 +57,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
+#include "data/chunk_source.h"
+#include "data/generator_source.h"
 #include "data/generators.h"
+#include "data/shard.h"
 #include "framework/benchmark.h"
 #include "framework/berry_esseen.h"
 #include "framework/deviation_model.h"
@@ -106,6 +129,11 @@ class Flags {
     consumed_.insert(key);
     const auto it = values_.find(key);
     return it != values_.end() && it->second == "true";
+  }
+
+  /// Whether the flag was provided at all (does not consume it).
+  bool Has(const std::string& key) const {
+    return values_.find(key) != values_.end();
   }
 
   std::vector<double> GetDoubleList(const std::string& key,
@@ -179,11 +207,100 @@ Result<hdldp::data::Dataset> MakeDataset(const std::string& name,
       "' (want uniform|gaussian|poisson|correlated)");
 }
 
+Result<hdldp::data::GeneratorSpec> MakeGeneratorSpec(const std::string& name,
+                                                     std::size_t users,
+                                                     std::size_t dims) {
+  if (name == "uniform") {
+    return hdldp::data::GeneratorSpec(
+        hdldp::data::UniformSpec{.num_users = users, .num_dims = dims});
+  }
+  if (name == "gaussian") {
+    hdldp::data::GaussianSpec spec;
+    spec.num_users = users;
+    spec.num_dims = dims;
+    return hdldp::data::GeneratorSpec(spec);
+  }
+  if (name == "poisson") {
+    hdldp::data::PoissonSpec spec;
+    spec.num_users = users;
+    spec.num_dims = dims;
+    return hdldp::data::GeneratorSpec(spec);
+  }
+  if (name == "correlated") {
+    hdldp::data::CorrelatedSpec spec;
+    spec.num_users = users;
+    spec.num_dims = dims;
+    return hdldp::data::GeneratorSpec(spec);
+  }
+  return Status::InvalidArgument(
+      "unknown dataset '" + name +
+      "' (want uniform|gaussian|poisson|correlated)");
+}
+
+// Owns whichever data source a numeric subcommand resolved — a resident
+// generated dataset, an opened shard directory, or a streaming
+// chunk-keyed generator — and exposes it through `source`. The members
+// hold self-referential pointers once resolved, so a holder must stay
+// where ResolveSource filled it (it is neither copied nor moved).
+struct SourceHolder {
+  std::optional<hdldp::data::Dataset> dataset;
+  std::optional<hdldp::data::ResidentChunkSource> resident;
+  std::optional<hdldp::data::ShardFileSource> shard;
+  std::optional<hdldp::data::GeneratorChunkSource> generated;
+  const hdldp::data::ChunkSource* source = nullptr;
+};
+
+// Shared --input/--chunk-keyed resolution for mean and variance.
+// `data_seed` is the subcommand's tagged data seed (e.g. seed ^ 0xDA7A);
+// `generate` applies the same tag, so a chunk-keyed in-memory run and a
+// `generate` + `--input` run of the same --seed see identical values.
+Status ResolveSource(const std::string& input, bool chunk_keyed,
+                     const std::string& dataset_name, std::size_t users,
+                     std::size_t dims, std::uint64_t data_seed,
+                     SourceHolder* out) {
+  if (!input.empty()) {
+    HDLDP_ASSIGN_OR_RETURN(out->shard,
+                           hdldp::data::ShardFileSource::Open(input));
+    out->source = &*out->shard;
+    return Status::OK();
+  }
+  if (chunk_keyed) {
+    HDLDP_ASSIGN_OR_RETURN(const auto spec,
+                           MakeGeneratorSpec(dataset_name, users, dims));
+    HDLDP_ASSIGN_OR_RETURN(
+        out->generated,
+        hdldp::data::GeneratorChunkSource::Create(spec, data_seed));
+    out->source = &*out->generated;
+    return Status::OK();
+  }
+  hdldp::Rng data_rng(data_seed);
+  HDLDP_ASSIGN_OR_RETURN(out->dataset,
+                         MakeDataset(dataset_name, users, dims, &data_rng));
+  out->resident.emplace(&*out->dataset);
+  out->source = &*out->resident;
+  return Status::OK();
+}
+
+// --input reads the population geometry from the shard headers; the
+// in-memory generator flags contradict it.
+Status RejectGeneratorFlagsWithInput(const Flags& flags) {
+  for (const char* key : {"dataset", "users", "dims", "chunk-keyed"}) {
+    if (flags.Has(key)) {
+      return Status::InvalidArgument(
+          "--input reads the population from the shard directory; drop --" +
+          std::string(key));
+    }
+  }
+  return Status::OK();
+}
+
 Status RunMean(Flags flags) {
   const std::string mech_name = flags.GetString("mechanism", "piecewise");
+  const std::string input = flags.GetString("input", "");
+  const bool chunk_keyed = flags.GetBool("chunk-keyed");
   const std::string dataset_name = flags.GetString("dataset", "uniform");
-  const std::size_t users = flags.GetSize("users", 20000);
-  const std::size_t dims = flags.GetSize("dims", 128);
+  const std::size_t users_flag = flags.GetSize("users", 20000);
+  const std::size_t dims_flag = flags.GetSize("dims", 128);
   const double epsilon = flags.GetDouble("epsilon", 1.0);
   const std::size_t report_dims = flags.GetSize("report-dims", 0);
   const std::uint64_t seed = flags.GetSize("seed", 1);
@@ -193,11 +310,15 @@ Status RunMean(Flags flags) {
       ParseSeedScheme(flags.GetString("seed-scheme", "v3")));
   const std::string recalibrate = flags.GetString("recalibrate", "both");
   const bool gate = flags.GetBool("gate");
+  if (!input.empty()) HDLDP_RETURN_NOT_OK(RejectGeneratorFlagsWithInput(flags));
   HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
 
-  hdldp::Rng data_rng(seed ^ 0xDA7Aull);
-  HDLDP_ASSIGN_OR_RETURN(const hdldp::data::Dataset dataset,
-                         MakeDataset(dataset_name, users, dims, &data_rng));
+  SourceHolder data;
+  HDLDP_RETURN_NOT_OK(ResolveSource(input, chunk_keyed, dataset_name,
+                                    users_flag, dims_flag, seed ^ 0xDA7Aull,
+                                    &data));
+  const std::size_t users = data.source->num_users();
+  const std::size_t dims = data.source->num_dims();
   HDLDP_ASSIGN_OR_RETURN(auto mechanism,
                          hdldp::mech::MakeMechanism(mech_name));
 
@@ -209,24 +330,27 @@ Status RunMean(Flags flags) {
   opts.num_threads = threads;
   HDLDP_ASSIGN_OR_RETURN(
       const auto run,
-      hdldp::protocol::RunMeanEstimation(dataset, mechanism, opts));
+      hdldp::protocol::RunMeanEstimation(*data.source, mechanism, opts));
 
   std::printf("mechanism=%s dataset=%s users=%zu dims=%zu eps=%g m=%zu\n",
-              mech_name.c_str(), dataset_name.c_str(), users, dims, epsilon,
-              report_dims == 0 ? dims : report_dims);
+              mech_name.c_str(),
+              input.empty() ? dataset_name.c_str() : input.c_str(), users,
+              dims, epsilon, report_dims == 0 ? dims : report_dims);
   std::printf("%-24s %12.6g\n", "naive MSE", run.mse);
 
   if (recalibrate == "none") return Status::OK();
   // Per-dimension deviation models from per-dimension empirical marginals.
   std::vector<hdldp::framework::GaussianDeviation> deviations;
   const std::size_t rows = std::min<std::size_t>(users, 2000);
+  HDLDP_ASSIGN_OR_RETURN(const std::vector<double> marginals,
+                         hdldp::data::MaterializeRows(*data.source, 0, rows));
   std::vector<double> column(rows);
   const double reports = static_cast<double>(users) *
                          static_cast<double>(report_dims == 0 ? dims
                                                               : report_dims) /
                          static_cast<double>(dims);
   for (std::size_t j = 0; j < dims; ++j) {
-    for (std::size_t i = 0; i < rows; ++i) column[i] = dataset.At(i, j);
+    for (std::size_t i = 0; i < rows; ++i) column[i] = marginals[i * dims + j];
     HDLDP_ASSIGN_OR_RETURN(
         const auto values,
         hdldp::framework::ValueDistribution::FromSamples(column, 16));
@@ -266,7 +390,8 @@ Status RunMean(Flags flags) {
 
 Status RunFreq(Flags flags) {
   const std::string mech_name = flags.GetString("mechanism", "piecewise");
-  const std::size_t users = flags.GetSize("users", 20000);
+  const std::string input = flags.GetString("input", "");
+  const std::size_t users_flag = flags.GetSize("users", 20000);
   const std::size_t questions = flags.GetSize("questions", 16);
   const std::size_t categories = flags.GetSize("categories", 8);
   const double zipf = flags.GetDouble("zipf", 1.0);
@@ -277,15 +402,17 @@ Status RunFreq(Flags flags) {
   HDLDP_ASSIGN_OR_RETURN(
       const hdldp::SeedScheme seed_scheme,
       ParseSeedScheme(flags.GetString("seed-scheme", "v3")));
+  if (!input.empty() && (flags.Has("users") || flags.Has("zipf"))) {
+    return Status::InvalidArgument(
+        "--input reads the population from the shard directory; drop "
+        "--users/--zipf (keep --questions/--categories: the shard stores "
+        "indices, the schema stores cardinalities)");
+  }
   HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
 
   HDLDP_ASSIGN_OR_RETURN(auto schema,
                          hdldp::freq::CategoricalSchema::Create(
                              std::vector<std::size_t>(questions, categories)));
-  hdldp::Rng rng(seed ^ 0xF8E0ull);
-  HDLDP_ASSIGN_OR_RETURN(
-      const auto dataset,
-      hdldp::freq::GenerateCategorical(users, schema, zipf, &rng));
   HDLDP_ASSIGN_OR_RETURN(auto mechanism,
                          hdldp::mech::MakeMechanism(mech_name));
   hdldp::freq::FrequencyOptions opts;
@@ -294,15 +421,29 @@ Status RunFreq(Flags flags) {
   opts.seed = seed;
   opts.seed_scheme = seed_scheme;
   opts.num_threads = threads;
-  HDLDP_ASSIGN_OR_RETURN(
-      const auto result,
-      hdldp::freq::RunFrequencyEstimation(dataset, mechanism, opts));
+
+  std::optional<hdldp::freq::FrequencyEstimationResult> result;
+  std::size_t users = users_flag;
+  if (!input.empty()) {
+    HDLDP_ASSIGN_OR_RETURN(const auto source,
+                           hdldp::data::ShardFileSource::Open(input));
+    users = source.num_users();
+    HDLDP_ASSIGN_OR_RETURN(result, hdldp::freq::RunFrequencyEstimation(
+                                       source, schema, mechanism, opts));
+  } else {
+    hdldp::Rng rng(seed ^ 0xF8E0ull);
+    HDLDP_ASSIGN_OR_RETURN(
+        const auto dataset,
+        hdldp::freq::GenerateCategorical(users_flag, schema, zipf, &rng));
+    HDLDP_ASSIGN_OR_RETURN(result, hdldp::freq::RunFrequencyEstimation(
+                                       dataset, mechanism, opts));
+  }
   std::printf("mechanism=%s users=%zu questions=%zu categories=%zu eps=%g "
               "eps/entry=%g\n",
               mech_name.c_str(), users, questions, categories, epsilon,
-              result.per_entry_epsilon);
-  std::printf("%-24s %12.6g\n", "naive MSE", result.mse_raw);
-  std::printf("%-24s %12.6g\n", "HDR4ME MSE", result.mse_recalibrated);
+              result->per_entry_epsilon);
+  std::printf("%-24s %12.6g\n", "naive MSE", result->mse_raw);
+  std::printf("%-24s %12.6g\n", "HDR4ME MSE", result->mse_recalibrated);
   return Status::OK();
 }
 
@@ -347,20 +488,26 @@ Status RunAnalyze(Flags flags) {
 
 Status RunVariance(Flags flags) {
   const std::string mech_name = flags.GetString("mechanism", "piecewise");
+  const std::string input = flags.GetString("input", "");
+  const bool chunk_keyed = flags.GetBool("chunk-keyed");
   const std::string dataset_name = flags.GetString("dataset", "gaussian");
-  const std::size_t users = flags.GetSize("users", 20000);
-  const std::size_t dims = flags.GetSize("dims", 64);
+  const std::size_t users_flag = flags.GetSize("users", 20000);
+  const std::size_t dims_flag = flags.GetSize("dims", 64);
   const double epsilon = flags.GetDouble("epsilon", 1.0);
   const std::uint64_t seed = flags.GetSize("seed", 1);
   HDLDP_ASSIGN_OR_RETURN(
       const hdldp::SeedScheme seed_scheme,
       ParseSeedScheme(flags.GetString("seed-scheme", "v3")));
   const bool recalibrate = flags.GetBool("recalibrate");
+  if (!input.empty()) HDLDP_RETURN_NOT_OK(RejectGeneratorFlagsWithInput(flags));
   HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
 
-  hdldp::Rng data_rng(seed ^ 0x5ECull);
-  HDLDP_ASSIGN_OR_RETURN(const hdldp::data::Dataset dataset,
-                         MakeDataset(dataset_name, users, dims, &data_rng));
+  SourceHolder data;
+  HDLDP_RETURN_NOT_OK(ResolveSource(input, chunk_keyed, dataset_name,
+                                    users_flag, dims_flag, seed ^ 0x5ECull,
+                                    &data));
+  const std::size_t users = data.source->num_users();
+  const std::size_t dims = data.source->num_dims();
   HDLDP_ASSIGN_OR_RETURN(auto mechanism,
                          hdldp::mech::MakeMechanism(mech_name));
   hdldp::hdr4me::VarianceOptions opts;
@@ -370,11 +517,12 @@ Status RunVariance(Flags flags) {
   opts.recalibrate = recalibrate;
   HDLDP_ASSIGN_OR_RETURN(
       const auto result,
-      hdldp::hdr4me::RunVarianceEstimation(dataset, mechanism, opts));
+      hdldp::hdr4me::RunVarianceEstimation(*data.source, mechanism, opts));
   std::printf("mechanism=%s dataset=%s users=%zu dims=%zu eps=%g "
               "recalibrate=%d\n",
-              mech_name.c_str(), dataset_name.c_str(), users, dims, epsilon,
-              recalibrate ? 1 : 0);
+              mech_name.c_str(),
+              input.empty() ? dataset_name.c_str() : input.c_str(), users,
+              dims, epsilon, recalibrate ? 1 : 0);
   std::printf("%-24s %12.6g\n", "variance MSE", result.mse);
   std::printf("first dims (true vs estimated variance):\n");
   for (std::size_t j = 0; j < std::min<std::size_t>(4, dims); ++j) {
@@ -384,9 +532,64 @@ Status RunVariance(Flags flags) {
   return Status::OK();
 }
 
+Status RunGenerate(Flags flags) {
+  const std::string out = flags.GetString("out", "");
+  const std::string dataset_name = flags.GetString("dataset", "uniform");
+  const std::size_t users = flags.GetSize("users", 20000);
+  const std::size_t dims = flags.GetSize("dims", 16);
+  const std::uint64_t seed = flags.GetSize("seed", 1);
+  const std::size_t chunks_per_file = flags.GetSize("chunks-per-file", 1024);
+  const std::size_t questions = flags.GetSize("questions", 16);
+  const std::size_t categories = flags.GetSize("categories", 8);
+  const double zipf = flags.GetDouble("zipf", 1.0);
+  HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
+  if (out.empty()) {
+    return Status::InvalidArgument("generate requires --out=<shard-dir>");
+  }
+  if (chunks_per_file == 0) {
+    return Status::InvalidArgument("--chunks-per-file must be >= 1");
+  }
+  hdldp::data::ShardWriterOptions shard_opts;
+  shard_opts.chunks_per_file = chunks_per_file;
+
+  if (dataset_name == "categorical") {
+    // Category indices for the freq pipeline, drawn from the same
+    // Rng(seed ^ 0xF8E0) stream the freq subcommand uses in memory — so
+    // `freq --input=<out> --seed=S` reproduces `freq --seed=S` bit for
+    // bit.
+    HDLDP_ASSIGN_OR_RETURN(
+        auto schema, hdldp::freq::CategoricalSchema::Create(
+                         std::vector<std::size_t>(questions, categories)));
+    hdldp::Rng rng(seed ^ 0xF8E0ull);
+    HDLDP_ASSIGN_OR_RETURN(
+        const auto dataset,
+        hdldp::freq::GenerateCategorical(users, schema, zipf, &rng));
+    const hdldp::freq::CategoricalChunkSource source(&dataset);
+    HDLDP_ASSIGN_OR_RETURN(const std::size_t rows,
+                           hdldp::data::WriteShards(source, out, shard_opts));
+    std::printf("wrote %zu users x %zu categorical dims to %s\n", rows,
+                questions, out.c_str());
+    return Status::OK();
+  }
+
+  // Numeric populations stream straight from the chunk-keyed generator —
+  // no resident n x d allocation. The 0xDA7A tag matches the mean
+  // subcommand's data seed, so `mean --chunk-keyed --seed=S` and
+  // `generate --seed=S` + `mean --input --seed=S` see identical values.
+  HDLDP_ASSIGN_OR_RETURN(const auto spec,
+                         MakeGeneratorSpec(dataset_name, users, dims));
+  HDLDP_ASSIGN_OR_RETURN(
+      const auto source,
+      hdldp::data::GeneratorChunkSource::Create(spec, seed ^ 0xDA7Aull));
+  HDLDP_ASSIGN_OR_RETURN(const std::size_t rows,
+                         hdldp::data::WriteShards(source, out, shard_opts));
+  std::printf("wrote %zu users x %zu dims to %s\n", rows, dims, out.c_str());
+  return Status::OK();
+}
+
 void PrintUsage(std::FILE* stream) {
   std::fprintf(stream,
-               "usage: hdldp_cli <mean|freq|analyze|variance> "
+               "usage: hdldp_cli <mean|freq|analyze|variance|generate> "
                "[--key=value ...]\n"
                "see the header of tools/hdldp_cli.cc for the flag list\n");
 }
@@ -418,6 +621,8 @@ int main(int argc, char** argv) {
     status = RunAnalyze(std::move(flags_or).value());
   } else if (command == "variance") {
     status = RunVariance(std::move(flags_or).value());
+  } else if (command == "generate") {
+    status = RunGenerate(std::move(flags_or).value());
   } else {
     PrintUsage(stderr);
     return 2;
