@@ -1,0 +1,72 @@
+#include "common/crc32c.h"
+
+#include <cstring>
+
+namespace hdldp {
+namespace {
+
+// Reflected Castagnoli polynomial.
+constexpr std::uint32_t kPoly = 0x82F63B78u;
+
+// Slicing-by-8 lookup tables: table[0] is the classic byte-at-a-time
+// table, table[k] advances a byte through k additional zero bytes.
+struct Crc32cTables {
+  std::uint32_t t[8][256];
+
+  Crc32cTables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = t[0][i];
+      for (int k = 1; k < 8; ++k) {
+        crc = t[0][crc & 0xFFu] ^ (crc >> 8);
+        t[k][i] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32cExtend(std::uint32_t crc, const void* data,
+                           std::size_t len) {
+  const auto& t = Tables().t;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  // Byte-at-a-time until 8-byte alignment, then slicing-by-8.
+  while (len > 0 && (reinterpret_cast<std::uintptr_t>(p) & 7u) != 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --len;
+  }
+  while (len >= 8) {
+    std::uint64_t word;
+    std::memcpy(&word, p, 8);
+    // Little-endian fold: the low 32 bits absorb the running CRC. On a
+    // big-endian host this byte order would differ; hdldp's on-disk
+    // formats are little-endian-only already (data/shard.h).
+    word ^= crc;
+    crc = t[7][word & 0xFFu] ^ t[6][(word >> 8) & 0xFFu] ^
+          t[5][(word >> 16) & 0xFFu] ^ t[4][(word >> 24) & 0xFFu] ^
+          t[3][(word >> 32) & 0xFFu] ^ t[2][(word >> 40) & 0xFFu] ^
+          t[1][(word >> 48) & 0xFFu] ^ t[0][(word >> 56) & 0xFFu];
+    p += 8;
+    len -= 8;
+  }
+  while (len > 0) {
+    crc = t[0][(crc ^ *p++) & 0xFFu] ^ (crc >> 8);
+    --len;
+  }
+  return ~crc;
+}
+
+}  // namespace hdldp

@@ -109,6 +109,17 @@ class NeumaierSum {
   /// Current compensated total.
   double Total() const { return sum_ + compensation_; }
 
+  /// Exact internal state, for bit-identical checkpoint serialization
+  /// (protocol/snapshot). Total() alone loses the compensation term, so a
+  /// resumed run would drift off the uninterrupted run by an ulp; these
+  /// round-trip the full state instead.
+  double RawSum() const { return sum_; }
+  double Compensation() const { return compensation_; }
+  void RestoreRaw(double sum, double compensation) {
+    sum_ = sum;
+    compensation_ = compensation;
+  }
+
  private:
   // Branch-free |x| without pulling <cmath> into this low-level header.
   static double Abs(double x) { return x < 0.0 ? -x : x; }

@@ -20,7 +20,7 @@ namespace hdldp {
 /// Status (constructing from an OK Status is a programming error and is
 /// converted to an Internal error so misuse is observable rather than UB).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit, mirroring arrow::Result).
   Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)

@@ -29,6 +29,14 @@ enum class StatusCode : int {
   kInternal = 5,
   /// The operation is recognized but not implemented.
   kNotImplemented = 6,
+  /// A transient failure (I/O hiccup, injected fault): retrying the same
+  /// operation may succeed. The engine's RetryPolicy retries exactly this
+  /// code.
+  kUnavailable = 7,
+  /// Stored data is corrupt or unrecoverable (checksum mismatch,
+  /// truncated payload, interrupted write). Retrying will not help;
+  /// quarantine (engine allow_missing_chunks) or repair is required.
+  kDataLoss = 8,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -38,7 +46,7 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// A default-constructed Status is OK and carries no allocation; error
 /// statuses allocate a small state block holding code and message.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() noexcept = default;
@@ -89,6 +97,12 @@ class Status {
   }
   static Status NotImplemented(std::string msg) {
     return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   friend bool operator==(const Status& a, const Status& b) {

@@ -1,0 +1,107 @@
+#include "data/fault_injection.h"
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+
+#include "common/rng.h"
+
+namespace hdldp {
+namespace data {
+
+std::vector<std::size_t> FaultSchedule::FaultedChunks() const {
+  std::vector<std::size_t> chunks;
+  chunks.reserve(faults_.size());
+  for (const auto& [chunk, spec] : faults_) chunks.push_back(chunk);
+  std::sort(chunks.begin(), chunks.end());
+  return chunks;
+}
+
+FaultSchedule FaultSchedule::Random(std::uint64_t seed,
+                                    std::size_t num_chunks,
+                                    const RandomOptions& options) {
+  FaultSchedule schedule;
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    // Keyed per chunk (not one rolling stream) so the schedule of chunk
+    // c never depends on how many chunks precede it.
+    std::uint64_t mix = seed ^ (0xFA17ULL + 0x9e3779b97f4a7c15ULL *
+                                                (static_cast<std::uint64_t>(c) + 1));
+    const std::uint64_t fate = SplitMix64(&mix);
+    const double u = static_cast<double>(fate >> 11) * 0x1.0p-53;
+    FaultSpec spec;
+    spec.chunk = c;
+    if (u < options.transient_rate) {
+      spec.kind = FaultSpec::Kind::kTransient;
+      spec.failing_attempts = options.failing_attempts;
+    } else if (u < options.transient_rate + options.persistent_rate) {
+      spec.kind = FaultSpec::Kind::kPersistent;
+    } else if (u < options.transient_rate + options.persistent_rate +
+                       options.bit_flip_rate) {
+      spec.kind = FaultSpec::Kind::kBitFlip;
+      const std::uint64_t detail = SplitMix64(&mix);
+      spec.byte_offset = static_cast<std::size_t>(detail >> 8);
+      spec.xor_mask = static_cast<unsigned char>(detail | 1u);  // never 0
+    } else {
+      continue;
+    }
+    schedule.Add(spec);
+  }
+  return schedule;
+}
+
+FaultInjectingChunkSource::FaultInjectingChunkSource(const ChunkSource* base,
+                                                     FaultSchedule schedule)
+    : base_(base), schedule_(std::move(schedule)) {
+  const std::size_t n = base_->num_chunks();
+  attempts_ = std::make_unique<std::atomic<std::uint32_t>[]>(n);
+  for (std::size_t c = 0; c < n; ++c) {
+    attempts_[c].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::uint32_t FaultInjectingChunkSource::attempts(std::size_t chunk) const {
+  return attempts_[chunk].load(std::memory_order_relaxed);
+}
+
+Result<std::span<const double>> FaultInjectingChunkSource::Chunk(
+    std::size_t chunk, ChunkBuffer* buffer) const {
+  if (chunk >= num_chunks()) {
+    return Status::OutOfRange("chunk index out of range");
+  }
+  const std::uint32_t attempt =
+      attempts_[chunk].fetch_add(1, std::memory_order_relaxed) + 1;
+  const FaultSpec* fault = schedule_.Find(chunk);
+  if (fault == nullptr) return base_->Chunk(chunk, buffer);
+  switch (fault->kind) {
+    case FaultSpec::Kind::kTransient:
+      if (attempt <= static_cast<std::uint32_t>(fault->failing_attempts)) {
+        return Status::Unavailable(
+            "injected transient fault on chunk " + std::to_string(chunk) +
+            " (attempt " + std::to_string(attempt) + " of " +
+            std::to_string(fault->failing_attempts) + " failing)");
+      }
+      return base_->Chunk(chunk, buffer);
+    case FaultSpec::Kind::kPersistent:
+      return Status::DataLoss("injected persistent fault on chunk " +
+                              std::to_string(chunk));
+    case FaultSpec::Kind::kBitFlip: {
+      // Pull through the nested buffer, copy, and corrupt the copy —
+      // the base's storage (possibly an mmap'd file window) is never
+      // touched.
+      HDLDP_ASSIGN_OR_RETURN(const std::span<const double> rows,
+                             base_->Chunk(chunk, buffer->nested()));
+      std::vector<double>& storage = buffer->storage();
+      storage.assign(rows.begin(), rows.end());
+      const std::size_t byte_len = storage.size() * sizeof(double);
+      if (byte_len > 0) {
+        unsigned char* bytes = reinterpret_cast<unsigned char*>(storage.data());
+        bytes[fault->byte_offset % byte_len] ^= fault->xor_mask;
+      }
+      return std::span<const double>(storage.data(), storage.size());
+    }
+  }
+  return Status::Internal("unknown fault kind");
+}
+
+}  // namespace data
+}  // namespace hdldp

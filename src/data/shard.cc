@@ -11,6 +11,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/crc32c.h"
+
 namespace hdldp {
 namespace data {
 namespace {
@@ -34,6 +36,12 @@ struct ShardHeader {
   std::uint64_t first_user = 0;
 };
 
+// Chunks stored in a part file holding `num_users` rows.
+std::size_t ChunksInFile(std::uint64_t num_users) {
+  return static_cast<std::size_t>((num_users + kUsersPerChunk - 1) /
+                                  kUsersPerChunk);
+}
+
 void EncodeHeader(const ShardHeader& h, unsigned char* block) {
   std::memset(block, 0, kHeaderBytes);
   std::memcpy(block, kMagic, sizeof(kMagic));
@@ -48,8 +56,7 @@ void EncodeHeader(const ShardHeader& h, unsigned char* block) {
 Result<ShardHeader> DecodeHeader(const unsigned char* block,
                                  const std::string& path) {
   if (std::memcmp(block, kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("corrupt shard header (bad magic): " +
-                                   path);
+    return Status::DataLoss("corrupt shard header (bad magic): " + path);
   }
   ShardHeader h;
   std::memcpy(&h.version, block + kOffVersion, 4);
@@ -58,10 +65,10 @@ Result<ShardHeader> DecodeHeader(const unsigned char* block,
   std::memcpy(&h.users_per_chunk, block + kOffUsersPerChunk, 8);
   std::memcpy(&h.num_users, block + kOffNumUsers, 8);
   std::memcpy(&h.first_user, block + kOffFirstUser, 8);
-  if (h.version != kShardFormatVersion) {
+  if (h.version == 0 || h.version > kShardFormatVersion) {
     return Status::InvalidArgument(
         "unsupported shard format version " + std::to_string(h.version) +
-        " (reader supports " + std::to_string(kShardFormatVersion) +
+        " (reader supports up to " + std::to_string(kShardFormatVersion) +
         "): " + path);
   }
   if (h.flags != 0) {
@@ -112,13 +119,36 @@ Status PReadFully(int fd, void* data, std::size_t len, std::size_t offset,
                               std::strerror(errno));
     }
     if (n == 0) {
-      return Status::InvalidArgument("truncated shard file: " + path);
+      return Status::DataLoss("truncated shard file: " + path);
     }
     p += n;
     offset += static_cast<std::size_t>(n);
     len -= static_cast<std::size_t>(n);
   }
   return Status::OK();
+}
+
+// Flushes the directory entry itself, making a just-renamed part file
+// durable. Without this, a crash after rename can roll the rename back.
+Status FsyncDir(const std::string& dir) {
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) {
+    return Status::Internal("cannot open directory for fsync " + dir + ": " +
+                            std::strerror(errno));
+  }
+  const int rc = ::fsync(dfd);
+  const int saved_errno = errno;
+  ::close(dfd);
+  if (rc != 0) {
+    return Status::Internal("fsync failed for directory " + dir + ": " +
+                            std::strerror(saved_errno));
+  }
+  return Status::OK();
+}
+
+bool EndsWith(const std::string& name, std::string_view suffix) {
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
 }  // namespace
@@ -135,7 +165,10 @@ ShardWriter::ShardWriter(ShardWriter&& other) noexcept
       file_index_(other.file_index_),
       rows_in_file_(other.rows_in_file_),
       rows_written_(other.rows_written_),
-      finished_(other.finished_) {
+      finished_(other.finished_),
+      chunk_crcs_(std::move(other.chunk_crcs_)),
+      chunk_crc_(other.chunk_crc_),
+      rows_in_chunk_(other.rows_in_chunk_) {
   other.fd_ = -1;
 }
 
@@ -150,13 +183,17 @@ ShardWriter& ShardWriter::operator=(ShardWriter&& other) noexcept {
     rows_in_file_ = other.rows_in_file_;
     rows_written_ = other.rows_written_;
     finished_ = other.finished_;
+    chunk_crcs_ = std::move(other.chunk_crcs_);
+    chunk_crc_ = other.chunk_crc_;
+    rows_in_chunk_ = other.rows_in_chunk_;
     other.fd_ = -1;
   }
   return *this;
 }
 
 ShardWriter::~ShardWriter() {
-  // An unfinished shard is not readable; just release the descriptor.
+  // An unfinished shard leaves its .tmp file on disk as evidence of the
+  // interrupted write; Create() recovers the directory on the next run.
   if (fd_ >= 0) ::close(fd_);
 }
 
@@ -178,16 +215,28 @@ Result<ShardWriter> ShardWriter::Create(const std::string& dir,
     return Status::Internal("cannot open shard directory " + dir + ": " +
                             std::strerror(errno));
   }
-  bool has_parts = false;
+  std::vector<std::string> parts;
+  std::vector<std::string> temps;
   while (const dirent* entry = ::readdir(d)) {
     const std::string name = entry->d_name;
-    if (name.size() > 4 && name.substr(name.size() - 4) == ".hds") {
-      has_parts = true;
-      break;
+    if (EndsWith(name, ".hds.tmp")) {
+      temps.push_back(name);
+    } else if (EndsWith(name, ".hds")) {
+      parts.push_back(name);
     }
   }
   ::closedir(d);
-  if (has_parts) {
+  if (!temps.empty()) {
+    // Debris of an interrupted write: the directory never became
+    // readable, so wipe the partial output and start over.
+    for (const std::string& name : temps) {
+      (void)::unlink((dir + "/" + name).c_str());
+    }
+    for (const std::string& name : parts) {
+      (void)::unlink((dir + "/" + name).c_str());
+    }
+    HDLDP_RETURN_NOT_OK(FsyncDir(dir));
+  } else if (!parts.empty()) {
     return Status::FailedPrecondition(
         "shard directory already contains part files: " + dir);
   }
@@ -195,10 +244,10 @@ Result<ShardWriter> ShardWriter::Create(const std::string& dir,
 }
 
 Status ShardWriter::OpenNextFile() {
-  const std::string path = PartPath(dir_, file_index_);
-  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  const std::string tmp = PartPath(dir_, file_index_) + ".tmp";
+  fd_ = ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
   if (fd_ < 0) {
-    return Status::Internal("cannot create shard part " + path + ": " +
+    return Status::Internal("cannot create shard part " + tmp + ": " +
                             std::strerror(errno));
   }
   // Placeholder header; num_users is patched on close.
@@ -208,30 +257,61 @@ Status ShardWriter::OpenNextFile() {
   header.first_user = rows_written_;
   unsigned char block[kHeaderBytes];
   EncodeHeader(header, block);
-  HDLDP_RETURN_NOT_OK(WriteFully(fd_, block, kHeaderBytes, path));
+  HDLDP_RETURN_NOT_OK(WriteFully(fd_, block, kHeaderBytes, tmp));
   rows_in_file_ = 0;
+  chunk_crcs_.clear();
+  chunk_crc_ = 0;
+  rows_in_chunk_ = 0;
   return Status::OK();
 }
 
 Status ShardWriter::CloseCurrentFile() {
   const std::string path = PartPath(dir_, file_index_);
+  const std::string tmp = path + ".tmp";
+  if (rows_in_chunk_ > 0) {
+    chunk_crcs_.push_back(chunk_crc_);
+    chunk_crc_ = 0;
+    rows_in_chunk_ = 0;
+  }
+  // The CRC trailer goes after the payload; the descriptor's position
+  // is already there.
+  HDLDP_RETURN_NOT_OK(WriteFully(fd_, chunk_crcs_.data(),
+                                 chunk_crcs_.size() * sizeof(std::uint32_t),
+                                 tmp));
   const std::uint64_t users = rows_in_file_;
   ssize_t n;
   do {
     n = ::pwrite(fd_, &users, 8, static_cast<off_t>(kOffNumUsers));
   } while (n < 0 && errno == EINTR);
   if (n != 8) {
-    return Status::Internal("cannot patch shard header " + path + ": " +
+    return Status::Internal("cannot patch shard header " + tmp + ": " +
                             std::strerror(errno));
+  }
+  // Seal crash-consistently: flush the complete .tmp, rename it into
+  // place, then flush the directory entry. A crash at any point leaves
+  // either no final file (stray .tmp, detected by Open) or a complete
+  // checksummed one — never a torn final file.
+  if (::fsync(fd_) != 0) {
+    const Status st = Status::Internal("fsync failed for " + tmp + ": " +
+                                       std::strerror(errno));
+    ::close(fd_);
+    fd_ = -1;
+    return st;
   }
   if (::close(fd_) != 0) {
     fd_ = -1;
-    return Status::Internal("close failed for " + path + ": " +
+    return Status::Internal("close failed for " + tmp + ": " +
                             std::strerror(errno));
   }
   fd_ = -1;
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename " + tmp + " to " + path + ": " +
+                            std::strerror(errno));
+  }
+  HDLDP_RETURN_NOT_OK(FsyncDir(dir_));
   ++file_index_;
   rows_in_file_ = 0;
+  chunk_crcs_.clear();
   return Status::OK();
 }
 
@@ -250,7 +330,23 @@ Status ShardWriter::Append(std::span<const double> values) {
     if (fd_ < 0) HDLDP_RETURN_NOT_OK(OpenNextFile());
     const std::size_t take = std::min(rows, rows_per_file - rows_in_file_);
     HDLDP_RETURN_NOT_OK(WriteFully(fd_, p, take * num_dims_ * sizeof(double),
-                                   PartPath(dir_, file_index_)));
+                                   PartPath(dir_, file_index_) + ".tmp"));
+    // Fold the same bytes into the per-chunk CRCs, closing out each
+    // chunk as its last row streams through.
+    const double* q = p;
+    std::size_t left = take;
+    while (left > 0) {
+      const std::size_t sub = std::min(left, kUsersPerChunk - rows_in_chunk_);
+      chunk_crc_ = Crc32cExtend(chunk_crc_, q, sub * num_dims_ * sizeof(double));
+      q += sub * num_dims_;
+      rows_in_chunk_ += sub;
+      left -= sub;
+      if (rows_in_chunk_ == kUsersPerChunk) {
+        chunk_crcs_.push_back(chunk_crc_);
+        chunk_crc_ = 0;
+        rows_in_chunk_ = 0;
+      }
+    }
     p += take * num_dims_;
     rows -= take;
     rows_in_file_ += take;
@@ -290,7 +386,8 @@ Result<std::size_t> WriteShards(const ChunkSource& source,
 ShardFileSource::ShardFileSource(ShardFileSource&& other) noexcept
     : parts_(std::move(other.parts_)),
       num_users_(other.num_users_),
-      num_dims_(other.num_dims_) {
+      num_dims_(other.num_dims_),
+      checksummed_(other.checksummed_) {
   other.parts_.clear();
 }
 
@@ -300,6 +397,7 @@ ShardFileSource& ShardFileSource::operator=(ShardFileSource&& other) noexcept {
     parts_ = std::move(other.parts_);
     num_users_ = other.num_users_;
     num_dims_ = other.num_dims_;
+    checksummed_ = other.checksummed_;
     other.parts_.clear();
   }
   return *this;
@@ -320,19 +418,28 @@ Result<ShardFileSource> ShardFileSource::Open(const std::string& dir) {
     return Status::NotFound("shard directory not found: " + dir);
   }
   std::vector<std::string> names;
+  std::string stray_tmp;
   while (const dirent* entry = ::readdir(d)) {
     const std::string name = entry->d_name;
-    if (name.size() > 4 && name.substr(name.size() - 4) == ".hds") {
+    if (EndsWith(name, ".hds.tmp")) {
+      if (stray_tmp.empty()) stray_tmp = name;
+    } else if (EndsWith(name, ".hds")) {
       names.push_back(name);
     }
   }
   ::closedir(d);
+  if (!stray_tmp.empty()) {
+    return Status::DataLoss(
+        "interrupted shard write (stray temporary file " + stray_tmp +
+        "), directory is incomplete: " + dir);
+  }
   if (names.empty()) {
     return Status::NotFound("no .hds part files in shard directory: " + dir);
   }
   std::sort(names.begin(), names.end());
 
   ShardFileSource source;
+  bool all_checksummed = true;
   for (const std::string& name : names) {
     PartFile part;
     part.path = dir + "/" + name;
@@ -341,38 +448,53 @@ Result<ShardFileSource> ShardFileSource::Open(const std::string& dir) {
       return Status::Internal("cannot open shard part " + part.path + ": " +
                               std::strerror(errno));
     }
-    source.parts_.push_back(part);  // Owned now; CloseAll covers errors below.
+    source.parts_.push_back(std::move(part));  // CloseAll covers errors below.
+    PartFile& owned = source.parts_.back();
     unsigned char block[kHeaderBytes];
-    HDLDP_RETURN_NOT_OK(PReadFully(part.fd, block, kHeaderBytes, 0, part.path));
+    HDLDP_RETURN_NOT_OK(
+        PReadFully(owned.fd, block, kHeaderBytes, 0, owned.path));
     HDLDP_ASSIGN_OR_RETURN(const ShardHeader header,
-                           DecodeHeader(block, part.path));
+                           DecodeHeader(block, owned.path));
     if (source.num_dims_ == 0) {
       source.num_dims_ = header.num_dims;
     } else if (header.num_dims != source.num_dims_) {
       return Status::InvalidArgument(
-          "shard parts disagree on num_dims: " + part.path);
+          "shard parts disagree on num_dims: " + owned.path);
     }
     if (header.first_user != source.num_users_) {
       return Status::InvalidArgument(
           "shard parts are not contiguous (expected first_user " +
           std::to_string(source.num_users_) + ", found " +
-          std::to_string(header.first_user) + "): " + part.path);
+          std::to_string(header.first_user) + "): " + owned.path);
     }
     struct stat st;
-    if (::fstat(part.fd, &st) != 0) {
-      return Status::Internal("cannot stat shard part " + part.path + ": " +
+    if (::fstat(owned.fd, &st) != 0) {
+      return Status::Internal("cannot stat shard part " + owned.path + ": " +
                               std::strerror(errno));
     }
+    const std::size_t file_chunks = ChunksInFile(header.num_users);
+    const std::uint64_t payload_bytes =
+        header.num_users * header.num_dims * sizeof(double);
     const std::uint64_t expected_size =
-        kHeaderBytes + header.num_users * header.num_dims * sizeof(double);
+        kHeaderBytes + payload_bytes +
+        (header.version >= 2 ? file_chunks * sizeof(std::uint32_t) : 0);
     if (static_cast<std::uint64_t>(st.st_size) != expected_size) {
-      return Status::InvalidArgument(
+      return Status::DataLoss(
           "truncated or oversized shard file (expected " +
           std::to_string(expected_size) + " bytes, found " +
-          std::to_string(st.st_size) + "): " + part.path);
+          std::to_string(st.st_size) + "): " + owned.path);
     }
-    source.parts_.back().first_user = header.first_user;
-    source.parts_.back().num_users = header.num_users;
+    if (header.version >= 2) {
+      owned.chunk_crcs.resize(file_chunks);
+      HDLDP_RETURN_NOT_OK(PReadFully(owned.fd, owned.chunk_crcs.data(),
+                                     file_chunks * sizeof(std::uint32_t),
+                                     kHeaderBytes + payload_bytes,
+                                     owned.path));
+    } else {
+      all_checksummed = false;
+    }
+    owned.first_user = header.first_user;
+    owned.num_users = header.num_users;
     source.num_users_ += header.num_users;
   }
   // Chunks must never span files: all parts but the last hold whole chunks.
@@ -383,6 +505,7 @@ Result<ShardFileSource> ShardFileSource::Open(const std::string& dir) {
           source.parts_[i].path);
     }
   }
+  source.checksummed_ = all_checksummed;
   return source;
 }
 
@@ -425,9 +548,22 @@ Result<std::span<const double>> ShardFileSource::Chunk(
                             std::strerror(errno));
   }
   buffer->AdoptWindow(addr, byte_len + delta);
-  return std::span<const double>(
-      reinterpret_cast<const double*>(static_cast<const char*>(addr) + delta),
-      users * num_dims_);
+  const double* rows =
+      reinterpret_cast<const double*>(static_cast<const char*>(addr) + delta);
+  if (!part.chunk_crcs.empty()) {
+    // Parts start on chunk boundaries (whole-chunk rule + contiguity),
+    // so the local row offset maps directly to a trailer slot.
+    const std::size_t local_chunk = local_row / kUsersPerChunk;
+    const std::uint32_t stored = part.chunk_crcs[local_chunk];
+    const std::uint32_t computed = Crc32c(rows, byte_len);
+    if (computed != stored) {
+      return Status::DataLoss(
+          "shard chunk " + std::to_string(chunk) +
+          " failed CRC32C verification (stored " + std::to_string(stored) +
+          ", computed " + std::to_string(computed) + "): " + part.path);
+    }
+  }
+  return std::span<const double>(rows, users * num_dims_);
 }
 
 }  // namespace data

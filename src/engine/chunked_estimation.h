@@ -110,6 +110,16 @@ struct EngineOptions {
   /// ThreadPool (0 = one per hardware thread). Affects wall-clock time
   /// only, never the estimates.
   std::size_t num_threads = 1;
+  /// Retry behaviour for chunks that fail with kUnavailable (transient
+  /// I/O faults). Recovered retries never change estimates — the chunk
+  /// body re-derives its streams from the chunk seed and the scratch is
+  /// reset per attempt.
+  RetryPolicy retry;
+  /// Explicit opt-in: quarantine chunks that still fail after retries
+  /// (kUnavailable / kDataLoss) instead of failing the run. Estimates
+  /// then cover surviving users only; pipelines report the quarantined
+  /// chunk indices in their results.
+  bool allow_missing_chunks = false;
 };
 
 /// \brief One chunk of the schedule: its index, user range and stream
@@ -176,11 +186,29 @@ class ChunkedEstimation {
   /// and may run concurrently across chunks (scratches are per-worker).
   template <typename Acc, typename MakeAcc, typename Body>
   Result<Acc> Reduce(MakeAcc&& make_acc, Body&& body) const {
-    return ReduceChunks<Acc>(
+    return ReduceResumable<Acc>(std::forward<MakeAcc>(make_acc),
+                                std::forward<Body>(body),
+                                CheckpointHooks<Acc>{}, nullptr);
+  }
+
+  /// \brief Reduce with fault-tolerance outputs and checkpoint hooks:
+  /// honours options().retry and options().allow_missing_chunks (the
+  /// quarantined chunk indices land in *quarantined, sorted, when
+  /// non-null), and drives `hooks` for checkpoint/resume (see
+  /// engine/reduce.h). Reduce() is this with no hooks.
+  template <typename Acc, typename MakeAcc, typename Body>
+  Result<Acc> ReduceResumable(MakeAcc&& make_acc, Body&& body,
+                              const CheckpointHooks<Acc>& hooks,
+                              std::vector<std::size_t>* quarantined) const {
+    ReduceControls controls;
+    controls.retry = options_.retry;
+    controls.allow_missing_chunks = options_.allow_missing_chunks;
+    return ReduceChunksResumable<Acc>(
         num_chunks_, options_.num_threads, std::forward<MakeAcc>(make_acc),
         [this, &body](std::size_t c, Acc* scratch) {
           return body(Range(c), scratch);
-        });
+        },
+        controls, hooks, quarantined);
   }
 
   /// \brief Dense per-chunk driver (every dimension reported): streams

@@ -15,7 +15,12 @@
 #define HDLDP_ENGINE_REDUCE_H_
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -25,6 +30,71 @@
 
 namespace hdldp {
 namespace engine {
+
+/// \brief Retry behaviour for transient chunk faults.
+///
+/// A chunk body that fails with StatusCode::kUnavailable — an I/O
+/// hiccup, an injected transient fault — is retried up to max_attempts
+/// total attempts with exponential backoff. Retries are invisible to
+/// estimates: the scratch accumulator is Reset() before every attempt
+/// and the body re-derives all random streams from the chunk seed, so a
+/// run with recovered transient faults is bit-identical to a fault-free
+/// run. Any other error code fails (or quarantines) immediately.
+struct RetryPolicy {
+  /// Total attempts per chunk; 1 means no retry.
+  int max_attempts = 1;
+  /// Backoff before retry k (1-based count of failures so far):
+  /// initial_backoff_ms << (k - 1) milliseconds. 0 retries immediately.
+  std::uint64_t initial_backoff_ms = 0;
+  /// Injectable sleep, so tests assert the backoff sequence without
+  /// wall-clock waits. Defaults (nullptr) to std::this_thread sleep.
+  std::function<void(std::uint64_t backoff_ms)> sleep;
+};
+
+/// \brief Failure-handling knobs of one reduction run.
+struct ReduceControls {
+  RetryPolicy retry;
+  /// When set, a chunk whose final attempt fails with kUnavailable or
+  /// kDataLoss is quarantined — skipped and reported — instead of
+  /// failing the run. Estimates then cover the surviving users only;
+  /// callers opt in explicitly (the CLI flag --allow-missing-chunks)
+  /// because it changes the estimand. Other codes always fail the run.
+  bool allow_missing_chunks = false;
+};
+
+/// \brief Resumable state of one reduction group, as persisted by the
+/// checkpoint codec (protocol/snapshot): the group accumulator after
+/// `chunks_done` chunks plus the chunks quarantined so far.
+template <typename Acc>
+struct GroupCheckpoint {
+  /// Chunks of this group already folded into `acc`, counted from the
+  /// group's first chunk (groups run their chunks strictly in order, so
+  /// one count pins the exact resume point).
+  std::size_t chunks_done = 0;
+  /// Absolute indices of this group's quarantined chunks.
+  std::vector<std::size_t> quarantined;
+  Acc acc;
+};
+
+/// \brief Checkpoint callbacks of a resumable reduction; either may be
+/// empty. `load` runs once per group before its first chunk (an empty
+/// optional starts the group fresh); `save` runs after every completed
+/// or quarantined chunk, possibly concurrently across groups — the
+/// sink must serialize internally. Because groups merge chunks in
+/// chunk order and the global merge happens only at the end in group
+/// order, restoring every group's (acc, chunks_done) and continuing
+/// yields the exact accumulator sequence of an uninterrupted run —
+/// resumed estimates are bit-identical.
+template <typename Acc>
+struct CheckpointHooks {
+  std::function<Result<std::optional<GroupCheckpoint<Acc>>>(
+      std::size_t group)>
+      load;
+  std::function<Status(std::size_t group, std::size_t chunks_done,
+                       const std::vector<std::size_t>& quarantined,
+                       const Acc& acc)>
+      save;
+};
 
 /// Upper bound on simultaneously-live partial accumulators in
 /// ReduceChunks (beyond the per-worker scratch).
@@ -69,50 +139,138 @@ inline ReductionGeometry GroupGeometry(std::size_t num_chunks) {
 /// `max_concurrency` (0 = one per hardware thread). The first failing
 /// chunk's Status is returned (by lowest group; later chunks of a failed
 /// group are skipped).
+///
+/// `controls` adds fault tolerance: kUnavailable chunk failures retry
+/// per `controls.retry`, and under `controls.allow_missing_chunks`
+/// chunks that still fail (kUnavailable / kDataLoss) are quarantined —
+/// skipped, collected into *quarantined_out sorted ascending — instead
+/// of failing the run. `hooks` adds checkpoint/resume at group
+/// granularity (see CheckpointHooks).
 template <typename Acc, typename MakeAcc, typename Body>
-Result<Acc> ReduceChunks(std::size_t num_chunks, std::size_t max_concurrency,
-                         MakeAcc&& make_acc, Body&& body) {
+Result<Acc> ReduceChunksResumable(std::size_t num_chunks,
+                                  std::size_t max_concurrency,
+                                  MakeAcc&& make_acc, Body&& body,
+                                  const ReduceControls& controls,
+                                  const CheckpointHooks<Acc>& hooks,
+                                  std::vector<std::size_t>* quarantined_out) {
   HDLDP_ASSIGN_OR_RETURN(Acc global, make_acc());
+  if (quarantined_out != nullptr) quarantined_out->clear();
   if (num_chunks == 0) return global;
   const ReductionGeometry geometry = GroupGeometry(num_chunks);
   std::vector<Acc> group_locals;
   std::vector<Status> statuses(geometry.num_groups);
+  std::vector<std::vector<std::size_t>> group_quarantined(geometry.num_groups);
   group_locals.reserve(geometry.num_groups);
   for (std::size_t g = 0; g < geometry.num_groups; ++g) {
     HDLDP_ASSIGN_OR_RETURN(Acc local, make_acc());
     group_locals.push_back(std::move(local));
   }
+  const int max_attempts = std::max(1, controls.retry.max_attempts);
   ThreadPool::Shared().ParallelFor(
       0, geometry.num_groups,
       [&](std::size_t g) {
-        // One scratch per group task, reset between chunks: the live
-        // footprint is num_groups + in-flight scratches, not num_chunks.
+        const std::size_t begin = g * geometry.group_size;
+        const std::size_t end =
+            std::min(num_chunks, begin + geometry.group_size);
+        std::size_t done = 0;
+        if (hooks.load) {
+          auto loaded = hooks.load(g);
+          if (!loaded.ok()) {
+            statuses[g] = loaded.status();
+            return;
+          }
+          if (loaded.value().has_value()) {
+            GroupCheckpoint<Acc>& checkpoint = *loaded.value();
+            if (checkpoint.chunks_done > end - begin) {
+              statuses[g] = Status::DataLoss(
+                  "checkpoint claims more chunks than the group holds");
+              return;
+            }
+            group_locals[g] = std::move(checkpoint.acc);
+            group_quarantined[g] = std::move(checkpoint.quarantined);
+            done = checkpoint.chunks_done;
+          }
+        }
+        // One scratch per group task, reset between chunks (and between
+        // retry attempts): the live footprint is num_groups + in-flight
+        // scratches, not num_chunks.
         auto scratch_or = make_acc();
         if (!scratch_or.ok()) {
           statuses[g] = scratch_or.status();
           return;
         }
         Acc scratch = std::move(scratch_or).value();
-        const std::size_t begin = g * geometry.group_size;
-        const std::size_t end =
-            std::min(num_chunks, begin + geometry.group_size);
-        for (std::size_t c = begin; c < end; ++c) {
-          scratch.Reset();
-          const Status status = body(c, &scratch);
-          if (!status.ok()) {
-            statuses[g] = status;
-            return;
+        for (std::size_t c = begin + done; c < end; ++c) {
+          Status status;
+          for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+            scratch.Reset();
+            status = body(c, &scratch);
+            if (status.ok() ||
+                status.code() != StatusCode::kUnavailable ||
+                attempt == max_attempts) {
+              break;
+            }
+            const std::uint64_t backoff_ms =
+                controls.retry.initial_backoff_ms == 0
+                    ? 0
+                    : controls.retry.initial_backoff_ms
+                          << (static_cast<unsigned>(attempt) - 1);
+            if (controls.retry.sleep) {
+              controls.retry.sleep(backoff_ms);
+            } else if (backoff_ms > 0) {
+              std::this_thread::sleep_for(
+                  std::chrono::milliseconds(backoff_ms));
+            }
           }
-          statuses[g] = group_locals[g].Merge(scratch);
-          if (!statuses[g].ok()) return;
+          if (!status.ok()) {
+            const bool quarantinable =
+                status.code() == StatusCode::kUnavailable ||
+                status.code() == StatusCode::kDataLoss;
+            if (!(controls.allow_missing_chunks && quarantinable)) {
+              statuses[g] = status;
+              return;
+            }
+            group_quarantined[g].push_back(c);
+          } else {
+            statuses[g] = group_locals[g].Merge(scratch);
+            if (!statuses[g].ok()) return;
+          }
+          if (hooks.save) {
+            const Status saved =
+                hooks.save(g, c - begin + 1, group_quarantined[g],
+                           group_locals[g]);
+            if (!saved.ok()) {
+              statuses[g] = saved;
+              return;
+            }
+          }
         }
       },
       max_concurrency);
   for (std::size_t g = 0; g < geometry.num_groups; ++g) {
     HDLDP_RETURN_NOT_OK(statuses[g]);
     HDLDP_RETURN_NOT_OK(global.Merge(group_locals[g]));
+    if (quarantined_out != nullptr) {
+      // Groups cover disjoint ascending chunk ranges, so appending in
+      // group order keeps the list sorted.
+      quarantined_out->insert(quarantined_out->end(),
+                              group_quarantined[g].begin(),
+                              group_quarantined[g].end());
+    }
   }
   return global;
+}
+
+/// \brief The plain reduction: no retries, no quarantine, no
+/// checkpointing. Kept as the default entry point so workloads that
+/// need none of the fault-tolerance machinery pay none of it.
+template <typename Acc, typename MakeAcc, typename Body>
+Result<Acc> ReduceChunks(std::size_t num_chunks, std::size_t max_concurrency,
+                         MakeAcc&& make_acc, Body&& body) {
+  return ReduceChunksResumable<Acc>(
+      num_chunks, max_concurrency, std::forward<MakeAcc>(make_acc),
+      std::forward<Body>(body), ReduceControls{}, CheckpointHooks<Acc>{},
+      nullptr);
 }
 
 }  // namespace engine

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 #include <string>
+#include <utility>
 
 #include "common/math.h"
 #include "common/rng.h"
@@ -12,6 +14,7 @@
 #include "protocol/aggregator.h"
 #include "protocol/budget.h"
 #include "protocol/metrics.h"
+#include "protocol/snapshot.h"
 
 namespace hdldp {
 namespace freq {
@@ -84,16 +87,28 @@ Status ValidateCategoricalChunk(std::span<const double> rows,
 
 // Ground-truth frequencies in one streaming pass: per-category counts
 // are order-independent integer adds, so any source kind yields the
-// bits CategoricalDataset::TrueFrequencies computes resident.
+// bits CategoricalDataset::TrueFrequencies computes resident. Chunks
+// quarantined by the ingestion phase (sorted ascending) are skipped and
+// the mass renormalized over surviving users, so the ground truth covers
+// exactly the population the estimates cover.
 Result<std::vector<std::vector<double>>> SourceTrueFrequencies(
-    const data::ChunkSource& source, const CategoricalSchema& schema) {
+    const data::ChunkSource& source, const CategoricalSchema& schema,
+    const std::vector<std::size_t>& quarantined) {
   const std::size_t d = schema.num_dims();
   std::vector<std::vector<double>> freqs(d);
   for (std::size_t j = 0; j < d; ++j) {
     freqs[j].assign(schema.Cardinality(j), 0.0);
   }
   data::ChunkBuffer buffer;
+  std::size_t surviving = source.num_users();
+  std::size_t next_quarantined = 0;
   for (std::size_t c = 0; c < source.num_chunks(); ++c) {
+    if (next_quarantined < quarantined.size() &&
+        quarantined[next_quarantined] == c) {
+      ++next_quarantined;
+      surviving -= source.ChunkUsers(c);
+      continue;
+    }
     HDLDP_ASSIGN_OR_RETURN(const std::span<const double> rows,
                            source.Chunk(c, &buffer));
     const std::size_t users = source.ChunkUsers(c);
@@ -103,7 +118,11 @@ Result<std::vector<std::vector<double>>> SourceTrueFrequencies(
       }
     }
   }
-  const auto n = static_cast<double>(source.num_users());
+  if (surviving == 0) {
+    return Status::FailedPrecondition(
+        "every chunk was quarantined; no surviving users to estimate");
+  }
+  const auto n = static_cast<double>(surviving);
   for (auto& f : freqs) {
     for (double& v : f) v /= n;
   }
@@ -181,11 +200,23 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
   const std::size_t total_entries = schema.total_entries();
   std::vector<double> raw_flat(total_entries, 0.0);
   std::vector<std::int64_t> dim_reports(d, 0);
+  std::vector<std::size_t> quarantined_chunks;
+  bool resumed = false;
+
+  if (options.seed_scheme == SeedScheme::kV1Scalar &&
+      !options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "frequency checkpointing requires an engine seed scheme (kV2Lanes "
+        "or kV3Batched); the kV1Scalar serial loop predates the reduction "
+        "tree");
+  }
 
   engine::EngineOptions engine_options;
   engine_options.seed = options.seed;
   engine_options.seed_scheme = options.seed_scheme;
   engine_options.num_threads = options.num_threads;
+  engine_options.retry = options.retry;
+  engine_options.allow_missing_chunks = options.allow_missing_chunks;
   const engine::ChunkedEstimation core(source, engine_options);
 
   if (options.seed_scheme == SeedScheme::kV1Scalar) {
@@ -210,9 +241,61 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
     const mech::SamplerPlan plan = mechanism->MakePlan(per_entry_eps);
     const double native_zero = map.Forward(0.0);
     const double native_one = map.Forward(1.0);
+    // Checkpointing: bind a SnapshotFile keyed by the run configuration
+    // (everything the estimates depend on — thread count deliberately
+    // excluded) and translate between the codec's opaque group records
+    // and the aggregator's exact state.
+    std::optional<protocol::SnapshotFile> snapshot;
+    engine::CheckpointHooks<protocol::MeanAggregator> hooks;
+    if (!options.checkpoint_path.empty()) {
+      protocol::RunDigest digest;
+      digest.AddString("freq");
+      digest.AddString(mechanism->Name());
+      digest.AddF64(options.total_epsilon);
+      digest.AddU64(m);
+      digest.AddU64(options.seed);
+      digest.AddU64(static_cast<std::uint64_t>(options.seed_scheme));
+      digest.AddU64(source.num_users());
+      digest.AddU64(d);
+      digest.AddU64(total_entries);
+      for (std::size_t j = 0; j < d; ++j) {
+        digest.AddU64(schema.Cardinality(j));
+      }
+      digest.AddU64(options.allow_missing_chunks ? 1 : 0);
+      HDLDP_ASSIGN_OR_RETURN(
+          protocol::SnapshotFile file,
+          protocol::SnapshotFile::Open(options.checkpoint_path, digest.bytes));
+      snapshot.emplace(std::move(file));
+      hooks.load = [&snapshot, total_entries, map](std::size_t group)
+          -> Result<std::optional<
+              engine::GroupCheckpoint<protocol::MeanAggregator>>> {
+        const std::optional<protocol::SnapshotFile::GroupState> state =
+            snapshot->Load(group);
+        if (!state.has_value()) {
+          return std::optional<
+              engine::GroupCheckpoint<protocol::MeanAggregator>>();
+        }
+        HDLDP_ASSIGN_OR_RETURN(
+            protocol::MeanAggregator acc,
+            protocol::MeanAggregator::Create(total_entries, map));
+        HDLDP_RETURN_NOT_OK(acc.RestoreState(state->acc_state));
+        return std::optional<
+            engine::GroupCheckpoint<protocol::MeanAggregator>>(
+            engine::GroupCheckpoint<protocol::MeanAggregator>{
+                state->chunks_done, state->quarantined, std::move(acc)});
+      };
+      hooks.save = [&snapshot](std::size_t group, std::size_t chunks_done,
+                               const std::vector<std::size_t>& quarantined,
+                               const protocol::MeanAggregator& acc) -> Status {
+        std::vector<unsigned char> bytes;
+        acc.SerializeState(&bytes);
+        return snapshot->Save(group, chunks_done, quarantined, bytes);
+      };
+    }
+    resumed = snapshot.has_value() && snapshot->resumed();
     HDLDP_ASSIGN_OR_RETURN(
         const protocol::MeanAggregator aggregator,
-        core.Reduce<protocol::MeanAggregator>(
+        core.ReduceResumable<protocol::MeanAggregator>(
             [&] {
               return protocol::MeanAggregator::Create(total_entries, map);
             },
@@ -282,7 +365,14 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
                       base += cardinality;
                     }
                   });
-            }));
+            },
+            hooks, &quarantined_chunks));
+    // The run completed; its checkpoint is spent.
+    if (snapshot.has_value()) {
+      HDLDP_RETURN_NOT_OK(snapshot->Close());
+      HDLDP_RETURN_NOT_OK(
+          protocol::SnapshotFile::Remove(options.checkpoint_path));
+    }
     // Every entry of dimension j is perturbed on each of its reports, so
     // the first entry's count is the dimension's report count r_j, and
     // EstimatedMean is exactly the per-entry Backward(sum / r).
@@ -332,8 +422,15 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
 
   FrequencyEstimationResult result;
   result.per_entry_epsilon = per_entry_eps;
-  HDLDP_ASSIGN_OR_RETURN(result.true_frequencies,
-                         SourceTrueFrequencies(source, schema));
+  HDLDP_ASSIGN_OR_RETURN(
+      result.true_frequencies,
+      SourceTrueFrequencies(source, schema, quarantined_chunks));
+  result.quarantined_chunks = std::move(quarantined_chunks);
+  result.surviving_users = source.num_users();
+  for (const std::size_t c : result.quarantined_chunks) {
+    result.surviving_users -= source.ChunkUsers(c);
+  }
+  result.resumed_from_checkpoint = resumed;
   result.raw = Unflatten(raw_flat, schema);
   result.recalibrated = Unflatten(recal.enhanced_mean, schema);
   if (options.clip_and_normalize) {

@@ -18,11 +18,13 @@
 #define HDLDP_FREQ_PIPELINE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "data/chunk_source.h"
+#include "engine/reduce.h"
 #include "freq/encoding.h"
 #include "hdr4me/recalibrate.h"
 #include "mech/mechanism.h"
@@ -60,6 +62,26 @@ struct FrequencyOptions {
   /// Post-process estimates: clip to [0, 1] and renormalize each
   /// dimension to sum to 1.
   bool clip_and_normalize = true;
+  /// Retry policy for transient (kUnavailable) chunk faults during
+  /// ingestion. Recovered retries never change the estimates. Engine
+  /// schemes (kV2Lanes / kV3Batched) only; the kV1Scalar serial loop
+  /// fails on the first fault regardless.
+  engine::RetryPolicy retry;
+  /// Explicit opt-in: quarantine chunks that still fail after retries
+  /// instead of failing the run. Per-dimension averages divide by the
+  /// received report counts, so surviving-user estimates need no
+  /// post-hoc correction; the ground-truth frequencies are computed over
+  /// the same surviving users so MSEs stay comparable. Engine schemes
+  /// only.
+  bool allow_missing_chunks = false;
+  /// Checkpoint file path; empty disables checkpointing. With a path,
+  /// per-group aggregator state persists as ingestion progresses
+  /// (protocol/snapshot.h); re-running after a crash resumes from the
+  /// file and produces bit-identical estimates, and a completed run
+  /// removes its spent checkpoint. Engine schemes only: the kV1Scalar
+  /// loop predates the reduction tree and rejects a checkpoint path
+  /// with InvalidArgument.
+  std::string checkpoint_path;
 };
 
 /// Outcome of a frequency-estimation run.
@@ -75,6 +97,14 @@ struct FrequencyEstimationResult {
   /// MSE of raw/recalibrated estimates over all entries.
   double mse_raw = 0.0;
   double mse_recalibrated = 0.0;
+  /// Chunks skipped under allow_missing_chunks, sorted ascending
+  /// (empty on a fault-free run).
+  std::vector<std::size_t> quarantined_chunks;
+  /// Users whose reports the estimates cover: num_users minus the users
+  /// of quarantined chunks.
+  std::size_t surviving_users = 0;
+  /// True iff the run continued from a prior checkpoint.
+  bool resumed_from_checkpoint = false;
 };
 
 /// \brief Runs the full frequency-estimation protocol over any chunked

@@ -79,23 +79,42 @@ Result<VarianceEstimationResult> RunVarianceEstimation(
   const data::TransformedChunkSource squares_embedded(
       &squares_half, [](double v) { return 2.0 * v - 1.0; });
 
-  // Mean estimation on both halves.
+  // Mean estimation on both halves. The halves checkpoint independently
+  // (suffixes keep the two snapshot files distinct; their digests also
+  // differ through the seed XOR), so a crash in either half resumes that
+  // half exactly where it stopped. A completed half's checkpoint is
+  // spent and removed, so re-running it recomputes deterministically —
+  // bit-identical either way.
   protocol::PipelineOptions mean_opts;
   mean_opts.total_epsilon = options.total_epsilon;
   mean_opts.report_dims = options.report_dims;
   mean_opts.seed = options.seed;
   mean_opts.seed_scheme = options.seed_scheme;
+  mean_opts.retry = options.retry;
+  mean_opts.allow_missing_chunks = options.allow_missing_chunks;
+  if (!options.checkpoint_path.empty()) {
+    mean_opts.checkpoint_path = options.checkpoint_path + ".values";
+  }
   HDLDP_ASSIGN_OR_RETURN(
       const auto mean_run,
       protocol::RunMeanEstimation(values_half, mechanism, mean_opts));
 
   protocol::PipelineOptions square_opts = mean_opts;
   square_opts.seed = options.seed ^ 0x5ECC0ull;
+  if (!options.checkpoint_path.empty()) {
+    square_opts.checkpoint_path = options.checkpoint_path + ".squares";
+  }
   HDLDP_ASSIGN_OR_RETURN(
       const auto square_run,
       protocol::RunMeanEstimation(squares_embedded, mechanism, square_opts));
 
   VarianceEstimationResult result;
+  result.quarantined_values_chunks = mean_run.quarantined_chunks;
+  result.quarantined_squares_chunks = square_run.quarantined_chunks;
+  result.surviving_users =
+      mean_run.surviving_users + square_run.surviving_users;
+  result.resumed_from_checkpoint =
+      mean_run.resumed_from_checkpoint || square_run.resumed_from_checkpoint;
   result.estimated_mean = mean_run.estimated_mean;
   result.estimated_second_moment.resize(d);
   for (std::size_t j = 0; j < d; ++j) {

@@ -19,12 +19,14 @@
 #define HDLDP_HDR4ME_VARIANCE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "data/chunk_source.h"
 #include "data/dataset.h"
+#include "engine/reduce.h"
 #include "hdr4me/recalibrate.h"
 #include "mech/mechanism.h"
 
@@ -49,6 +51,20 @@ struct VarianceOptions {
   bool recalibrate = false;
   /// HDR4ME configuration (read when `recalibrate` is set).
   Hdr4meOptions hdr4me;
+  /// Retry policy for transient (kUnavailable) chunk faults, forwarded
+  /// to both internal mean-estimation runs.
+  engine::RetryPolicy retry;
+  /// Explicit opt-in: quarantine chunks that still fail after retries
+  /// instead of failing the run, forwarded to both halves. The result
+  /// reports each half's quarantined chunk indices (relative to that
+  /// half's sliced source).
+  bool allow_missing_chunks = false;
+  /// Checkpoint file path; empty disables checkpointing. The two halves
+  /// checkpoint independently at `path + ".values"` and
+  /// `path + ".squares"` (protocol/snapshot.h); re-running after a
+  /// crash resumes whichever half was interrupted and produces
+  /// bit-identical final estimates.
+  std::string checkpoint_path;
 };
 
 /// Outcome of a variance-estimation run.
@@ -63,6 +79,14 @@ struct VarianceEstimationResult {
   std::vector<double> estimated_second_moment;
   /// MSE of the variance estimate against the true variance.
   double mse = 0.0;
+  /// Chunks each half skipped under allow_missing_chunks, indices
+  /// relative to that half's sliced source (empty on fault-free runs).
+  std::vector<std::size_t> quarantined_values_chunks;
+  std::vector<std::size_t> quarantined_squares_chunks;
+  /// Users whose reports the estimates cover, summed over both halves.
+  std::size_t surviving_users = 0;
+  /// True iff either half continued from a prior checkpoint.
+  bool resumed_from_checkpoint = false;
 };
 
 /// \brief Runs the split-population variance-estimation protocol over

@@ -1,6 +1,7 @@
 #include "protocol/aggregator.h"
 
 #include <algorithm>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -186,6 +187,47 @@ Status MeanAggregator::Merge(const MeanAggregator& other) {
 void MeanAggregator::Reset() {
   std::fill(sums_.begin(), sums_.end(), NeumaierSum());
   std::fill(counts_.begin(), counts_.end(), std::int64_t{0});
+}
+
+void MeanAggregator::SerializeState(std::vector<unsigned char>* out) const {
+  const std::size_t d = num_dims();
+  out->reserve(out->size() + d * 24);
+  const auto append = [out](const void* data, std::size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    out->insert(out->end(), p, p + len);
+  };
+  for (std::size_t j = 0; j < d; ++j) {
+    // The raw (sum, compensation) pair, not Total(): collapsing the
+    // compensation term would shift a resumed run's estimate by an ulp.
+    const double sum = sums_[j].RawSum();
+    const double compensation = sums_[j].Compensation();
+    append(&sum, sizeof(sum));
+    append(&compensation, sizeof(compensation));
+    append(&counts_[j], sizeof(counts_[j]));
+  }
+}
+
+Status MeanAggregator::RestoreState(std::span<const unsigned char> bytes) {
+  const std::size_t d = num_dims();
+  if (bytes.size() != d * 24) {
+    return Status::DataLoss(
+        "aggregator state size mismatch (expected " + std::to_string(d * 24) +
+        " bytes for " + std::to_string(d) + " dimensions, got " +
+        std::to_string(bytes.size()) + ")");
+  }
+  const unsigned char* p = bytes.data();
+  for (std::size_t j = 0; j < d; ++j) {
+    double sum = 0.0;
+    double compensation = 0.0;
+    std::int64_t count = 0;
+    std::memcpy(&sum, p, 8);
+    std::memcpy(&compensation, p + 8, 8);
+    std::memcpy(&count, p + 16, 8);
+    p += 24;
+    sums_[j].RestoreRaw(sum, compensation);
+    counts_[j] = count;
+  }
+  return Status::OK();
 }
 
 Result<MeanAggregator> MeanAggregator::ReduceChunks(

@@ -86,6 +86,19 @@ class MeanAggregator {
   /// are kept), so one scratch aggregator can serve many chunks.
   void Reset();
 
+  /// \brief Appends the exact aggregation state — per dimension the raw
+  /// Neumaier (sum, compensation) pair and the report count, little-
+  /// endian — to *out. Configuration (domain map, bias correction) is
+  /// NOT serialized; it is re-derived from the run options on resume.
+  /// Round-tripping through RestoreState reproduces the accumulator bit
+  /// for bit, which is what makes checkpointed runs resume to
+  /// bit-identical estimates (protocol/snapshot.h).
+  void SerializeState(std::vector<unsigned char>* out) const;
+
+  /// \brief Restores state written by SerializeState into this
+  /// aggregator. The byte count must match this dimensionality.
+  Status RestoreState(std::span<const unsigned char> bytes);
+
   /// Upper bound on simultaneously-live partial aggregators in
   /// ReduceChunks (beyond the per-worker scratch): caps the reduction
   /// footprint at kMaxReductionGroups * d accumulators no matter how many

@@ -1,12 +1,15 @@
 #include "protocol/pipeline.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "common/math.h"
 #include "engine/chunked_estimation.h"
 #include "protocol/aggregator.h"
 #include "protocol/metrics.h"
+#include "protocol/snapshot.h"
 
 namespace hdldp {
 namespace protocol {
@@ -80,16 +83,64 @@ Result<MeanEstimationResult> RunMeanEstimation(const data::ChunkSource& source,
   engine_options.seed = options.seed;
   engine_options.seed_scheme = options.seed_scheme;
   engine_options.num_threads = options.num_threads;
+  engine_options.retry = options.retry;
+  engine_options.allow_missing_chunks = options.allow_missing_chunks;
   const engine::ChunkedEstimation core(source, engine_options);
+
+  // Checkpointing: bind a SnapshotFile keyed by the run configuration
+  // (everything the estimate depends on — thread count deliberately
+  // excluded) and translate between the codec's opaque group records
+  // and the aggregator's exact state.
+  std::optional<SnapshotFile> snapshot;
+  engine::CheckpointHooks<MeanAggregator> hooks;
+  if (!options.checkpoint_path.empty()) {
+    RunDigest digest;
+    digest.AddString("mean");
+    digest.AddString(client.mechanism().Name());
+    digest.AddF64(options.total_epsilon);
+    digest.AddU64(m);
+    digest.AddU64(options.seed);
+    digest.AddU64(static_cast<std::uint64_t>(options.seed_scheme));
+    digest.AddU64(source.num_users());
+    digest.AddU64(d);
+    digest.AddU64(options.allow_missing_chunks ? 1 : 0);
+    HDLDP_ASSIGN_OR_RETURN(
+        SnapshotFile file,
+        SnapshotFile::Open(options.checkpoint_path, digest.bytes));
+    snapshot.emplace(std::move(file));
+    hooks.load = [&snapshot, d, map](std::size_t group)
+        -> Result<std::optional<engine::GroupCheckpoint<MeanAggregator>>> {
+      const std::optional<SnapshotFile::GroupState> state =
+          snapshot->Load(group);
+      if (!state.has_value()) {
+        return std::optional<engine::GroupCheckpoint<MeanAggregator>>();
+      }
+      HDLDP_ASSIGN_OR_RETURN(MeanAggregator acc,
+                             MeanAggregator::Create(d, map));
+      HDLDP_RETURN_NOT_OK(acc.RestoreState(state->acc_state));
+      return std::optional<engine::GroupCheckpoint<MeanAggregator>>(
+          engine::GroupCheckpoint<MeanAggregator>{
+              state->chunks_done, state->quarantined, std::move(acc)});
+    };
+    hooks.save = [&snapshot](std::size_t group, std::size_t chunks_done,
+                             const std::vector<std::size_t>& quarantined,
+                             const MeanAggregator& acc) -> Status {
+      std::vector<unsigned char> bytes;
+      acc.SerializeState(&bytes);
+      return snapshot->Save(group, chunks_done, quarantined, bytes);
+    };
+  }
+  const bool resumed = snapshot.has_value() && snapshot->resumed();
 
   // The whole orchestration — chunk geometry, (seed, chunk, lane) stream
   // seeding, plan dispatch, deterministic two-level reduction — lives in
   // the engine; the lambdas below only say what a user row looks like in
   // the mechanism's native domain. Each chunk body pulls its rows once
   // up front (worker-local buffer, one chunk resident per worker).
+  std::vector<std::size_t> quarantined_chunks;
   HDLDP_ASSIGN_OR_RETURN(
       const MeanAggregator aggregator,
-      core.Reduce<MeanAggregator>(
+      core.ReduceResumable<MeanAggregator>(
           [&] { return MeanAggregator::Create(d, map); },
           [&](const engine::ChunkRange& range,
               MeanAggregator* scratch) -> Status {
@@ -131,7 +182,14 @@ Result<MeanEstimationResult> RunMeanEstimation(const data::ChunkSource& source,
                     out[k] = map.Forward(row[dims[k]]);
                   }
                 });
-          }));
+          },
+          hooks, &quarantined_chunks));
+
+  // The run completed; its checkpoint is spent.
+  if (snapshot.has_value()) {
+    HDLDP_RETURN_NOT_OK(snapshot->Close());
+    HDLDP_RETURN_NOT_OK(SnapshotFile::Remove(options.checkpoint_path));
+  }
 
   MeanEstimationResult result;
   result.estimated_mean = aggregator.EstimatedMean();
@@ -143,6 +201,12 @@ Result<MeanEstimationResult> RunMeanEstimation(const data::ChunkSource& source,
   result.per_dim_epsilon = client.PerDimensionEpsilon();
   HDLDP_ASSIGN_OR_RETURN(
       result.mse, MeanSquaredError(result.estimated_mean, result.true_mean));
+  result.quarantined_chunks = std::move(quarantined_chunks);
+  result.surviving_users = source.num_users();
+  for (const std::size_t c : result.quarantined_chunks) {
+    result.surviving_users -= source.ChunkUsers(c);
+  }
+  result.resumed_from_checkpoint = resumed;
   return result;
 }
 

@@ -20,12 +20,14 @@
 #define HDLDP_PROTOCOL_PIPELINE_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/rng.h"
 #include "data/chunk_source.h"
 #include "data/dataset.h"
+#include "engine/reduce.h"
 #include "mech/mechanism.h"
 #include "protocol/client.h"
 
@@ -60,6 +62,21 @@ struct PipelineOptions {
   /// ThreadPool). 1 = serial, 0 = one per hardware thread. Affects
   /// wall-clock time only, never the estimate.
   std::size_t num_threads = 1;
+  /// Retry policy for transient (kUnavailable) chunk faults. Recovered
+  /// retries never change the estimate.
+  engine::RetryPolicy retry;
+  /// Explicit opt-in: quarantine chunks that still fail after retries
+  /// instead of failing the run; the estimate then covers surviving
+  /// users only (per-dimension averages already divide by received
+  /// report counts, so no post-hoc correction is applied) and the
+  /// result reports the quarantined chunk indices.
+  bool allow_missing_chunks = false;
+  /// Checkpoint file path; empty disables checkpointing. With a path,
+  /// per-group accumulator state persists as the run progresses
+  /// (protocol/snapshot.h); re-running after a crash resumes from the
+  /// file and produces bit-identical final estimates, and a completed
+  /// run removes its spent checkpoint.
+  std::string checkpoint_path;
 };
 
 /// Outcome of a mean-estimation run.
@@ -74,6 +91,14 @@ struct MeanEstimationResult {
   double per_dim_epsilon = 0.0;
   /// MSE(theta-hat, theta-bar), paper Eq. 3.
   double mse = 0.0;
+  /// Chunks skipped under allow_missing_chunks, sorted ascending
+  /// (empty on a fault-free run).
+  std::vector<std::size_t> quarantined_chunks;
+  /// Users whose reports the estimate covers: num_users minus the users
+  /// of quarantined chunks.
+  std::size_t surviving_users = 0;
+  /// True iff the run continued from a prior checkpoint.
+  bool resumed_from_checkpoint = false;
 };
 
 /// \brief Runs the full protocol over any chunked data source —

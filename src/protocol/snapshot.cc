@@ -1,0 +1,340 @@
+#include "protocol/snapshot.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/crc32c.h"
+
+namespace hdldp {
+namespace protocol {
+namespace {
+
+constexpr char kMagic[8] = {'H', 'D', 'L', 'S', 'N', 'A', 'P', '1'};
+constexpr std::size_t kMagicBytes = 8;
+
+void AppendRaw(std::vector<unsigned char>* out, const void* data,
+               std::size_t len) {
+  if (len == 0) return;
+  const std::size_t base = out->size();
+  out->resize(base + len);
+  std::memcpy(out->data() + base, data, len);
+}
+
+void AppendU32(std::vector<unsigned char>* out, std::uint32_t v) {
+  AppendRaw(out, &v, sizeof(v));
+}
+
+void AppendU64(std::vector<unsigned char>* out, std::uint64_t v) {
+  AppendRaw(out, &v, sizeof(v));
+}
+
+// Reads a little-endian integer at `offset`, or fails if it would run
+// past the end. Advances *offset.
+template <typename T>
+bool ReadScalar(std::span<const unsigned char> bytes, std::size_t* offset,
+                T* out) {
+  if (*offset + sizeof(T) > bytes.size()) return false;
+  std::memcpy(out, bytes.data() + *offset, sizeof(T));
+  *offset += sizeof(T);
+  return true;
+}
+
+Status WriteFully(int fd, const void* data, std::size_t len,
+                  const std::string& path) {
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = ::write(fd, p, len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal("write failed for " + path + ": " +
+                              std::strerror(errno));
+    }
+    p += n;
+    len -= static_cast<std::size_t>(n);
+  }
+  return Status::OK();
+}
+
+// The file header: magic, version, digest, all guarded by one CRC.
+std::vector<unsigned char> EncodeHeader(
+    std::span<const unsigned char> digest) {
+  std::vector<unsigned char> out;
+  out.reserve(kMagicBytes + 8 + digest.size() + 4);
+  AppendRaw(&out, kMagic, kMagicBytes);
+  AppendU32(&out, kSnapshotFormatVersion);
+  AppendU32(&out, static_cast<std::uint32_t>(digest.size()));
+  AppendRaw(&out, digest.data(), digest.size());
+  AppendU32(&out, Crc32c(out.data(), out.size()));
+  return out;
+}
+
+std::vector<unsigned char> EncodeRecord(
+    std::size_t group, std::size_t chunks_done,
+    const std::vector<std::size_t>& quarantined,
+    std::span<const unsigned char> acc_state) {
+  std::vector<unsigned char> payload;
+  payload.reserve(32 + quarantined.size() * 8 + acc_state.size());
+  AppendU64(&payload, group);
+  AppendU64(&payload, chunks_done);
+  AppendU64(&payload, quarantined.size());
+  for (const std::size_t chunk : quarantined) AppendU64(&payload, chunk);
+  AppendU64(&payload, acc_state.size());
+  AppendRaw(&payload, acc_state.data(), acc_state.size());
+
+  std::vector<unsigned char> record;
+  record.reserve(8 + payload.size());
+  AppendU32(&record, static_cast<std::uint32_t>(payload.size()));
+  AppendU32(&record, Crc32c(payload.data(), payload.size()));
+  AppendRaw(&record, payload.data(), payload.size());
+  return record;
+}
+
+// Parses one framed record starting at *offset. Returns false (without
+// touching *groups) on a torn or corrupt frame — the caller stops
+// parsing there, keeping everything before it.
+bool ParseRecord(std::span<const unsigned char> bytes, std::size_t* offset,
+                 std::unordered_map<std::size_t, SnapshotFile::GroupState>*
+                     groups) {
+  std::size_t at = *offset;
+  std::uint32_t payload_len = 0;
+  std::uint32_t payload_crc = 0;
+  if (!ReadScalar(bytes, &at, &payload_len)) return false;
+  if (!ReadScalar(bytes, &at, &payload_crc)) return false;
+  if (at + payload_len > bytes.size()) return false;
+  const std::span<const unsigned char> payload =
+      bytes.subspan(at, payload_len);
+  if (Crc32c(payload.data(), payload.size()) != payload_crc) return false;
+
+  std::size_t p = 0;
+  std::uint64_t group = 0;
+  std::uint64_t chunks_done = 0;
+  std::uint64_t num_quarantined = 0;
+  if (!ReadScalar(payload, &p, &group)) return false;
+  if (!ReadScalar(payload, &p, &chunks_done)) return false;
+  if (!ReadScalar(payload, &p, &num_quarantined)) return false;
+  if (p + num_quarantined * 8 > payload.size()) return false;
+  SnapshotFile::GroupState state;
+  state.chunks_done = static_cast<std::size_t>(chunks_done);
+  state.quarantined.reserve(static_cast<std::size_t>(num_quarantined));
+  for (std::uint64_t i = 0; i < num_quarantined; ++i) {
+    std::uint64_t chunk = 0;
+    if (!ReadScalar(payload, &p, &chunk)) return false;
+    state.quarantined.push_back(static_cast<std::size_t>(chunk));
+  }
+  std::uint64_t state_len = 0;
+  if (!ReadScalar(payload, &p, &state_len)) return false;
+  if (p + state_len != payload.size()) return false;
+  state.acc_state.assign(payload.begin() + static_cast<std::ptrdiff_t>(p),
+                         payload.end());
+
+  (*groups)[static_cast<std::size_t>(group)] = std::move(state);
+  *offset = at + payload_len;
+  return true;
+}
+
+}  // namespace
+
+void RunDigest::AddU64(std::uint64_t v) { AppendU64(&bytes, v); }
+
+void RunDigest::AddF64(double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(&bytes, bits);
+}
+
+void RunDigest::AddString(std::string_view s) {
+  AppendU64(&bytes, s.size());
+  AppendRaw(&bytes, s.data(), s.size());
+}
+
+SnapshotFile::SnapshotFile(SnapshotFile&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      groups_(std::move(other.groups_)),
+      mu_(std::move(other.mu_)) {
+  other.fd_ = -1;
+}
+
+SnapshotFile& SnapshotFile::operator=(SnapshotFile&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    groups_ = std::move(other.groups_);
+    mu_ = std::move(other.mu_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+SnapshotFile::~SnapshotFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<SnapshotFile> SnapshotFile::Open(
+    const std::string& path, std::span<const unsigned char> digest) {
+  SnapshotFile file;
+  file.path_ = path;
+  file.mu_ = std::make_unique<std::mutex>();
+
+  std::vector<unsigned char> contents;
+  {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      if (errno != ENOENT) {
+        return Status::Internal("cannot open checkpoint " + path + ": " +
+                                std::strerror(errno));
+      }
+    } else {
+      struct stat st;
+      if (::fstat(fd, &st) != 0) {
+        const Status status =
+            Status::Internal("cannot stat checkpoint " + path + ": " +
+                             std::strerror(errno));
+        ::close(fd);
+        return status;
+      }
+      contents.resize(static_cast<std::size_t>(st.st_size));
+      std::size_t off = 0;
+      while (off < contents.size()) {
+        const ssize_t n = ::read(fd, contents.data() + off,
+                                 contents.size() - off);
+        if (n < 0 && errno == EINTR) continue;
+        if (n <= 0) {
+          ::close(fd);
+          return Status::Internal("cannot read checkpoint " + path);
+        }
+        off += static_cast<std::size_t>(n);
+      }
+      ::close(fd);
+    }
+  }
+
+  const std::vector<unsigned char> header = EncodeHeader(digest);
+  if (!contents.empty()) {
+    // Validate the header against the expected one. The header is a
+    // pure function of (format version, digest), so the comparison
+    // covers magic, version, and run identity in one step; distinguish
+    // the failure modes for the caller.
+    if (contents.size() < kMagicBytes ||
+        std::memcmp(contents.data(), kMagic, kMagicBytes) != 0) {
+      return Status::DataLoss("not a checkpoint file (bad magic): " + path);
+    }
+    if (contents.size() < header.size() ||
+        std::memcmp(contents.data(), header.data(), header.size()) != 0) {
+      // Same magic but different version/digest bytes — either a future
+      // format or another run's checkpoint. Check the stored CRC to
+      // tell corruption apart from mismatch.
+      std::size_t at = kMagicBytes;
+      std::uint32_t version = 0;
+      std::uint32_t digest_len = 0;
+      const std::span<const unsigned char> all(contents);
+      if (!ReadScalar(all, &at, &version) ||
+          !ReadScalar(all, &at, &digest_len) ||
+          at + digest_len + 4 > contents.size()) {
+        return Status::DataLoss("corrupt checkpoint header: " + path);
+      }
+      std::uint32_t stored_crc = 0;
+      std::size_t crc_at = at + digest_len;
+      if (!ReadScalar(all, &crc_at, &stored_crc) ||
+          Crc32c(contents.data(), at + digest_len) != stored_crc) {
+        return Status::DataLoss("corrupt checkpoint header: " + path);
+      }
+      if (version != kSnapshotFormatVersion) {
+        return Status::InvalidArgument(
+            "unsupported checkpoint format version " +
+            std::to_string(version) + ": " + path);
+      }
+      return Status::InvalidArgument(
+          "checkpoint belongs to a different run configuration "
+          "(manifest digest mismatch): " +
+          path);
+    }
+    // Header matches; load records tolerantly. A torn tail (crash
+    // mid-append) fails its CRC frame and parsing stops there.
+    std::size_t offset = header.size();
+    while (offset < contents.size()) {
+      if (!ParseRecord(contents, &offset, &file.groups_)) break;
+    }
+  }
+
+  // Rewrite compacted (header + latest record per group) via .tmp +
+  // rename. This drops any torn tail, so post-resume appends can never
+  // hide behind one, and bounds file growth across many resumes.
+  const std::string tmp = path + ".tmp";
+  const int wfd =
+      ::open(tmp.c_str(), O_CREAT | O_WRONLY | O_TRUNC | O_CLOEXEC, 0644);
+  if (wfd < 0) {
+    return Status::Internal("cannot create checkpoint " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  file.fd_ = wfd;
+  HDLDP_RETURN_NOT_OK(WriteFully(wfd, header.data(), header.size(), tmp));
+  for (const auto& [group, state] : file.groups_) {
+    const std::vector<unsigned char> record =
+        EncodeRecord(group, state.chunks_done, state.quarantined,
+                     state.acc_state);
+    HDLDP_RETURN_NOT_OK(WriteFully(wfd, record.data(), record.size(), tmp));
+  }
+  if (::fsync(wfd) != 0) {
+    return Status::Internal("fsync failed for " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Internal("cannot rename " + tmp + " to " + path + ": " +
+                            std::strerror(errno));
+  }
+  // The descriptor survives the rename and stays positioned at the end,
+  // ready for appends.
+  return file;
+}
+
+std::optional<SnapshotFile::GroupState> SnapshotFile::Load(
+    std::size_t group) const {
+  const auto it = groups_.find(group);
+  if (it == groups_.end()) return std::nullopt;
+  return it->second;
+}
+
+Status SnapshotFile::Save(std::size_t group, std::size_t chunks_done,
+                          const std::vector<std::size_t>& quarantined,
+                          std::span<const unsigned char> acc_state) {
+  if (fd_ < 0) {
+    return Status::FailedPrecondition("checkpoint file is closed");
+  }
+  const std::vector<unsigned char> record =
+      EncodeRecord(group, chunks_done, quarantined, acc_state);
+  std::lock_guard<std::mutex> lock(*mu_);
+  return WriteFully(fd_, record.data(), record.size(), path_);
+}
+
+Status SnapshotFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  Status status;
+  if (::fsync(fd_) != 0) {
+    status = Status::Internal("fsync failed for " + path_ + ": " +
+                              std::strerror(errno));
+  }
+  if (::close(fd_) != 0 && status.ok()) {
+    status = Status::Internal("close failed for " + path_ + ": " +
+                              std::strerror(errno));
+  }
+  fd_ = -1;
+  return status;
+}
+
+Status SnapshotFile::Remove(const std::string& path) {
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return Status::Internal("cannot remove checkpoint " + path + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace protocol
+}  // namespace hdldp

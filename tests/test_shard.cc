@@ -182,14 +182,14 @@ TEST(ShardTest, OpenMissingOrEmptyDirectoryIsNotFound) {
             StatusCode::kNotFound);
 }
 
-TEST(ShardTest, CorruptMagicIsInvalidArgument) {
+TEST(ShardTest, CorruptMagicIsDataLoss) {
   const std::string dir = TempShardDir("corrupt_magic");
   const Dataset dataset = TestDataset(100, 2, 24);
   const ResidentChunkSource resident(&dataset);
   ASSERT_TRUE(WriteShards(resident, dir).ok());
   PatchPartFile(dir, "NOTSHARD", 8, 0);
   const auto opened = ShardFileSource::Open(dir);
-  EXPECT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(opened.status().code(), StatusCode::kDataLoss);
 }
 
 TEST(ShardTest, VersionMismatchIsInvalidArgument) {
@@ -204,7 +204,7 @@ TEST(ShardTest, VersionMismatchIsInvalidArgument) {
   EXPECT_NE(opened.status().ToString().find("version"), std::string::npos);
 }
 
-TEST(ShardTest, TruncatedFileIsInvalidArgument) {
+TEST(ShardTest, TruncatedFileIsDataLoss) {
   const std::string dir = TempShardDir("truncated");
   const Dataset dataset = TestDataset(100, 2, 26);
   const ResidentChunkSource resident(&dataset);
@@ -213,8 +213,94 @@ TEST(ShardTest, TruncatedFileIsInvalidArgument) {
   // Drop the last 8 bytes: the size no longer matches the header.
   std::filesystem::resize_file(path, std::filesystem::file_size(path) - 8);
   const auto opened = ShardFileSource::Open(dir);
-  ASSERT_EQ(opened.status().code(), StatusCode::kInvalidArgument);
+  ASSERT_EQ(opened.status().code(), StatusCode::kDataLoss);
   EXPECT_NE(opened.status().ToString().find("truncated"), std::string::npos);
+}
+
+TEST(ShardTest, PayloadBitFlipIsDataLossAtTheFlippedChunk) {
+  const std::string dir = TempShardDir("bit_flip");
+  const Dataset dataset = TestDataset(kUsersPerChunk + 100, 2, 28);
+  const ResidentChunkSource resident(&dataset);
+  ASSERT_TRUE(WriteShards(resident, dir).ok());
+  // Flip one byte inside chunk 1's payload. The file size and header
+  // stay valid, so only the CRC check can catch it.
+  const std::size_t chunk1_offset =
+      4096 + kUsersPerChunk * 2 * sizeof(double) + 123;
+  const char flipped = '\x5a';
+  PatchPartFile(dir, &flipped, 1, chunk1_offset);
+
+  const auto opened = ShardFileSource::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_TRUE(opened.value().checksummed());
+  ChunkBuffer buffer;
+  // Chunk 0 is untouched and verifies clean.
+  EXPECT_TRUE(opened.value().Chunk(0, &buffer).ok());
+  // Chunk 1 must surface as DataLoss naming the chunk — never a
+  // silently wrong estimate.
+  const auto bad = opened.value().Chunk(1, &buffer);
+  ASSERT_EQ(bad.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(bad.status().ToString().find("chunk 1"), std::string::npos);
+}
+
+TEST(ShardTest, VersionOneFilesStayReadableWithoutChecksums) {
+  const std::string dir = TempShardDir("v1_compat");
+  const Dataset dataset = TestDataset(100, 2, 29);
+  const ResidentChunkSource resident(&dataset);
+  ASSERT_TRUE(WriteShards(resident, dir).ok());
+  // Rewrite the part as a v1 file: strip the one-chunk CRC trailer and
+  // patch the version field back to 1.
+  const std::string path = dir + "/part-00000.hds";
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) - 4);
+  const std::uint32_t v1 = 1;
+  PatchPartFile(dir, reinterpret_cast<const char*>(&v1), 4, 8);
+
+  const auto opened = ShardFileSource::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  EXPECT_FALSE(opened.value().checksummed());
+  ExpectSourceMatches(opened.value(), dataset);
+}
+
+TEST(ShardTest, InterruptedWriteIsRejectedAndRecoverable) {
+  const std::string dir = TempShardDir("interrupted");
+  const Dataset dataset = TestDataset(2 * kUsersPerChunk, 2, 30);
+  const ResidentChunkSource resident(&dataset);
+  ShardWriterOptions options;
+  options.chunks_per_file = 1;
+  ASSERT_TRUE(WriteShards(resident, dir, options).ok());
+
+  // Simulate a crash mid-write: a stray .tmp plus a torn final part.
+  {
+    std::ofstream tmp(dir + "/part-00002.hds.tmp", std::ios::binary);
+    tmp << "partial";
+  }
+  const std::string last = dir + "/part-00001.hds";
+  std::filesystem::resize_file(last, std::filesystem::file_size(last) - 16);
+
+  // The reader refuses the whole directory — the stray .tmp proves the
+  // write never completed.
+  const auto opened = ShardFileSource::Open(dir);
+  ASSERT_EQ(opened.status().code(), StatusCode::kDataLoss);
+  EXPECT_NE(opened.status().ToString().find(".tmp"), std::string::npos);
+
+  // Re-running the writer recovers: Create() wipes the debris and the
+  // directory round-trips cleanly afterwards.
+  ASSERT_TRUE(WriteShards(resident, dir, options).ok());
+  const auto reopened = ShardFileSource::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_TRUE(reopened.value().checksummed());
+  ExpectSourceMatches(reopened.value(), dataset);
+}
+
+TEST(ShardTest, FinishedDirectoryHasNoTemporaryFiles) {
+  const std::string dir = TempShardDir("no_temps");
+  const Dataset dataset = TestDataset(3 * kUsersPerChunk + 5, 2, 31);
+  const ResidentChunkSource resident(&dataset);
+  ShardWriterOptions options;
+  options.chunks_per_file = 2;
+  ASSERT_TRUE(WriteShards(resident, dir, options).ok());
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
 }
 
 TEST(ShardTest, ChunkIndexOutOfRange) {

@@ -1,0 +1,26 @@
+# Runs a command and fails unless it exits with an expected code —
+# CTest's WILL_FAIL only distinguishes zero from nonzero, but the CLI's
+# exit-code contract (2 usage, 3 validation, 4 data loss) is part of its
+# interface and each class gets pinned by a smoke test.
+#
+# Usage:
+#   cmake -DEXPECT=<code> "-DCMD=<prog;arg;arg...>"
+#         [-DGARBAGE_SHARD=<dir>] -P expect_exit.cmake
+#
+# GARBAGE_SHARD, when set, (re)creates <dir> holding one file that is
+# not a valid shard part — the fixture behind the exit-4 test.
+
+if(NOT DEFINED EXPECT OR NOT DEFINED CMD)
+  message(FATAL_ERROR "expect_exit.cmake needs -DEXPECT=<code> and -DCMD=<prog;args>")
+endif()
+
+if(DEFINED GARBAGE_SHARD)
+  file(REMOVE_RECURSE "${GARBAGE_SHARD}")
+  file(MAKE_DIRECTORY "${GARBAGE_SHARD}")
+  file(WRITE "${GARBAGE_SHARD}/part-00000.hds" "this is not a shard part")
+endif()
+
+execute_process(COMMAND ${CMD} RESULT_VARIABLE rc)
+if(NOT rc EQUAL "${EXPECT}")
+  message(FATAL_ERROR "expected exit ${EXPECT}, got '${rc}': ${CMD}")
+endif()

@@ -35,6 +35,28 @@
 //       classic sequential stream, so the run matches
 //       `generate --seed=<same seed>` + `--input` bit for bit.
 //
+// Fault-tolerance flags shared by mean/freq/variance:
+//   --checkpoint=<file>        persist per-group progress; re-running the
+//       same command after a crash resumes from the file with
+//       bit-identical final estimates (freq requires an engine seed
+//       scheme, v2/v3). Variance checkpoints its two halves at
+//       <file>.values and <file>.squares.
+//   --max-attempts=N           total attempts per chunk on transient
+//       (Unavailable) faults; 1 = no retry.
+//   --backoff-ms=B             exponential backoff base: B << (k-1) ms
+//       before retry k.
+//   --allow-missing-chunks     quarantine chunks that still fail after
+//       retries instead of failing the run (the estimate then covers the
+//       surviving users, and the run reports the quarantined chunks).
+//   --fault-seed=S --fault-transient-rate=P --fault-persistent-rate=P
+//   --fault-bitflip-rate=P --fault-failing-attempts=K
+//       wrap the source in a deterministic fault injector
+//       (data/fault_injection.h): same seed, same faults, at any thread
+//       count. For testing the machinery above, including from CI.
+//
+// Exit codes: 0 success, 2 usage, 3 invalid configuration, 4 data
+// loss / I/O failure (see ExitCodeFor below).
+//
 // --seed-scheme selects the RNG stream contract (common/rng_lanes.h):
 // "v3" (default) is the lane-parallel fast path with cross-user sampled
 // batching, "v2" replays the per-user sampled lane spans and "v1" the
@@ -65,6 +87,7 @@
 
 #include "common/rng.h"
 #include "data/chunk_source.h"
+#include "data/fault_injection.h"
 #include "data/generator_source.h"
 #include "data/generators.h"
 #include "data/shard.h"
@@ -168,6 +191,64 @@ class Flags {
   std::map<std::string, std::string> values_;
   mutable std::set<std::string> consumed_;
 };
+
+// Fault-tolerance flags shared by mean/freq/variance: retry policy,
+// quarantine opt-in, checkpoint path, and (mean/freq/variance in-process
+// testing) deterministic fault injection over the resolved source.
+struct FaultFlags {
+  hdldp::engine::RetryPolicy retry;
+  bool allow_missing_chunks = false;
+  std::string checkpoint;
+  /// Set when any --fault-* rate is nonzero; the source is then wrapped
+  /// in a FaultInjectingChunkSource over FaultSchedule::Random.
+  bool inject = false;
+  std::uint64_t fault_seed = 0;
+  hdldp::data::FaultSchedule::RandomOptions random;
+};
+
+Result<FaultFlags> ParseFaultFlags(Flags* flags) {
+  FaultFlags ft;
+  const std::size_t max_attempts = flags->GetSize("max-attempts", 1);
+  if (max_attempts == 0) {
+    return Status::InvalidArgument("--max-attempts must be >= 1");
+  }
+  ft.retry.max_attempts = static_cast<int>(max_attempts);
+  ft.retry.initial_backoff_ms = flags->GetSize("backoff-ms", 0);
+  ft.allow_missing_chunks = flags->GetBool("allow-missing-chunks");
+  ft.checkpoint = flags->GetString("checkpoint", "");
+  ft.fault_seed = flags->GetSize("fault-seed", 0);
+  ft.random.transient_rate = flags->GetDouble("fault-transient-rate", 0.0);
+  ft.random.persistent_rate = flags->GetDouble("fault-persistent-rate", 0.0);
+  ft.random.bit_flip_rate = flags->GetDouble("fault-bitflip-rate", 0.0);
+  const std::size_t failing =
+      flags->GetSize("fault-failing-attempts", 1);
+  if (failing == 0) {
+    return Status::InvalidArgument("--fault-failing-attempts must be >= 1");
+  }
+  ft.random.failing_attempts = static_cast<int>(failing);
+  for (const double rate : {ft.random.transient_rate,
+                            ft.random.persistent_rate,
+                            ft.random.bit_flip_rate}) {
+    if (!(rate >= 0.0 && rate <= 1.0)) {
+      return Status::InvalidArgument("--fault-*-rate must lie in [0, 1]");
+    }
+  }
+  ft.inject = ft.random.transient_rate > 0.0 ||
+              ft.random.persistent_rate > 0.0 ||
+              ft.random.bit_flip_rate > 0.0;
+  return ft;
+}
+
+// Reports the fault-tolerance outcome of a run in a stable, greppable
+// form (CI asserts on these lines).
+void PrintFaultOutcome(bool resumed, const std::vector<std::size_t>& chunks,
+                       std::size_t surviving_users) {
+  if (resumed) std::printf("resumed from checkpoint\n");
+  if (!chunks.empty()) {
+    std::printf("quarantined %zu chunks; surviving users %zu\n",
+                chunks.size(), surviving_users);
+  }
+}
 
 Result<hdldp::SeedScheme> ParseSeedScheme(const std::string& value) {
   if (value == "v3" || value == "3") return hdldp::SeedScheme::kV3Batched;
@@ -310,6 +391,8 @@ Status RunMean(Flags flags) {
       ParseSeedScheme(flags.GetString("seed-scheme", "v3")));
   const std::string recalibrate = flags.GetString("recalibrate", "both");
   const bool gate = flags.GetBool("gate");
+  const bool print_estimate = flags.GetBool("print-estimate");
+  HDLDP_ASSIGN_OR_RETURN(const FaultFlags ft, ParseFaultFlags(&flags));
   if (!input.empty()) HDLDP_RETURN_NOT_OK(RejectGeneratorFlagsWithInput(flags));
   HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
 
@@ -317,8 +400,16 @@ Status RunMean(Flags flags) {
   HDLDP_RETURN_NOT_OK(ResolveSource(input, chunk_keyed, dataset_name,
                                     users_flag, dims_flag, seed ^ 0xDA7Aull,
                                     &data));
-  const std::size_t users = data.source->num_users();
-  const std::size_t dims = data.source->num_dims();
+  std::optional<hdldp::data::FaultInjectingChunkSource> faulty;
+  const hdldp::data::ChunkSource* source = data.source;
+  if (ft.inject) {
+    faulty.emplace(source,
+                   hdldp::data::FaultSchedule::Random(
+                       ft.fault_seed, source->num_chunks(), ft.random));
+    source = &*faulty;
+  }
+  const std::size_t users = source->num_users();
+  const std::size_t dims = source->num_dims();
   HDLDP_ASSIGN_OR_RETURN(auto mechanism,
                          hdldp::mech::MakeMechanism(mech_name));
 
@@ -328,15 +419,27 @@ Status RunMean(Flags flags) {
   opts.seed = seed;
   opts.seed_scheme = seed_scheme;
   opts.num_threads = threads;
+  opts.retry = ft.retry;
+  opts.allow_missing_chunks = ft.allow_missing_chunks;
+  opts.checkpoint_path = ft.checkpoint;
   HDLDP_ASSIGN_OR_RETURN(
       const auto run,
-      hdldp::protocol::RunMeanEstimation(*data.source, mechanism, opts));
+      hdldp::protocol::RunMeanEstimation(*source, mechanism, opts));
 
   std::printf("mechanism=%s dataset=%s users=%zu dims=%zu eps=%g m=%zu\n",
               mech_name.c_str(),
               input.empty() ? dataset_name.c_str() : input.c_str(), users,
               dims, epsilon, report_dims == 0 ? dims : report_dims);
+  PrintFaultOutcome(run.resumed_from_checkpoint, run.quarantined_chunks,
+                    run.surviving_users);
   std::printf("%-24s %12.6g\n", "naive MSE", run.mse);
+  if (print_estimate) {
+    // Full-precision estimate, one dimension per line: CI resume tests
+    // diff this output to assert bit-identical results.
+    for (std::size_t j = 0; j < dims; ++j) {
+      std::printf("estimate[%zu]=%.17g\n", j, run.estimated_mean[j]);
+    }
+  }
 
   if (recalibrate == "none") return Status::OK();
   // Per-dimension deviation models from per-dimension empirical marginals.
@@ -402,6 +505,7 @@ Status RunFreq(Flags flags) {
   HDLDP_ASSIGN_OR_RETURN(
       const hdldp::SeedScheme seed_scheme,
       ParseSeedScheme(flags.GetString("seed-scheme", "v3")));
+  HDLDP_ASSIGN_OR_RETURN(const FaultFlags ft, ParseFaultFlags(&flags));
   if (!input.empty() && (flags.Has("users") || flags.Has("zipf"))) {
     return Status::InvalidArgument(
         "--input reads the population from the shard directory; drop "
@@ -421,29 +525,46 @@ Status RunFreq(Flags flags) {
   opts.seed = seed;
   opts.seed_scheme = seed_scheme;
   opts.num_threads = threads;
+  opts.retry = ft.retry;
+  opts.allow_missing_chunks = ft.allow_missing_chunks;
+  opts.checkpoint_path = ft.checkpoint;
 
-  std::optional<hdldp::freq::FrequencyEstimationResult> result;
-  std::size_t users = users_flag;
+  // Both branches resolve a base ChunkSource, optionally wrap it in the
+  // deterministic fault injector, and run the source overload.
+  std::optional<hdldp::data::ShardFileSource> shard;
+  std::optional<hdldp::freq::CategoricalDataset> dataset;
+  std::optional<hdldp::freq::CategoricalChunkSource> resident;
+  const hdldp::data::ChunkSource* source = nullptr;
   if (!input.empty()) {
-    HDLDP_ASSIGN_OR_RETURN(const auto source,
-                           hdldp::data::ShardFileSource::Open(input));
-    users = source.num_users();
-    HDLDP_ASSIGN_OR_RETURN(result, hdldp::freq::RunFrequencyEstimation(
-                                       source, schema, mechanism, opts));
+    HDLDP_ASSIGN_OR_RETURN(shard, hdldp::data::ShardFileSource::Open(input));
+    source = &*shard;
   } else {
     hdldp::Rng rng(seed ^ 0xF8E0ull);
     HDLDP_ASSIGN_OR_RETURN(
-        const auto dataset,
+        dataset,
         hdldp::freq::GenerateCategorical(users_flag, schema, zipf, &rng));
-    HDLDP_ASSIGN_OR_RETURN(result, hdldp::freq::RunFrequencyEstimation(
-                                       dataset, mechanism, opts));
+    resident.emplace(&*dataset);
+    source = &*resident;
   }
+  std::optional<hdldp::data::FaultInjectingChunkSource> faulty;
+  if (ft.inject) {
+    faulty.emplace(source,
+                   hdldp::data::FaultSchedule::Random(
+                       ft.fault_seed, source->num_chunks(), ft.random));
+    source = &*faulty;
+  }
+  const std::size_t users = source->num_users();
+  HDLDP_ASSIGN_OR_RETURN(const auto result,
+                         hdldp::freq::RunFrequencyEstimation(
+                             *source, schema, mechanism, opts));
   std::printf("mechanism=%s users=%zu questions=%zu categories=%zu eps=%g "
               "eps/entry=%g\n",
               mech_name.c_str(), users, questions, categories, epsilon,
-              result->per_entry_epsilon);
-  std::printf("%-24s %12.6g\n", "naive MSE", result->mse_raw);
-  std::printf("%-24s %12.6g\n", "HDR4ME MSE", result->mse_recalibrated);
+              result.per_entry_epsilon);
+  PrintFaultOutcome(result.resumed_from_checkpoint, result.quarantined_chunks,
+                    result.surviving_users);
+  std::printf("%-24s %12.6g\n", "naive MSE", result.mse_raw);
+  std::printf("%-24s %12.6g\n", "HDR4ME MSE", result.mse_recalibrated);
   return Status::OK();
 }
 
@@ -499,6 +620,7 @@ Status RunVariance(Flags flags) {
       const hdldp::SeedScheme seed_scheme,
       ParseSeedScheme(flags.GetString("seed-scheme", "v3")));
   const bool recalibrate = flags.GetBool("recalibrate");
+  HDLDP_ASSIGN_OR_RETURN(const FaultFlags ft, ParseFaultFlags(&flags));
   if (!input.empty()) HDLDP_RETURN_NOT_OK(RejectGeneratorFlagsWithInput(flags));
   HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
 
@@ -506,8 +628,16 @@ Status RunVariance(Flags flags) {
   HDLDP_RETURN_NOT_OK(ResolveSource(input, chunk_keyed, dataset_name,
                                     users_flag, dims_flag, seed ^ 0x5ECull,
                                     &data));
-  const std::size_t users = data.source->num_users();
-  const std::size_t dims = data.source->num_dims();
+  std::optional<hdldp::data::FaultInjectingChunkSource> faulty;
+  const hdldp::data::ChunkSource* source = data.source;
+  if (ft.inject) {
+    faulty.emplace(source,
+                   hdldp::data::FaultSchedule::Random(
+                       ft.fault_seed, source->num_chunks(), ft.random));
+    source = &*faulty;
+  }
+  const std::size_t users = source->num_users();
+  const std::size_t dims = source->num_dims();
   HDLDP_ASSIGN_OR_RETURN(auto mechanism,
                          hdldp::mech::MakeMechanism(mech_name));
   hdldp::hdr4me::VarianceOptions opts;
@@ -515,14 +645,23 @@ Status RunVariance(Flags flags) {
   opts.seed = seed;
   opts.seed_scheme = seed_scheme;
   opts.recalibrate = recalibrate;
+  opts.retry = ft.retry;
+  opts.allow_missing_chunks = ft.allow_missing_chunks;
+  opts.checkpoint_path = ft.checkpoint;
   HDLDP_ASSIGN_OR_RETURN(
       const auto result,
-      hdldp::hdr4me::RunVarianceEstimation(*data.source, mechanism, opts));
+      hdldp::hdr4me::RunVarianceEstimation(*source, mechanism, opts));
   std::printf("mechanism=%s dataset=%s users=%zu dims=%zu eps=%g "
               "recalibrate=%d\n",
               mech_name.c_str(),
               input.empty() ? dataset_name.c_str() : input.c_str(), users,
               dims, epsilon, recalibrate ? 1 : 0);
+  std::vector<std::size_t> quarantined = result.quarantined_values_chunks;
+  quarantined.insert(quarantined.end(),
+                     result.quarantined_squares_chunks.begin(),
+                     result.quarantined_squares_chunks.end());
+  PrintFaultOutcome(result.resumed_from_checkpoint, quarantined,
+                    result.surviving_users);
   std::printf("%-24s %12.6g\n", "variance MSE", result.mse);
   std::printf("first dims (true vs estimated variance):\n");
   for (std::size_t j = 0; j < std::min<std::size_t>(4, dims); ++j) {
@@ -591,7 +730,38 @@ void PrintUsage(std::FILE* stream) {
   std::fprintf(stream,
                "usage: hdldp_cli <mean|freq|analyze|variance|generate> "
                "[--key=value ...]\n"
-               "see the header of tools/hdldp_cli.cc for the flag list\n");
+               "see the header of tools/hdldp_cli.cc for the flag list\n"
+               "exit codes: 0 success, 2 usage, 3 invalid configuration, "
+               "4 data loss / I/O failure\n");
+}
+
+// Exit-code contract (pinned by the smoke tests; scripts and CI branch
+// on these):
+//   0 — success
+//   2 — usage error: unparseable command line, unknown subcommand
+//   3 — validation error: a well-formed command line naming an invalid
+//       configuration (unknown mechanism/dataset/flag value, missing
+//       input, out-of-range parameter)
+//   4 — I/O or corruption error: the configuration was valid but the
+//       data could not be (fully) read — checksum mismatch, torn write,
+//       exhausted retries
+//   1 — anything else (internal invariant failures)
+int ExitCodeFor(const Status& status) {
+  switch (status.code()) {
+    case hdldp::StatusCode::kOk:
+      return 0;
+    case hdldp::StatusCode::kInvalidArgument:
+    case hdldp::StatusCode::kFailedPrecondition:
+    case hdldp::StatusCode::kNotFound:
+    case hdldp::StatusCode::kOutOfRange:
+    case hdldp::StatusCode::kNotImplemented:
+      return 3;
+    case hdldp::StatusCode::kDataLoss:
+    case hdldp::StatusCode::kUnavailable:
+      return 4;
+    default:
+      return 1;
+  }
 }
 
 }  // namespace
@@ -629,7 +799,7 @@ int main(int argc, char** argv) {
   }
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
-    return 1;
+    return ExitCodeFor(status);
   }
   return 0;
 }
