@@ -1,0 +1,187 @@
+// Sustained-throughput benchmark of the online aggregation service:
+// wire-format ingestion -> dedup/budget/fold -> rolling window publish,
+// across the ingestion modes that matter operationally — single-threaded
+// replay, multi-worker backpressure, multi-worker shedding under
+// deliberate overload, and replay with periodic snapshots.
+//
+// Reported per mode: end-to-end reports/sec (submit through Drain),
+// accepted/shed split, published window count, and the mean
+// seal-and-publish latency per watermark advance (estimate staleness).
+// Contributes BENCH_service.json to the BENCH_records CI artifact.
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/aggregation_service.h"
+#include "service/report_stream.h"
+
+namespace {
+
+using hdldp::Status;
+using hdldp::StatusCode;
+using hdldp::bench::JsonRecord;
+using hdldp::bench::Stopwatch;
+using hdldp::service::AggregationService;
+using hdldp::service::OverloadPolicy;
+using hdldp::service::ReportStream;
+using hdldp::service::ReportStreamOptions;
+using hdldp::service::ServiceOptions;
+using hdldp::service::ServiceStats;
+
+struct ModeResult {
+  double seconds = 0;
+  double publish_seconds = 0;   // total time inside AdvanceWatermark/Drain
+  std::uint64_t publishes = 0;  // watermark advances + the final drain
+  ServiceStats stats;
+};
+
+ReportStreamOptions StreamOptions(std::uint64_t reports) {
+  ReportStreamOptions options;
+  options.num_reports = reports;
+  options.num_dims = 16;
+  options.report_dims = 4;
+  options.num_tenants = 64;
+  options.seed = 99;
+  options.reports_per_tick = reports / 20 == 0 ? 1 : reports / 20;
+  return options;
+}
+
+Status RunMode(const ReportStreamOptions& stream_options,
+               std::size_t workers, OverloadPolicy overload,
+               std::size_t queue_capacity, std::uint64_t snapshot_every,
+               const std::string& checkpoint, ModeResult* result) {
+  HDLDP_ASSIGN_OR_RETURN(ReportStream stream,
+                         ReportStream::Create(stream_options));
+  ServiceOptions options;
+  options.num_dims = stream.service_dims();
+  options.domain_map = stream.domain_map();
+  options.expected_entries = stream.expected_entries();
+  options.output_lo = stream.output_lo();
+  options.output_hi = stream.output_hi();
+  options.window.width = 2;
+  options.num_workers = workers;
+  options.overload = overload;
+  options.queue_capacity = queue_capacity;
+  options.checkpoint_path = checkpoint;
+  options.digest_tag = "bench_service";
+  HDLDP_ASSIGN_OR_RETURN(std::unique_ptr<AggregationService> service,
+                         AggregationService::Create(options));
+
+  const std::uint64_t per_tick = stream_options.reports_per_tick;
+  const Stopwatch total;
+  std::vector<std::uint8_t> envelope;
+  std::uint64_t last_tick = 0;
+  for (;;) {
+    bool done = false;
+    HDLDP_RETURN_NOT_OK(stream.Next(&envelope, &done));
+    if (done) break;
+    const Status status = service->Submit(envelope);
+    if (!status.ok() && status.code() != StatusCode::kUnavailable) {
+      return status;
+    }
+    const std::uint64_t tick = stream.position() / per_tick;
+    if (tick > last_tick) {
+      last_tick = tick;
+      const Stopwatch publish;
+      HDLDP_RETURN_NOT_OK(service->AdvanceWatermark(tick));
+      result->publish_seconds += publish.Seconds();
+      ++result->publishes;
+    }
+    if (snapshot_every > 0 && stream.position() % snapshot_every == 0) {
+      HDLDP_RETURN_NOT_OK(service->SaveSnapshot(stream.position()));
+    }
+  }
+  {
+    const Stopwatch publish;
+    HDLDP_RETURN_NOT_OK(service->Drain());
+    result->publish_seconds += publish.Seconds();
+    ++result->publishes;
+  }
+  result->seconds = total.Seconds();
+  HDLDP_RETURN_NOT_OK(service->VerifyReconciliation());
+  result->stats = service->Stats();
+  if (!checkpoint.empty()) {
+    HDLDP_RETURN_NOT_OK(service->Finish());
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int main() {
+  const std::uint64_t reports =
+      static_cast<std::uint64_t>(hdldp::bench::ScaledUsers(500'000));
+  hdldp::bench::PrintHeader(
+      "online aggregation service: sustained ingestion throughput",
+      "500k wire reports, d=16 m=4, 64 tenants, 20 ticks, width-2 windows");
+
+  struct Mode {
+    const char* name;
+    std::size_t workers;
+    OverloadPolicy overload;
+    std::size_t queue_capacity;
+    std::uint64_t snapshot_every;
+  };
+  const std::string checkpoint = "/tmp/hdldp_bench_service_ckpt";
+  const Mode modes[] = {
+      {"replay-1w", 1, OverloadPolicy::kBlock, 4096, 0},
+      {"serve-4w-block", 4, OverloadPolicy::kBlock, 4096, 0},
+      {"serve-4w-shed-overload", 4, OverloadPolicy::kShed, 64, 0},
+      {"replay-1w-snapshots", 1, OverloadPolicy::kBlock, 4096, 0 /*below*/},
+  };
+
+  JsonRecord record("bench_service");
+  record.Meta("reports", static_cast<std::size_t>(reports));
+  record.Meta("dims", std::size_t{16});
+  record.Meta("report_dims", std::size_t{4});
+  record.Meta("tenants", std::size_t{64});
+
+  std::printf("%-24s %12s %12s %12s %10s %12s\n", "mode", "reports/s",
+              "accepted", "shed", "windows", "publish_ms");
+  const Stopwatch wall;
+  for (const Mode& mode : modes) {
+    const bool snapshots = std::string(mode.name) == "replay-1w-snapshots";
+    ModeResult result;
+    const Status status = RunMode(
+        StreamOptions(reports), mode.workers, mode.overload,
+        mode.queue_capacity, snapshots ? reports / 10 : 0,
+        snapshots ? checkpoint : std::string(), &result);
+    if (!status.ok()) {
+      std::fprintf(stderr, "bench_service %s: %s\n", mode.name,
+                   status.ToString().c_str());
+      return 1;
+    }
+    const double rate =
+        result.seconds > 0 ? static_cast<double>(reports) / result.seconds
+                           : 0.0;
+    const double publish_ms =
+        result.publishes > 0
+            ? 1e3 * result.publish_seconds /
+                  static_cast<double>(result.publishes)
+            : 0.0;
+    std::printf("%-24s %12.0f %12llu %12llu %10llu %12.3f\n", mode.name,
+                rate,
+                static_cast<unsigned long long>(result.stats.accepted),
+                static_cast<unsigned long long>(result.stats.shed_queue_full),
+                static_cast<unsigned long long>(
+                    result.stats.published_windows),
+                publish_ms);
+    record.NewCell();
+    record.Cell("mode", mode.name);
+    record.Cell("workers", mode.workers);
+    record.Cell("reports_per_sec", rate);
+    record.Cell("seconds", result.seconds);
+    record.Cell("accepted", static_cast<std::size_t>(result.stats.accepted));
+    record.Cell("shed_queue_full",
+                static_cast<std::size_t>(result.stats.shed_queue_full));
+    record.Cell("published_windows",
+                static_cast<std::size_t>(result.stats.published_windows));
+    record.Cell("publish_latency_ms", publish_ms);
+  }
+  record.Meta("wall_seconds", wall.Seconds());
+  record.WriteIfRequested();
+  return 0;
+}

@@ -106,6 +106,45 @@ class NeumaierSum {
   }
   /// Folds another accumulator in (parallel-reduction support).
   void Merge(const NeumaierSum& other) { Add(other.Total()); }
+
+  /// \brief Merges another accumulator's full (sum, compensation) state,
+  /// not just its rounded Total(): the raw sums combine through a
+  /// branch-free TwoSum whose residual is captured *exactly* into the
+  /// compensation channel, so no information is rounded away at the
+  /// merge boundary itself.
+  ///
+  /// Contract (pinned by tests/test_merge_laws.cc):
+  ///   * the zero state is an exact two-sided identity, bit for bit;
+  ///   * the operation is bit-commutative (TwoSum's residual is a
+  ///     symmetric sum of two exact halves, and float addition
+  ///     commutes);
+  ///   * whenever every addition is exact (the compensation channel
+  ///     stays zero — e.g. dyadic values with small exponent spread),
+  ///     the full state after any merge order is bit-identical to the
+  ///     single accumulator that folded all the underlying values;
+  ///   * for general data the compensation additions round, so only a
+  ///     fixed merge order is bit-reproducible — which is why every
+  ///     consumer (the reduction tree, the service's group/pane merge)
+  ///     pins its merge order — and Total() stays within an ulp or two
+  ///     of the single fold.
+  ///
+  /// Merge() (above) collapses the other side's compensation first and
+  /// is frozen into the reduction tree's golden estimates; MergeState is
+  /// the primitive for state that outlives one process — service pane
+  /// aggregates, snapshots — where a fold split across workers or across
+  /// a crash/restore boundary must publish the same bits.
+  void MergeState(const NeumaierSum& other) {
+    // TwoSum (Knuth): s + e == sum_ + other.sum_ exactly, e representable.
+    const double a = sum_;
+    const double b = other.sum_;
+    const double s = a + b;
+    const double a_part = s - b;
+    const double b_part = s - a_part;
+    const double e = (a - a_part) + (b - b_part);
+    sum_ = s;
+    compensation_ = (compensation_ + other.compensation_) + e;
+  }
+
   /// Current compensated total.
   double Total() const { return sum_ + compensation_; }
 

@@ -1,0 +1,118 @@
+// A bounded multi-producer multi-consumer queue — the ingestion buffer
+// of the aggregation service (service/aggregation_service.h).
+//
+// The service's robustness contract needs exactly three behaviours from
+// its queues, so that is all this type provides:
+//
+//   * TryPush  — non-blocking admission. A full queue refuses the item,
+//     which the caller accounts as load shedding; ingestion never
+//     silently drops and never blocks the submitting thread.
+//   * Push     — blocking admission (backpressure mode): the producer
+//     waits for capacity instead of shedding.
+//   * Pop      — blocking drain. Returns std::nullopt only once the
+//     queue is closed *and* empty, so consumers drain every admitted
+//     item before exiting — Close() is a flush barrier, not an abort.
+//
+// Everything is a mutex plus two condition variables over a deque. The
+// service pops one report at a time and does real work per item
+// (decode, dedup, fold), so a lock per operation is far below the
+// noise floor; a lock-free ring would buy nothing but TSan suppression
+// files.
+
+#ifndef HDLDP_COMMON_MPMC_QUEUE_H_
+#define HDLDP_COMMON_MPMC_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace hdldp {
+
+/// \brief Bounded MPMC queue; all operations are thread-safe.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// Creates a queue admitting at most `capacity` (> 0) items.
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// \brief Admits `item` iff there is capacity right now. Returns false
+  /// (leaving `item` moved-from only on success) when full or closed —
+  /// the caller sheds the item and accounts for it.
+  bool TryPush(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// \brief Admits `item`, waiting for capacity (backpressure). Returns
+  /// false only if the queue is closed before space opens up.
+  bool Push(T&& item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      space_.wait(lock,
+                  [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// \brief Removes and returns the oldest item, waiting while the queue
+  /// is empty. Returns std::nullopt once the queue is closed and fully
+  /// drained.
+  std::optional<T> Pop() {
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return std::nullopt;
+      item.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    space_.notify_one();
+    return item;
+  }
+
+  /// \brief Closes the queue: pushes start failing immediately, pops
+  /// drain the backlog then return std::nullopt. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+    space_.notify_all();
+  }
+
+  /// Items currently queued (racy by nature; for stats/tests only).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::condition_variable space_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace hdldp
+
+#endif  // HDLDP_COMMON_MPMC_QUEUE_H_

@@ -59,6 +59,14 @@ ThreadPool& ThreadPool::Shared() {
   return pool;
 }
 
+void ThreadPool::Post(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.emplace_back(std::move(task));
+  }
+  wake_workers_.notify_one();
+}
+
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;

@@ -49,6 +49,20 @@ class ThreadPool {
   /// use, joined at process exit.
   static ThreadPool& Shared();
 
+  /// \brief Enqueues one task for execution on a pool worker and returns
+  /// immediately. Tasks run in enqueue order relative to each other (one
+  /// shared FIFO) but interleave with ParallelFor helper tasks. A task
+  /// may run for the pool's whole lifetime — the aggregation service
+  /// Posts one ingestion loop per worker of a dedicated pool — but a
+  /// long-lived task permanently occupies its worker, so never Post such
+  /// loops on Shared(). Tasks must not throw; tasks still queued when
+  /// the destructor runs are executed before shutdown completes.
+  ///
+  /// REQUIRES: num_threads() > 0 (with no workers nothing would ever run
+  /// the task; ParallelFor's degenerate serial mode has no analogue for
+  /// fire-and-forget work).
+  void Post(std::function<void()> task);
+
   /// \brief Runs fn(i) exactly once for every i in [begin, end), using at
   /// most `max_concurrency` threads in total (calling thread included;
   /// 0 means pool size + 1). Blocks until every index has completed.

@@ -103,5 +103,27 @@ Result<std::span<const double>> FaultInjectingChunkSource::Chunk(
   return Status::Internal("unknown fault kind");
 }
 
+ReportFate ReportFaultSchedule::Fate(std::uint64_t index) const {
+  ReportFate fate;
+  if (!active()) return fate;
+  // Keyed per report (not one rolling stream), mirroring
+  // FaultSchedule::Random: the fate of report i is independent of every
+  // other report and of pull order. The 0x5E7FULL tag keeps this stream
+  // family disjoint from the chunk-fault family under equal seeds.
+  std::uint64_t mix = seed_ ^ (0x5E7FULL + 0x9e3779b97f4a7c15ULL * (index + 1));
+  const std::uint64_t draw = SplitMix64(&mix);
+  const double u = static_cast<double>(draw >> 11) * 0x1.0p-53;
+  if (u < options_.drop_rate) {
+    fate.drop = true;
+  } else if (u < options_.drop_rate + options_.duplicate_rate) {
+    fate.duplicates = 1;
+  } else if (u <
+             options_.drop_rate + options_.duplicate_rate +
+                 options_.reorder_rate) {
+    fate.reorder_delay = options_.reorder_delay;
+  }
+  return fate;
+}
+
 }  // namespace data
 }  // namespace hdldp

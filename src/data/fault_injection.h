@@ -110,6 +110,65 @@ class FaultSchedule {
   std::unordered_map<std::size_t, FaultSpec> faults_;
 };
 
+/// \brief Transport fate of one report in the service ingestion stream.
+///
+/// The report-stream analogue of FaultSpec: where chunk faults model a
+/// failing storage read, report faults model a lossy, duplicating,
+/// reordering network between devices and the collector — exactly the
+/// conditions the aggregation service's dedup/out-of-order machinery
+/// exists for.
+struct ReportFate {
+  /// Report never reaches the collector.
+  bool drop = false;
+  /// Report arrives again (same envelope, retransmit) `duplicates` extra
+  /// times.
+  int duplicates = 0;
+  /// Report is delayed by this many stream slots past its natural
+  /// position, arriving after later-sent reports (out-of-order delivery).
+  std::size_t reorder_delay = 0;
+};
+
+/// \brief A deterministic report-stream fault model.
+///
+/// Stateless by construction: Fate(i) draws from one SplitMix64 stream
+/// keyed by (seed, i) — the per-chunk fate-hash pattern of
+/// FaultSchedule::Random — so the fate of report i never depends on
+/// which reports were asked about before it or on how the stream is
+/// pulled. Same (seed, rates), same faults, on every platform, at every
+/// thread count, and across a crash/restore boundary (the service
+/// replays the stream suffix and every replayed report meets the same
+/// fate).
+class ReportFaultSchedule {
+ public:
+  struct Options {
+    double drop_rate = 0.0;
+    double duplicate_rate = 0.0;
+    double reorder_rate = 0.0;
+    /// Delay (stream slots) assigned to every reordered report.
+    std::size_t reorder_delay = 3;
+  };
+
+  ReportFaultSchedule() = default;
+  ReportFaultSchedule(std::uint64_t seed, const Options& options)
+      : seed_(seed), options_(options) {}
+
+  /// True iff any rate is nonzero.
+  bool active() const {
+    return options_.drop_rate > 0.0 || options_.duplicate_rate > 0.0 ||
+           options_.reorder_rate > 0.0;
+  }
+
+  /// \brief The fate of stream report `index` — a pure function of
+  /// (seed, options, index). Rates are tried in order drop, duplicate,
+  /// reorder on one uniform draw, so at most one fault applies per
+  /// report.
+  ReportFate Fate(std::uint64_t index) const;
+
+ private:
+  std::uint64_t seed_ = 0;
+  Options options_;
+};
+
 /// \brief ChunkSource wrapper that injects the schedule's faults into
 /// Chunk() pulls (non-owning; base must outlive the wrapper).
 ///

@@ -184,6 +184,18 @@ Status MeanAggregator::Merge(const MeanAggregator& other) {
   return Status::OK();
 }
 
+Status MeanAggregator::MergeState(const MeanAggregator& other) {
+  if (other.counts_.size() != counts_.size()) {
+    return Status::InvalidArgument(
+        "MeanAggregator::MergeState requires matching dimensionality");
+  }
+  for (std::size_t j = 0; j < counts_.size(); ++j) {
+    sums_[j].MergeState(other.sums_[j]);
+    counts_[j] += other.counts_[j];
+  }
+  return Status::OK();
+}
+
 void MeanAggregator::Reset() {
   std::fill(sums_.begin(), sums_.end(), NeumaierSum());
   std::fill(counts_.begin(), counts_.end(), std::int64_t{0});

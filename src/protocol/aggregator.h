@@ -82,6 +82,26 @@ class MeanAggregator {
   /// correction of *this* aggregator is kept.
   Status Merge(const MeanAggregator& other);
 
+  /// \brief State-exact merge: per dimension the raw Neumaier (sum,
+  /// compensation) pairs combine through NeumaierSum::MergeState (an
+  /// error-free TwoSum in the sum channel) and counts add.
+  ///
+  /// This is the mergeable-state primitive of the aggregation service
+  /// (laws pinned by tests/test_merge_laws.cc for mean and
+  /// freq-expanded state): the zero-state aggregator is an exact
+  /// identity, the operation is bit-commutative, a fixed split merged
+  /// in a fixed order is bit-reproducible — the service pins its
+  /// group/pane merge order, making published estimates independent of
+  /// worker count and of crash/restore boundaries (SerializeState
+  /// round-trips the raw state exactly) — and when every addition is
+  /// exact the merge tree is provably invisible: any association is
+  /// bit-identical to the single fold. For general perturbed data the
+  /// merged estimate stays within an ulp or two of the single fold.
+  ///
+  /// Merge() (above) instead folds the other side's rounded Total() and
+  /// stays frozen: the reduction tree's golden estimates pin it.
+  Status MergeState(const MeanAggregator& other);
+
   /// \brief Zeroes all sums and counts (bias correction and domain map
   /// are kept), so one scratch aggregator can serve many chunks.
   void Reset();

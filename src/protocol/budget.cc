@@ -1,6 +1,7 @@
 #include "protocol/budget.h"
 
 #include <cmath>
+#include <limits>
 #include <string>
 
 namespace hdldp {
@@ -42,6 +43,17 @@ Status BudgetAccountant::Spend(double epsilon) {
   }
   spent_ += epsilon;
   return Status::OK();
+}
+
+Result<std::uint64_t> BudgetAccountant::Capacity(double epsilon) const {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("Capacity requires epsilon > 0");
+  }
+  const double slots = (total_ + kCompositionSlack * total_) / epsilon;
+  if (slots >= 1.8e19) {  // beyond uint64: effectively unlimited
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  return static_cast<std::uint64_t>(slots);
 }
 
 double BudgetAccountant::remaining() const {

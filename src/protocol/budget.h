@@ -12,6 +12,7 @@
 #define HDLDP_PROTOCOL_BUDGET_H_
 
 #include <cstddef>
+#include <cstdint>
 
 #include "common/result.h"
 
@@ -29,6 +30,16 @@ class BudgetAccountant {
   /// Fails with FailedPrecondition (and charges nothing) if the spend
   /// would exceed the total beyond a small composition-rounding slack.
   Status Spend(double epsilon);
+
+  /// \brief Number of equal `epsilon` spends this accountant's total
+  /// authorizes (under the same composition-rounding slack Spend()
+  /// applies), independent of what has been spent so far.
+  ///
+  /// The aggregation service keys each tenant's epsilon ledger by report
+  /// sequence number — sequence s is admitted iff s < Capacity(eps) — so
+  /// the set of budget-rejected reports is a pure function of the
+  /// stream, invariant to arrival order and worker count.
+  Result<std::uint64_t> Capacity(double epsilon) const;
 
   /// Budget consumed so far.
   double spent() const { return spent_; }

@@ -6,6 +6,8 @@
 #include <limits>
 #include <string>
 
+#include "common/crc32c.h"
+
 namespace hdldp {
 namespace protocol {
 
@@ -141,6 +143,62 @@ Result<UserReport> DecodeReport(std::span<const std::uint8_t> bytes) {
     return Status::InvalidArgument("wire: trailing bytes after report");
   }
   return report;
+}
+
+std::vector<std::uint8_t> EncodeEnvelope(const ReportEnvelope& envelope) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 4 * 10 + envelope.payload.size() + 4);
+  out.push_back(kEnvelopeVersion);
+  PutVarint(envelope.tenant, &out);
+  PutVarint(envelope.sequence, &out);
+  PutVarint(envelope.tick, &out);
+  PutVarint(envelope.payload.size(), &out);
+  out.insert(out.end(), envelope.payload.begin(), envelope.payload.end());
+  const std::uint32_t crc = Crc32c(out.data(), out.size());
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(crc >> (8 * i)));
+  }
+  return out;
+}
+
+Result<ReportEnvelope> DecodeEnvelope(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < 1 + 4 + 4) {
+    return Status::DataLoss("wire: envelope shorter than its framing");
+  }
+  const std::size_t body_size = bytes.size() - 4;
+  std::uint32_t stored_crc = 0;
+  for (int i = 0; i < 4; ++i) {
+    stored_crc |= static_cast<std::uint32_t>(bytes[body_size + i]) << (8 * i);
+  }
+  if (Crc32c(bytes.data(), body_size) != stored_crc) {
+    return Status::DataLoss("wire: envelope checksum mismatch");
+  }
+  // Past the CRC, framing errors can only come from an encoder bug, but
+  // the checks stay: DataLoss here is still better than UB there.
+  std::size_t pos = 0;
+  const std::uint8_t version = bytes[pos++];
+  if (version != kEnvelopeVersion) {
+    return Status::DataLoss("wire: unsupported envelope version " +
+                            std::to_string(version));
+  }
+  const auto get_field = [&](std::uint64_t* field) -> Status {
+    auto value = GetVarint(bytes.first(body_size), &pos);
+    if (!value.ok()) return Status::DataLoss("wire: torn envelope header");
+    *field = value.value();
+    return Status::OK();
+  };
+  ReportEnvelope envelope;
+  HDLDP_RETURN_NOT_OK(get_field(&envelope.tenant));
+  HDLDP_RETURN_NOT_OK(get_field(&envelope.sequence));
+  HDLDP_RETURN_NOT_OK(get_field(&envelope.tick));
+  std::uint64_t payload_size = 0;
+  HDLDP_RETURN_NOT_OK(get_field(&payload_size));
+  if (payload_size != body_size - pos) {
+    return Status::DataLoss("wire: envelope payload length mismatch");
+  }
+  envelope.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                          bytes.begin() + static_cast<std::ptrdiff_t>(body_size));
+  return envelope;
 }
 
 }  // namespace protocol

@@ -34,6 +34,39 @@ Result<std::vector<std::uint8_t>> EncodeReport(const UserReport& report);
 /// be consumed (no trailing bytes).
 Result<UserReport> DecodeReport(std::span<const std::uint8_t> bytes);
 
+/// Envelope framing version byte.
+inline constexpr std::uint8_t kEnvelopeVersion = 1;
+
+/// \brief One report as shipped to the aggregation service: the ingestion
+/// metadata the service routes, dedups, and windows on, wrapping an
+/// EncodeReport payload.
+///
+/// Framing (everything after the version byte varint/LE as in the report
+/// codec, closed by a CRC32C so transport corruption surfaces as a typed
+/// DataLoss instead of a perturbed estimate):
+///
+///   [u8 version=1][varint tenant][varint sequence][varint tick]
+///   [varint payload length][payload bytes][u32-LE CRC32C of all above]
+struct ReportEnvelope {
+  /// Tenant the report's budget charges against.
+  std::uint64_t tenant = 0;
+  /// Per-tenant sequence number; (tenant, sequence) identifies the report
+  /// for idempotent ingestion — retransmits carry the same pair.
+  std::uint64_t sequence = 0;
+  /// Event-time tick assigning the report to tumbling/sliding windows.
+  std::uint64_t tick = 0;
+  /// EncodeReport bytes (opaque to the framing layer).
+  std::vector<std::uint8_t> payload;
+};
+
+/// \brief Serializes an envelope (payload is framed as-is).
+std::vector<std::uint8_t> EncodeEnvelope(const ReportEnvelope& envelope);
+
+/// \brief Parses a buffer produced by EncodeEnvelope. Truncation and any
+/// checksum mismatch are DataLoss; the payload is NOT decoded (call
+/// DecodeReport on envelope.payload).
+Result<ReportEnvelope> DecodeEnvelope(std::span<const std::uint8_t> bytes);
+
 }  // namespace protocol
 }  // namespace hdldp
 

@@ -1,0 +1,715 @@
+#include "service/aggregation_service.h"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+#include <utility>
+
+#include "common/rng.h"
+#include "engine/reduce.h"
+#include "protocol/aggregator.h"
+
+namespace hdldp {
+namespace service {
+
+namespace {
+
+constexpr std::uint32_t kSnapshotBlobVersion = 1;
+
+// Little-endian fixed-width snapshot blob codec. The blob rides inside
+// one SnapshotFile record, which supplies the CRC frame and torn-tail
+// tolerance; this layer only has to be unambiguous.
+struct BlobWriter {
+  std::vector<unsigned char> bytes;
+
+  void U32(std::uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Span(std::span<const unsigned char> s) {
+    U64(s.size());
+    bytes.insert(bytes.end(), s.begin(), s.end());
+  }
+
+ private:
+  void Raw(const void* data, std::size_t len) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    bytes.insert(bytes.end(), p, p + len);
+  }
+};
+
+struct BlobReader {
+  std::span<const unsigned char> bytes;
+  std::size_t pos = 0;
+
+  Status U32(std::uint32_t* v) { return Raw(v, sizeof(*v)); }
+  Status U64(std::uint64_t* v) { return Raw(v, sizeof(*v)); }
+  Status F64(double* v) { return Raw(v, sizeof(*v)); }
+  Status Span(std::vector<unsigned char>* out) {
+    std::uint64_t len = 0;
+    HDLDP_RETURN_NOT_OK(U64(&len));
+    if (len > bytes.size() - pos) {
+      return Status::DataLoss("service snapshot: truncated byte span");
+    }
+    out->assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                bytes.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+    return Status::OK();
+  }
+
+ private:
+  Status Raw(void* out, std::size_t len) {
+    if (len > bytes.size() - pos) {
+      return Status::DataLoss("service snapshot: truncated field");
+    }
+    std::memcpy(out, bytes.data() + pos, len);
+    pos += len;
+    return Status::OK();
+  }
+};
+
+// Pane-seal accumulator: a MeanAggregator reduced with the state-exact
+// merge plus the report count the published window reconciles against.
+struct PaneAccumulator {
+  protocol::MeanAggregator agg;
+  std::uint64_t reports = 0;
+
+  void Reset() {
+    agg.Reset();
+    reports = 0;
+  }
+  Status Merge(const PaneAccumulator& other) {
+    reports += other.reports;
+    return agg.MergeState(other.agg);
+  }
+};
+
+std::vector<unsigned char> BuildDigest(const ServiceOptions& options) {
+  protocol::RunDigest digest;
+  digest.AddString("hdldp-service-v1");
+  digest.AddU64(options.num_dims);
+  digest.AddU64(options.window.width);
+  digest.AddU64(options.window.slide);
+  digest.AddU64(options.window.lateness);
+  digest.AddF64(options.tenant_epsilon);
+  digest.AddF64(options.per_report_epsilon);
+  digest.AddU64(options.expected_entries);
+  digest.AddF64(options.output_lo);
+  digest.AddF64(options.output_hi);
+  digest.AddF64(options.domain_map.scale());
+  digest.AddF64(options.domain_map.Forward(0.0));
+  digest.AddU64(options.native_bias.size());
+  for (const double b : options.native_bias) digest.AddF64(b);
+  digest.AddString(options.digest_tag);
+  // Worker count, queue capacity and overload policy are deliberately
+  // absent: estimates are invariant to them, so a run checkpointed at 4
+  // workers restores bit-identically at 1 (and vice versa).
+  return digest.bytes;
+}
+
+}  // namespace
+
+AggregationService::AggregationService(ServiceOptions options)
+    : options_(std::move(options)) {}
+
+std::size_t AggregationService::GroupOf(std::uint64_t tenant) {
+  // One SplitMix64 fate draw keyed by the tenant (the fate-hash pattern
+  // of data::FaultSchedule::Random): a pure function of the tenant, so a
+  // tenant's dedup/budget/buffer state always lives in one group no
+  // matter how many workers the process runs.
+  std::uint64_t mix = 0x5EA1ULL ^ (0x9e3779b97f4a7c15ULL * (tenant + 1));
+  return static_cast<std::size_t>(SplitMix64(&mix) % kNumShardGroups);
+}
+
+Result<std::unique_ptr<AggregationService>> AggregationService::Create(
+    ServiceOptions options) {
+  if (options.num_dims == 0) {
+    return Status::InvalidArgument("service requires num_dims > 0");
+  }
+  HDLDP_RETURN_NOT_OK(options.window.Validate());
+  if (!options.native_bias.empty() &&
+      options.native_bias.size() != options.num_dims) {
+    return Status::InvalidArgument(
+        "native_bias must be empty or have num_dims entries");
+  }
+  std::uint64_t budget_capacity = 0;
+  if (options.tenant_epsilon > 0.0) {
+    if (!(options.per_report_epsilon > 0.0)) {
+      return Status::InvalidArgument(
+          "a per-tenant budget requires per_report_epsilon > 0");
+    }
+    HDLDP_ASSIGN_OR_RETURN(
+        const protocol::BudgetAccountant probe,
+        protocol::BudgetAccountant::Create(options.tenant_epsilon));
+    HDLDP_ASSIGN_OR_RETURN(budget_capacity,
+                           probe.Capacity(options.per_report_epsilon));
+  }
+  if (options.num_workers == 0) {
+    options.num_workers =
+        std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (options.queue_capacity == 0) {
+    return Status::InvalidArgument("queue_capacity must be > 0");
+  }
+
+  std::unique_ptr<AggregationService> svc(
+      new AggregationService(std::move(options)));
+  svc->workers_ = svc->options_.num_workers;
+  svc->budget_capacity_ = budget_capacity;
+  svc->groups_.reserve(kNumShardGroups);
+  for (std::size_t g = 0; g < kNumShardGroups; ++g) {
+    svc->groups_.push_back(std::make_unique<GroupState>());
+  }
+
+  if (!svc->options_.checkpoint_path.empty()) {
+    const std::vector<unsigned char> digest = BuildDigest(svc->options_);
+    HDLDP_ASSIGN_OR_RETURN(
+        protocol::SnapshotFile snapshot,
+        protocol::SnapshotFile::Open(svc->options_.checkpoint_path, digest));
+    if (snapshot.resumed()) {
+      const auto state = snapshot.Load(0);
+      if (!state.has_value()) {
+        return Status::DataLoss(
+            "service checkpoint resumed but holds no state record");
+      }
+      HDLDP_RETURN_NOT_OK(svc->RestoreSnapshot(state->acc_state));
+      svc->snapshot_seq_ = state->chunks_done;
+      svc->resumed_ = true;
+    }
+    svc->snapshot_.emplace(std::move(snapshot));
+  }
+
+  svc->queues_.reserve(svc->workers_);
+  for (std::size_t w = 0; w < svc->workers_; ++w) {
+    svc->queues_.push_back(
+        std::make_unique<BoundedQueue<protocol::ReportEnvelope>>(
+            svc->options_.queue_capacity));
+  }
+  svc->pool_ = std::make_unique<ThreadPool>(svc->workers_);
+  AggregationService* raw = svc.get();
+  for (std::size_t w = 0; w < svc->workers_; ++w) {
+    svc->pool_->Post([raw, w] { raw->WorkerLoop(w); });
+  }
+  return svc;
+}
+
+AggregationService::~AggregationService() {
+  if (!stopped_.exchange(true)) {
+    for (auto& queue : queues_) queue->Close();
+    pool_.reset();
+  }
+  // A destructor without Finish() models a crash: the checkpoint file
+  // stays on disk for the next Create() to restore.
+  if (snapshot_.has_value()) {
+    const Status ignored = snapshot_->Close();
+    (void)ignored;
+  }
+}
+
+Status AggregationService::Submit(std::span<const std::uint8_t> bytes) {
+  if (stopped_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("aggregation service is stopped");
+  }
+  stats_.submitted.fetch_add(1, std::memory_order_relaxed);
+  auto envelope = protocol::DecodeEnvelope(bytes);
+  if (!envelope.ok()) {
+    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    return envelope.status();
+  }
+  const std::size_t worker = GroupOf(envelope.value().tenant) % workers_;
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  bool queued = false;
+  if (options_.overload == OverloadPolicy::kShed) {
+    queued = queues_[worker]->TryPush(std::move(envelope).value());
+    if (!queued) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      stats_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("ingestion queue full: report shed");
+    }
+  } else {
+    queued = queues_[worker]->Push(std::move(envelope).value());
+    if (!queued) {
+      pending_.fetch_sub(1, std::memory_order_acq_rel);
+      return Status::Unavailable("aggregation service is stopped");
+    }
+  }
+  return Status::OK();
+}
+
+void AggregationService::WorkerLoop(std::size_t worker) {
+  while (auto item = queues_[worker]->Pop()) {
+    Process(std::move(*item));
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(quiesce_mu_);
+      quiesce_cv_.notify_all();
+    }
+  }
+}
+
+void AggregationService::Process(protocol::ReportEnvelope envelope) {
+  const std::size_t g = GroupOf(envelope.tenant);
+  const std::uint64_t pane = options_.window.PaneOf(envelope.tick);
+  GroupState& group = *groups_[g];
+  std::lock_guard<std::mutex> lock(group.mu);
+  // The late check and the buffer insert share the group lock: the seal
+  // path raises sealed_before_ *before* taking any group lock to
+  // extract buffers, so a report is either buffered before its pane is
+  // extracted or it observes the raised bound and is shed — never lost.
+  if (pane < sealed_before_.load(std::memory_order_acquire)) {
+    stats_.shed_late.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  TenantState& tenant = group.tenants[envelope.tenant];
+  if (!tenant.seen.Insert(envelope.sequence)) {
+    stats_.deduped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto report = protocol::DecodeReport(envelope.payload);
+  if (!report.ok()) {
+    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::size_t expected = options_.expected_entries > 0
+                                   ? options_.expected_entries
+                                   : report.value().entries.size();
+  if (!protocol::ValidateReport(report.value(), options_.num_dims, expected,
+                                options_.output_lo, options_.output_hi)
+           .ok()) {
+    stats_.rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (budget_capacity_ > 0) {
+    // Sequence-keyed admission (see BudgetAccountant::Capacity): which
+    // reports are over budget is a pure function of the stream, so the
+    // accepted set never depends on arrival order. The ledger Spend is
+    // the enforcement backstop — admission guarantees it fits.
+    if (envelope.sequence >= budget_capacity_) {
+      stats_.rejected_budget.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (!tenant.ledger.has_value()) {
+      auto ledger = protocol::BudgetAccountant::Create(
+          options_.tenant_epsilon);
+      tenant.ledger.emplace(std::move(ledger).value());
+    }
+    if (!tenant.ledger->Spend(options_.per_report_epsilon).ok()) {
+      stats_.rejected_budget.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    ++tenant.accepted;
+  }
+  group.panes[pane].push_back(BufferedReport{
+      envelope.tenant, envelope.sequence, std::move(report).value()});
+  stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+  any_accepted_.store(true, std::memory_order_release);
+  std::uint64_t seen = max_pane_seen_.load(std::memory_order_relaxed);
+  while (pane > seen && !max_pane_seen_.compare_exchange_weak(
+                            seen, pane, std::memory_order_acq_rel)) {
+  }
+}
+
+void AggregationService::Quiesce() {
+  std::unique_lock<std::mutex> lock(quiesce_mu_);
+  quiesce_cv_.wait(lock, [&] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+Status AggregationService::AdvanceWatermark(std::uint64_t watermark) {
+  Quiesce();
+  watermark_ = std::max(watermark_, watermark);
+  return SealAndPublish(options_.window.SealablePanes(watermark_));
+}
+
+Status AggregationService::Drain() {
+  Quiesce();
+  std::uint64_t limit = sealed_before_.load(std::memory_order_acquire);
+  if (any_accepted_.load(std::memory_order_acquire)) {
+    limit = std::max(
+        limit, max_pane_seen_.load(std::memory_order_acquire) + 1);
+  }
+  return SealAndPublish(limit);
+}
+
+Status AggregationService::SealAndPublish(std::uint64_t pane_limit) {
+  const std::uint64_t sealed = sealed_before_.load(std::memory_order_acquire);
+  if (pane_limit > sealed) {
+    // Raise the bound before touching any group so a report processed
+    // concurrently is either already buffered (extracted below) or shed
+    // as late — see Process().
+    sealed_before_.store(pane_limit, std::memory_order_release);
+    for (std::uint64_t p = sealed; p < pane_limit; ++p) {
+      auto make_acc = [this]() -> Result<PaneAccumulator> {
+        HDLDP_ASSIGN_OR_RETURN(
+            protocol::MeanAggregator agg,
+            protocol::MeanAggregator::Create(options_.num_dims,
+                                             options_.domain_map));
+        return PaneAccumulator{std::move(agg), 0};
+      };
+      auto body = [this, p](std::size_t g,
+                            PaneAccumulator* scratch) -> Status {
+        std::vector<BufferedReport> buffer;
+        {
+          std::lock_guard<std::mutex> lock(groups_[g]->mu);
+          auto it = groups_[g]->panes.find(p);
+          if (it != groups_[g]->panes.end()) {
+            buffer = std::move(it->second);
+            groups_[g]->panes.erase(it);
+          }
+        }
+        // Processing order across workers is scheduling noise; the fold
+        // order inside a group is pinned here instead.
+        std::sort(buffer.begin(), buffer.end(),
+                  [](const BufferedReport& a, const BufferedReport& b) {
+                    return a.tenant != b.tenant ? a.tenant < b.tenant
+                                                : a.sequence < b.sequence;
+                  });
+        for (const BufferedReport& r : buffer) {
+          HDLDP_RETURN_NOT_OK(scratch->agg.ConsumeReport(r.report));
+          ++scratch->reports;
+        }
+        return Status::OK();
+      };
+      // 64 groups <= kMaxReductionGroups, so the tree degenerates to a
+      // flat in-group-order MergeState chain — one deterministic merge
+      // sequence at every concurrency.
+      HDLDP_ASSIGN_OR_RETURN(
+          PaneAccumulator pane_acc,
+          engine::ReduceChunks<PaneAccumulator>(kNumShardGroups, 0, make_acc,
+                                                body));
+      if (pane_acc.reports > 0) {
+        PaneAggregate aggregate;
+        aggregate.report_count = pane_acc.reports;
+        pane_acc.agg.SerializeState(&aggregate.state);
+        std::lock_guard<std::mutex> lock(publish_mu_);
+        pane_aggregates_.emplace(p, std::move(aggregate));
+      }
+      // Empty panes are not materialized: PublishWindow treats a
+      // missing pane as the (exact-identity) zero state.
+    }
+  }
+  const std::uint64_t k = options_.window.panes_per_window();
+  if (!any_accepted_.load(std::memory_order_acquire)) return Status::OK();
+  const std::uint64_t limit = sealed_before_.load(std::memory_order_acquire);
+  const std::uint64_t last_pane =
+      max_pane_seen_.load(std::memory_order_acquire);
+  while (next_window_ + k <= limit && next_window_ <= last_pane) {
+    HDLDP_RETURN_NOT_OK(PublishWindow(next_window_));
+    ++next_window_;
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    pane_aggregates_.erase(pane_aggregates_.begin(),
+                           pane_aggregates_.lower_bound(next_window_));
+  }
+  return Status::OK();
+}
+
+Status AggregationService::PublishWindow(std::uint64_t window) {
+  HDLDP_ASSIGN_OR_RETURN(
+      protocol::MeanAggregator acc,
+      protocol::MeanAggregator::Create(options_.num_dims,
+                                       options_.domain_map));
+  if (!options_.native_bias.empty()) {
+    HDLDP_RETURN_NOT_OK(acc.SetBiasCorrection(options_.native_bias));
+  }
+  PublishedWindow published;
+  published.index = window;
+  std::uint64_t report_count = 0;
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    for (std::uint64_t p = window;
+         p < window + options_.window.panes_per_window(); ++p) {
+      const auto it = pane_aggregates_.find(p);
+      if (it == pane_aggregates_.end()) continue;  // empty pane
+      HDLDP_ASSIGN_OR_RETURN(
+          protocol::MeanAggregator pane,
+          protocol::MeanAggregator::Create(options_.num_dims,
+                                           options_.domain_map));
+      HDLDP_RETURN_NOT_OK(pane.RestoreState(it->second.state));
+      HDLDP_RETURN_NOT_OK(acc.MergeState(pane));
+      published.report_count += it->second.report_count;
+    }
+    report_count = published.report_count;
+    published.estimate = acc.EstimatedMean();
+    published_.push_back(std::move(published));
+  }
+  stats_.published_windows.fetch_add(1, std::memory_order_relaxed);
+  stats_.published_reports.fetch_add(report_count,
+                                     std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status AggregationService::SaveSnapshot(std::uint64_t resume_cursor) {
+  if (!snapshot_.has_value()) {
+    return Status::FailedPrecondition(
+        "SaveSnapshot requires a checkpoint_path");
+  }
+  Quiesce();
+  const std::vector<unsigned char> blob = SerializeSnapshot(resume_cursor);
+  return snapshot_->Save(0, ++snapshot_seq_, {}, blob);
+}
+
+Status AggregationService::Finish() {
+  if (!stopped_.exchange(true)) {
+    for (auto& queue : queues_) queue->Close();
+    pool_.reset();
+  }
+  if (snapshot_.has_value()) {
+    HDLDP_RETURN_NOT_OK(snapshot_->Close());
+    snapshot_.reset();
+    HDLDP_RETURN_NOT_OK(
+        protocol::SnapshotFile::Remove(options_.checkpoint_path));
+  }
+  return Status::OK();
+}
+
+ServiceStats AggregationService::Stats() const {
+  ServiceStats s;
+  s.submitted = stats_.submitted.load(std::memory_order_acquire);
+  s.accepted = stats_.accepted.load(std::memory_order_acquire);
+  s.deduped = stats_.deduped.load(std::memory_order_acquire);
+  s.shed_queue_full =
+      stats_.shed_queue_full.load(std::memory_order_acquire);
+  s.shed_late = stats_.shed_late.load(std::memory_order_acquire);
+  s.rejected_malformed =
+      stats_.rejected_malformed.load(std::memory_order_acquire);
+  s.rejected_invalid =
+      stats_.rejected_invalid.load(std::memory_order_acquire);
+  s.rejected_budget =
+      stats_.rejected_budget.load(std::memory_order_acquire);
+  s.published_windows =
+      stats_.published_windows.load(std::memory_order_acquire);
+  s.published_reports =
+      stats_.published_reports.load(std::memory_order_acquire);
+  return s;
+}
+
+Status AggregationService::VerifyReconciliation() const {
+  const ServiceStats s = Stats();
+  const std::uint64_t accounted = s.accepted + s.deduped +
+                                  s.shed_queue_full + s.shed_late +
+                                  s.rejected_malformed + s.rejected_invalid +
+                                  s.rejected_budget;
+  if (accounted != s.submitted) {
+    return Status::Internal(
+        "shedding ledger mismatch: submitted " +
+        std::to_string(s.submitted) + " but accounted " +
+        std::to_string(accounted) +
+        " (a lost report is a service bug, never a statistic)");
+  }
+  return Status::OK();
+}
+
+std::vector<PublishedWindow> AggregationService::PublishedWindows() const {
+  std::lock_guard<std::mutex> lock(publish_mu_);
+  return published_;
+}
+
+std::vector<unsigned char> AggregationService::SerializeSnapshot(
+    std::uint64_t resume_cursor) const {
+  BlobWriter w;
+  w.U32(kSnapshotBlobVersion);
+  w.U64(resume_cursor);
+  w.U64(watermark_);
+  w.U64(sealed_before_.load(std::memory_order_acquire));
+  w.U64(next_window_);
+  w.U64(max_pane_seen_.load(std::memory_order_acquire));
+  w.U64(any_accepted_.load(std::memory_order_acquire) ? 1 : 0);
+  const ServiceStats s = Stats();
+  w.U64(s.submitted);
+  w.U64(s.accepted);
+  w.U64(s.deduped);
+  w.U64(s.shed_queue_full);
+  w.U64(s.shed_late);
+  w.U64(s.rejected_malformed);
+  w.U64(s.rejected_invalid);
+  w.U64(s.rejected_budget);
+  w.U64(s.published_windows);
+  w.U64(s.published_reports);
+  {
+    std::lock_guard<std::mutex> lock(publish_mu_);
+    // Published estimates are stored verbatim (not recomputed on
+    // restore): their pane aggregates are already pruned, and verbatim
+    // bits are what make a restored run's output diff-identical.
+    w.U64(published_.size());
+    for (const PublishedWindow& window : published_) {
+      w.U64(window.index);
+      w.U64(window.report_count);
+      w.U64(window.estimate.size());
+      for (const double v : window.estimate) w.F64(v);
+    }
+    w.U64(pane_aggregates_.size());
+    for (const auto& [pane, aggregate] : pane_aggregates_) {
+      w.U64(pane);
+      w.U64(aggregate.report_count);
+      w.Span(aggregate.state);
+    }
+  }
+  w.U64(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    GroupState& group = *groups_[g];
+    std::lock_guard<std::mutex> lock(group.mu);
+    w.U64(group.tenants.size());
+    for (const auto& [tenant, state] : group.tenants) {
+      w.U64(tenant);
+      w.U64(state.accepted);
+      w.U64(state.seen.intervals().size());
+      for (const auto& [lo, hi] : state.seen.intervals()) {
+        w.U64(lo);
+        w.U64(hi);
+      }
+    }
+    w.U64(group.panes.size());
+    for (const auto& [pane, buffer] : group.panes) {
+      w.U64(pane);
+      w.U64(buffer.size());
+      for (const BufferedReport& r : buffer) {
+        w.U64(r.tenant);
+        w.U64(r.sequence);
+        w.U64(r.report.entries.size());
+        for (const protocol::DimensionReport& entry : r.report.entries) {
+          w.U64(entry.dimension);
+          w.F64(entry.value);
+        }
+      }
+    }
+  }
+  return w.bytes;
+}
+
+Status AggregationService::RestoreSnapshot(
+    std::span<const unsigned char> blob) {
+  BlobReader r{blob};
+  std::uint32_t version = 0;
+  HDLDP_RETURN_NOT_OK(r.U32(&version));
+  if (version != kSnapshotBlobVersion) {
+    return Status::DataLoss("service snapshot: unsupported blob version " +
+                            std::to_string(version));
+  }
+  HDLDP_RETURN_NOT_OK(r.U64(&resume_cursor_));
+  HDLDP_RETURN_NOT_OK(r.U64(&watermark_));
+  std::uint64_t sealed = 0;
+  HDLDP_RETURN_NOT_OK(r.U64(&sealed));
+  sealed_before_.store(sealed, std::memory_order_release);
+  HDLDP_RETURN_NOT_OK(r.U64(&next_window_));
+  std::uint64_t max_pane = 0;
+  HDLDP_RETURN_NOT_OK(r.U64(&max_pane));
+  max_pane_seen_.store(max_pane, std::memory_order_release);
+  std::uint64_t any = 0;
+  HDLDP_RETURN_NOT_OK(r.U64(&any));
+  any_accepted_.store(any != 0, std::memory_order_release);
+  const auto restore_counter = [&r](std::atomic<std::uint64_t>* c) {
+    std::uint64_t v = 0;
+    const Status status = r.U64(&v);
+    if (status.ok()) c->store(v, std::memory_order_release);
+    return status;
+  };
+  HDLDP_RETURN_NOT_OK(restore_counter(&stats_.submitted));
+  HDLDP_RETURN_NOT_OK(restore_counter(&stats_.accepted));
+  HDLDP_RETURN_NOT_OK(restore_counter(&stats_.deduped));
+  HDLDP_RETURN_NOT_OK(restore_counter(&stats_.shed_queue_full));
+  HDLDP_RETURN_NOT_OK(restore_counter(&stats_.shed_late));
+  HDLDP_RETURN_NOT_OK(restore_counter(&stats_.rejected_malformed));
+  HDLDP_RETURN_NOT_OK(restore_counter(&stats_.rejected_invalid));
+  HDLDP_RETURN_NOT_OK(restore_counter(&stats_.rejected_budget));
+  HDLDP_RETURN_NOT_OK(restore_counter(&stats_.published_windows));
+  HDLDP_RETURN_NOT_OK(restore_counter(&stats_.published_reports));
+  std::uint64_t published_count = 0;
+  HDLDP_RETURN_NOT_OK(r.U64(&published_count));
+  published_.clear();
+  published_.reserve(published_count);
+  for (std::uint64_t i = 0; i < published_count; ++i) {
+    PublishedWindow window;
+    HDLDP_RETURN_NOT_OK(r.U64(&window.index));
+    HDLDP_RETURN_NOT_OK(r.U64(&window.report_count));
+    std::uint64_t dims = 0;
+    HDLDP_RETURN_NOT_OK(r.U64(&dims));
+    window.estimate.resize(dims);
+    for (std::uint64_t j = 0; j < dims; ++j) {
+      HDLDP_RETURN_NOT_OK(r.F64(&window.estimate[j]));
+    }
+    published_.push_back(std::move(window));
+  }
+  std::uint64_t pane_count = 0;
+  HDLDP_RETURN_NOT_OK(r.U64(&pane_count));
+  pane_aggregates_.clear();
+  for (std::uint64_t i = 0; i < pane_count; ++i) {
+    std::uint64_t pane = 0;
+    PaneAggregate aggregate;
+    HDLDP_RETURN_NOT_OK(r.U64(&pane));
+    HDLDP_RETURN_NOT_OK(r.U64(&aggregate.report_count));
+    HDLDP_RETURN_NOT_OK(r.Span(&aggregate.state));
+    pane_aggregates_.emplace(pane, std::move(aggregate));
+  }
+  std::uint64_t group_count = 0;
+  HDLDP_RETURN_NOT_OK(r.U64(&group_count));
+  if (group_count != groups_.size()) {
+    return Status::DataLoss("service snapshot: shard group count mismatch");
+  }
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    GroupState& group = *groups_[g];
+    std::uint64_t tenant_count = 0;
+    HDLDP_RETURN_NOT_OK(r.U64(&tenant_count));
+    for (std::uint64_t t = 0; t < tenant_count; ++t) {
+      std::uint64_t tenant_id = 0;
+      HDLDP_RETURN_NOT_OK(r.U64(&tenant_id));
+      TenantState& tenant = group.tenants[tenant_id];
+      HDLDP_RETURN_NOT_OK(r.U64(&tenant.accepted));
+      std::uint64_t interval_count = 0;
+      HDLDP_RETURN_NOT_OK(r.U64(&interval_count));
+      for (std::uint64_t i = 0; i < interval_count; ++i) {
+        std::uint64_t lo = 0;
+        std::uint64_t hi = 0;
+        HDLDP_RETURN_NOT_OK(r.U64(&lo));
+        HDLDP_RETURN_NOT_OK(r.U64(&hi));
+        if (hi <= lo) {
+          return Status::DataLoss("service snapshot: bad dedup interval");
+        }
+        tenant.seen.RestoreInterval(lo, hi);
+      }
+      if (options_.tenant_epsilon > 0.0 && tenant.accepted > 0) {
+        HDLDP_ASSIGN_OR_RETURN(
+            protocol::BudgetAccountant ledger,
+            protocol::BudgetAccountant::Create(options_.tenant_epsilon));
+        // Re-spending `accepted` equal charges reproduces the ledger's
+        // spent total bit for bit (one scalar chain of equal adds).
+        for (std::uint64_t i = 0; i < tenant.accepted; ++i) {
+          HDLDP_RETURN_NOT_OK(ledger.Spend(options_.per_report_epsilon));
+        }
+        tenant.ledger.emplace(std::move(ledger));
+      }
+    }
+    std::uint64_t pane_buffer_count = 0;
+    HDLDP_RETURN_NOT_OK(r.U64(&pane_buffer_count));
+    for (std::uint64_t i = 0; i < pane_buffer_count; ++i) {
+      std::uint64_t pane = 0;
+      HDLDP_RETURN_NOT_OK(r.U64(&pane));
+      std::uint64_t report_count = 0;
+      HDLDP_RETURN_NOT_OK(r.U64(&report_count));
+      std::vector<BufferedReport>& buffer = group.panes[pane];
+      buffer.reserve(report_count);
+      for (std::uint64_t j = 0; j < report_count; ++j) {
+        BufferedReport report;
+        HDLDP_RETURN_NOT_OK(r.U64(&report.tenant));
+        HDLDP_RETURN_NOT_OK(r.U64(&report.sequence));
+        std::uint64_t entries = 0;
+        HDLDP_RETURN_NOT_OK(r.U64(&entries));
+        report.report.entries.reserve(entries);
+        for (std::uint64_t e = 0; e < entries; ++e) {
+          std::uint64_t dim = 0;
+          double value = 0.0;
+          HDLDP_RETURN_NOT_OK(r.U64(&dim));
+          HDLDP_RETURN_NOT_OK(r.F64(&value));
+          report.report.entries.push_back(protocol::DimensionReport{
+              static_cast<std::uint32_t>(dim), value});
+        }
+        buffer.push_back(std::move(report));
+      }
+    }
+  }
+  if (r.pos != blob.size()) {
+    return Status::DataLoss("service snapshot: trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace service
+}  // namespace hdldp

@@ -1,0 +1,337 @@
+// service::AggregationService — the online collector: asynchronous
+// ingestion of wire-format LDP reports, rolling tumbling/sliding-window
+// estimates, graceful degradation under overload, and crash-safe
+// snapshots.
+//
+// Architecture (one box per layer, data flowing left to right):
+//
+//   Submit(bytes) --> per-worker BoundedQueue --> worker threads
+//        |                (backpressure or        (decode, dedup,
+//        |                 accounted shedding)     budget, buffer)
+//        v                                              |
+//   typed Status                                  shard groups
+//                                                       |
+//   AdvanceWatermark --> seal panes: sort + fold each group's buffer,
+//                        reduce the 64 group partials through
+//                        engine::ReduceChunks with MergeState
+//                             |
+//                             v
+//                   pane aggregates --> publish windows (MergeState of
+//                                       panes, in pane order)
+//
+// Robustness contract:
+//
+//   * Degradation is never silent. Every submitted report lands in
+//     exactly one stats bucket: accepted, deduped, shed_queue_full,
+//     shed_late, rejected_malformed, rejected_invalid, or
+//     rejected_budget — VerifyReconciliation() checks the sum exactly.
+//   * Ingestion is idempotent: (tenant, sequence) identifies a report,
+//     and retransmits/replays count as deduped without touching
+//     estimates. This is also what makes at-least-once replay after a
+//     crash safe.
+//   * Budget enforcement is typed and order-invariant: with a per-tenant
+//     budget configured, sequence s is admitted iff
+//     s < BudgetAccountant::Capacity(per-report epsilon) — a pure
+//     function of the stream, so which reports are rejected never
+//     depends on arrival order or worker count; accepted reports charge
+//     a per-tenant BudgetAccountant ledger that snapshots carry across
+//     restarts.
+//   * Estimates are worker-count invariant. All per-report state is
+//     keyed by shard group (a pure hash of the tenant, 64 groups);
+//     sealing sorts each group's pane buffer by (tenant, sequence)
+//     before folding and merges group partials in group order through
+//     the engine's deterministic reduction tree, so the published bits
+//     depend only on the accepted set — which is itself deterministic
+//     whenever Submit/AdvanceWatermark calls are sequenced (the replay
+//     driver) or backpressure mode is used. Snapshots therefore exclude
+//     the worker count from their digest, exactly like the batch
+//     checkpoint codec excludes the thread count.
+//   * Crash safety: SaveSnapshot() persists the full quiesced service
+//     state (watermark, dedup intervals, open pane buffers, sealed pane
+//     aggregates, published estimates, ledgers, stats) as one CRC-framed
+//     SnapshotFile record; Create() on the same path restores it and
+//     the run republishes bit-identical estimates.
+//
+// Event-time semantics live in window.h; the deterministic report
+// stream driving tests and benches lives in report_stream.h.
+
+#ifndef HDLDP_SERVICE_AGGREGATION_SERVICE_H_
+#define HDLDP_SERVICE_AGGREGATION_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "mech/mechanism.h"
+#include "protocol/budget.h"
+#include "protocol/report.h"
+#include "protocol/snapshot.h"
+#include "protocol/wire.h"
+#include "service/seq_interval_set.h"
+#include "service/window.h"
+
+namespace hdldp {
+namespace service {
+
+/// Shard groups all per-report state is keyed by. A pure function of the
+/// tenant (never of the worker count), so group state restores onto any
+/// number of workers; 64 groups keep 4–16 workers busy while the group
+/// partial reduce stays a flat in-order merge.
+inline constexpr std::size_t kNumShardGroups = 64;
+
+/// What Submit() does when a worker's ingestion queue is full.
+enum class OverloadPolicy {
+  /// Refuse the report (counted shed_queue_full, Unavailable returned):
+  /// bounded memory and bounded submit latency, lossy under sustained
+  /// overload. The serving default.
+  kShed,
+  /// Block the submitting thread until space opens (backpressure):
+  /// lossless, so the accepted set stays deterministic — what replay
+  /// and the equivalence tests use.
+  kBlock,
+};
+
+/// \brief Configuration of one service instance.
+struct ServiceOptions {
+  /// Aggregated dimensionality: d for mean workloads, the expanded
+  /// one-hot entry count for freq workloads.
+  std::size_t num_dims = 0;
+  /// Map from the mechanism's native output space back to the data
+  /// domain, applied when publishing estimates.
+  mech::DomainMap domain_map;
+  /// Optional per-dimension additive bias correction (empty = none).
+  std::vector<double> native_bias;
+
+  /// Report validation: entries per report (0 = don't check) and the
+  /// admissible native-space value range (infinities = unbounded).
+  std::size_t expected_entries = 0;
+  double output_lo = -std::numeric_limits<double>::infinity();
+  double output_hi = std::numeric_limits<double>::infinity();
+
+  /// Ingestion workers (0 = one per hardware thread). Published
+  /// estimates never depend on this.
+  std::size_t num_workers = 1;
+  /// Capacity of each worker's ingestion queue.
+  std::size_t queue_capacity = 1024;
+  OverloadPolicy overload = OverloadPolicy::kShed;
+
+  /// Event-time window geometry.
+  WindowConfig window;
+
+  /// Per-tenant total privacy budget (0 disables budget enforcement).
+  double tenant_epsilon = 0.0;
+  /// Budget one accepted report charges; required > 0 when
+  /// tenant_epsilon > 0.
+  double per_report_epsilon = 0.0;
+
+  /// Snapshot file path; empty disables SaveSnapshot().
+  std::string checkpoint_path;
+  /// Caller context folded into the snapshot digest (stream seed,
+  /// mechanism, workload, ...) so a checkpoint never resumes a
+  /// different run. Worker count and queue capacity are deliberately
+  /// excluded.
+  std::string digest_tag;
+};
+
+/// \brief Ingestion and publication counters. Every submitted report
+/// lands in exactly one of the buckets below `submitted`.
+struct ServiceStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t deduped = 0;
+  std::uint64_t shed_queue_full = 0;
+  std::uint64_t shed_late = 0;
+  std::uint64_t rejected_malformed = 0;
+  std::uint64_t rejected_invalid = 0;
+  std::uint64_t rejected_budget = 0;
+  std::uint64_t published_windows = 0;
+  /// Sum of PublishedWindow::report_count (a report counts once per
+  /// window containing it, so for sliding windows this exceeds
+  /// accepted).
+  std::uint64_t published_reports = 0;
+};
+
+/// \brief One published rolling estimate.
+struct PublishedWindow {
+  /// Window index w: the window covering ticks
+  /// [w * slide, w * slide + width).
+  std::uint64_t index = 0;
+  /// Accepted reports folded into this window.
+  std::uint64_t report_count = 0;
+  /// Data-domain estimate per dimension.
+  std::vector<double> estimate;
+};
+
+/// \brief The online aggregation service. Thread-safe: Submit() may be
+/// called from any number of producer threads; AdvanceWatermark(),
+/// Drain(), SaveSnapshot() and Finish() must be externally sequenced
+/// with each other (one driver thread).
+class AggregationService {
+ public:
+  /// \brief Validates options, restores checkpoint state when
+  /// `checkpoint_path` holds a matching snapshot, and starts the worker
+  /// pool.
+  static Result<std::unique_ptr<AggregationService>> Create(
+      ServiceOptions options);
+
+  ~AggregationService();
+
+  AggregationService(const AggregationService&) = delete;
+  AggregationService& operator=(const AggregationService&) = delete;
+
+  /// \brief Submits one EncodeEnvelope buffer for asynchronous
+  /// ingestion. Returns OK once the report is queued; DataLoss for a
+  /// corrupt envelope (counted rejected_malformed); Unavailable when the
+  /// target queue is full under OverloadPolicy::kShed (counted
+  /// shed_queue_full) or the service is stopped. Payload decoding,
+  /// dedup, budget and validation run on the worker — their outcomes
+  /// surface in Stats(), not here.
+  Status Submit(std::span<const std::uint8_t> envelope_bytes);
+
+  /// \brief Advances the event-time watermark: waits for all queued
+  /// reports to be processed (quiescence), seals every pane whose
+  /// lateness grace has expired, and publishes every window whose panes
+  /// are all sealed. Monotone; stale watermarks are no-ops.
+  Status AdvanceWatermark(std::uint64_t watermark);
+
+  /// \brief End of stream: quiesces, seals everything with buffered
+  /// data regardless of watermark, and publishes all remaining windows.
+  Status Drain();
+
+  /// \brief Persists the full service state as one snapshot record
+  /// (quiesces first). `resume_cursor` is an opaque driver position
+  /// (e.g. stream reports emitted so far) handed back by
+  /// resume_cursor() after a restore. Requires a checkpoint_path.
+  Status SaveSnapshot(std::uint64_t resume_cursor);
+
+  /// \brief Closes and removes the spent checkpoint (call on successful
+  /// completion, like the batch pipelines remove theirs).
+  Status Finish();
+
+  /// True iff Create() restored state from an existing checkpoint.
+  bool resumed() const { return resumed_; }
+  /// Driver position stored by the restored snapshot (0 when fresh).
+  std::uint64_t resume_cursor() const { return resume_cursor_; }
+
+  /// Snapshot of the counters (quiesce first for exact totals).
+  ServiceStats Stats() const;
+
+  /// \brief Checks the shedding ledger: submitted must equal the sum of
+  /// the per-cause buckets exactly (call quiesced). Internal on
+  /// mismatch — a lost report is a service bug, never a statistic.
+  Status VerifyReconciliation() const;
+
+  /// All windows published so far (restored ones included), ascending.
+  std::vector<PublishedWindow> PublishedWindows() const;
+
+  std::size_t num_workers() const { return workers_; }
+
+ private:
+  struct TenantState {
+    SeqIntervalSet seen;
+    std::uint64_t accepted = 0;
+    std::optional<protocol::BudgetAccountant> ledger;
+  };
+
+  struct BufferedReport {
+    std::uint64_t tenant = 0;
+    std::uint64_t sequence = 0;
+    protocol::UserReport report;
+  };
+
+  // All mutable per-report state of one shard group, guarded by `mu`.
+  // A group is touched by the one worker its reports route to, plus the
+  // driver thread during seal/snapshot — contention is the exception.
+  struct GroupState {
+    std::mutex mu;
+    std::map<std::uint64_t, TenantState> tenants;
+    std::map<std::uint64_t, std::vector<BufferedReport>> panes;
+  };
+
+  struct PaneAggregate {
+    std::uint64_t report_count = 0;
+    std::vector<unsigned char> state;
+  };
+
+  explicit AggregationService(ServiceOptions options);
+
+  static std::size_t GroupOf(std::uint64_t tenant);
+
+  void WorkerLoop(std::size_t worker);
+  void Process(protocol::ReportEnvelope envelope);
+  void Quiesce();
+  // Seals panes [sealed_before_, pane_limit) and publishes completed
+  // windows. Driver thread only, after Quiesce().
+  Status SealAndPublish(std::uint64_t pane_limit);
+  Status PublishWindow(std::uint64_t window);
+
+  std::vector<unsigned char> SerializeSnapshot(
+      std::uint64_t resume_cursor) const;
+  Status RestoreSnapshot(std::span<const unsigned char> blob);
+
+  ServiceOptions options_;
+  std::size_t workers_ = 1;
+  std::uint64_t budget_capacity_ = 0;  // admitted sequences per tenant
+
+  std::vector<std::unique_ptr<BoundedQueue<protocol::ReportEnvelope>>>
+      queues_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::vector<std::unique_ptr<GroupState>> groups_;
+
+  // Quiescence: +1 per queued report, -1 once fully processed.
+  std::atomic<std::uint64_t> pending_{0};
+  std::mutex quiesce_mu_;
+  std::condition_variable quiesce_cv_;
+
+  // Panes < sealed_before_ are sealed; workers shed reports for them.
+  std::atomic<std::uint64_t> sealed_before_{0};
+  // Highest pane any accepted report landed in (bounds Drain's seal).
+  std::atomic<std::uint64_t> max_pane_seen_{0};
+  std::atomic<bool> any_accepted_{false};
+  std::uint64_t watermark_ = 0;    // driver thread only
+  std::uint64_t next_window_ = 0;  // driver thread only
+
+  // Driver-thread state guarded against concurrent readers of
+  // PublishedWindows()/Stats() by publish_mu_.
+  mutable std::mutex publish_mu_;
+  std::map<std::uint64_t, PaneAggregate> pane_aggregates_;
+  std::vector<PublishedWindow> published_;
+
+  struct AtomicStats {
+    std::atomic<std::uint64_t> submitted{0};
+    std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> deduped{0};
+    std::atomic<std::uint64_t> shed_queue_full{0};
+    std::atomic<std::uint64_t> shed_late{0};
+    std::atomic<std::uint64_t> rejected_malformed{0};
+    std::atomic<std::uint64_t> rejected_invalid{0};
+    std::atomic<std::uint64_t> rejected_budget{0};
+    std::atomic<std::uint64_t> published_windows{0};
+    std::atomic<std::uint64_t> published_reports{0};
+  };
+  AtomicStats stats_;
+
+  std::optional<protocol::SnapshotFile> snapshot_;
+  std::uint64_t snapshot_seq_ = 0;
+  bool resumed_ = false;
+  std::uint64_t resume_cursor_ = 0;
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace service
+}  // namespace hdldp
+
+#endif  // HDLDP_SERVICE_AGGREGATION_SERVICE_H_

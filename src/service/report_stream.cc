@@ -1,0 +1,190 @@
+#include "service/report_stream.h"
+
+#include <cmath>
+#include <utility>
+
+#include "mech/registry.h"
+#include "protocol/budget.h"
+#include "protocol/wire.h"
+
+namespace hdldp {
+namespace service {
+
+namespace {
+
+// Per-report generator seed: the SplitMix64 fate-hash pattern of
+// FaultSchedule::Random under a stream-specific tag, so report i's Rng
+// stream is independent of every other report's and of the fault fates
+// (which hash under their own tags).
+std::uint64_t ReportSeed(std::uint64_t seed, std::uint64_t index) {
+  std::uint64_t mix = seed ^ (0x5EEDULL + 0x9e3779b97f4a7c15ULL * (index + 1));
+  return SplitMix64(&mix);
+}
+
+}  // namespace
+
+ReportStream::ReportStream(ReportStreamOptions options)
+    : options_(std::move(options)) {}
+
+Result<ReportStream> ReportStream::Create(const ReportStreamOptions& options) {
+  if (options.num_dims == 0) {
+    return Status::InvalidArgument("report stream requires num_dims > 0");
+  }
+  if (options.num_tenants == 0) {
+    return Status::InvalidArgument("report stream requires num_tenants > 0");
+  }
+  HDLDP_ASSIGN_OR_RETURN(mech::MechanismPtr mechanism,
+                         mech::MakeMechanism(options.mechanism));
+  ReportStream stream(options);
+  stream.mechanism_ = mechanism;
+  const std::size_t m = options.report_dims == 0 ? options.num_dims
+                                                 : options.report_dims;
+  if (m > options.num_dims) {
+    return Status::InvalidArgument(
+        "report_dims exceeds the stream dimensionality");
+  }
+  if (options.workload == StreamWorkload::kMean) {
+    protocol::ClientOptions client_options;
+    client_options.total_epsilon = options.epsilon;
+    client_options.report_dims = options.report_dims;
+    HDLDP_ASSIGN_OR_RETURN(
+        protocol::Client client,
+        protocol::Client::Create(mechanism, options.num_dims,
+                                 client_options));
+    stream.domain_map_ = client.domain_map();
+    stream.service_dims_ = options.num_dims;
+    stream.expected_entries_ = m;
+    stream.per_entry_epsilon_ = client.PerDimensionEpsilon();
+    stream.client_.emplace(std::move(client));
+  } else {
+    if (options.num_categories < 2) {
+      return Status::InvalidArgument(
+          "freq stream requires num_categories >= 2");
+    }
+    HDLDP_ASSIGN_OR_RETURN(
+        stream.per_entry_epsilon_,
+        protocol::BudgetAccountant::PerEntryBudget(options.epsilon, m));
+    HDLDP_RETURN_NOT_OK(mechanism->ValidateBudget(stream.per_entry_epsilon_));
+    // One-hot entries live in {0, 1}; map that onto the mechanism's
+    // native input domain, exactly like the freq pipeline does.
+    HDLDP_ASSIGN_OR_RETURN(
+        stream.domain_map_,
+        mech::DomainMap::Between(mech::Interval{0.0, 1.0},
+                                 mechanism->InputDomain()));
+    stream.service_dims_ = options.num_dims * options.num_categories;
+    stream.expected_entries_ = m * options.num_categories;
+  }
+  HDLDP_ASSIGN_OR_RETURN(const mech::Interval output,
+                         mechanism->OutputDomain(stream.per_entry_epsilon_));
+  stream.output_lo_ = output.lo;
+  stream.output_hi_ = output.hi;
+  const std::uint64_t fault_seed =
+      options.fault_seed != 0 ? options.fault_seed : options.seed;
+  stream.fault_schedule_ =
+      data::ReportFaultSchedule(fault_seed, options.faults);
+  return stream;
+}
+
+Status ReportStream::Generate(std::uint64_t index,
+                              std::vector<std::uint8_t>* out) {
+  Rng rng(ReportSeed(options_.seed, index));
+  protocol::UserReport report;
+  if (options_.workload == StreamWorkload::kMean) {
+    tuple_.resize(options_.num_dims);
+    for (double& v : tuple_) v = rng.Uniform(-1.0, 1.0);
+    HDLDP_ASSIGN_OR_RETURN(report, client_->Report(tuple_, &rng));
+  } else {
+    const std::size_t m = options_.report_dims == 0 ? options_.num_dims
+                                                    : options_.report_dims;
+    const std::size_t c = options_.num_categories;
+    sampled_.clear();
+    rng.SampleWithoutReplacement(options_.num_dims, m, &sampled_);
+    report.entries.reserve(m * c);
+    for (const std::uint32_t question : sampled_) {
+      const std::size_t answer =
+          static_cast<std::size_t>(rng.UniformInt(c));
+      for (std::size_t k = 0; k < c; ++k) {
+        const double native =
+            domain_map_.Forward(k == answer ? 1.0 : 0.0);
+        report.entries.push_back(protocol::DimensionReport{
+            static_cast<std::uint32_t>(question * c + k),
+            mechanism_->Perturb(native, per_entry_epsilon_, &rng)});
+      }
+    }
+  }
+  HDLDP_ASSIGN_OR_RETURN(const std::vector<std::uint8_t> payload,
+                         protocol::EncodeReport(report));
+  protocol::ReportEnvelope envelope;
+  envelope.tenant = index % options_.num_tenants;
+  envelope.sequence = index / options_.num_tenants;
+  envelope.tick = options_.reports_per_tick == 0
+                      ? 0
+                      : index / options_.reports_per_tick;
+  envelope.payload = payload;
+  *out = protocol::EncodeEnvelope(envelope);
+  return Status::OK();
+}
+
+Status ReportStream::Next(std::vector<std::uint8_t>* envelope, bool* done) {
+  *done = false;
+  for (;;) {
+    // An envelope held back for release slot r arrives once generation
+    // has passed r: every report still ungenerated has release >=
+    // next_index_, so the heap top is final the moment its release falls
+    // below the generation cursor (or the source runs dry).
+    if (!pending_.empty() &&
+        (next_index_ >= options_.num_reports ||
+         pending_.top().release < next_index_)) {
+      *envelope = pending_.top().bytes;
+      pending_.pop();
+      ++emitted_;
+      return Status::OK();
+    }
+    if (next_index_ >= options_.num_reports) {
+      *done = true;
+      return Status::OK();
+    }
+    const std::uint64_t index = next_index_++;
+    const data::ReportFate fate = fault_schedule_.Fate(index);
+    if (fate.drop) {
+      ++dropped_;
+      continue;
+    }
+    PendingEnvelope item;
+    item.index = index;
+    item.release = index + fate.reorder_delay;
+    if (fate.reorder_delay > 0) ++reordered_;
+    HDLDP_RETURN_NOT_OK(Generate(index, &item.bytes));
+    for (int copy = 1; copy <= fate.duplicates; ++copy) {
+      PendingEnvelope dup;
+      dup.index = index;
+      dup.copy = copy;
+      // A retransmit: identical bytes, arriving one slot later.
+      dup.release = item.release + 1;
+      dup.bytes = item.bytes;
+      pending_.push(std::move(dup));
+      ++duplicated_;
+    }
+    pending_.push(std::move(item));
+  }
+}
+
+Status ReportStream::SkipTo(std::uint64_t position) {
+  if (position < emitted_) {
+    return Status::InvalidArgument(
+        "ReportStream::SkipTo cannot rewind; create a fresh stream");
+  }
+  std::vector<std::uint8_t> scratch;
+  while (emitted_ < position) {
+    bool done = false;
+    HDLDP_RETURN_NOT_OK(Next(&scratch, &done));
+    if (done) {
+      return Status::InvalidArgument(
+          "SkipTo position lies beyond the end of the stream");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace service
+}  // namespace hdldp

@@ -1,0 +1,163 @@
+// Deterministic report-stream generator + fault delivery model: the
+// traffic source driving the aggregation service's tests, benches and
+// CLI verbs.
+//
+// A stream is a pure function of its options: report i's tuple, sampled
+// dimensions and perturbation draws all come from an Rng seeded by one
+// SplitMix64 fate-hash of (seed, i), so the i-th report is bit-identical
+// no matter how much of the stream was generated before it — the
+// property that lets a crash-restored run SkipTo() its cursor and replay
+// the exact suffix the dead process would have seen.
+//
+// Delivery faults (drop / duplicate / reorder) come from
+// data::ReportFaultSchedule, keyed the same way, and are applied inside
+// the stream: Next() emits envelopes in the faulted arrival order via a
+// bounded release-slot heap. Duplicates re-emit the same envelope bytes
+// (a retransmit, which the service must dedup), reordered reports arrive
+// after later-sent ones (which the window lateness grace must absorb),
+// and drops never arrive at all (counted here, so tests can reconcile
+// generator against service totals).
+
+#ifndef HDLDP_SERVICE_REPORT_STREAM_H_
+#define HDLDP_SERVICE_REPORT_STREAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "data/fault_injection.h"
+#include "mech/mechanism.h"
+#include "protocol/client.h"
+
+namespace hdldp {
+namespace service {
+
+/// Which protocol the generated reports speak.
+enum class StreamWorkload {
+  /// Mean estimation: m of d sampled dimensions at eps/m each, tuples
+  /// uniform in [-1, 1].
+  kMean,
+  /// Frequency estimation: m of q sampled questions, each one-hot
+  /// encoded over c categories and perturbed entry-wise at eps/(2m).
+  kFreq,
+};
+
+/// \brief Configuration of one deterministic report stream.
+struct ReportStreamOptions {
+  StreamWorkload workload = StreamWorkload::kMean;
+  /// Registered mechanism name (mech::MakeMechanism).
+  std::string mechanism = "duchi";
+  /// Logical reports in the stream (before drops/duplicates).
+  std::uint64_t num_reports = 0;
+  /// d for kMean; the question count q for kFreq.
+  std::size_t num_dims = 1;
+  /// Categories per question (kFreq only).
+  std::size_t num_categories = 2;
+  /// Total per-report privacy budget eps.
+  double epsilon = 1.0;
+  /// Sampled dimensions/questions m per report; 0 = all.
+  std::size_t report_dims = 0;
+  std::uint64_t seed = 1;
+  /// Reports round-robin over this many tenants; report i is
+  /// (tenant i % T, sequence i / T).
+  std::uint64_t num_tenants = 1;
+  /// Event-time: tick = i / reports_per_tick (0 = everything at tick 0).
+  std::uint64_t reports_per_tick = 0;
+  /// Delivery-fault rates; fates are keyed by (fault_seed, i).
+  data::ReportFaultSchedule::Options faults;
+  std::uint64_t fault_seed = 0;
+};
+
+/// \brief Pull-based deterministic envelope stream. Not thread-safe; one
+/// driver thread pulls and fans out into AggregationService::Submit.
+class ReportStream {
+ public:
+  static Result<ReportStream> Create(const ReportStreamOptions& options);
+
+  /// \brief Produces the next arriving envelope. Sets *done = true (and
+  /// leaves *envelope untouched) once the stream is exhausted.
+  Status Next(std::vector<std::uint8_t>* envelope, bool* done);
+
+  /// Envelopes emitted so far — the resume cursor the service snapshots.
+  std::uint64_t position() const { return emitted_; }
+
+  /// \brief Fast-forwards a fresh stream to `position` emitted
+  /// envelopes, discarding everything before it (crash-resume replay).
+  Status SkipTo(std::uint64_t position);
+
+  /// Logical reports the fault model dropped so far.
+  std::uint64_t dropped() const { return dropped_; }
+  /// Extra retransmit copies emitted so far.
+  std::uint64_t duplicated() const { return duplicated_; }
+  /// Reports emitted out of their send order so far.
+  std::uint64_t reordered() const { return reordered_; }
+
+  /// Aggregated dimensionality the service must be created with: d for
+  /// kMean, q * c for kFreq.
+  std::size_t service_dims() const { return service_dims_; }
+  /// Native-space map matching the generated reports.
+  const mech::DomainMap& domain_map() const { return domain_map_; }
+  /// Entries per report (m for kMean, m * c for kFreq).
+  std::size_t expected_entries() const { return expected_entries_; }
+  /// Admissible native-space value range (mechanism output domain at the
+  /// per-entry budget; infinite for unbounded mechanisms).
+  double output_lo() const { return output_lo_; }
+  double output_hi() const { return output_hi_; }
+  /// Budget one report spends against its tenant: the total eps.
+  double per_report_epsilon() const { return options_.epsilon; }
+
+ private:
+  struct PendingEnvelope {
+    std::uint64_t release = 0;
+    std::uint64_t index = 0;
+    int copy = 0;
+    std::vector<std::uint8_t> bytes;
+  };
+  struct LaterRelease {
+    bool operator()(const PendingEnvelope& a,
+                    const PendingEnvelope& b) const {
+      if (a.release != b.release) return a.release > b.release;
+      if (a.index != b.index) return a.index > b.index;
+      return a.copy > b.copy;
+    }
+  };
+
+  explicit ReportStream(ReportStreamOptions options);
+
+  /// Envelope bytes of logical report `index` — pure in (options, index).
+  Status Generate(std::uint64_t index, std::vector<std::uint8_t>* out);
+
+  ReportStreamOptions options_;
+  mech::MechanismPtr mechanism_;
+  std::optional<protocol::Client> client_;  // kMean only
+  mech::DomainMap domain_map_;
+  data::ReportFaultSchedule fault_schedule_;
+  std::size_t service_dims_ = 0;
+  std::size_t expected_entries_ = 0;
+  double per_entry_epsilon_ = 0.0;  // kFreq perturbation budget
+  double output_lo_ = 0.0;
+  double output_hi_ = 0.0;
+
+  std::uint64_t next_index_ = 0;  // next logical report to generate
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
+  std::uint64_t reordered_ = 0;
+  std::priority_queue<PendingEnvelope, std::vector<PendingEnvelope>,
+                      LaterRelease>
+      pending_;
+
+  // Reused per-report scratch.
+  std::vector<double> tuple_;
+  std::vector<std::uint32_t> sampled_;
+};
+
+}  // namespace service
+}  // namespace hdldp
+
+#endif  // HDLDP_SERVICE_REPORT_STREAM_H_

@@ -1,0 +1,90 @@
+// Compact membership set over per-tenant sequence numbers — the dedup
+// index behind the aggregation service's idempotent ingestion.
+//
+// A tenant's sequences arrive mostly contiguously (devices number their
+// reports 0, 1, 2, ...), with duplicates from retransmits and holes from
+// drops, so the seen-set is a handful of half-open intervals rather than
+// millions of hash entries. Intervals also serialize into snapshots as
+// (lo, hi) pairs, keeping crash-safe dedup state proportional to the
+// stream's disorder, not its length.
+
+#ifndef HDLDP_SERVICE_SEQ_INTERVAL_SET_H_
+#define HDLDP_SERVICE_SEQ_INTERVAL_SET_H_
+
+#include <cstdint>
+#include <map>
+
+namespace hdldp {
+namespace service {
+
+/// \brief Ordered set of uint64 values stored as coalesced half-open
+/// intervals. Not thread-safe; the service guards each instance with its
+/// owning group's mutex.
+class SeqIntervalSet {
+ public:
+  /// \brief Inserts `value`; returns false (and changes nothing) if it
+  /// was already present. Adjacent intervals coalesce, so n contiguous
+  /// inserts end as one interval.
+  bool Insert(std::uint64_t value) {
+    // Candidate predecessor: the last interval starting at or before
+    // `value`.
+    auto next = intervals_.upper_bound(value);
+    if (next != intervals_.begin()) {
+      auto prev = std::prev(next);
+      if (value < prev->second) return false;  // already covered
+      if (value == prev->second) {
+        // Extends the predecessor; maybe bridges into the successor.
+        if (next != intervals_.end() && next->first == value + 1) {
+          prev->second = next->second;
+          intervals_.erase(next);
+        } else {
+          prev->second = value + 1;
+        }
+        ++count_;
+        return true;
+      }
+    }
+    if (next != intervals_.end() && next->first == value + 1) {
+      // Prepends to the successor (map keys are immutable: reinsert).
+      const std::uint64_t hi = next->second;
+      intervals_.erase(next);
+      intervals_.emplace(value, hi);
+    } else {
+      intervals_.emplace(value, value + 1);
+    }
+    ++count_;
+    return true;
+  }
+
+  bool Contains(std::uint64_t value) const {
+    auto next = intervals_.upper_bound(value);
+    if (next == intervals_.begin()) return false;
+    return value < std::prev(next)->second;
+  }
+
+  /// Number of values (not intervals) in the set.
+  std::uint64_t size() const { return count_; }
+
+  /// Intervals as lo -> hi (half-open), ascending — the snapshot wire
+  /// form.
+  const std::map<std::uint64_t, std::uint64_t>& intervals() const {
+    return intervals_;
+  }
+
+  /// \brief Restore path: appends one interval [lo, hi) that must lie
+  /// strictly after everything already inserted (snapshots store
+  /// intervals ascending and disjoint).
+  void RestoreInterval(std::uint64_t lo, std::uint64_t hi) {
+    intervals_.emplace(lo, hi);
+    count_ += hi - lo;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> intervals_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace service
+}  // namespace hdldp
+
+#endif  // HDLDP_SERVICE_SEQ_INTERVAL_SET_H_

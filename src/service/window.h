@@ -1,0 +1,69 @@
+// Event-time window geometry of the aggregation service.
+//
+// Reports carry an integer event-time tick; the service publishes one
+// estimate per *window* of `width` ticks, advancing by `slide` ticks
+// (slide == width is the tumbling special case). Internally everything
+// is pane-based, the standard decomposition for overlapping windows:
+// with width a multiple of slide, a *pane* is one slide-length span of
+// ticks, window w is exactly the panes [w, w + width/slide), and each
+// report is folded into its single pane once — sliding windows then
+// share sealed pane aggregates through MergeState instead of re-folding
+// reports width/slide times.
+//
+// A pane seals once the watermark passes its end plus the allowed
+// lateness; reports for sealed panes are shed (counted, never folded),
+// which is what bounds estimate staleness under out-of-order arrival.
+
+#ifndef HDLDP_SERVICE_WINDOW_H_
+#define HDLDP_SERVICE_WINDOW_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace hdldp {
+namespace service {
+
+/// \brief Tumbling/sliding window configuration, in event-time ticks.
+struct WindowConfig {
+  /// Ticks covered by one published window (> 0).
+  std::uint64_t width = 1;
+  /// Ticks between consecutive window starts; 0 means `width`
+  /// (tumbling). Must divide `width`.
+  std::uint64_t slide = 0;
+  /// Grace ticks: pane p seals only once the watermark reaches
+  /// (p + 1) * slide + lateness, so reports up to `lateness` ticks out
+  /// of order still land.
+  std::uint64_t lateness = 0;
+
+  /// Normalizes slide (0 -> width) and validates the geometry.
+  Status Validate() {
+    if (width == 0) {
+      return Status::InvalidArgument("window width must be > 0 ticks");
+    }
+    if (slide == 0) slide = width;
+    if (slide > width || width % slide != 0) {
+      return Status::InvalidArgument(
+          "window slide must divide the window width (pane decomposition)");
+    }
+    return Status::OK();
+  }
+
+  /// Panes per window (1 for tumbling).
+  std::uint64_t panes_per_window() const { return width / slide; }
+
+  /// Pane owning a report with event-time `tick`.
+  std::uint64_t PaneOf(std::uint64_t tick) const { return tick / slide; }
+
+  /// \brief First pane NOT yet sealable at `watermark`: panes
+  /// [0, SealablePanes(w)) may seal. Monotone in the watermark.
+  std::uint64_t SealablePanes(std::uint64_t watermark) const {
+    if (watermark < lateness) return 0;
+    return (watermark - lateness) / slide;
+  }
+};
+
+}  // namespace service
+}  // namespace hdldp
+
+#endif  // HDLDP_SERVICE_WINDOW_H_

@@ -1,0 +1,631 @@
+// Tests for the online aggregation service: ingestion queue semantics,
+// counted load shedding (reconciliation is exact, degradation is never
+// silent), idempotent dedup, order-invariant budget enforcement,
+// worker-count-invariant published estimates, fault-injected report
+// streams, and crash-safe snapshot/restore (kill-and-restore republishes
+// bit-identical estimates at 1 and 4 workers).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/mpmc_queue.h"
+#include "data/fault_injection.h"
+#include "protocol/wire.h"
+#include "service/aggregation_service.h"
+#include "service/report_stream.h"
+#include "service/seq_interval_set.h"
+#include "service/window.h"
+
+namespace hdldp {
+namespace service {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "hdldp_service_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// One wire-format envelope carrying a hand-built two-entry report whose
+// values encode (tenant, seq) — so any difference in the accepted set
+// shows up in the published estimate bits.
+std::vector<std::uint8_t> MakeEnvelope(std::uint64_t tenant,
+                                       std::uint64_t seq, std::uint64_t tick,
+                                       double value) {
+  protocol::UserReport report;
+  report.entries.push_back(
+      protocol::DimensionReport{0, value});
+  report.entries.push_back(
+      protocol::DimensionReport{1, -0.5 * value});
+  protocol::ReportEnvelope envelope;
+  envelope.tenant = tenant;
+  envelope.sequence = seq;
+  envelope.tick = tick;
+  envelope.payload = protocol::EncodeReport(report).value();
+  return protocol::EncodeEnvelope(envelope);
+}
+
+ServiceOptions ManualOptions(std::size_t num_dims = 2) {
+  ServiceOptions options;
+  options.num_dims = num_dims;
+  return options;
+}
+
+// Service options matching a generated stream, the same wiring the CLI
+// verbs use.
+ServiceOptions OptionsFor(const ReportStream& stream,
+                          const ReportStreamOptions& stream_options) {
+  ServiceOptions options;
+  options.num_dims = stream.service_dims();
+  options.domain_map = stream.domain_map();
+  options.expected_entries = stream.expected_entries();
+  options.output_lo = stream.output_lo();
+  options.output_hi = stream.output_hi();
+  (void)stream_options;
+  return options;
+}
+
+// Pulls the whole stream into the service with the CLI's position-based
+// watermark schedule, then drains.
+Status Drive(AggregationService* service, ReportStream* stream,
+             std::uint64_t reports_per_tick) {
+  std::vector<std::uint8_t> envelope;
+  std::uint64_t last_tick = 0;
+  for (;;) {
+    bool done = false;
+    HDLDP_RETURN_NOT_OK(stream->Next(&envelope, &done));
+    if (done) break;
+    const Status status = service->Submit(envelope);
+    if (!status.ok() && status.code() != StatusCode::kUnavailable) {
+      return status;
+    }
+    if (reports_per_tick > 0) {
+      const std::uint64_t tick = stream->position() / reports_per_tick;
+      if (tick > last_tick) {
+        last_tick = tick;
+        HDLDP_RETURN_NOT_OK(service->AdvanceWatermark(tick));
+      }
+    }
+  }
+  return service->Drain();
+}
+
+void ExpectSameWindows(const std::vector<PublishedWindow>& a,
+                       const std::vector<PublishedWindow>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].index, b[i].index);
+    EXPECT_EQ(a[i].report_count, b[i].report_count);
+    ASSERT_EQ(a[i].estimate.size(), b[i].estimate.size());
+    EXPECT_EQ(0, std::memcmp(a[i].estimate.data(), b[i].estimate.data(),
+                             a[i].estimate.size() * sizeof(double)))
+        << "window " << a[i].index << " estimates differ bitwise";
+  }
+}
+
+void ExpectSameStats(const ServiceStats& a, const ServiceStats& b) {
+  EXPECT_EQ(a.submitted, b.submitted);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.deduped, b.deduped);
+  EXPECT_EQ(a.shed_queue_full, b.shed_queue_full);
+  EXPECT_EQ(a.shed_late, b.shed_late);
+  EXPECT_EQ(a.rejected_malformed, b.rejected_malformed);
+  EXPECT_EQ(a.rejected_invalid, b.rejected_invalid);
+  EXPECT_EQ(a.rejected_budget, b.rejected_budget);
+  EXPECT_EQ(a.published_windows, b.published_windows);
+  EXPECT_EQ(a.published_reports, b.published_reports);
+}
+
+TEST(BoundedQueueTest, TryPushShedsWhenFullAndRecoversAfterPop) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  int shed = 3;
+  EXPECT_FALSE(queue.TryPush(std::move(shed)));
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_EQ(queue.Pop().value(), 3);
+}
+
+TEST(BoundedQueueTest, CloseIsFlushBarrierNotAbort) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  queue.Close();
+  int late = 3;
+  EXPECT_FALSE(queue.TryPush(std::move(late)));
+  EXPECT_FALSE(queue.Push(std::move(late)));
+  // The backlog drains before nullopt.
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, BlockingPushWaitsForConsumer) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.TryPush(1));
+  std::thread producer([&queue] {
+    EXPECT_TRUE(queue.Push(2));  // blocks until the pop below
+  });
+  EXPECT_EQ(queue.Pop().value(), 1);
+  EXPECT_EQ(queue.Pop().value(), 2);
+  producer.join();
+}
+
+TEST(ReportFaultScheduleTest, FateIsPureAndPullOrderInvariant) {
+  data::ReportFaultSchedule::Options options;
+  options.drop_rate = 0.1;
+  options.duplicate_rate = 0.1;
+  options.reorder_rate = 0.2;
+  options.reorder_delay = 5;
+  const data::ReportFaultSchedule schedule(42, options);
+  ASSERT_TRUE(schedule.active());
+  std::vector<data::ReportFate> forward;
+  for (std::uint64_t i = 0; i < 1000; ++i) forward.push_back(schedule.Fate(i));
+  bool any_drop = false, any_dup = false, any_reorder = false;
+  for (std::uint64_t i = 1000; i-- > 0;) {
+    const data::ReportFate fate = schedule.Fate(i);  // reverse pull order
+    EXPECT_EQ(fate.drop, forward[i].drop);
+    EXPECT_EQ(fate.duplicates, forward[i].duplicates);
+    EXPECT_EQ(fate.reorder_delay, forward[i].reorder_delay);
+    any_drop |= fate.drop;
+    any_dup |= fate.duplicates > 0;
+    any_reorder |= fate.reorder_delay > 0;
+  }
+  EXPECT_TRUE(any_drop);
+  EXPECT_TRUE(any_dup);
+  EXPECT_TRUE(any_reorder);
+  EXPECT_FALSE(
+      data::ReportFaultSchedule(42, data::ReportFaultSchedule::Options{})
+          .active());
+}
+
+TEST(ReportStreamTest, StreamIsDeterministicInItsOptions) {
+  ReportStreamOptions options;
+  options.num_reports = 200;
+  options.num_dims = 4;
+  options.report_dims = 2;
+  options.num_tenants = 3;
+  options.seed = 9;
+  options.faults.drop_rate = 0.05;
+  options.faults.duplicate_rate = 0.05;
+  options.faults.reorder_rate = 0.1;
+  auto a = ReportStream::Create(options).value();
+  auto b = ReportStream::Create(options).value();
+  std::vector<std::uint8_t> ea, eb;
+  for (;;) {
+    bool da = false, db = false;
+    ASSERT_TRUE(a.Next(&ea, &da).ok());
+    ASSERT_TRUE(b.Next(&eb, &db).ok());
+    ASSERT_EQ(da, db);
+    if (da) break;
+    EXPECT_EQ(ea, eb);
+  }
+  EXPECT_EQ(a.position(), b.position());
+  EXPECT_EQ(a.dropped(), b.dropped());
+  EXPECT_EQ(a.duplicated(), b.duplicated());
+  EXPECT_EQ(a.reordered(), b.reordered());
+}
+
+TEST(ReportStreamTest, SkipToReplaysTheExactSuffix) {
+  ReportStreamOptions options;
+  options.num_reports = 300;
+  options.num_dims = 3;
+  options.num_tenants = 2;
+  options.seed = 17;
+  options.faults.duplicate_rate = 0.1;
+  options.faults.reorder_rate = 0.2;
+  auto full = ReportStream::Create(options).value();
+  std::vector<std::uint8_t> envelope;
+  std::vector<std::vector<std::uint8_t>> tail;
+  bool done = false;
+  while (!done) {
+    ASSERT_TRUE(full.Next(&envelope, &done).ok());
+    if (!done && full.position() > 120) tail.push_back(envelope);
+  }
+  auto resumed = ReportStream::Create(options).value();
+  ASSERT_TRUE(resumed.SkipTo(120).ok());
+  EXPECT_EQ(resumed.position(), 120u);
+  for (const auto& expected : tail) {
+    done = false;
+    ASSERT_TRUE(resumed.Next(&envelope, &done).ok());
+    ASSERT_FALSE(done);
+    EXPECT_EQ(envelope, expected);
+  }
+  ASSERT_TRUE(resumed.Next(&envelope, &done).ok());
+  EXPECT_TRUE(done);
+  // Rewinding is a typed error, not silent corruption.
+  EXPECT_EQ(resumed.SkipTo(0).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServiceTest, ReplayPublishesRollingWindowsAndReconciles) {
+  ReportStreamOptions stream_options;
+  stream_options.num_reports = 600;
+  stream_options.num_dims = 4;
+  stream_options.report_dims = 2;
+  stream_options.num_tenants = 3;
+  stream_options.seed = 5;
+  stream_options.reports_per_tick = 100;
+  auto stream = ReportStream::Create(stream_options).value();
+  ServiceOptions options = OptionsFor(stream, stream_options);
+  options.window.width = 2;
+  auto service = AggregationService::Create(options).value();
+  ASSERT_TRUE(Drive(service.get(), &stream, 100).ok());
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.submitted, 600u);
+  EXPECT_EQ(stats.accepted, 600u);
+  EXPECT_EQ(stats.published_windows, 3u);
+  EXPECT_EQ(stats.published_reports, 600u);
+  ASSERT_TRUE(service->VerifyReconciliation().ok());
+  const auto windows = service->PublishedWindows();
+  ASSERT_EQ(windows.size(), 3u);
+  for (const PublishedWindow& w : windows) {
+    EXPECT_EQ(w.report_count, 200u);
+    EXPECT_EQ(w.estimate.size(), 4u);
+  }
+}
+
+TEST(ServiceTest, ConcurrentBlockingIngestMatchesReplayBitForBit) {
+  ReportStreamOptions stream_options;
+  stream_options.workload = StreamWorkload::kFreq;
+  stream_options.mechanism = "piecewise";
+  stream_options.num_reports = 800;
+  stream_options.num_dims = 4;  // questions
+  stream_options.num_categories = 3;
+  stream_options.report_dims = 2;
+  stream_options.epsilon = 2.0;
+  stream_options.num_tenants = 5;
+  stream_options.seed = 31;
+  stream_options.reports_per_tick = 200;
+
+  auto replay_stream = ReportStream::Create(stream_options).value();
+  ServiceOptions replay_options = OptionsFor(replay_stream, stream_options);
+  replay_options.window.width = 1;
+  replay_options.num_workers = 1;
+  replay_options.overload = OverloadPolicy::kBlock;
+  auto replay = AggregationService::Create(replay_options).value();
+  ASSERT_TRUE(Drive(replay.get(), &replay_stream, 200).ok());
+
+  auto serve_stream = ReportStream::Create(stream_options).value();
+  ServiceOptions serve_options = OptionsFor(serve_stream, stream_options);
+  serve_options.window.width = 1;
+  serve_options.num_workers = 4;
+  serve_options.overload = OverloadPolicy::kBlock;
+  serve_options.queue_capacity = 16;  // force real backpressure
+  auto serve = AggregationService::Create(serve_options).value();
+  ASSERT_TRUE(Drive(serve.get(), &serve_stream, 200).ok());
+
+  ASSERT_TRUE(replay->VerifyReconciliation().ok());
+  ASSERT_TRUE(serve->VerifyReconciliation().ok());
+  ExpectSameStats(replay->Stats(), serve->Stats());
+  ExpectSameWindows(replay->PublishedWindows(), serve->PublishedWindows());
+}
+
+TEST(ServiceTest, RetransmitsAreDedupedWithoutTouchingEstimates) {
+  auto once = AggregationService::Create(ManualOptions()).value();
+  auto twice = AggregationService::Create(ManualOptions()).value();
+  for (std::uint64_t seq = 0; seq < 50; ++seq) {
+    const auto envelope = MakeEnvelope(seq % 4, seq, 0, 0.01 * seq);
+    ASSERT_TRUE(once->Submit(envelope).ok());
+    ASSERT_TRUE(twice->Submit(envelope).ok());
+    ASSERT_TRUE(twice->Submit(envelope).ok());  // retransmit
+  }
+  ASSERT_TRUE(once->Drain().ok());
+  ASSERT_TRUE(twice->Drain().ok());
+  const ServiceStats stats = twice->Stats();
+  EXPECT_EQ(stats.submitted, 100u);
+  EXPECT_EQ(stats.accepted, 50u);
+  EXPECT_EQ(stats.deduped, 50u);
+  ASSERT_TRUE(twice->VerifyReconciliation().ok());
+  ExpectSameWindows(once->PublishedWindows(), twice->PublishedWindows());
+}
+
+TEST(ServiceTest, LateReportsAreShedAndCounted) {
+  ServiceOptions options = ManualOptions();
+  options.window.width = 1;
+  auto service = AggregationService::Create(options).value();
+  ASSERT_TRUE(service->Submit(MakeEnvelope(0, 0, 0, 0.5)).ok());
+  ASSERT_TRUE(service->AdvanceWatermark(2).ok());  // seals panes 0 and 1
+  ASSERT_TRUE(service->Submit(MakeEnvelope(0, 1, 0, 0.7)).ok());  // late
+  ASSERT_TRUE(service->Submit(MakeEnvelope(0, 2, 2, 0.9)).ok());  // on time
+  ASSERT_TRUE(service->Drain().ok());
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.shed_late, 1u);
+  ASSERT_TRUE(service->VerifyReconciliation().ok());
+  const auto windows = service->PublishedWindows();
+  ASSERT_EQ(windows.size(), 3u);  // window 1 publishes empty, not skipped
+  EXPECT_EQ(windows[0].report_count, 1u);  // the late retry is NOT in it
+  EXPECT_EQ(windows[1].report_count, 0u);
+  EXPECT_EQ(windows[2].report_count, 1u);
+}
+
+TEST(ServiceTest, LatenessGraceAbsorbsReordering) {
+  ServiceOptions options = ManualOptions();
+  options.window.width = 1;
+  options.window.lateness = 1;
+  auto service = AggregationService::Create(options).value();
+  ASSERT_TRUE(service->Submit(MakeEnvelope(0, 0, 0, 0.5)).ok());
+  ASSERT_TRUE(service->AdvanceWatermark(1).ok());  // pane 0 NOT yet sealed
+  ASSERT_TRUE(service->Submit(MakeEnvelope(0, 1, 0, 0.7)).ok());  // 1 late
+  ASSERT_TRUE(service->Drain().ok());
+  EXPECT_EQ(service->Stats().shed_late, 0u);
+  EXPECT_EQ(service->Stats().accepted, 2u);
+  const auto windows = service->PublishedWindows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].report_count, 2u);
+}
+
+TEST(ServiceTest, MalformedEnvelopesAreTypedAndCounted) {
+  auto service = AggregationService::Create(ManualOptions()).value();
+  std::vector<std::uint8_t> corrupt = MakeEnvelope(0, 0, 0, 0.5);
+  corrupt[corrupt.size() / 2] ^= 0xFF;  // breaks the CRC frame
+  EXPECT_EQ(service->Submit(corrupt).code(), StatusCode::kDataLoss);
+  const std::vector<std::uint8_t> truncated{0x01, 0x02};
+  EXPECT_EQ(service->Submit(truncated).code(), StatusCode::kDataLoss);
+  ASSERT_TRUE(service->Submit(MakeEnvelope(0, 0, 0, 0.5)).ok());
+  ASSERT_TRUE(service->Drain().ok());
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.rejected_malformed, 2u);
+  EXPECT_EQ(stats.accepted, 1u);
+  ASSERT_TRUE(service->VerifyReconciliation().ok());
+}
+
+TEST(ServiceTest, BudgetRejectionIsTypedCountedAndOrderInvariant) {
+  ServiceOptions options = ManualOptions();
+  options.tenant_epsilon = 1.0;
+  options.per_report_epsilon = 0.25;  // capacity: sequences 0..3
+  auto forward = AggregationService::Create(options).value();
+  auto reverse = AggregationService::Create(options).value();
+  for (std::uint64_t seq = 0; seq < 10; ++seq) {
+    ASSERT_TRUE(forward->Submit(MakeEnvelope(0, seq, 0, 0.01 * seq)).ok());
+    const std::uint64_t rseq = 9 - seq;
+    ASSERT_TRUE(reverse->Submit(MakeEnvelope(0, rseq, 0, 0.01 * rseq)).ok());
+  }
+  ASSERT_TRUE(forward->Drain().ok());
+  ASSERT_TRUE(reverse->Drain().ok());
+  for (AggregationService* service : {forward.get(), reverse.get()}) {
+    const ServiceStats stats = service->Stats();
+    EXPECT_EQ(stats.accepted, 4u);
+    EXPECT_EQ(stats.rejected_budget, 6u);
+    ASSERT_TRUE(service->VerifyReconciliation().ok());
+  }
+  // The admitted set is seq < capacity regardless of arrival order, so
+  // the published estimates agree bit for bit.
+  ExpectSameWindows(forward->PublishedWindows(),
+                    reverse->PublishedWindows());
+}
+
+TEST(ServiceTest, OverloadShedsWithExactReconciliationUnderConcurrency) {
+  ServiceOptions options = ManualOptions();
+  options.num_workers = 2;
+  options.queue_capacity = 4;  // tiny: guarantees real shedding
+  options.overload = OverloadPolicy::kShed;
+  auto service = AggregationService::Create(options).value();
+  constexpr std::uint64_t kProducers = 4;
+  constexpr std::uint64_t kPerProducer = 2000;
+  std::vector<std::thread> producers;
+  for (std::uint64_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&service, p] {
+      for (std::uint64_t i = 0; i < kPerProducer; ++i) {
+        const auto envelope =
+            MakeEnvelope(/*tenant=*/p * kPerProducer + i, /*seq=*/0,
+                         /*tick=*/0, 0.001 * i);
+        const Status status = service->Submit(envelope);
+        // Under kShed the only admissible failure is typed Unavailable.
+        if (!status.ok()) {
+          EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+        }
+      }
+    });
+  }
+  for (std::thread& t : producers) t.join();
+  ASSERT_TRUE(service->Drain().ok());
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.submitted, kProducers * kPerProducer);
+  EXPECT_GT(stats.shed_queue_full, 0u);  // the tiny queues really shed
+  EXPECT_GT(stats.accepted, 0u);         // and the service still made progress
+  ASSERT_TRUE(service->VerifyReconciliation().ok());
+  // Everything accepted was published exactly once (tumbling windows).
+  EXPECT_EQ(stats.published_reports, stats.accepted);
+}
+
+TEST(ServiceTest, KillAndRestoreRepublishesBitIdenticalEstimates) {
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    ReportStreamOptions stream_options;
+    stream_options.num_reports = 1000;
+    stream_options.num_dims = 4;
+    stream_options.report_dims = 2;
+    stream_options.num_tenants = 3;
+    stream_options.seed = 77;
+    stream_options.reports_per_tick = 100;
+    stream_options.faults.duplicate_rate = 0.05;
+    stream_options.faults.reorder_rate = 0.1;
+
+    // Reference: the uninterrupted run.
+    auto ref_stream = ReportStream::Create(stream_options).value();
+    ServiceOptions base = OptionsFor(ref_stream, stream_options);
+    base.window.width = 2;
+    base.window.lateness = 1;
+    base.num_workers = workers;
+    base.overload = OverloadPolicy::kBlock;
+    base.tenant_epsilon = 400.0;
+    base.per_report_epsilon = 1.0;
+    auto reference = AggregationService::Create(base).value();
+    ASSERT_TRUE(Drive(reference.get(), &ref_stream, 100).ok());
+    ASSERT_TRUE(reference->VerifyReconciliation().ok());
+
+    // Crash run: ingest half, snapshot, drop the service without
+    // Finish() (the crash), restore, replay the suffix.
+    ServiceOptions crashed = base;
+    crashed.checkpoint_path =
+        TempPath("kill_restore_" + std::to_string(workers));
+    crashed.digest_tag = "test-kill-restore";
+    auto first = AggregationService::Create(crashed).value();
+    ASSERT_FALSE(first->resumed());
+    auto stream = ReportStream::Create(stream_options).value();
+    std::vector<std::uint8_t> envelope;
+    std::uint64_t last_tick = 0;
+    while (stream.position() < 500) {
+      bool done = false;
+      ASSERT_TRUE(stream.Next(&envelope, &done).ok());
+      ASSERT_FALSE(done);
+      ASSERT_TRUE(first->Submit(envelope).ok());
+      const std::uint64_t tick = stream.position() / 100;
+      if (tick > last_tick) {
+        last_tick = tick;
+        ASSERT_TRUE(first->AdvanceWatermark(tick).ok());
+      }
+    }
+    ASSERT_TRUE(first->SaveSnapshot(stream.position()).ok());
+    first.reset();  // simulated crash: no Finish(), checkpoint survives
+
+    auto second = AggregationService::Create(crashed).value();
+    ASSERT_TRUE(second->resumed());
+    EXPECT_EQ(second->resume_cursor(), 500u);
+    auto resumed_stream = ReportStream::Create(stream_options).value();
+    ASSERT_TRUE(resumed_stream.SkipTo(second->resume_cursor()).ok());
+    ASSERT_TRUE(Drive(second.get(), &resumed_stream, 100).ok());
+    ASSERT_TRUE(second->VerifyReconciliation().ok());
+
+    ExpectSameStats(reference->Stats(), second->Stats());
+    ExpectSameWindows(reference->PublishedWindows(),
+                      second->PublishedWindows());
+    ASSERT_TRUE(second->Finish().ok());
+    // Finish() removed the spent checkpoint: a fresh Create is fresh.
+    auto after = AggregationService::Create(crashed).value();
+    EXPECT_FALSE(after->resumed());
+  }
+}
+
+TEST(ServiceTest, CheckpointRefusesAMismatchedRun) {
+  ServiceOptions options = ManualOptions();
+  options.checkpoint_path = TempPath("digest_mismatch");
+  options.digest_tag = "run-a";
+  auto service = AggregationService::Create(options).value();
+  ASSERT_TRUE(service->Submit(MakeEnvelope(0, 0, 0, 0.5)).ok());
+  ASSERT_TRUE(service->SaveSnapshot(1).ok());
+  service.reset();
+  // Same path, different stream parameters: typed refusal, not silent
+  // cross-run contamination.
+  ServiceOptions other = options;
+  other.digest_tag = "run-b";
+  EXPECT_FALSE(AggregationService::Create(other).ok());
+  ServiceOptions wider = options;
+  wider.num_dims = 3;
+  EXPECT_FALSE(AggregationService::Create(wider).ok());
+  // The original options still restore.
+  auto restored = AggregationService::Create(options).value();
+  EXPECT_TRUE(restored->resumed());
+  ASSERT_TRUE(restored->Finish().ok());
+}
+
+TEST(ServiceTest, FaultedDeliveryMatchesCleanEstimatesWhenLossless) {
+  // Duplicates and reordering — but no drops — must not change the
+  // published bits: dedup absorbs retransmits, the lateness grace
+  // absorbs reordering.
+  ReportStreamOptions clean_options;
+  clean_options.num_reports = 600;
+  clean_options.num_dims = 3;
+  clean_options.num_tenants = 4;
+  clean_options.seed = 13;
+  clean_options.reports_per_tick = 100;
+  ReportStreamOptions faulty_options = clean_options;
+  faulty_options.faults.duplicate_rate = 0.2;
+  faulty_options.faults.reorder_rate = 0.3;
+  faulty_options.faults.reorder_delay = 3;
+
+  auto clean_stream = ReportStream::Create(clean_options).value();
+  auto faulty_stream = ReportStream::Create(faulty_options).value();
+  ServiceOptions options = OptionsFor(clean_stream, clean_options);
+  options.window.width = 1;
+  // The driver advances the watermark by emitted position, and
+  // duplicates inflate the faulty stream's position ~20% past event
+  // time — the lateness grace must absorb that skew plus the reorder
+  // delay, so 3 ticks (not 1) here.
+  options.window.lateness = 3;
+  auto clean = AggregationService::Create(options).value();
+  auto faulty = AggregationService::Create(options).value();
+  ASSERT_TRUE(Drive(clean.get(), &clean_stream, 100).ok());
+  ASSERT_TRUE(Drive(faulty.get(), &faulty_stream, 100).ok());
+
+  EXPECT_GT(faulty_stream.duplicated(), 0u);
+  EXPECT_GT(faulty_stream.reordered(), 0u);
+  const ServiceStats stats = faulty->Stats();
+  EXPECT_EQ(stats.deduped, faulty_stream.duplicated());
+  EXPECT_EQ(stats.accepted, 600u);
+  EXPECT_EQ(stats.shed_late, 0u);
+  ASSERT_TRUE(faulty->VerifyReconciliation().ok());
+  ExpectSameWindows(clean->PublishedWindows(), faulty->PublishedWindows());
+}
+
+TEST(ServiceTest, UnsupportedOptionsAreTypedInvalidArgument) {
+  ServiceOptions no_dims;
+  EXPECT_EQ(AggregationService::Create(no_dims).status().code(),
+            StatusCode::kInvalidArgument);
+  ServiceOptions bad_budget = ManualOptions();
+  bad_budget.tenant_epsilon = 1.0;  // without per_report_epsilon
+  EXPECT_EQ(AggregationService::Create(bad_budget).status().code(),
+            StatusCode::kInvalidArgument);
+  ServiceOptions bad_window = ManualOptions();
+  bad_window.window.width = 4;
+  bad_window.window.slide = 3;  // does not divide the width
+  EXPECT_EQ(AggregationService::Create(bad_window).status().code(),
+            StatusCode::kInvalidArgument);
+  auto service = AggregationService::Create(ManualOptions()).value();
+  // SaveSnapshot without a checkpoint path is a typed precondition.
+  EXPECT_EQ(service->SaveSnapshot(0).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(WindowConfigTest, GeometryAndSealing) {
+  WindowConfig tumbling;
+  tumbling.width = 3;
+  ASSERT_TRUE(tumbling.Validate().ok());
+  EXPECT_EQ(tumbling.slide, 3u);
+  EXPECT_EQ(tumbling.panes_per_window(), 1u);
+  EXPECT_EQ(tumbling.PaneOf(0), 0u);
+  EXPECT_EQ(tumbling.PaneOf(5), 1u);
+
+  WindowConfig sliding;
+  sliding.width = 4;
+  sliding.slide = 2;
+  sliding.lateness = 1;
+  ASSERT_TRUE(sliding.Validate().ok());
+  EXPECT_EQ(sliding.panes_per_window(), 2u);
+  EXPECT_EQ(sliding.SealablePanes(0), 0u);
+  EXPECT_EQ(sliding.SealablePanes(1), 0u);
+  EXPECT_EQ(sliding.SealablePanes(3), 1u);   // (3 - 1) / 2
+  EXPECT_EQ(sliding.SealablePanes(7), 3u);
+}
+
+TEST(SeqIntervalSetTest, InsertCoalescesAndDedups) {
+  SeqIntervalSet set;
+  EXPECT_TRUE(set.Insert(5));
+  EXPECT_FALSE(set.Insert(5));  // duplicate detected
+  EXPECT_TRUE(set.Insert(7));
+  EXPECT_TRUE(set.Insert(6));  // bridges [5,5] and [7,7]
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.intervals().size(), 1u);  // one coalesced run [5,7]
+  EXPECT_TRUE(set.Contains(6));
+  EXPECT_FALSE(set.Contains(8));
+  SeqIntervalSet restored;
+  for (const auto& [lo, hi] : set.intervals()) {
+    restored.RestoreInterval(lo, hi);
+  }
+  EXPECT_EQ(restored.size(), 3u);
+  EXPECT_FALSE(restored.Insert(7));
+  EXPECT_TRUE(restored.Insert(9));
+}
+
+}  // namespace
+}  // namespace service
+}  // namespace hdldp

@@ -74,6 +74,36 @@
 //                      [--recalibrate] [--seed=1] [--seed-scheme=v3]
 //       Runs the split-population variance-estimation extension.
 //
+//   hdldp_cli serve   --workload=mean|freq --mechanism=duchi
+//                     --reports=10000 --dims=8 --epsilon=1
+//                     [--report-dims=0] [--questions/--categories (freq)]
+//                     [--seed=1] [--tenants=4] [--tenant-budget=0]
+//                     [--reports-per-tick=0] [--window-width=1]
+//                     [--window-slide=0] [--window-lateness=0]
+//                     [--threads=0] [--queue-capacity=1024]
+//                     [--overload=shed|block] [--checkpoint=<file>]
+//                     [--snapshot-every=0] [--kill-after=0]
+//                     [--fault-drop-rate=P] [--fault-duplicate-rate=P]
+//                     [--fault-reorder-rate=P] [--fault-reorder-delay=3]
+//                     [--fault-seed=S] [--print-estimate]
+//       Drives a deterministic report stream through the online
+//       aggregation service (src/service/): asynchronous multi-worker
+//       ingestion, per-(tenant, sequence) dedup, per-tenant budget
+//       enforcement, rolling tumbling/sliding window estimates, counted
+//       load shedding, and crash-safe snapshots (--checkpoint +
+//       --snapshot-every; re-running after a kill resumes from the file
+//       and republishes bit-identical estimates). --kill-after=N
+//       simulates the crash: the process exits abruptly (code 7) after
+//       N stream envelopes.
+//
+//   hdldp_cli replay  <same flags minus --threads/--queue-capacity/
+//                      --overload>
+//       The deterministic single-threaded twin of serve: one worker,
+//       lossless backpressure — the golden path whose published bits
+//       serve must reproduce at any worker count. serve/replay ingest
+//       per-report scalar streams: --seed-scheme=v1 is the only
+//       accepted scheme; v2/v3 are a typed validation error.
+//
 // All flags are --key=value; unknown keys are errors.
 
 #include <cstdio>
@@ -102,6 +132,8 @@
 #include "mech/registry.h"
 #include "protocol/metrics.h"
 #include "protocol/pipeline.h"
+#include "service/aggregation_service.h"
+#include "service/report_stream.h"
 
 namespace {
 
@@ -726,10 +758,228 @@ Status RunGenerate(Flags flags) {
   return Status::OK();
 }
 
+// serve/replay: drive a deterministic report stream through the online
+// aggregation service. `replay` pins the deterministic golden path (one
+// worker, lossless backpressure); `serve` exercises the concurrent one.
+Status RunServe(Flags flags, bool replay) {
+  const std::string workload_name = flags.GetString("workload", "mean");
+  const std::string mech_name = flags.GetString("mechanism", "duchi");
+  const std::uint64_t reports = flags.GetSize("reports", 10000);
+  const double epsilon = flags.GetDouble("epsilon", 1.0);
+  const std::size_t report_dims = flags.GetSize("report-dims", 0);
+  const std::uint64_t seed = flags.GetSize("seed", 1);
+  const std::uint64_t tenants = flags.GetSize("tenants", 4);
+  const double tenant_budget = flags.GetDouble("tenant-budget", 0.0);
+  const std::uint64_t reports_per_tick = flags.GetSize("reports-per-tick", 0);
+  const std::string checkpoint = flags.GetString("checkpoint", "");
+  const std::size_t snapshot_every = flags.GetSize("snapshot-every", 0);
+  const std::size_t kill_after = flags.GetSize("kill-after", 0);
+  const bool print_estimate = flags.GetBool("print-estimate");
+
+  // The stream generator emits per-report scalar Rng streams — the v1
+  // contract. v2/v3 name the engine's lane/batched contracts, which have
+  // no per-report envelope form; refusing them loudly mirrors the freq
+  // v1 --checkpoint rejection.
+  HDLDP_ASSIGN_OR_RETURN(
+      const hdldp::SeedScheme seed_scheme,
+      ParseSeedScheme(flags.GetString("seed-scheme", "v1")));
+  if (seed_scheme != hdldp::SeedScheme::kV1Scalar) {
+    return Status::InvalidArgument(
+        "serve/replay ingest per-report scalar streams: --seed-scheme=v1 "
+        "is the only supported scheme (v2/v3 are engine lane contracts "
+        "with no per-report envelope form)");
+  }
+
+  hdldp::service::ReportStreamOptions stream_options;
+  if (workload_name == "mean") {
+    stream_options.workload = hdldp::service::StreamWorkload::kMean;
+    stream_options.num_dims = flags.GetSize("dims", 8);
+  } else if (workload_name == "freq") {
+    stream_options.workload = hdldp::service::StreamWorkload::kFreq;
+    stream_options.num_dims = flags.GetSize("questions", 4);
+    stream_options.num_categories = flags.GetSize("categories", 4);
+  } else {
+    return Status::InvalidArgument("unknown --workload '" + workload_name +
+                                   "' (want mean|freq)");
+  }
+  stream_options.mechanism = mech_name;
+  stream_options.num_reports = reports;
+  stream_options.epsilon = epsilon;
+  stream_options.report_dims = report_dims;
+  stream_options.seed = seed;
+  stream_options.num_tenants = tenants;
+  stream_options.reports_per_tick = reports_per_tick;
+  stream_options.faults.drop_rate = flags.GetDouble("fault-drop-rate", 0.0);
+  stream_options.faults.duplicate_rate =
+      flags.GetDouble("fault-duplicate-rate", 0.0);
+  stream_options.faults.reorder_rate =
+      flags.GetDouble("fault-reorder-rate", 0.0);
+  stream_options.faults.reorder_delay =
+      flags.GetSize("fault-reorder-delay", 3);
+  stream_options.fault_seed = flags.GetSize("fault-seed", 0);
+  for (const double rate : {stream_options.faults.drop_rate,
+                            stream_options.faults.duplicate_rate,
+                            stream_options.faults.reorder_rate}) {
+    if (!(rate >= 0.0 && rate <= 1.0)) {
+      return Status::InvalidArgument("--fault-*-rate must lie in [0, 1]");
+    }
+  }
+
+  hdldp::service::ServiceOptions service_options;
+  if (replay) {
+    service_options.num_workers = 1;
+    service_options.overload = hdldp::service::OverloadPolicy::kBlock;
+  } else {
+    service_options.num_workers = flags.GetSize("threads", 0);
+    service_options.queue_capacity = flags.GetSize("queue-capacity", 1024);
+    const std::string overload = flags.GetString("overload", "shed");
+    if (overload == "shed") {
+      service_options.overload = hdldp::service::OverloadPolicy::kShed;
+    } else if (overload == "block") {
+      service_options.overload = hdldp::service::OverloadPolicy::kBlock;
+    } else {
+      return Status::InvalidArgument("unknown --overload '" + overload +
+                                     "' (want shed|block)");
+    }
+  }
+  service_options.window.width = flags.GetSize("window-width", 1);
+  service_options.window.slide = flags.GetSize("window-slide", 0);
+  service_options.window.lateness = flags.GetSize("window-lateness", 0);
+  service_options.tenant_epsilon = tenant_budget;
+  service_options.checkpoint_path = checkpoint;
+  HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
+
+  HDLDP_ASSIGN_OR_RETURN(
+      hdldp::service::ReportStream stream,
+      hdldp::service::ReportStream::Create(stream_options));
+  service_options.num_dims = stream.service_dims();
+  service_options.domain_map = stream.domain_map();
+  service_options.expected_entries = stream.expected_entries();
+  service_options.output_lo = stream.output_lo();
+  service_options.output_hi = stream.output_hi();
+  service_options.per_report_epsilon =
+      tenant_budget > 0.0 ? stream.per_report_epsilon() : 0.0;
+  // Everything that defines the stream (and hence the estimates) is in
+  // the digest tag; worker count / queue capacity / overload policy are
+  // deliberately absent — estimates are invariant to them, so a serve
+  // checkpoint restores under replay and vice versa.
+  {
+    char tag[256];
+    std::snprintf(tag, sizeof(tag),
+                  "stream %s %s n=%llu eps=%.17g m=%zu seed=%llu t=%llu "
+                  "rpt=%llu drop=%.17g dup=%.17g reord=%.17g delay=%zu "
+                  "fseed=%llu",
+                  workload_name.c_str(), mech_name.c_str(),
+                  static_cast<unsigned long long>(reports), epsilon,
+                  report_dims, static_cast<unsigned long long>(seed),
+                  static_cast<unsigned long long>(tenants),
+                  static_cast<unsigned long long>(reports_per_tick),
+                  stream_options.faults.drop_rate,
+                  stream_options.faults.duplicate_rate,
+                  stream_options.faults.reorder_rate,
+                  stream_options.faults.reorder_delay,
+                  static_cast<unsigned long long>(stream_options.fault_seed));
+    service_options.digest_tag = tag;
+  }
+
+  HDLDP_ASSIGN_OR_RETURN(
+      const auto service,
+      hdldp::service::AggregationService::Create(std::move(service_options)));
+  std::printf("service workload=%s mechanism=%s reports=%llu tenants=%llu "
+              "workers=%zu window=%llu/%llu+%llu\n",
+              workload_name.c_str(), mech_name.c_str(),
+              static_cast<unsigned long long>(reports),
+              static_cast<unsigned long long>(tenants),
+              service->num_workers(),
+              static_cast<unsigned long long>(
+                  flags.GetSize("window-width", 1)),
+              static_cast<unsigned long long>(
+                  flags.GetSize("window-slide", 0)),
+              static_cast<unsigned long long>(
+                  flags.GetSize("window-lateness", 0)));
+  if (service->resumed()) {
+    std::printf("resumed from checkpoint\n");
+    HDLDP_RETURN_NOT_OK(stream.SkipTo(service->resume_cursor()));
+  }
+
+  std::vector<std::uint8_t> envelope;
+  std::uint64_t watermark = 0;
+  for (;;) {
+    bool done = false;
+    HDLDP_RETURN_NOT_OK(stream.Next(&envelope, &done));
+    if (done) break;
+    const Status submitted = service->Submit(envelope);
+    if (!submitted.ok() &&
+        submitted.code() != hdldp::StatusCode::kUnavailable &&
+        submitted.code() != hdldp::StatusCode::kDataLoss) {
+      // Unavailable = counted shedding under overload; DataLoss =
+      // counted envelope corruption. Anything else is a driver bug.
+      return submitted;
+    }
+    if (reports_per_tick > 0) {
+      const std::uint64_t tick = stream.position() / reports_per_tick;
+      if (tick > watermark) {
+        watermark = tick;
+        HDLDP_RETURN_NOT_OK(service->AdvanceWatermark(watermark));
+      }
+    }
+    if (snapshot_every > 0 && !checkpoint.empty() &&
+        stream.position() % snapshot_every == 0) {
+      HDLDP_RETURN_NOT_OK(service->SaveSnapshot(stream.position()));
+    }
+    if (kill_after > 0 && stream.position() >= kill_after) {
+      // Simulated crash: no Drain, no Finish, no destructors — the
+      // checkpoint on disk is all the next run gets.
+      std::printf("simulated crash at report %llu\n",
+                  static_cast<unsigned long long>(stream.position()));
+      std::fflush(stdout);
+      std::_Exit(7);
+    }
+  }
+  HDLDP_RETURN_NOT_OK(service->Drain());
+  HDLDP_RETURN_NOT_OK(service->VerifyReconciliation());
+
+  const hdldp::service::ServiceStats s = service->Stats();
+  std::printf(
+      "stats submitted=%llu accepted=%llu deduped=%llu shed_queue_full=%llu "
+      "shed_late=%llu rejected_malformed=%llu rejected_invalid=%llu "
+      "rejected_budget=%llu published_windows=%llu published_reports=%llu\n",
+      static_cast<unsigned long long>(s.submitted),
+      static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.deduped),
+      static_cast<unsigned long long>(s.shed_queue_full),
+      static_cast<unsigned long long>(s.shed_late),
+      static_cast<unsigned long long>(s.rejected_malformed),
+      static_cast<unsigned long long>(s.rejected_invalid),
+      static_cast<unsigned long long>(s.rejected_budget),
+      static_cast<unsigned long long>(s.published_windows),
+      static_cast<unsigned long long>(s.published_reports));
+  std::printf("stream dropped=%llu duplicated=%llu reordered=%llu\n",
+              static_cast<unsigned long long>(stream.dropped()),
+              static_cast<unsigned long long>(stream.duplicated()),
+              static_cast<unsigned long long>(stream.reordered()));
+  for (const hdldp::service::PublishedWindow& window :
+       service->PublishedWindows()) {
+    std::printf("window[%llu] reports=%llu\n",
+                static_cast<unsigned long long>(window.index),
+                static_cast<unsigned long long>(window.report_count));
+    if (print_estimate) {
+      // Full precision, one line per dimension: resume/equivalence tests
+      // diff this output to assert bit-identical published estimates.
+      for (std::size_t j = 0; j < window.estimate.size(); ++j) {
+        std::printf("window[%llu].estimate[%zu]=%.17g\n",
+                    static_cast<unsigned long long>(window.index), j,
+                    window.estimate[j]);
+      }
+    }
+  }
+  return service->Finish();
+}
+
 void PrintUsage(std::FILE* stream) {
   std::fprintf(stream,
-               "usage: hdldp_cli <mean|freq|analyze|variance|generate> "
-               "[--key=value ...]\n"
+               "usage: hdldp_cli <mean|freq|analyze|variance|generate|"
+               "serve|replay> [--key=value ...]\n"
                "see the header of tools/hdldp_cli.cc for the flag list\n"
                "exit codes: 0 success, 2 usage, 3 invalid configuration, "
                "4 data loss / I/O failure\n");
@@ -793,6 +1043,10 @@ int main(int argc, char** argv) {
     status = RunVariance(std::move(flags_or).value());
   } else if (command == "generate") {
     status = RunGenerate(std::move(flags_or).value());
+  } else if (command == "serve") {
+    status = RunServe(std::move(flags_or).value(), /*replay=*/false);
+  } else if (command == "replay") {
+    status = RunServe(std::move(flags_or).value(), /*replay=*/true);
   } else {
     PrintUsage(stderr);
     return 2;
