@@ -15,6 +15,7 @@
 // HDLDP_BENCH_THREADS.
 
 #include <algorithm>
+#include <bit>
 #include <cstdio>
 #include <limits>
 #include <vector>
@@ -28,6 +29,7 @@
 #include "framework/value_distribution.h"
 #include "mech/registry.h"
 #include "protocol/pipeline.h"
+#include "protocol/wire.h"
 
 namespace {
 
@@ -81,7 +83,7 @@ void RunMechanism(const std::string& name, std::size_t users,
         hdldp::Rng rng(ctx.seed);
         const auto run = hdldp::protocol::RunSingleDimension(
                              values, *mechanism, eps_per_dim, inclusion,
-                             {-1.0, 1.0}, &rng)
+                             {-1.0, 1.0}, hdldp::SeedScheme::kV1Scalar, &rng)
                              .value();
         return run.estimated_mean - true_mean;
       },
@@ -90,6 +92,10 @@ void RunMechanism(const std::string& name, std::size_t users,
   record->NewCell();
   record->Cell("kind", std::string("fig2_trials"));
   record->Cell("mechanism", name);
+  // Stream contract of the per-trial draws (common/rng_lanes.h): a lane
+  // variant of the fig-2 harness would be a new scheme, not a silent
+  // re-layout of this one.
+  record->Cell("scheme", std::string("v1"));
   record->Cell("trials", trials);
   record->Cell("seconds", cell_watch.Seconds());
 
@@ -102,6 +108,32 @@ void RunMechanism(const std::string& name, std::size_t users,
                 histogram.DensityAt(b));
   }
   std::printf("\n");
+}
+
+// Wire bytes of a representative version-1 numeric report carrying
+// `entries` of `dims` dimensions (evenly spaced, the expectation of
+// sampling without replacement), for the bytes/user columns.
+std::size_t NumericReportBytes(std::size_t dims, std::size_t entries) {
+  hdldp::protocol::UserReport report;
+  for (std::size_t k = 0; k < entries; ++k) {
+    report.entries.push_back(
+        {.dimension = static_cast<std::uint32_t>(k * dims / entries),
+         .value = 0.5});
+  }
+  return hdldp::protocol::EncodeReport(report).value().size();
+}
+
+// Wire bytes of a worst-case Hadamard 1-bit report at (dims, entries).
+std::size_t Hadamard1ReportBytes(std::size_t dims, std::size_t entries) {
+  const std::uint32_t padded =
+      static_cast<std::uint32_t>(std::bit_ceil(entries));
+  const hdldp::protocol::Hadamard1Payload payload = {
+      .num_dims = static_cast<std::uint32_t>(dims),
+      .report_dims = static_cast<std::uint32_t>(entries),
+      .sample_seed = 0xffffffffu,
+      .index = padded - 1,
+      .positive = true};
+  return hdldp::protocol::EncodeHadamard1Payload(payload).value().size();
 }
 
 // End-to-end RunMeanEstimation wall time per mechanism (the engine's
@@ -168,17 +200,56 @@ void RunMeanPipeline(std::size_t users, hdldp::bench::JsonRecord* record) {
         record->NewCell();
         record->Cell("kind", std::string("mean_pipeline"));
         record->Cell("mechanism", std::string(name));
+        record->Cell("encoding", std::string(sampled ? "sampled" : "dense"));
         record->Cell("report_dims", effective_m);
         record->Cell("scheme", std::string(scheme_name));
         record->Cell("sampled", static_cast<std::size_t>(sampled ? 1 : 0));
         record->Cell("seconds", seconds);
         record->Cell("mse", run.mse);
+        record->Cell("bytes_per_user",
+                     NumericReportBytes(kPipelineDims, effective_m));
       }
     }
     if (sampled_seconds[1] > 0.0) {
       std::printf("%-12s sampled v2/v3 speedup: %.2fx\n", name,
                   sampled_seconds[0] / sampled_seconds[1]);
     }
+  }
+
+  // The Hadamard 1-bit encoding: one sign bit per user instead of m
+  // perturbed doubles, so bytes/user is what this cell is really about —
+  // the MSE column shows the error cost of the compression at the same
+  // (eps, n, d, m). No mechanism is involved (randomized response on a
+  // sampled Hadamard coefficient).
+  {
+    hdldp::protocol::PipelineOptions opts;
+    opts.total_epsilon = kEpsilon;
+    opts.report_dims = kReportDims;
+    opts.seed = 0xF16'2;
+    opts.num_threads = 1;
+    opts.encoding = hdldp::protocol::ReportEncoding::kHadamard1;
+    const std::size_t timing_reps =
+        std::max<std::size_t>(hdldp::bench::Repeats(), 3);
+    double seconds = std::numeric_limits<double>::infinity();
+    hdldp::protocol::MeanEstimationResult run;
+    for (std::size_t r = 0; r < timing_reps; ++r) {
+      const hdldp::bench::Stopwatch watch;
+      run = hdldp::protocol::RunMeanEstimation(dataset, nullptr, opts).value();
+      seconds = std::min(seconds, watch.Seconds());
+    }
+    const std::size_t bytes = Hadamard1ReportBytes(kPipelineDims, kReportDims);
+    std::printf("%-12s %6zu %7s %12.3f %14.5g  (%zu bytes/user)\n",
+                "hadamard1", kReportDims, "v1", seconds, run.mse, bytes);
+    record->NewCell();
+    record->Cell("kind", std::string("mean_pipeline"));
+    record->Cell("mechanism", std::string("none"));
+    record->Cell("encoding", std::string("hadamard1"));
+    record->Cell("report_dims", kReportDims);
+    record->Cell("scheme", std::string("v1"));
+    record->Cell("sampled", std::size_t{1});
+    record->Cell("seconds", seconds);
+    record->Cell("mse", run.mse);
+    record->Cell("bytes_per_user", bytes);
   }
   std::printf("\n");
 }

@@ -18,11 +18,55 @@
 #include "freq/encoding.h"
 #include "freq/pipeline.h"
 #include "mech/registry.h"
+#include "protocol/wire.h"
 
 namespace {
 
 constexpr std::size_t kPaperUsers = 100000;
 constexpr std::size_t kDims = 20;  // Categorical dimensions.
+
+// Wire bytes of one representative report under each encoding, so the
+// per-encoding cells record communication cost next to wall time and
+// error. Worst-case representative (last m dimensions, largest bucket
+// value): every varint is at its widest, so the figure is an upper
+// bound on any real report of the same geometry.
+std::size_t NumericFreqReportBytes(std::size_t m, std::size_t cardinality) {
+  hdldp::protocol::UserReport report;
+  for (std::size_t j = kDims - m; j < kDims; ++j) {
+    for (std::size_t k = 0; k < cardinality; ++k) {
+      report.entries.push_back(
+          {.dimension = static_cast<std::uint32_t>(j * cardinality + k),
+           .value = 0.5});
+    }
+  }
+  return hdldp::protocol::EncodeReport(report).value().size();
+}
+
+std::size_t OueReportBytes(std::size_t m, std::size_t cardinality) {
+  hdldp::protocol::OuePayload payload;
+  payload.num_dims = kDims;
+  for (std::size_t j = kDims - m; j < kDims; ++j) {
+    hdldp::protocol::OuePayloadDim dim;
+    dim.dimension = static_cast<std::uint32_t>(j);
+    dim.cardinality = static_cast<std::uint32_t>(cardinality);
+    dim.bits.assign((cardinality + 7) / 8, 0);  // content never changes size
+    payload.dims.push_back(dim);
+  }
+  return hdldp::protocol::EncodeOuePayload(payload).value().size();
+}
+
+std::size_t OlhReportBytes(std::size_t m, std::uint32_t g) {
+  hdldp::protocol::OlhPayload payload;
+  payload.num_dims = kDims;
+  for (std::size_t j = kDims - m; j < kDims; ++j) {
+    payload.dims.push_back(
+        {.dimension = static_cast<std::uint32_t>(j),
+         .g = g,
+         .hash_seed = 0xFFFFFFFFu,
+         .value = g - 1});
+  }
+  return hdldp::protocol::EncodeOlhPayload(payload).value().size();
+}
 
 void RunCardinality(std::size_t users, std::size_t cardinality,
                     std::size_t repeats, hdldp::bench::JsonRecord* record) {
@@ -145,12 +189,68 @@ void RunSampledPath(std::size_t users, std::size_t repeats,
           record->Cell("mechanism", std::string(mech_name));
           record->Cell("report_dims", m);
           record->Cell("scheme", std::string(scheme_name));
+          record->Cell("encoding", std::string("sampled"));
           record->Cell("sampled", std::size_t{1});
           record->Cell("seconds", seconds);
           record->Cell("mse_raw", mse_raw);
+          record->Cell("bytes_per_user", NumericFreqReportBytes(m, cardinality));
         }
         std::printf("%-12s %4zu v2/v3 speedup: %.2fx\n", mech_name, m,
                     seconds_by_scheme[0] / seconds_by_scheme[1]);
+        // Frequency-oracle encodings at the same geometry: one
+        // randomized categorical answer per sampled dimension instead
+        // of cardinality perturbed entries, O(1) draws per dimension.
+        // No value mechanism is involved, so the oracle cells pair with
+        // the numeric cells of either mechanism above; emit them once.
+        if (std::string(mech_name) != "laplace") continue;
+        for (const auto encoding : {hdldp::protocol::ReportEncoding::kOue,
+                                    hdldp::protocol::ReportEncoding::kOlh}) {
+          hdldp::freq::FrequencyOptions opts;
+          opts.total_epsilon = 1.0;
+          opts.report_dims = m;
+          opts.seed = 0xF8E;
+          opts.encoding = encoding;
+          opts.num_threads = 1;
+          double mse_raw = 0.0;
+          std::size_t bytes = 0;
+          double seconds = std::numeric_limits<double>::infinity();
+          for (std::size_t r = 0; r < repeats; ++r) {
+            const hdldp::bench::Stopwatch watch;
+            const auto result =
+                hdldp::freq::RunFrequencyEstimation(dataset, nullptr, opts)
+                    .value();
+            seconds = std::min(seconds, watch.Seconds());
+            mse_raw = result.mse_raw;
+          }
+          const char* encoding_name =
+              hdldp::protocol::ReportEncodingName(encoding);
+          if (encoding == hdldp::protocol::ReportEncoding::kOue) {
+            bytes = OueReportBytes(m, cardinality);
+          } else {
+            const auto olh =
+                hdldp::freq::OlhParams::FromEpsilon(
+                    opts.total_epsilon / static_cast<double>(m))
+                    .value();
+            bytes = OlhReportBytes(m, olh.g);
+          }
+          std::printf("%-12s %4zu %7s %12.5f %10.4g %6zu B/user "
+                      "(vs v3: %.2fx)\n",
+                      encoding_name, m, "compact", seconds, mse_raw, bytes,
+                      seconds_by_scheme[1] / seconds);
+          record->NewCell();
+          record->Cell("kind", std::string("freq_sampled"));
+          record->Cell("cardinality", cardinality);
+          record->Cell("mechanism", std::string("none"));
+          record->Cell("report_dims", m);
+          // Oracle draws follow the frozen "compact encodings" scalar
+          // contract (common/rng_lanes.h), not a SeedScheme lane layout.
+          record->Cell("scheme", std::string("compact"));
+          record->Cell("encoding", std::string(encoding_name));
+          record->Cell("sampled", std::size_t{1});
+          record->Cell("seconds", seconds);
+          record->Cell("mse_raw", mse_raw);
+          record->Cell("bytes_per_user", bytes);
+        }
       }
     }
     std::printf("\n");

@@ -38,7 +38,8 @@ struct ModeResult {
   ServiceStats stats;
 };
 
-ReportStreamOptions StreamOptions(std::uint64_t reports) {
+ReportStreamOptions StreamOptions(std::uint64_t reports,
+                                  hdldp::protocol::ReportEncoding encoding) {
   ReportStreamOptions options;
   options.num_reports = reports;
   options.num_dims = 16;
@@ -46,6 +47,14 @@ ReportStreamOptions StreamOptions(std::uint64_t reports) {
   options.num_tenants = 64;
   options.seed = 99;
   options.reports_per_tick = reports / 20 == 0 ? 1 : reports / 20;
+  options.encoding = encoding;
+  // The frequency oracles are categorical: same question count and
+  // sampling rate as the mean workload, 4 categories per question.
+  if (encoding == hdldp::protocol::ReportEncoding::kOue ||
+      encoding == hdldp::protocol::ReportEncoding::kOlh) {
+    options.workload = hdldp::service::StreamWorkload::kFreq;
+    options.num_categories = 4;
+  }
   return options;
 }
 
@@ -67,6 +76,10 @@ Status RunMode(const ReportStreamOptions& stream_options,
   options.queue_capacity = queue_capacity;
   options.checkpoint_path = checkpoint;
   options.digest_tag = "bench_service";
+  // No-op for the numeric payloads; configures the matching decoder for
+  // the compact encodings (the stream already reports the decoded
+  // data-domain geometry through service_dims/output_lo/output_hi).
+  options.codec = stream.CodecOptions();
   HDLDP_ASSIGN_OR_RETURN(std::unique_ptr<AggregationService> service,
                          AggregationService::Create(options));
 
@@ -124,13 +137,27 @@ int main() {
     OverloadPolicy overload;
     std::size_t queue_capacity;
     std::uint64_t snapshot_every;
+    hdldp::protocol::ReportEncoding encoding;
   };
   const std::string checkpoint = "/tmp/hdldp_bench_service_ckpt";
+  constexpr auto kDense = hdldp::protocol::ReportEncoding::kDense;
   const Mode modes[] = {
-      {"replay-1w", 1, OverloadPolicy::kBlock, 4096, 0},
-      {"serve-4w-block", 4, OverloadPolicy::kBlock, 4096, 0},
-      {"serve-4w-shed-overload", 4, OverloadPolicy::kShed, 64, 0},
-      {"replay-1w-snapshots", 1, OverloadPolicy::kBlock, 4096, 0 /*below*/},
+      {"replay-1w", 1, OverloadPolicy::kBlock, 4096, 0, kDense},
+      {"serve-4w-block", 4, OverloadPolicy::kBlock, 4096, 0, kDense},
+      {"serve-4w-shed-overload", 4, OverloadPolicy::kShed, 64, 0, kDense},
+      {"replay-1w-snapshots", 1, OverloadPolicy::kBlock, 4096, 0 /*below*/,
+       kDense},
+      // Compact-encoding replay: same single-worker ingestion loop, but
+      // the reports arrive as 1-bit Hadamard mean payloads / OUE / OLH
+      // frequency-oracle payloads and flow through the PayloadCodec.
+      // bytes/report next to reports/sec shows the communication-vs-CPU
+      // trade against the dense replay baseline.
+      {"replay-1w-hadamard1", 1, OverloadPolicy::kBlock, 4096, 0,
+       hdldp::protocol::ReportEncoding::kHadamard1},
+      {"replay-1w-oue", 1, OverloadPolicy::kBlock, 4096, 0,
+       hdldp::protocol::ReportEncoding::kOue},
+      {"replay-1w-olh", 1, OverloadPolicy::kBlock, 4096, 0,
+       hdldp::protocol::ReportEncoding::kOlh},
   };
 
   JsonRecord record("bench_service");
@@ -139,14 +166,14 @@ int main() {
   record.Meta("report_dims", std::size_t{4});
   record.Meta("tenants", std::size_t{64});
 
-  std::printf("%-24s %12s %12s %12s %10s %12s\n", "mode", "reports/s",
-              "accepted", "shed", "windows", "publish_ms");
+  std::printf("%-24s %12s %12s %12s %10s %12s %8s\n", "mode", "reports/s",
+              "accepted", "shed", "windows", "publish_ms", "B/rpt");
   const Stopwatch wall;
   for (const Mode& mode : modes) {
     const bool snapshots = std::string(mode.name) == "replay-1w-snapshots";
     ModeResult result;
     const Status status = RunMode(
-        StreamOptions(reports), mode.workers, mode.overload,
+        StreamOptions(reports, mode.encoding), mode.workers, mode.overload,
         mode.queue_capacity, snapshots ? reports / 10 : 0,
         snapshots ? checkpoint : std::string(), &result);
     if (!status.ok()) {
@@ -162,16 +189,23 @@ int main() {
             ? 1e3 * result.publish_seconds /
                   static_cast<double>(result.publishes)
             : 0.0;
-    std::printf("%-24s %12.0f %12llu %12llu %10llu %12.3f\n", mode.name,
-                rate,
+    const double bytes_per_report =
+        result.stats.accepted > 0
+            ? static_cast<double>(result.stats.accepted_payload_bytes) /
+                  static_cast<double>(result.stats.accepted)
+            : 0.0;
+    std::printf("%-24s %12.0f %12llu %12llu %10llu %12.3f %8.1f\n",
+                mode.name, rate,
                 static_cast<unsigned long long>(result.stats.accepted),
                 static_cast<unsigned long long>(result.stats.shed_queue_full),
                 static_cast<unsigned long long>(
                     result.stats.published_windows),
-                publish_ms);
+                publish_ms, bytes_per_report);
     record.NewCell();
     record.Cell("mode", mode.name);
     record.Cell("workers", mode.workers);
+    record.Cell("encoding", std::string(hdldp::protocol::ReportEncodingName(
+                                mode.encoding)));
     record.Cell("reports_per_sec", rate);
     record.Cell("seconds", result.seconds);
     record.Cell("accepted", static_cast<std::size_t>(result.stats.accepted));
@@ -180,6 +214,7 @@ int main() {
     record.Cell("published_windows",
                 static_cast<std::size_t>(result.stats.published_windows));
     record.Cell("publish_latency_ms", publish_ms);
+    record.Cell("bytes_per_report", bytes_per_report);
   }
   record.Meta("wall_seconds", wall.Seconds());
   record.WriteIfRequested();

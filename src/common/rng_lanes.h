@@ -55,6 +55,56 @@
 //              SIMD-vs-scalar builds. The default of both estimation
 //              pipelines since the block layout landed.
 //
+// Compact encodings. The communication-efficient report encodings
+// (oue | olh | hadamard1) have their own frozen scalar draw layouts,
+// carried by the kV1–kV3 chunk seeding rather than by a new scheme —
+// an encoding selects WHAT is drawn per user, the seed scheme still
+// selects WHICH stream the chunk draws from:
+//
+//   Batch pipelines (freq oracle / hadamard1 mean): one scalar
+//   Rng(chunk_seed) per 4096-user chunk. Per user, first one Floyd
+//   SampleWithoutReplacement(d, m) walk, then per sampled dimension
+//   the encoder draws, walked in DRAW order for the oracles and in
+//   ascending-dimension order for hadamard1 (whose sampler sorts).
+//   Per-dimension encoder draws (frozen, shared bit for bit between
+//   the wire encoders in freq/encoding.h + protocol/hadamard.h and
+//   the inlined pipeline loops):
+//     oue        exactly ceil(cardinality/4) raw Next() draws; draw D's
+//                four 16-bit lanes, least significant first, decide bit
+//                positions 4D..4D+3 — bit k is set iff its lane <
+//                32768 (the truth bit, p = 1/2 exactly) or < q16 (any
+//                other bit, q quantized to q16/65536, rounded up so
+//                the realized flip rate never dips below the eps-LDP
+//                floor).
+//     olh        one Next() whose low 32 bits are the report's hash
+//                seed (the multiplicative family OlhHasher — frozen),
+//                one uniform truth coin against p, and, only when
+//                lying, one UniformInt(g - 1) with an offset skip past
+//                the true bucket.
+//     hadamard1  one UniformInt(padded) row index, one uniform sign
+//                coin. The m-of-d dimension subset comes from
+//                Hadamard1SampleDims' own derived stream (seeded from
+//                the 32-bit sample seed), not from the chunk stream.
+//
+//   Service streams (service::ReportStream): one scalar stream per
+//   report, Rng(ReportSeed(seed, index)) — reports are independently
+//   replayable, which is what makes faulted/resumed ingestion
+//   deterministic. hadamard1 draws the d tuple uniforms, one raw
+//   Next() whose high 32 bits become the sample seed, then the encode
+//   pair; oue/olh draw the Floyd walk, then per sampled question IN
+//   DRAW ORDER one UniformInt(c) answer followed by that question's
+//   encoder draws; payload dims sort ascending only after all draws.
+//
+// Changing any of these layouts (a draw added, an order swapped, the
+// hash family or the q16 rounding changed) breaks recorded payloads
+// and the golden estimate pins in tests/test_encodings.cc — it would
+// be a new encoding name, not an edit. Decision record: the encodings
+// stay scalar (no lane variant) because the oracle hot loop is one
+// Next() per four categories — already past the point where 4-wide
+// lanes pay for their shuffle overhead — and, like RunSingleDimension
+// (which accepts only kV1Scalar for the same reason), they would need
+// a new stream contract here the day that tradeoff flips.
+//
 // A seed value means different draws under the schemes by design; what
 // each scheme guarantees is that its own outputs never change. (One
 // recorded exception: the Hybrid lane body's draw layout was

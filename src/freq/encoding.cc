@@ -1,5 +1,6 @@
 #include "freq/encoding.h"
 
+#include <algorithm>
 #include <cmath>
 #include <string>
 
@@ -140,6 +141,75 @@ Result<CategoricalDataset> GenerateCategorical(std::size_t num_users,
     }
   }
   return out;
+}
+
+Result<OueParams> OueParams::FromEpsilon(double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("OUE requires epsilon > 0");
+  }
+  OueParams params;
+  params.epsilon = epsilon;
+  // Quantize the ideal q = 1/(e^eps + 1) to 16-bit fixed point, rounding
+  // UP: q_eff >= q keeps ln(p(1-q_eff) / (q_eff(1-p))) <= eps, so the
+  // lane encoder never under-randomizes. Decode inverts q_eff exactly.
+  const double ideal = 1.0 / (std::exp(epsilon) + 1.0);
+  params.q16 =
+      static_cast<std::uint32_t>(std::ceil(ideal * 65536.0));
+  if (params.q16 >= 32768) {
+    return Status::InvalidArgument(
+        "OUE epsilon too small for the 16-bit lane quantization "
+        "(requires epsilon > ~6e-5)");
+  }
+  if (params.q16 == 0) params.q16 = 1;  // Unreachable (ideal > 0); belt.
+  params.q = static_cast<double>(params.q16) / 65536.0;
+  return params;
+}
+
+void OueEncodeDim(const OueParams& params, std::uint32_t category,
+                  std::size_t cardinality, Rng* rng,
+                  std::vector<std::uint8_t>* bits) {
+  bits->assign((cardinality + 7u) / 8u, 0);
+  std::uint64_t word = 0;
+  for (std::uint32_t k = 0; k < cardinality; ++k) {
+    if ((k & 3u) == 0) word = rng->Next();
+    const auto lane =
+        static_cast<std::uint32_t>((word >> ((k & 3u) * 16)) & 0xFFFFu);
+    if (lane < OueLaneThreshold(params, category, k)) {
+      (*bits)[k >> 3] |= std::uint8_t(1) << (k & 7u);
+    }
+  }
+}
+
+Result<OlhParams> OlhParams::FromEpsilon(double epsilon) {
+  if (!(epsilon > 0.0) || !std::isfinite(epsilon)) {
+    return Status::InvalidArgument("OLH requires epsilon > 0");
+  }
+  OlhParams params;
+  params.epsilon = epsilon;
+  const double e = std::exp(epsilon);
+  params.g = std::max<std::uint64_t>(
+      2, static_cast<std::uint64_t>(std::llround(e)) + 1);
+  params.p = e / (e + static_cast<double>(params.g) - 1.0);
+  return params;
+}
+
+std::uint32_t OlhHash(std::uint32_t hash_seed, std::uint32_t category,
+                      std::uint64_t g) {
+  return OlhHasher(hash_seed).Bucket(category, g);
+}
+
+OlhDimReport OlhEncodeDim(const OlhParams& params, std::uint32_t category,
+                          Rng* rng) {
+  OlhDimReport report;
+  report.hash_seed = static_cast<std::uint32_t>(rng->Next());
+  const std::uint32_t truth = OlhHash(report.hash_seed, category, params.g);
+  if (rng->Bernoulli(params.p)) {
+    report.value = truth;
+  } else {
+    auto lie = static_cast<std::uint32_t>(rng->UniformInt(params.g - 1));
+    report.value = lie + (lie >= truth ? 1 : 0);
+  }
+  return report;
 }
 
 }  // namespace freq

@@ -168,12 +168,204 @@ Status IngestV1Scalar(const engine::ChunkedEstimation& core,
   return Status::OK();
 }
 
+// Exact integer accumulator of the frequency-oracle path: per-entry
+// support counts plus per-dimension report counts. Every fold and merge
+// is an integer add, so estimates are trivially invariant to thread
+// count, chunk source and merge association.
+struct OracleAccumulator {
+  std::vector<std::int64_t> counts;
+  std::vector<std::int64_t> dim_reports;
+
+  void Reset() {
+    std::fill(counts.begin(), counts.end(), 0);
+    std::fill(dim_reports.begin(), dim_reports.end(), 0);
+  }
+  Status Merge(const OracleAccumulator& other) {
+    if (other.counts.size() != counts.size() ||
+        other.dim_reports.size() != dim_reports.size()) {
+      return Status::InvalidArgument("oracle accumulator shape mismatch");
+    }
+    for (std::size_t k = 0; k < counts.size(); ++k) {
+      counts[k] += other.counts[k];
+    }
+    for (std::size_t j = 0; j < dim_reports.size(); ++j) {
+      dim_reports[j] += other.dim_reports[j];
+    }
+    return Status::OK();
+  }
+};
+
+// The frequency-oracle (OUE / OLH) ingestion + decode + recalibration
+// path. Draw layout (the "compact encodings" stream contract in
+// common/rng_lanes.h): one scalar stream per chunk, per user a Floyd
+// m-of-d sample walked in draw order, then per sampled dimension the
+// encoder draws of freq/encoding.h — inlined here as direct support-count
+// updates, draw for draw identical to OueEncodeDim / OlhEncodeDim, so
+// the wire encoders and this simulation share one frozen layout.
+Result<FrequencyEstimationResult> RunOracleEstimation(
+    const data::ChunkSource& source, const CategoricalSchema& schema,
+    const FrequencyOptions& options, std::size_t m) {
+  if (!options.checkpoint_path.empty()) {
+    return Status::InvalidArgument(
+        "frequency-oracle encodings do not support checkpointing; drop "
+        "--checkpoint or use the numeric encoding");
+  }
+  const std::size_t d = schema.num_dims();
+  const std::size_t total_entries = schema.total_entries();
+  // The oracle randomizes a whole sampled dimension's answer as one
+  // eps/m-LDP unit, so m of them compose to eps per user.
+  const double per_dim_eps =
+      options.total_epsilon / static_cast<double>(m);
+  const bool use_oue = options.encoding == protocol::ReportEncoding::kOue;
+  OueParams oue;
+  OlhParams olh;
+  if (use_oue) {
+    HDLDP_ASSIGN_OR_RETURN(oue, OueParams::FromEpsilon(per_dim_eps));
+  } else {
+    HDLDP_ASSIGN_OR_RETURN(olh, OlhParams::FromEpsilon(per_dim_eps));
+  }
+  // Bernoulli/randomized-response success probability and baseline of
+  // the support indicator: p-tilde for the true category, q-tilde
+  // otherwise.
+  const double p_tilde = use_oue ? oue.p : olh.p;
+  const double q_tilde = use_oue ? oue.q : 1.0 / static_cast<double>(olh.g);
+
+  engine::EngineOptions engine_options;
+  engine_options.seed = options.seed;
+  engine_options.seed_scheme = options.seed_scheme;
+  engine_options.num_threads = options.num_threads;
+  engine_options.retry = options.retry;
+  engine_options.allow_missing_chunks = options.allow_missing_chunks;
+  const engine::ChunkedEstimation core(source, engine_options);
+
+  std::vector<std::size_t> quarantined_chunks;
+  HDLDP_ASSIGN_OR_RETURN(
+      const OracleAccumulator acc,
+      core.ReduceResumable<OracleAccumulator>(
+          [&]() -> Result<OracleAccumulator> {
+            OracleAccumulator scratch;
+            scratch.counts.assign(total_entries, 0);
+            scratch.dim_reports.assign(d, 0);
+            return scratch;
+          },
+          [&](const engine::ChunkRange& range,
+              OracleAccumulator* scratch) -> Status {
+            HDLDP_ASSIGN_OR_RETURN(const std::span<const double> rows,
+                                   core.ChunkRows(range));
+            HDLDP_RETURN_NOT_OK(
+                ValidateCategoricalChunk(rows, schema, range.chunk));
+            Rng rng(range.chunk_seed);
+            std::vector<std::uint32_t> sampled;
+            for (std::size_t i = range.begin; i < range.end; ++i) {
+              const double* row = rows.data() + (i - range.begin) * d;
+              sampled.clear();
+              rng.SampleWithoutReplacement(d, m, &sampled);
+              for (const std::uint32_t j : sampled) {
+                ++scratch->dim_reports[j];
+                const std::size_t off = schema.EntryOffset(j);
+                const std::size_t v = schema.Cardinality(j);
+                const auto category = static_cast<std::uint32_t>(row[j]);
+                if (use_oue) {
+                  // The OueEncodeDim lane layout, folded straight into
+                  // the support counts: ceil(v/4) raw draws, four 16-bit
+                  // lanes each, bit k on iff lane < threshold.
+                  std::uint64_t word = 0;
+                  for (std::uint32_t k = 0; k < v; ++k) {
+                    if ((k & 3u) == 0) word = rng.Next();
+                    const auto lane = static_cast<std::uint32_t>(
+                        (word >> ((k & 3u) * 16)) & 0xFFFFu);
+                    scratch->counts[off + k] +=
+                        lane < OueLaneThreshold(oue, category, k);
+                  }
+                } else {
+                  const OlhDimReport report = OlhEncodeDim(olh, category, &rng);
+                  const OlhHasher hasher(report.hash_seed);
+                  for (std::size_t k = 0; k < v; ++k) {
+                    scratch->counts[off + k] +=
+                        hasher.Bucket(static_cast<std::uint32_t>(k), olh.g) ==
+                        report.value;
+                  }
+                }
+              }
+            }
+            return Status::OK();
+          },
+          engine::CheckpointHooks<OracleAccumulator>{}, &quarantined_chunks));
+
+  for (std::size_t j = 0; j < d; ++j) {
+    if (acc.dim_reports[j] == 0) {
+      return Status::FailedPrecondition(
+          "categorical dimension " + std::to_string(j) +
+          " received no reports; the oracle estimator is undefined at "
+          "r = 0 (raise num_users or report_dims)");
+    }
+  }
+
+  // Unbiased decode plus the analytic deviation model: the support count
+  // of entry k is Binomial(r, p_k) with p_k = f*p-tilde + (1-f)*q-tilde,
+  // so the estimator (count/r - q-tilde)/(p-tilde - q-tilde) has stddev
+  // sqrt(p_k (1 - p_k) / r) / (p-tilde - q-tilde) — fed straight to
+  // HDR4ME in place of the numeric path's mechanism moment model.
+  std::vector<double> raw_flat(total_entries, 0.0);
+  std::vector<framework::GaussianDeviation> deviations;
+  deviations.reserve(total_entries);
+  const double gain = p_tilde - q_tilde;
+  for (std::size_t j = 0; j < d; ++j) {
+    const std::size_t off = schema.EntryOffset(j);
+    const double r = static_cast<double>(acc.dim_reports[j]);
+    for (std::size_t k = 0; k < schema.Cardinality(j); ++k) {
+      raw_flat[off + k] =
+          (static_cast<double>(acc.counts[off + k]) / r - q_tilde) / gain;
+      const double f = Clamp(raw_flat[off + k], 0.0, 1.0);
+      const double p_k = f * p_tilde + (1.0 - f) * q_tilde;
+      framework::GaussianDeviation deviation;
+      deviation.mean = 0.0;
+      deviation.stddev = std::sqrt(p_k * (1.0 - p_k) / r) / gain;
+      deviations.push_back(deviation);
+    }
+  }
+  HDLDP_ASSIGN_OR_RETURN(
+      const hdr4me::RecalibrationResult recal,
+      hdr4me::Recalibrate(raw_flat, deviations, options.hdr4me));
+
+  FrequencyEstimationResult result;
+  result.per_entry_epsilon = per_dim_eps;
+  HDLDP_ASSIGN_OR_RETURN(
+      result.true_frequencies,
+      SourceTrueFrequencies(source, schema, quarantined_chunks));
+  result.quarantined_chunks = std::move(quarantined_chunks);
+  result.surviving_users = source.num_users();
+  for (const std::size_t c : result.quarantined_chunks) {
+    result.surviving_users -= source.ChunkUsers(c);
+  }
+  result.raw = Unflatten(raw_flat, schema);
+  result.recalibrated = Unflatten(recal.enhanced_mean, schema);
+  if (options.clip_and_normalize) {
+    ClipAndNormalize(schema, &result.raw);
+    ClipAndNormalize(schema, &result.recalibrated);
+  }
+  const std::vector<double> truth = Flatten(result.true_frequencies);
+  HDLDP_ASSIGN_OR_RETURN(
+      result.mse_raw, protocol::MeanSquaredError(Flatten(result.raw), truth));
+  HDLDP_ASSIGN_OR_RETURN(
+      result.mse_recalibrated,
+      protocol::MeanSquaredError(Flatten(result.recalibrated), truth));
+  return result;
+}
+
 }  // namespace
 
 Result<FrequencyEstimationResult> RunFrequencyEstimation(
     const data::ChunkSource& source, const CategoricalSchema& schema,
     mech::MechanismPtr mechanism, const FrequencyOptions& options) {
-  if (mechanism == nullptr) {
+  const bool oracle = options.encoding == protocol::ReportEncoding::kOue ||
+                      options.encoding == protocol::ReportEncoding::kOlh;
+  if (options.encoding == protocol::ReportEncoding::kHadamard1) {
+    return Status::InvalidArgument(
+        "hadamard1 is a mean encoding; frequency estimation supports "
+        "dense|sampled|oue|olh");
+  }
+  if (mechanism == nullptr && !oracle) {
     return Status::InvalidArgument("frequency estimation requires a mechanism");
   }
   if (source.num_dims() != schema.num_dims()) {
@@ -184,6 +376,9 @@ Result<FrequencyEstimationResult> RunFrequencyEstimation(
   const std::size_t m = options.report_dims == 0 ? d : options.report_dims;
   if (m > d) {
     return Status::InvalidArgument("report_dims exceeds categorical dims");
+  }
+  if (oracle) {
+    return RunOracleEstimation(source, schema, options, m);
   }
   // [37]: a one-hot dimension has L1 sensitivity 2, so eps/(2m) per entry
   // composes to eps over a report.

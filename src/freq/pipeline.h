@@ -28,6 +28,7 @@
 #include "freq/encoding.h"
 #include "hdr4me/recalibrate.h"
 #include "mech/mechanism.h"
+#include "protocol/wire.h"
 
 namespace hdldp {
 namespace freq {
@@ -80,8 +81,20 @@ struct FrequencyOptions {
   /// file and produces bit-identical estimates, and a completed run
   /// removes its spent checkpoint. Engine schemes only: the kV1Scalar
   /// loop predates the reduction tree and rejects a checkpoint path
-  /// with InvalidArgument.
+  /// with InvalidArgument. Numeric encodings only: the frequency-oracle
+  /// accumulators do not checkpoint yet and reject a path likewise.
   std::string checkpoint_path;
+  /// Report encoding. kDense/kSampled run the numeric path above (every
+  /// one-hot entry perturbed by `mechanism` at eps/(2m)); kOue/kOlh run
+  /// the frequency-oracle path: one randomized categorical report per
+  /// sampled dimension at eps/m, O(1) client draws per dimension, exact
+  /// integer support counts, and the analytic binomial deviation model
+  /// feeding HDR4ME. Oracle draws follow their own frozen scalar
+  /// per-chunk stream contract (common/rng_lanes.h, "compact
+  /// encodings"); seed_scheme does not alter them, and estimates remain
+  /// bit-identical across thread counts, sources and SIMD builds.
+  /// kHadamard1 is a mean encoding and is rejected here.
+  protocol::ReportEncoding encoding = protocol::ReportEncoding::kDense;
 };
 
 /// Outcome of a frequency-estimation run.
@@ -92,7 +105,10 @@ struct FrequencyEstimationResult {
   std::vector<std::vector<double>> raw;
   /// HDR4ME-re-calibrated estimate.
   std::vector<std::vector<double>> recalibrated;
-  /// Budget spent on each encoded entry: eps / (2m).
+  /// Budget spent per unit of randomness: eps / (2m) per encoded entry
+  /// on the numeric path, eps / m per sampled dimension under a
+  /// frequency-oracle encoding (the oracle randomizes the whole answer
+  /// at once).
   double per_entry_epsilon = 0.0;
   /// MSE of raw/recalibrated estimates over all entries.
   double mse_raw = 0.0;

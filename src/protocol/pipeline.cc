@@ -62,11 +62,141 @@ Status SimulateChunkV1(std::span<const double> rows, std::size_t num_dims,
   return Status::OK();
 }
 
+// The Hadamard 1-bit mean path: one randomized sign bit per user at the
+// full eps, decoded unbiasedly by MeanAggregator::ConsumeHadamard1.
+// Draw layout (the "compact encodings" stream contract in
+// common/rng_lanes.h): one scalar stream per chunk, per user a Floyd
+// m-of-d sample sorted ascending, then the Hadamard1Encode draws (row
+// index, sign coin). Decoded values are already in the data domain, so
+// the aggregator runs with an identity map; checkpointing reuses the
+// standard MeanAggregator hooks.
+Result<MeanEstimationResult> RunHadamard1Estimation(
+    const data::ChunkSource& source, const PipelineOptions& options) {
+  const std::size_t d = source.num_dims();
+  const std::size_t m = options.report_dims == 0 ? d : options.report_dims;
+  HDLDP_ASSIGN_OR_RETURN(
+      const Hadamard1Params params,
+      Hadamard1Params::Create(d, m, options.total_epsilon));
+  const mech::DomainMap identity;
+
+  engine::EngineOptions engine_options;
+  engine_options.seed = options.seed;
+  engine_options.seed_scheme = options.seed_scheme;
+  engine_options.num_threads = options.num_threads;
+  engine_options.retry = options.retry;
+  engine_options.allow_missing_chunks = options.allow_missing_chunks;
+  const engine::ChunkedEstimation core(source, engine_options);
+
+  std::optional<SnapshotFile> snapshot;
+  engine::CheckpointHooks<MeanAggregator> hooks;
+  if (!options.checkpoint_path.empty()) {
+    RunDigest digest;
+    digest.AddString("mean");
+    digest.AddString("hadamard1");
+    digest.AddF64(options.total_epsilon);
+    digest.AddU64(m);
+    digest.AddU64(options.seed);
+    digest.AddU64(static_cast<std::uint64_t>(options.seed_scheme));
+    digest.AddU64(source.num_users());
+    digest.AddU64(d);
+    digest.AddU64(options.allow_missing_chunks ? 1 : 0);
+    HDLDP_ASSIGN_OR_RETURN(
+        SnapshotFile file,
+        SnapshotFile::Open(options.checkpoint_path, digest.bytes));
+    snapshot.emplace(std::move(file));
+    hooks.load = [&snapshot, d, identity](std::size_t group)
+        -> Result<std::optional<engine::GroupCheckpoint<MeanAggregator>>> {
+      const std::optional<SnapshotFile::GroupState> state =
+          snapshot->Load(group);
+      if (!state.has_value()) {
+        return std::optional<engine::GroupCheckpoint<MeanAggregator>>();
+      }
+      HDLDP_ASSIGN_OR_RETURN(MeanAggregator acc,
+                             MeanAggregator::Create(d, identity));
+      HDLDP_RETURN_NOT_OK(acc.RestoreState(state->acc_state));
+      return std::optional<engine::GroupCheckpoint<MeanAggregator>>(
+          engine::GroupCheckpoint<MeanAggregator>{
+              state->chunks_done, state->quarantined, std::move(acc)});
+    };
+    hooks.save = [&snapshot](std::size_t group, std::size_t chunks_done,
+                             const std::vector<std::size_t>& quarantined,
+                             const MeanAggregator& acc) -> Status {
+      std::vector<unsigned char> bytes;
+      acc.SerializeState(&bytes);
+      return snapshot->Save(group, chunks_done, quarantined, bytes);
+    };
+  }
+  const bool resumed = snapshot.has_value() && snapshot->resumed();
+
+  std::vector<std::size_t> quarantined_chunks;
+  HDLDP_ASSIGN_OR_RETURN(
+      const MeanAggregator aggregator,
+      core.ReduceResumable<MeanAggregator>(
+          [&] { return MeanAggregator::Create(d, identity); },
+          [&](const engine::ChunkRange& range,
+              MeanAggregator* scratch) -> Status {
+            HDLDP_ASSIGN_OR_RETURN(const std::span<const double> rows,
+                                   core.ChunkRows(range));
+            Rng rng(range.chunk_seed);
+            std::vector<std::uint32_t> sampled;
+            std::vector<double> values(m);
+            for (std::size_t i = range.begin; i < range.end; ++i) {
+              const double* row = rows.data() + (i - range.begin) * d;
+              sampled.clear();
+              rng.SampleWithoutReplacement(d, m, &sampled);
+              std::sort(sampled.begin(), sampled.end());
+              for (std::size_t pos = 0; pos < m; ++pos) {
+                values[pos] = row[sampled[pos]];
+              }
+              const Hadamard1Report report =
+                  Hadamard1Encode(params, values, &rng);
+              HDLDP_RETURN_NOT_OK(scratch->ConsumeHadamard1(
+                  params, sampled, report.index, report.positive));
+            }
+            return Status::OK();
+          },
+          hooks, &quarantined_chunks));
+
+  if (snapshot.has_value()) {
+    HDLDP_RETURN_NOT_OK(snapshot->Close());
+    HDLDP_RETURN_NOT_OK(SnapshotFile::Remove(options.checkpoint_path));
+  }
+
+  MeanEstimationResult result;
+  result.estimated_mean = aggregator.EstimatedMean();
+  HDLDP_ASSIGN_OR_RETURN(result.true_mean, source.TrueMean());
+  result.report_counts.reserve(d);
+  for (std::size_t j = 0; j < d; ++j) {
+    result.report_counts.push_back(aggregator.ReportCount(j));
+  }
+  // The single bit spends the whole budget; there is no per-dimension
+  // split to report.
+  result.per_dim_epsilon = options.total_epsilon;
+  HDLDP_ASSIGN_OR_RETURN(
+      result.mse, MeanSquaredError(result.estimated_mean, result.true_mean));
+  result.quarantined_chunks = std::move(quarantined_chunks);
+  result.surviving_users = source.num_users();
+  for (const std::size_t c : result.quarantined_chunks) {
+    result.surviving_users -= source.ChunkUsers(c);
+  }
+  result.resumed_from_checkpoint = resumed;
+  return result;
+}
+
 }  // namespace
 
 Result<MeanEstimationResult> RunMeanEstimation(const data::ChunkSource& source,
                                                mech::MechanismPtr mechanism,
                                                const PipelineOptions& options) {
+  if (options.encoding == ReportEncoding::kOue ||
+      options.encoding == ReportEncoding::kOlh) {
+    return Status::InvalidArgument(
+        "oue/olh are frequency-oracle encodings; mean estimation supports "
+        "dense|sampled|hadamard1");
+  }
+  if (options.encoding == ReportEncoding::kHadamard1) {
+    return RunHadamard1Estimation(source, options);
+  }
   ClientOptions client_options;
   client_options.total_epsilon = options.total_epsilon;
   client_options.report_dims = options.report_dims;
@@ -220,7 +350,15 @@ Result<MeanEstimationResult> RunMeanEstimation(const data::Dataset& dataset,
 Result<SingleDimensionResult> RunSingleDimension(
     std::span<const double> values, const mech::Mechanism& mechanism,
     double per_dim_epsilon, double inclusion_prob,
-    const mech::Interval& data_domain, Rng* rng) {
+    const mech::Interval& data_domain, SeedScheme seed_scheme, Rng* rng) {
+  if (seed_scheme != SeedScheme::kV1Scalar) {
+    // The harness draws from one caller-owned scalar stream; that IS the
+    // kV1Scalar contract. A lane variant would be a new scheme with its
+    // own golden streams (see common/rng_lanes.h), not a silent re-layout
+    // of this one.
+    return Status::InvalidArgument(
+        "RunSingleDimension implements only the kV1Scalar stream contract");
+  }
   if (values.empty()) {
     return Status::InvalidArgument("RunSingleDimension requires users");
   }

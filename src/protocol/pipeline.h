@@ -30,6 +30,7 @@
 #include "engine/reduce.h"
 #include "mech/mechanism.h"
 #include "protocol/client.h"
+#include "protocol/wire.h"
 
 namespace hdldp {
 namespace protocol {
@@ -77,6 +78,17 @@ struct PipelineOptions {
   /// file and produces bit-identical final estimates, and a completed
   /// run removes its spent checkpoint.
   std::string checkpoint_path;
+  /// Report encoding. kDense/kSampled run the numeric path above (each
+  /// reported value perturbed by `mechanism` at eps/m); kHadamard1 runs
+  /// the 1-bit path (protocol/hadamard.h): each user's m sampled values
+  /// collapse into one randomized sign bit at the full eps, decoded
+  /// unbiasedly by MeanAggregator::ConsumeHadamard1. Hadamard draws
+  /// follow their own frozen scalar per-chunk stream contract
+  /// (common/rng_lanes.h, "compact encodings"); seed_scheme does not
+  /// alter them, checkpointing works as usual, and estimates remain
+  /// bit-identical across thread counts, sources and SIMD builds.
+  /// kOue/kOlh are frequency-oracle encodings and are rejected here.
+  ReportEncoding encoding = ReportEncoding::kDense;
 };
 
 /// Outcome of a mean-estimation run.
@@ -131,10 +143,17 @@ struct SingleDimensionResult {
 /// `values.size()` users reports it with probability `inclusion_prob`
 /// (= m/d), perturbed at `per_dim_epsilon`. Used by the Figure 2 harness,
 /// where n*d full simulation would be needlessly quadratic.
+///
+/// `seed_scheme` names the stream contract of the caller-owned `rng`
+/// and must be SeedScheme::kV1Scalar — the only contract this harness
+/// implements (one scalar stream, one Bernoulli + one perturbation draw
+/// per included user; see common/rng_lanes.h for the decision record).
+/// Recorded fig-2 cells carry the scheme name so a future lane variant
+/// becomes a new scheme instead of silently changing draws.
 Result<SingleDimensionResult> RunSingleDimension(
     std::span<const double> values, const mech::Mechanism& mechanism,
     double per_dim_epsilon, double inclusion_prob,
-    const mech::Interval& data_domain, Rng* rng);
+    const mech::Interval& data_domain, SeedScheme seed_scheme, Rng* rng);
 
 }  // namespace protocol
 }  // namespace hdldp

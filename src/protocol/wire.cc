@@ -68,7 +68,105 @@ Result<double> GetDouble(std::span<const std::uint8_t> bytes,
   return value;
 }
 
+void PutU32(std::uint32_t value, std::vector<std::uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+Result<std::uint32_t> GetU32(std::span<const std::uint8_t> bytes,
+                             std::size_t* pos) {
+  if (*pos + 4 > bytes.size()) {
+    return Status::OutOfRange("wire: truncated u32");
+  }
+  std::uint32_t value = 0;
+  for (int i = 0; i < 4; ++i) {
+    value |= static_cast<std::uint32_t>(bytes[*pos + i]) << (8 * i);
+  }
+  *pos += 4;
+  return value;
+}
+
+// Shared varint-u32 read with a range check (dimensions, cardinalities
+// and hash parameters are all 32-bit on the wire).
+Result<std::uint32_t> GetVarint32(std::span<const std::uint8_t> bytes,
+                                  std::size_t* pos, const char* what) {
+  HDLDP_ASSIGN_OR_RETURN(const std::uint64_t value, GetVarint(bytes, pos));
+  if (value > std::numeric_limits<std::uint32_t>::max()) {
+    return Status::OutOfRange(std::string("wire: ") + what +
+                              " exceeds 32 bits");
+  }
+  return static_cast<std::uint32_t>(value);
+}
+
+// The compact payloads share their dimension framing: m ascending
+// delta-encoded dimensions below num_dims. Returns the absolute
+// dimension of entry i given the previous one.
+Result<std::uint32_t> NextDimension(std::span<const std::uint8_t> bytes,
+                                    std::size_t* pos, std::size_t i,
+                                    std::uint64_t num_dims,
+                                    std::uint64_t* previous) {
+  HDLDP_ASSIGN_OR_RETURN(const std::uint64_t delta, GetVarint(bytes, pos));
+  std::uint64_t dimension = delta;
+  if (i != 0) {
+    if (delta == 0) {
+      return Status::InvalidArgument("wire: duplicate dimension");
+    }
+    dimension = *previous + delta;
+  }
+  if (dimension >= num_dims) {
+    return Status::OutOfRange("wire: dimension exceeds report width");
+  }
+  *previous = dimension;
+  return static_cast<std::uint32_t>(dimension);
+}
+
 }  // namespace
+
+const char* ReportEncodingName(ReportEncoding encoding) {
+  switch (encoding) {
+    case ReportEncoding::kDense:
+      return "dense";
+    case ReportEncoding::kSampled:
+      return "sampled";
+    case ReportEncoding::kOue:
+      return "oue";
+    case ReportEncoding::kOlh:
+      return "olh";
+    case ReportEncoding::kHadamard1:
+      return "hadamard1";
+  }
+  return "unknown";
+}
+
+Result<ReportEncoding> ParseReportEncoding(const std::string& name) {
+  if (name == "dense") return ReportEncoding::kDense;
+  if (name == "sampled") return ReportEncoding::kSampled;
+  if (name == "oue") return ReportEncoding::kOue;
+  if (name == "olh") return ReportEncoding::kOlh;
+  if (name == "hadamard1") return ReportEncoding::kHadamard1;
+  return Status::InvalidArgument(
+      "unknown report encoding '" + name +
+      "' (expected dense|sampled|oue|olh|hadamard1)");
+}
+
+Result<ReportEncoding> PayloadEncoding(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) {
+    return Status::OutOfRange("wire: empty buffer");
+  }
+  switch (bytes[0]) {
+    case kWireVersion:
+      return ReportEncoding::kDense;
+    case kWireVersionOue:
+      return ReportEncoding::kOue;
+    case kWireVersionOlh:
+      return ReportEncoding::kOlh;
+    case kWireVersionHadamard1:
+      return ReportEncoding::kHadamard1;
+  }
+  return Status::InvalidArgument("wire: unsupported payload version " +
+                                 std::to_string(bytes[0]));
+}
 
 Result<std::vector<std::uint8_t>> EncodeReport(const UserReport& report) {
   std::vector<DimensionReport> entries = report.entries;
@@ -143,6 +241,188 @@ Result<UserReport> DecodeReport(std::span<const std::uint8_t> bytes) {
     return Status::InvalidArgument("wire: trailing bytes after report");
   }
   return report;
+}
+
+Result<std::vector<std::uint8_t>> EncodeOuePayload(const OuePayload& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(3 + payload.dims.size() * 8);
+  out.push_back(kWireVersionOue);
+  PutVarint(payload.num_dims, &out);
+  PutVarint(payload.dims.size(), &out);
+  std::uint64_t previous = 0;
+  for (std::size_t i = 0; i < payload.dims.size(); ++i) {
+    const OuePayloadDim& dim = payload.dims[i];
+    if (dim.dimension >= payload.num_dims) {
+      return Status::InvalidArgument("wire: OUE dimension exceeds width");
+    }
+    if (i != 0 && dim.dimension <= previous) {
+      return Status::InvalidArgument("wire: OUE dimensions must ascend");
+    }
+    if (dim.cardinality < 2) {
+      return Status::InvalidArgument("wire: OUE cardinality below 2");
+    }
+    if (dim.bits.size() != (dim.cardinality + 7u) / 8u) {
+      return Status::InvalidArgument("wire: OUE bit vector length mismatch");
+    }
+    PutVarint(i == 0 ? dim.dimension : dim.dimension - previous, &out);
+    PutVarint(dim.cardinality, &out);
+    out.insert(out.end(), dim.bits.begin(), dim.bits.end());
+    previous = dim.dimension;
+  }
+  return out;
+}
+
+Result<OuePayload> DecodeOuePayload(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty() || bytes[0] != kWireVersionOue) {
+    return Status::InvalidArgument("wire: not an OUE payload");
+  }
+  std::size_t pos = 1;
+  OuePayload payload;
+  HDLDP_ASSIGN_OR_RETURN(payload.num_dims, GetVarint(bytes, &pos));
+  HDLDP_ASSIGN_OR_RETURN(const std::uint64_t count, GetVarint(bytes, &pos));
+  // Each carried dimension needs at least 3 bytes (delta, cardinality,
+  // one bit byte); reject absurd counts before reserving memory.
+  if (count > payload.num_dims || count > (bytes.size() - pos) / 3 + 1) {
+    return Status::InvalidArgument("wire: OUE entry count exceeds buffer");
+  }
+  payload.dims.reserve(count);
+  std::uint64_t previous = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    OuePayloadDim dim;
+    HDLDP_ASSIGN_OR_RETURN(
+        dim.dimension,
+        NextDimension(bytes, &pos, i, payload.num_dims, &previous));
+    HDLDP_ASSIGN_OR_RETURN(dim.cardinality,
+                           GetVarint32(bytes, &pos, "OUE cardinality"));
+    if (dim.cardinality < 2) {
+      return Status::InvalidArgument("wire: OUE cardinality below 2");
+    }
+    const std::size_t bit_bytes = (dim.cardinality + 7u) / 8u;
+    if (pos + bit_bytes > bytes.size()) {
+      return Status::OutOfRange("wire: truncated OUE bit vector");
+    }
+    dim.bits.assign(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                    bytes.begin() + static_cast<std::ptrdiff_t>(pos + bit_bytes));
+    pos += bit_bytes;
+    // Bits past the cardinality must be zero so a payload has exactly one
+    // encoding.
+    if ((dim.cardinality & 7u) != 0 &&
+        (dim.bits.back() >> (dim.cardinality & 7u)) != 0) {
+      return Status::InvalidArgument("wire: OUE padding bits set");
+    }
+    payload.dims.push_back(std::move(dim));
+  }
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument("wire: trailing bytes after OUE payload");
+  }
+  return payload;
+}
+
+Result<std::vector<std::uint8_t>> EncodeOlhPayload(const OlhPayload& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(3 + payload.dims.size() * 8);
+  out.push_back(kWireVersionOlh);
+  PutVarint(payload.num_dims, &out);
+  PutVarint(payload.dims.size(), &out);
+  std::uint64_t previous = 0;
+  for (std::size_t i = 0; i < payload.dims.size(); ++i) {
+    const OlhPayloadDim& dim = payload.dims[i];
+    if (dim.dimension >= payload.num_dims) {
+      return Status::InvalidArgument("wire: OLH dimension exceeds width");
+    }
+    if (i != 0 && dim.dimension <= previous) {
+      return Status::InvalidArgument("wire: OLH dimensions must ascend");
+    }
+    if (dim.g < 2 || dim.value >= dim.g) {
+      return Status::InvalidArgument("wire: OLH bucket out of range");
+    }
+    PutVarint(i == 0 ? dim.dimension : dim.dimension - previous, &out);
+    PutVarint(dim.g, &out);
+    PutU32(dim.hash_seed, &out);
+    PutVarint(dim.value, &out);
+    previous = dim.dimension;
+  }
+  return out;
+}
+
+Result<OlhPayload> DecodeOlhPayload(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty() || bytes[0] != kWireVersionOlh) {
+    return Status::InvalidArgument("wire: not an OLH payload");
+  }
+  std::size_t pos = 1;
+  OlhPayload payload;
+  HDLDP_ASSIGN_OR_RETURN(payload.num_dims, GetVarint(bytes, &pos));
+  HDLDP_ASSIGN_OR_RETURN(const std::uint64_t count, GetVarint(bytes, &pos));
+  // Each carried dimension needs at least 7 bytes (delta, g, seed, value).
+  if (count > payload.num_dims || count > (bytes.size() - pos) / 7 + 1) {
+    return Status::InvalidArgument("wire: OLH entry count exceeds buffer");
+  }
+  payload.dims.reserve(count);
+  std::uint64_t previous = 0;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    OlhPayloadDim dim;
+    HDLDP_ASSIGN_OR_RETURN(
+        dim.dimension,
+        NextDimension(bytes, &pos, i, payload.num_dims, &previous));
+    HDLDP_ASSIGN_OR_RETURN(dim.g, GetVarint32(bytes, &pos, "OLH domain"));
+    HDLDP_ASSIGN_OR_RETURN(dim.hash_seed, GetU32(bytes, &pos));
+    HDLDP_ASSIGN_OR_RETURN(dim.value, GetVarint32(bytes, &pos, "OLH bucket"));
+    if (dim.g < 2 || dim.value >= dim.g) {
+      return Status::InvalidArgument("wire: OLH bucket out of range");
+    }
+    payload.dims.push_back(dim);
+  }
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument("wire: trailing bytes after OLH payload");
+  }
+  return payload;
+}
+
+Result<std::vector<std::uint8_t>> EncodeHadamard1Payload(
+    const Hadamard1Payload& payload) {
+  if (payload.report_dims == 0 || payload.report_dims > payload.num_dims) {
+    return Status::InvalidArgument(
+        "wire: Hadamard report_dims out of range");
+  }
+  std::vector<std::uint8_t> out;
+  out.reserve(12);
+  out.push_back(kWireVersionHadamard1);
+  PutVarint(payload.num_dims, &out);
+  PutVarint(payload.report_dims, &out);
+  PutU32(payload.sample_seed, &out);
+  PutVarint((static_cast<std::uint64_t>(payload.index) << 1) |
+                (payload.positive ? 1 : 0),
+            &out);
+  return out;
+}
+
+Result<Hadamard1Payload> DecodeHadamard1Payload(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.empty() || bytes[0] != kWireVersionHadamard1) {
+    return Status::InvalidArgument("wire: not a Hadamard payload");
+  }
+  std::size_t pos = 1;
+  Hadamard1Payload payload;
+  HDLDP_ASSIGN_OR_RETURN(payload.num_dims,
+                         GetVarint32(bytes, &pos, "Hadamard width"));
+  HDLDP_ASSIGN_OR_RETURN(payload.report_dims,
+                         GetVarint32(bytes, &pos, "Hadamard report_dims"));
+  if (payload.report_dims == 0 || payload.report_dims > payload.num_dims) {
+    return Status::InvalidArgument(
+        "wire: Hadamard report_dims out of range");
+  }
+  HDLDP_ASSIGN_OR_RETURN(payload.sample_seed, GetU32(bytes, &pos));
+  HDLDP_ASSIGN_OR_RETURN(const std::uint64_t packed, GetVarint(bytes, &pos));
+  if ((packed >> 1) > std::numeric_limits<std::uint32_t>::max()) {
+    return Status::OutOfRange("wire: Hadamard index exceeds 32 bits");
+  }
+  payload.index = static_cast<std::uint32_t>(packed >> 1);
+  payload.positive = (packed & 1) != 0;
+  if (pos != bytes.size()) {
+    return Status::InvalidArgument(
+        "wire: trailing bytes after Hadamard payload");
+  }
+  return payload;
 }
 
 std::vector<std::uint8_t> EncodeEnvelope(const ReportEnvelope& envelope) {

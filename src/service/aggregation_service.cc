@@ -14,7 +14,10 @@ namespace service {
 
 namespace {
 
-constexpr std::uint32_t kSnapshotBlobVersion = 1;
+// Version 2 added accepted_payload_bytes to the stats block (the
+// communication ledger); version-1 blobs predate every shipped
+// checkpoint format guarantee and are rejected.
+constexpr std::uint32_t kSnapshotBlobVersion = 2;
 
 // Little-endian fixed-width snapshot blob codec. The blob rides inside
 // one SnapshotFile record, which supplies the CRC frame and torn-tail
@@ -99,6 +102,14 @@ std::vector<unsigned char> BuildDigest(const ServiceOptions& options) {
   digest.AddF64(options.domain_map.Forward(0.0));
   digest.AddU64(options.native_bias.size());
   for (const double b : options.native_bias) digest.AddF64(b);
+  // The payload encoding and codec geometry: a checkpoint taken while
+  // ingesting OUE payloads must never resume a run decoding OLH ones.
+  digest.AddU64(static_cast<std::uint64_t>(options.codec.encoding));
+  digest.AddF64(options.codec.epsilon);
+  digest.AddU64(options.codec.report_dims);
+  digest.AddU64(options.codec.num_questions);
+  digest.AddU64(options.codec.num_categories);
+  digest.AddU64(options.codec.num_dims);
   digest.AddString(options.digest_tag);
   // Worker count, queue capacity and overload policy are deliberately
   // absent: estimates are invariant to them, so a run checkpointed at 4
@@ -155,6 +166,17 @@ Result<std::unique_ptr<AggregationService>> AggregationService::Create(
       new AggregationService(std::move(options)));
   svc->workers_ = svc->options_.num_workers;
   svc->budget_capacity_ = budget_capacity;
+  if (svc->options_.codec.encoding != protocol::ReportEncoding::kDense &&
+      svc->options_.codec.encoding != protocol::ReportEncoding::kSampled) {
+    HDLDP_ASSIGN_OR_RETURN(PayloadCodec codec,
+                           PayloadCodec::Create(svc->options_.codec));
+    if (codec.service_dims() != svc->options_.num_dims) {
+      return Status::InvalidArgument(
+          "codec geometry disagrees with num_dims (expected " +
+          std::to_string(codec.service_dims()) + " aggregated dims)");
+    }
+    svc->codec_.emplace(std::move(codec));
+  }
   svc->groups_.reserve(kNumShardGroups);
   for (std::size_t g = 0; g < kNumShardGroups; ++g) {
     svc->groups_.push_back(std::make_unique<GroupState>());
@@ -263,7 +285,8 @@ void AggregationService::Process(protocol::ReportEnvelope envelope) {
     stats_.deduped.fetch_add(1, std::memory_order_relaxed);
     return;
   }
-  auto report = protocol::DecodeReport(envelope.payload);
+  auto report = codec_.has_value() ? codec_->Decode(envelope.payload)
+                                   : protocol::DecodeReport(envelope.payload);
   if (!report.ok()) {
     stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -297,9 +320,12 @@ void AggregationService::Process(protocol::ReportEnvelope envelope) {
     }
     ++tenant.accepted;
   }
+  const std::size_t payload_bytes = envelope.payload.size();
   group.panes[pane].push_back(BufferedReport{
       envelope.tenant, envelope.sequence, std::move(report).value()});
   stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+  stats_.accepted_payload_bytes.fetch_add(payload_bytes,
+                                          std::memory_order_relaxed);
   any_accepted_.store(true, std::memory_order_release);
   std::uint64_t seen = max_pane_seen_.load(std::memory_order_relaxed);
   while (pane > seen && !max_pane_seen_.compare_exchange_weak(
@@ -465,6 +491,8 @@ ServiceStats AggregationService::Stats() const {
   ServiceStats s;
   s.submitted = stats_.submitted.load(std::memory_order_acquire);
   s.accepted = stats_.accepted.load(std::memory_order_acquire);
+  s.accepted_payload_bytes =
+      stats_.accepted_payload_bytes.load(std::memory_order_acquire);
   s.deduped = stats_.deduped.load(std::memory_order_acquire);
   s.shed_queue_full =
       stats_.shed_queue_full.load(std::memory_order_acquire);
@@ -516,6 +544,7 @@ std::vector<unsigned char> AggregationService::SerializeSnapshot(
   const ServiceStats s = Stats();
   w.U64(s.submitted);
   w.U64(s.accepted);
+  w.U64(s.accepted_payload_bytes);
   w.U64(s.deduped);
   w.U64(s.shed_queue_full);
   w.U64(s.shed_late);
@@ -604,6 +633,7 @@ Status AggregationService::RestoreSnapshot(
   };
   HDLDP_RETURN_NOT_OK(restore_counter(&stats_.submitted));
   HDLDP_RETURN_NOT_OK(restore_counter(&stats_.accepted));
+  HDLDP_RETURN_NOT_OK(restore_counter(&stats_.accepted_payload_bytes));
   HDLDP_RETURN_NOT_OK(restore_counter(&stats_.deduped));
   HDLDP_RETURN_NOT_OK(restore_counter(&stats_.shed_queue_full));
   HDLDP_RETURN_NOT_OK(restore_counter(&stats_.shed_late));

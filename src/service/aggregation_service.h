@@ -79,6 +79,7 @@
 #include "protocol/report.h"
 #include "protocol/snapshot.h"
 #include "protocol/wire.h"
+#include "service/payload_codec.h"
 #include "service/seq_interval_set.h"
 #include "service/window.h"
 
@@ -120,6 +121,14 @@ struct ServiceOptions {
   double output_lo = -std::numeric_limits<double>::infinity();
   double output_hi = std::numeric_limits<double>::infinity();
 
+  /// Wire encoding of ingested payloads. kDense/kSampled run the
+  /// version-1 numeric decode; oue|olh|hadamard1 decode through a
+  /// PayloadCodec whose unbiased entry values land in the data domain
+  /// (use an identity domain_map and the codec's output_lo/hi —
+  /// ReportStream::CodecOptions() hands this struct back pre-filled).
+  /// Create() rejects a codec whose service_dims() differ from num_dims.
+  PayloadCodecOptions codec;
+
   /// Ingestion workers (0 = one per hardware thread). Published
   /// estimates never depend on this.
   std::size_t num_workers = 1;
@@ -150,6 +159,9 @@ struct ServiceOptions {
 struct ServiceStats {
   std::uint64_t submitted = 0;
   std::uint64_t accepted = 0;
+  /// Wire payload bytes of accepted reports (the communication ledger:
+  /// accepted_payload_bytes / accepted = bytes per accepted user).
+  std::uint64_t accepted_payload_bytes = 0;
   std::uint64_t deduped = 0;
   std::uint64_t shed_queue_full = 0;
   std::uint64_t shed_late = 0;
@@ -284,6 +296,9 @@ class AggregationService {
   ServiceOptions options_;
   std::size_t workers_ = 1;
   std::uint64_t budget_capacity_ = 0;  // admitted sequences per tenant
+  // Compact-payload decoder (absent on the numeric path). Stateless;
+  // shared by all workers without locking.
+  std::optional<PayloadCodec> codec_;
 
   std::vector<std::unique_ptr<BoundedQueue<protocol::ReportEnvelope>>>
       queues_;
@@ -313,6 +328,7 @@ class AggregationService {
   struct AtomicStats {
     std::atomic<std::uint64_t> submitted{0};
     std::atomic<std::uint64_t> accepted{0};
+    std::atomic<std::uint64_t> accepted_payload_bytes{0};
     std::atomic<std::uint64_t> deduped{0};
     std::atomic<std::uint64_t> shed_queue_full{0};
     std::atomic<std::uint64_t> shed_late{0};

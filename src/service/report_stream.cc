@@ -1,11 +1,11 @@
 #include "service/report_stream.h"
 
+#include <algorithm>
 #include <cmath>
 #include <utility>
 
 #include "mech/registry.h"
 #include "protocol/budget.h"
-#include "protocol/wire.h"
 
 namespace hdldp {
 namespace service {
@@ -42,6 +42,58 @@ Result<ReportStream> ReportStream::Create(const ReportStreamOptions& options) {
   if (m > options.num_dims) {
     return Status::InvalidArgument(
         "report_dims exceeds the stream dimensionality");
+  }
+  const bool compact =
+      options.encoding == protocol::ReportEncoding::kOue ||
+      options.encoding == protocol::ReportEncoding::kOlh ||
+      options.encoding == protocol::ReportEncoding::kHadamard1;
+  if (compact) {
+    // Compact payloads decode straight into the data domain, so the
+    // service runs with an identity map and the codec's value range.
+    if (options.workload == StreamWorkload::kMean) {
+      if (options.encoding != protocol::ReportEncoding::kHadamard1) {
+        return Status::InvalidArgument(
+            "mean streams support dense|sampled|hadamard1 encodings");
+      }
+      HDLDP_ASSIGN_OR_RETURN(
+          const protocol::Hadamard1Params hadamard,
+          protocol::Hadamard1Params::Create(options.num_dims, m,
+                                            options.epsilon));
+      stream.hadamard_.emplace(hadamard);
+      stream.service_dims_ = options.num_dims;
+      stream.expected_entries_ = m;
+      stream.output_hi_ = hadamard.bound * hadamard.c_inv;
+      stream.output_lo_ = -stream.output_hi_;
+    } else {
+      if (options.encoding == protocol::ReportEncoding::kHadamard1) {
+        return Status::InvalidArgument(
+            "freq streams support dense|sampled|oue|olh encodings");
+      }
+      if (options.num_categories < 2) {
+        return Status::InvalidArgument(
+            "freq stream requires num_categories >= 2");
+      }
+      const double per_dim = options.epsilon / static_cast<double>(m);
+      if (options.encoding == protocol::ReportEncoding::kOue) {
+        HDLDP_ASSIGN_OR_RETURN(stream.oue_,
+                               freq::OueParams::FromEpsilon(per_dim));
+        stream.output_lo_ = stream.oue_.EntryValue(false);
+        stream.output_hi_ = stream.oue_.EntryValue(true);
+      } else {
+        HDLDP_ASSIGN_OR_RETURN(stream.olh_,
+                               freq::OlhParams::FromEpsilon(per_dim));
+        stream.output_lo_ = stream.olh_.EntryValue(false);
+        stream.output_hi_ = stream.olh_.EntryValue(true);
+      }
+      stream.per_entry_epsilon_ = per_dim;
+      stream.service_dims_ = options.num_dims * options.num_categories;
+      stream.expected_entries_ = m * options.num_categories;
+    }
+    const std::uint64_t fault_seed =
+        options.fault_seed != 0 ? options.fault_seed : options.seed;
+    stream.fault_schedule_ =
+        data::ReportFaultSchedule(fault_seed, options.faults);
+    return stream;
   }
   if (options.workload == StreamWorkload::kMean) {
     protocol::ClientOptions client_options;
@@ -85,8 +137,114 @@ Result<ReportStream> ReportStream::Create(const ReportStreamOptions& options) {
   return stream;
 }
 
+PayloadCodecOptions ReportStream::CodecOptions() const {
+  PayloadCodecOptions codec;
+  codec.encoding = options_.encoding;
+  codec.epsilon = options_.epsilon;
+  codec.report_dims = options_.report_dims == 0 ? options_.num_dims
+                                                : options_.report_dims;
+  codec.num_questions = options_.num_dims;
+  codec.num_categories = options_.num_categories;
+  codec.num_dims = options_.num_dims;
+  return codec;
+}
+
+// Compact-payload report bytes. Draw layout per report stream (frozen,
+// like the numeric layouts — recorded faulted runs replay these draws):
+//
+//   kHadamard1: d tuple uniforms, one raw Next() whose high 32 bits are
+//   the sample seed (dimensions then come from Hadamard1SampleDims, no
+//   stream draws), then the Hadamard1Encode pair (row index, sign coin).
+//
+//   kOue/kOlh:  one Floyd SampleWithoutReplacement(q, m) walk, then per
+//   sampled question IN DRAW ORDER one UniformInt(c) answer followed by
+//   that question's OueEncodeDim / OlhEncodeDim draws; the payload dims
+//   are sorted ascending only after all draws (wire framing order never
+//   feeds back into the stream).
+Status ReportStream::GenerateCompact(std::uint64_t index,
+                                     std::vector<std::uint8_t>* out) {
+  Rng rng(ReportSeed(options_.seed, index));
+  std::vector<std::uint8_t> payload;
+  if (options_.encoding == protocol::ReportEncoding::kHadamard1) {
+    tuple_.resize(options_.num_dims);
+    for (double& v : tuple_) v = rng.Uniform(-1.0, 1.0);
+    const std::uint32_t sample_seed =
+        static_cast<std::uint32_t>(rng.Next() >> 32);
+    protocol::Hadamard1SampleDims(sample_seed, hadamard_->num_dims,
+                                  hadamard_->report_dims, &sampled_);
+    gathered_.clear();
+    for (const std::uint32_t dim : sampled_) gathered_.push_back(tuple_[dim]);
+    const protocol::Hadamard1Report encoded =
+        protocol::Hadamard1Encode(*hadamard_, gathered_, &rng);
+    protocol::Hadamard1Payload wire;
+    wire.num_dims = static_cast<std::uint32_t>(options_.num_dims);
+    wire.report_dims = static_cast<std::uint32_t>(hadamard_->report_dims);
+    wire.sample_seed = sample_seed;
+    wire.index = encoded.index;
+    wire.positive = encoded.positive;
+    HDLDP_ASSIGN_OR_RETURN(payload, protocol::EncodeHadamard1Payload(wire));
+  } else {
+    const std::size_t m = options_.report_dims == 0 ? options_.num_dims
+                                                    : options_.report_dims;
+    const std::size_t c = options_.num_categories;
+    sampled_.clear();
+    rng.SampleWithoutReplacement(options_.num_dims, m, &sampled_);
+    if (options_.encoding == protocol::ReportEncoding::kOue) {
+      protocol::OuePayload wire;
+      wire.num_dims = options_.num_dims;
+      wire.dims.reserve(m);
+      for (const std::uint32_t question : sampled_) {
+        const auto answer = static_cast<std::uint32_t>(rng.UniformInt(c));
+        protocol::OuePayloadDim dim;
+        dim.dimension = question;
+        dim.cardinality = static_cast<std::uint32_t>(c);
+        freq::OueEncodeDim(oue_, answer, c, &rng, &dim.bits);
+        wire.dims.push_back(std::move(dim));
+      }
+      std::sort(wire.dims.begin(), wire.dims.end(),
+                [](const protocol::OuePayloadDim& a,
+                   const protocol::OuePayloadDim& b) {
+                  return a.dimension < b.dimension;
+                });
+      HDLDP_ASSIGN_OR_RETURN(payload, protocol::EncodeOuePayload(wire));
+    } else {
+      protocol::OlhPayload wire;
+      wire.num_dims = options_.num_dims;
+      wire.dims.reserve(m);
+      for (const std::uint32_t question : sampled_) {
+        const auto answer = static_cast<std::uint32_t>(rng.UniformInt(c));
+        const freq::OlhDimReport encoded =
+            freq::OlhEncodeDim(olh_, answer, &rng);
+        wire.dims.push_back(protocol::OlhPayloadDim{
+            question, static_cast<std::uint32_t>(olh_.g), encoded.hash_seed,
+            encoded.value});
+      }
+      std::sort(wire.dims.begin(), wire.dims.end(),
+                [](const protocol::OlhPayloadDim& a,
+                   const protocol::OlhPayloadDim& b) {
+                  return a.dimension < b.dimension;
+                });
+      HDLDP_ASSIGN_OR_RETURN(payload, protocol::EncodeOlhPayload(wire));
+    }
+  }
+  protocol::ReportEnvelope envelope;
+  envelope.tenant = index % options_.num_tenants;
+  envelope.sequence = index / options_.num_tenants;
+  envelope.tick = options_.reports_per_tick == 0
+                      ? 0
+                      : index / options_.reports_per_tick;
+  envelope.payload = std::move(payload);
+  *out = protocol::EncodeEnvelope(envelope);
+  return Status::OK();
+}
+
 Status ReportStream::Generate(std::uint64_t index,
                               std::vector<std::uint8_t>* out) {
+  if (options_.encoding == protocol::ReportEncoding::kOue ||
+      options_.encoding == protocol::ReportEncoding::kOlh ||
+      options_.encoding == protocol::ReportEncoding::kHadamard1) {
+    return GenerateCompact(index, out);
+  }
   Rng rng(ReportSeed(options_.seed, index));
   protocol::UserReport report;
   if (options_.workload == StreamWorkload::kMean) {

@@ -33,6 +33,9 @@
 #include "data/fault_injection.h"
 #include "mech/mechanism.h"
 #include "protocol/client.h"
+#include "protocol/hadamard.h"
+#include "protocol/wire.h"
+#include "service/payload_codec.h"
 
 namespace hdldp {
 namespace service {
@@ -50,7 +53,14 @@ enum class StreamWorkload {
 /// \brief Configuration of one deterministic report stream.
 struct ReportStreamOptions {
   StreamWorkload workload = StreamWorkload::kMean;
-  /// Registered mechanism name (mech::MakeMechanism).
+  /// Wire encoding of the generated reports. kDense/kSampled emit the
+  /// numeric version-1 payloads (m decides which); kHadamard1 (kMean
+  /// only) and kOue/kOlh (kFreq only) emit the compact payload kinds,
+  /// which the service decodes through a matching PayloadCodec.
+  protocol::ReportEncoding encoding = protocol::ReportEncoding::kDense;
+  /// Registered mechanism name (mech::MakeMechanism). Unused by the
+  /// compact encodings (their randomized response needs no value
+  /// mechanism).
   std::string mechanism = "duchi";
   /// Logical reports in the stream (before drops/duplicates).
   std::uint64_t num_reports = 0;
@@ -110,6 +120,9 @@ class ReportStream {
   double output_hi() const { return output_hi_; }
   /// Budget one report spends against its tenant: the total eps.
   double per_report_epsilon() const { return options_.epsilon; }
+  /// Codec configuration a service ingesting this stream needs
+  /// (meaningful for the compact encodings only).
+  PayloadCodecOptions CodecOptions() const;
 
  private:
   struct PendingEnvelope {
@@ -131,10 +144,17 @@ class ReportStream {
 
   /// Envelope bytes of logical report `index` — pure in (options, index).
   Status Generate(std::uint64_t index, std::vector<std::uint8_t>* out);
+  /// The compact-encoding arm of Generate (draw layout documented at the
+  /// definition; frozen).
+  Status GenerateCompact(std::uint64_t index, std::vector<std::uint8_t>* out);
 
   ReportStreamOptions options_;
   mech::MechanismPtr mechanism_;
   std::optional<protocol::Client> client_;  // kMean only
+  // Compact-encoding parameters (one of them, matching options_.encoding).
+  std::optional<protocol::Hadamard1Params> hadamard_;
+  freq::OueParams oue_;
+  freq::OlhParams olh_;
   mech::DomainMap domain_map_;
   data::ReportFaultSchedule fault_schedule_;
   std::size_t service_dims_ = 0;
@@ -155,6 +175,7 @@ class ReportStream {
   // Reused per-report scratch.
   std::vector<double> tuple_;
   std::vector<std::uint32_t> sampled_;
+  std::vector<double> gathered_;  // kHadamard1 sampled values
 };
 
 }  // namespace service

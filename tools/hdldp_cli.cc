@@ -7,14 +7,21 @@
 //                     [--report-dims=0] [--seed=1] [--threads=1]
 //                     [--seed-scheme=v3] [--recalibrate=both|l1|l2|none]
 //                     [--gate] [--input=<shard-dir>] [--chunk-keyed]
+//                     [--encoding=dense|sampled|hadamard1]
 //       Runs the full mean-estimation protocol and prints naive and
-//       HDR4ME-enhanced MSE.
+//       HDR4ME-enhanced MSE. --encoding=hadamard1 runs the 1-bit
+//       compact-report path (protocol/hadamard.h); oue/olh are
+//       frequency encodings and are rejected here.
 //
 //   hdldp_cli freq    --mechanism=piecewise --users=20000 --questions=16
 //                     --categories=8 [--zipf=1.0] [--epsilon=1]
 //                     [--sampled=4] [--seed=1] [--threads=1]
 //                     [--seed-scheme=v3] [--input=<shard-dir>]
+//                     [--encoding=dense|sampled|oue|olh]
 //       Runs the Section V-C frequency-estimation protocol.
+//       --encoding=oue|olh runs the frequency-oracle path (one
+//       categorical report per sampled dimension at eps/m);
+//       hadamard1 is a mean encoding and is rejected here.
 //
 //   hdldp_cli generate --out=<shard-dir> --dataset=uniform
 //                      --users=1000000 --dims=16 [--seed=1]
@@ -86,6 +93,7 @@
 //                     [--fault-drop-rate=P] [--fault-duplicate-rate=P]
 //                     [--fault-reorder-rate=P] [--fault-reorder-delay=3]
 //                     [--fault-seed=S] [--print-estimate]
+//                     [--encoding=dense|sampled|oue|olh|hadamard1]
 //       Drives a deterministic report stream through the online
 //       aggregation service (src/service/): asynchronous multi-worker
 //       ingestion, per-(tenant, sequence) dedup, per-tenant budget
@@ -424,6 +432,10 @@ Status RunMean(Flags flags) {
   const std::string recalibrate = flags.GetString("recalibrate", "both");
   const bool gate = flags.GetBool("gate");
   const bool print_estimate = flags.GetBool("print-estimate");
+  HDLDP_ASSIGN_OR_RETURN(
+      const hdldp::protocol::ReportEncoding encoding,
+      hdldp::protocol::ParseReportEncoding(
+          flags.GetString("encoding", "dense")));
   HDLDP_ASSIGN_OR_RETURN(const FaultFlags ft, ParseFaultFlags(&flags));
   if (!input.empty()) HDLDP_RETURN_NOT_OK(RejectGeneratorFlagsWithInput(flags));
   HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
@@ -454,14 +466,17 @@ Status RunMean(Flags flags) {
   opts.retry = ft.retry;
   opts.allow_missing_chunks = ft.allow_missing_chunks;
   opts.checkpoint_path = ft.checkpoint;
+  opts.encoding = encoding;
   HDLDP_ASSIGN_OR_RETURN(
       const auto run,
       hdldp::protocol::RunMeanEstimation(*source, mechanism, opts));
 
-  std::printf("mechanism=%s dataset=%s users=%zu dims=%zu eps=%g m=%zu\n",
+  std::printf("mechanism=%s dataset=%s users=%zu dims=%zu eps=%g m=%zu "
+              "encoding=%s\n",
               mech_name.c_str(),
               input.empty() ? dataset_name.c_str() : input.c_str(), users,
-              dims, epsilon, report_dims == 0 ? dims : report_dims);
+              dims, epsilon, report_dims == 0 ? dims : report_dims,
+              hdldp::protocol::ReportEncodingName(encoding));
   PrintFaultOutcome(run.resumed_from_checkpoint, run.quarantined_chunks,
                     run.surviving_users);
   std::printf("%-24s %12.6g\n", "naive MSE", run.mse);
@@ -474,6 +489,13 @@ Status RunMean(Flags flags) {
   }
 
   if (recalibrate == "none") return Status::OK();
+  if (encoding == hdldp::protocol::ReportEncoding::kHadamard1) {
+    // The deviation model below describes the numeric mechanism's
+    // perturbation; the 1-bit path has no mechanism, so HDR4ME
+    // re-calibration is not offered (naive MSE above is the result).
+    std::printf("recalibration skipped: hadamard1 has no value mechanism\n");
+    return Status::OK();
+  }
   // Per-dimension deviation models from per-dimension empirical marginals.
   std::vector<hdldp::framework::GaussianDeviation> deviations;
   const std::size_t rows = std::min<std::size_t>(users, 2000);
@@ -537,6 +559,10 @@ Status RunFreq(Flags flags) {
   HDLDP_ASSIGN_OR_RETURN(
       const hdldp::SeedScheme seed_scheme,
       ParseSeedScheme(flags.GetString("seed-scheme", "v3")));
+  HDLDP_ASSIGN_OR_RETURN(
+      const hdldp::protocol::ReportEncoding encoding,
+      hdldp::protocol::ParseReportEncoding(
+          flags.GetString("encoding", "dense")));
   HDLDP_ASSIGN_OR_RETURN(const FaultFlags ft, ParseFaultFlags(&flags));
   if (!input.empty() && (flags.Has("users") || flags.Has("zipf"))) {
     return Status::InvalidArgument(
@@ -560,6 +586,7 @@ Status RunFreq(Flags flags) {
   opts.retry = ft.retry;
   opts.allow_missing_chunks = ft.allow_missing_chunks;
   opts.checkpoint_path = ft.checkpoint;
+  opts.encoding = encoding;
 
   // Both branches resolve a base ChunkSource, optionally wrap it in the
   // deterministic fault injector, and run the source overload.
@@ -590,9 +617,10 @@ Status RunFreq(Flags flags) {
                          hdldp::freq::RunFrequencyEstimation(
                              *source, schema, mechanism, opts));
   std::printf("mechanism=%s users=%zu questions=%zu categories=%zu eps=%g "
-              "eps/entry=%g\n",
+              "eps/entry=%g encoding=%s\n",
               mech_name.c_str(), users, questions, categories, epsilon,
-              result.per_entry_epsilon);
+              result.per_entry_epsilon,
+              hdldp::protocol::ReportEncodingName(encoding));
   PrintFaultOutcome(result.resumed_from_checkpoint, result.quarantined_chunks,
                     result.surviving_users);
   std::printf("%-24s %12.6g\n", "naive MSE", result.mse_raw);
@@ -775,6 +803,10 @@ Status RunServe(Flags flags, bool replay) {
   const std::size_t snapshot_every = flags.GetSize("snapshot-every", 0);
   const std::size_t kill_after = flags.GetSize("kill-after", 0);
   const bool print_estimate = flags.GetBool("print-estimate");
+  HDLDP_ASSIGN_OR_RETURN(
+      const hdldp::protocol::ReportEncoding encoding,
+      hdldp::protocol::ParseReportEncoding(
+          flags.GetString("encoding", "dense")));
 
   // The stream generator emits per-report scalar Rng streams — the v1
   // contract. v2/v3 name the engine's lane/batched contracts, which have
@@ -802,6 +834,7 @@ Status RunServe(Flags flags, bool replay) {
     return Status::InvalidArgument("unknown --workload '" + workload_name +
                                    "' (want mean|freq)");
   }
+  stream_options.encoding = encoding;
   stream_options.mechanism = mech_name;
   stream_options.num_reports = reports;
   stream_options.epsilon = epsilon;
@@ -859,6 +892,7 @@ Status RunServe(Flags flags, bool replay) {
   service_options.output_hi = stream.output_hi();
   service_options.per_report_epsilon =
       tenant_budget > 0.0 ? stream.per_report_epsilon() : 0.0;
+  service_options.codec = stream.CodecOptions();
   // Everything that defines the stream (and hence the estimates) is in
   // the digest tag; worker count / queue capacity / overload policy are
   // deliberately absent — estimates are invariant to them, so a serve
@@ -866,10 +900,12 @@ Status RunServe(Flags flags, bool replay) {
   {
     char tag[256];
     std::snprintf(tag, sizeof(tag),
-                  "stream %s %s n=%llu eps=%.17g m=%zu seed=%llu t=%llu "
-                  "rpt=%llu drop=%.17g dup=%.17g reord=%.17g delay=%zu "
-                  "fseed=%llu",
-                  workload_name.c_str(), mech_name.c_str(),
+                  "stream %s enc=%s %s n=%llu eps=%.17g m=%zu seed=%llu "
+                  "t=%llu rpt=%llu drop=%.17g dup=%.17g reord=%.17g "
+                  "delay=%zu fseed=%llu",
+                  workload_name.c_str(),
+                  hdldp::protocol::ReportEncodingName(encoding),
+                  mech_name.c_str(),
                   static_cast<unsigned long long>(reports), epsilon,
                   report_dims, static_cast<unsigned long long>(seed),
                   static_cast<unsigned long long>(tenants),
@@ -941,11 +977,13 @@ Status RunServe(Flags flags, bool replay) {
 
   const hdldp::service::ServiceStats s = service->Stats();
   std::printf(
-      "stats submitted=%llu accepted=%llu deduped=%llu shed_queue_full=%llu "
+      "stats submitted=%llu accepted=%llu accepted_payload_bytes=%llu "
+      "deduped=%llu shed_queue_full=%llu "
       "shed_late=%llu rejected_malformed=%llu rejected_invalid=%llu "
       "rejected_budget=%llu published_windows=%llu published_reports=%llu\n",
       static_cast<unsigned long long>(s.submitted),
       static_cast<unsigned long long>(s.accepted),
+      static_cast<unsigned long long>(s.accepted_payload_bytes),
       static_cast<unsigned long long>(s.deduped),
       static_cast<unsigned long long>(s.shed_queue_full),
       static_cast<unsigned long long>(s.shed_late),
