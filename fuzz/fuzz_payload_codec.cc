@@ -1,0 +1,52 @@
+// Fuzz harness for service::PayloadCodec::Decode — the first thing the
+// aggregation service does with an authenticated tenant's payload
+// bytes, and therefore the hottest attack surface in the serving path.
+// One codec per compact encoding (OUE, OLH, Hadamard1), geometry
+// matching fuzz/seedgen.cc so the seed corpus decodes successfully.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "service/payload_codec.h"
+
+namespace {
+
+const std::vector<hdldp::service::PayloadCodec>& Codecs() {
+  static const std::vector<hdldp::service::PayloadCodec> codecs = [] {
+    using hdldp::protocol::ReportEncoding;
+    using hdldp::service::PayloadCodec;
+    using hdldp::service::PayloadCodecOptions;
+    std::vector<PayloadCodec> out;
+    for (const ReportEncoding encoding :
+         {ReportEncoding::kOue, ReportEncoding::kOlh,
+          ReportEncoding::kHadamard1}) {
+      PayloadCodecOptions options;
+      options.encoding = encoding;
+      options.epsilon = 1.0;
+      options.report_dims = 2;
+      if (encoding == ReportEncoding::kHadamard1) {
+        options.num_dims = 16;
+      } else {
+        options.num_questions = 4;
+        options.num_categories = 3;
+      }
+      auto codec = PayloadCodec::Create(options);
+      if (codec.ok()) out.push_back(std::move(codec).value());
+    }
+    return out;
+  }();
+  return codecs;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::span<const std::uint8_t> bytes(data, size);
+  for (const hdldp::service::PayloadCodec& codec : Codecs()) {
+    (void)codec.Decode(bytes);
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fuzz harness for the shard reader: the input bytes become a part file
+// in a scratch shard directory, which ShardFileSource then opens and
+// reads end to end. Header validation, size/geometry checks, the CRC
+// trailer and the mmap window path must all hold up against arbitrary
+// bytes — a torn or hostile part file is a typed error, never UB.
+
+#include <unistd.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "data/chunk_source.h"
+#include "data/shard.h"
+
+namespace {
+
+const std::string& ShardDir() {
+  static const std::string dir = [] {
+    char tmpl[] = "/tmp/hdldp_fuzz_shard_XXXXXX";
+    const char* made = ::mkdtemp(tmpl);
+    return std::string(made != nullptr ? made : ".");
+  }();
+  return dir;
+}
+
+bool WriteInput(const std::string& path, const std::uint8_t* data,
+                std::size_t size) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool ok = size == 0 || std::fwrite(data, 1, size, f) == size;
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string part = ShardDir() + "/part-00000.hds";
+  if (!WriteInput(part, data, size)) return 0;
+  auto source = hdldp::data::ShardFileSource::Open(ShardDir());
+  if (source.ok()) {
+    // A header that passes Open bounds num_chunks by the actual file
+    // size, so this loop is O(input bytes).
+    hdldp::data::ChunkBuffer buffer;
+    for (std::size_t c = 0; c < source.value().num_chunks(); ++c) {
+      (void)source.value().Chunk(c, &buffer);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fuzz harness for the wire codec: envelope framing plus all four
+// payload kinds (dense v1, OUE v2, OLH v3, Hadamard1 v4). The decoders
+// promise that arbitrary bytes produce a typed error or a valid value —
+// never UB, a wild allocation, or a crash; this harness is that promise
+// under test.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "protocol/wire.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  namespace proto = hdldp::protocol;
+  const std::span<const std::uint8_t> bytes(data, size);
+  if (auto envelope = proto::DecodeEnvelope(bytes); envelope.ok()) {
+    // The framed payload is attacker bytes too: the service hands it to
+    // the kind-specific decoder, so exercise every one of them.
+    const std::span<const std::uint8_t> payload(envelope.value().payload);
+    (void)proto::PayloadEncoding(payload);
+    (void)proto::DecodeReport(payload);
+    (void)proto::DecodeOuePayload(payload);
+    (void)proto::DecodeOlhPayload(payload);
+    (void)proto::DecodeHadamard1Payload(payload);
+  }
+  // The raw input doubles as a bare payload (no envelope framing).
+  (void)proto::PayloadEncoding(bytes);
+  (void)proto::DecodeReport(bytes);
+  (void)proto::DecodeOuePayload(bytes);
+  (void)proto::DecodeOlhPayload(bytes);
+  (void)proto::DecodeHadamard1Payload(bytes);
+  return 0;
+}

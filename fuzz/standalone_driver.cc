@@ -1,0 +1,156 @@
+// Standalone driver for the fuzz harnesses: a main() that replays
+// corpus inputs through LLVMFuzzerTestOneInput without libFuzzer, so
+// the harnesses build and run under ANY toolchain (GCC included) and in
+// every sanitizer preset. This is what the FuzzCorpus.* ctest cases
+// run: every checked-in regression input must stay crash-free in every
+// preset.
+//
+// Usage: fuzz_<target>_replay [--mutate=N] [--seed=S] path...
+//
+// Each path is a corpus file or a directory of corpus files (sorted by
+// name, so runs are deterministic). With --mutate=N, every input
+// additionally spawns N deterministic SplitMix64-derived mutants
+// (byte flips, truncations, insertions, value smashes) — a bounded,
+// seed-replayable smoke fuzz that needs no libFuzzer. A crash surfaces
+// as the process dying (assert/sanitizer abort); clean runs exit 0.
+// Replaying an empty corpus is an error: a missing corpus directory
+// must never read as a green fuzz regression suite.
+
+#include <dirent.h>
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+bool ReadFileBytes(const std::string& path, std::vector<std::uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return true;
+}
+
+// Expands a path into the corpus files it names: a regular file is
+// itself, a directory contributes its regular files sorted by name.
+void CollectInputs(const std::string& path, std::vector<std::string>* files) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    std::fprintf(stderr, "fuzz replay: cannot stat %s\n", path.c_str());
+    return;
+  }
+  if (!S_ISDIR(st.st_mode)) {
+    files->push_back(path);
+    return;
+  }
+  std::vector<std::string> names;
+  DIR* d = ::opendir(path.c_str());
+  if (d == nullptr) return;
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  for (const std::string& name : names) {
+    const std::string full = path + "/" + name;
+    if (::stat(full.c_str(), &st) == 0 && S_ISREG(st.st_mode)) {
+      files->push_back(full);
+    }
+  }
+}
+
+// One deterministic mutant of `base`. The mutation menu is deliberately
+// crude — the point is cheap regression smoke at ctest time, not deep
+// exploration (CI's libFuzzer job does that).
+std::vector<std::uint8_t> Mutate(const std::vector<std::uint8_t>& base,
+                                 std::uint64_t* rng) {
+  std::vector<std::uint8_t> out = base;
+  switch (hdldp::SplitMix64(rng) & 3) {
+    case 0:  // flip one byte
+      if (!out.empty()) {
+        out[hdldp::SplitMix64(rng) % out.size()] ^=
+            static_cast<std::uint8_t>(hdldp::SplitMix64(rng) | 1);
+      }
+      break;
+    case 1:  // truncate
+      if (!out.empty()) {
+        out.resize(hdldp::SplitMix64(rng) % out.size());
+      }
+      break;
+    case 2:  // insert a byte
+      out.insert(out.begin() +
+                     static_cast<std::ptrdiff_t>(
+                         hdldp::SplitMix64(rng) % (out.size() + 1)),
+                 static_cast<std::uint8_t>(hdldp::SplitMix64(rng)));
+      break;
+    default:  // smash a byte to an extreme (0x00/0xFF bias length fields)
+      if (!out.empty()) {
+        out[hdldp::SplitMix64(rng) % out.size()] =
+            (hdldp::SplitMix64(rng) & 1) ? 0xFF : 0x00;
+      }
+      break;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t mutants = 0;
+  std::uint64_t seed = 1;
+  std::vector<std::string> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--mutate=", 0) == 0) {
+      mutants = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else {
+      CollectInputs(arg, &inputs);
+    }
+  }
+  if (inputs.empty()) {
+    std::fprintf(stderr,
+                 "fuzz replay: no corpus inputs found (usage: %s "
+                 "[--mutate=N] [--seed=S] path...)\n",
+                 argv[0]);
+    return 2;
+  }
+  std::uint64_t ran = 0;
+  std::uint64_t ran_mutants = 0;
+  for (std::size_t f = 0; f < inputs.size(); ++f) {
+    std::vector<std::uint8_t> bytes;
+    if (!ReadFileBytes(inputs[f], &bytes)) {
+      std::fprintf(stderr, "fuzz replay: cannot read %s\n",
+                   inputs[f].c_str());
+      return 2;
+    }
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+    ++ran;
+    // Mutant stream keyed by (seed, file index): stable under corpus
+    // growth, replayable from the command line alone.
+    std::uint64_t rng = seed ^ (0x9e3779b97f4a7c15ULL * (f + 1));
+    for (std::uint64_t m = 0; m < mutants; ++m) {
+      const std::vector<std::uint8_t> mutant = Mutate(bytes, &rng);
+      LLVMFuzzerTestOneInput(mutant.data(), mutant.size());
+      ++ran_mutants;
+    }
+  }
+  std::printf("fuzz replay: %llu corpus inputs + %llu mutants, no crashes\n",
+              static_cast<unsigned long long>(ran),
+              static_cast<unsigned long long>(ran_mutants));
+  return 0;
+}

@@ -37,6 +37,11 @@ enum class StatusCode : int {
   /// truncated payload, interrupted write). Retrying will not help;
   /// quarantine (engine allow_missing_chunks) or repair is required.
   kDataLoss = 8,
+  /// A finite resource ran out (disk full, quota exceeded, short write
+  /// because the device has no space). The on-disk state the operation
+  /// was replacing is preserved; retrying only helps after the resource
+  /// is freed.
+  kResourceExhausted = 9,
 };
 
 /// \brief Returns a stable human-readable name for a status code.
@@ -103,6 +108,9 @@ class [[nodiscard]] Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   friend bool operator==(const Status& a, const Status& b) {

@@ -83,6 +83,16 @@ Result<ShardHeader> DecodeHeader(const unsigned char* block,
   if (h.num_dims == 0 || h.num_users == 0) {
     return Status::InvalidArgument("empty shard part file: " + path);
   }
+  // Geometry sanity: the expected-size formula in Open() must not wrap,
+  // and the CRC-trailer resize must never trust a wild chunk count. The
+  // bounds are far beyond any real population, so only a corrupt or
+  // hostile header trips them.
+  if (h.num_dims > (1ull << 24) ||
+      h.num_users > (1ull << 56) / h.num_dims) {
+    return Status::DataLoss("implausible shard geometry (num_users " +
+                            std::to_string(h.num_users) + ", num_dims " +
+                            std::to_string(h.num_dims) + "): " + path);
+  }
   return h;
 }
 
@@ -90,22 +100,6 @@ std::string PartPath(const std::string& dir, std::size_t index) {
   char name[32];
   std::snprintf(name, sizeof(name), "part-%05zu.hds", index);
   return dir + "/" + name;
-}
-
-Status WriteFully(int fd, const void* data, std::size_t len,
-                  const std::string& path) {
-  const char* p = static_cast<const char*>(data);
-  while (len > 0) {
-    const ssize_t n = ::write(fd, p, len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal("write failed for " + path + ": " +
-                              std::strerror(errno));
-    }
-    p += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return Status::OK();
 }
 
 Status PReadFully(int fd, void* data, std::size_t len, std::size_t offset,
@@ -155,12 +149,16 @@ bool EndsWith(const std::string& name, std::string_view suffix) {
 
 ShardWriter::ShardWriter(std::string dir, std::size_t num_dims,
                          const ShardWriterOptions& options)
-    : dir_(std::move(dir)), num_dims_(num_dims), options_(options) {}
+    : dir_(std::move(dir)),
+      num_dims_(num_dims),
+      options_(options),
+      writer_(options.write_faults) {}
 
 ShardWriter::ShardWriter(ShardWriter&& other) noexcept
     : dir_(std::move(other.dir_)),
       num_dims_(other.num_dims_),
       options_(other.options_),
+      writer_(std::move(other.writer_)),
       fd_(other.fd_),
       file_index_(other.file_index_),
       rows_in_file_(other.rows_in_file_),
@@ -178,6 +176,7 @@ ShardWriter& ShardWriter::operator=(ShardWriter&& other) noexcept {
     dir_ = std::move(other.dir_);
     num_dims_ = other.num_dims_;
     options_ = other.options_;
+    writer_ = std::move(other.writer_);
     fd_ = other.fd_;
     file_index_ = other.file_index_;
     rows_in_file_ = other.rows_in_file_;
@@ -257,7 +256,7 @@ Status ShardWriter::OpenNextFile() {
   header.first_user = rows_written_;
   unsigned char block[kHeaderBytes];
   EncodeHeader(header, block);
-  HDLDP_RETURN_NOT_OK(WriteFully(fd_, block, kHeaderBytes, tmp));
+  HDLDP_RETURN_NOT_OK(writer_.WriteFully(fd_, block, kHeaderBytes, tmp));
   rows_in_file_ = 0;
   chunk_crcs_.clear();
   chunk_crc_ = 0;
@@ -275,25 +274,16 @@ Status ShardWriter::CloseCurrentFile() {
   }
   // The CRC trailer goes after the payload; the descriptor's position
   // is already there.
-  HDLDP_RETURN_NOT_OK(WriteFully(fd_, chunk_crcs_.data(),
-                                 chunk_crcs_.size() * sizeof(std::uint32_t),
-                                 tmp));
+  HDLDP_RETURN_NOT_OK(writer_.WriteFully(
+      fd_, chunk_crcs_.data(), chunk_crcs_.size() * sizeof(std::uint32_t),
+      tmp));
   const std::uint64_t users = rows_in_file_;
-  ssize_t n;
-  do {
-    n = ::pwrite(fd_, &users, 8, static_cast<off_t>(kOffNumUsers));
-  } while (n < 0 && errno == EINTR);
-  if (n != 8) {
-    return Status::Internal("cannot patch shard header " + tmp + ": " +
-                            std::strerror(errno));
-  }
+  HDLDP_RETURN_NOT_OK(writer_.PWriteFully(fd_, &users, 8, kOffNumUsers, tmp));
   // Seal crash-consistently: flush the complete .tmp, rename it into
-  // place, then flush the directory entry. A crash at any point leaves
-  // either no final file (stray .tmp, detected by Open) or a complete
-  // checksummed one — never a torn final file.
-  if (::fsync(fd_) != 0) {
-    const Status st = Status::Internal("fsync failed for " + tmp + ": " +
-                                       std::strerror(errno));
+  // place, then flush the directory entry. A crash (or injected fault)
+  // at any point leaves either no final file (stray .tmp, detected by
+  // Open) or a complete checksummed one — never a torn final file.
+  if (const Status st = writer_.Fsync(fd_, tmp); !st.ok()) {
     ::close(fd_);
     fd_ = -1;
     return st;
@@ -329,8 +319,9 @@ Status ShardWriter::Append(std::span<const double> values) {
   while (rows > 0) {
     if (fd_ < 0) HDLDP_RETURN_NOT_OK(OpenNextFile());
     const std::size_t take = std::min(rows, rows_per_file - rows_in_file_);
-    HDLDP_RETURN_NOT_OK(WriteFully(fd_, p, take * num_dims_ * sizeof(double),
-                                   PartPath(dir_, file_index_) + ".tmp"));
+    HDLDP_RETURN_NOT_OK(
+        writer_.WriteFully(fd_, p, take * num_dims_ * sizeof(double),
+                           PartPath(dir_, file_index_) + ".tmp"));
     // Fold the same bytes into the per-chunk CRCs, closing out each
     // chunk as its last row streams through.
     const double* q = p;

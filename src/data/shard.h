@@ -55,6 +55,7 @@
 #include <string>
 #include <vector>
 
+#include "common/file_writer.h"
 #include "common/result.h"
 #include "data/chunk_source.h"
 
@@ -70,6 +71,12 @@ struct ShardWriterOptions {
   /// Chunks per part file before rolling to the next one. The default
   /// (1024 chunks = 4M users) keeps part files near 512 MB at d = 16.
   std::size_t chunks_per_file = 1024;
+  /// Deterministic write-path fault injection (common/file_writer.h).
+  /// Default-constructed = no faults. A failed write/fsync surfaces as
+  /// ResourceExhausted/DataLoss and never renames the torn .tmp into
+  /// place, so the directory's previous state stays intact and the next
+  /// Create() recovers it.
+  WriteFaultSchedule write_faults;
 };
 
 /// \brief Streaming writer of a shard directory. Append rows in user
@@ -118,6 +125,7 @@ class ShardWriter {
   std::string dir_;
   std::size_t num_dims_ = 0;
   ShardWriterOptions options_;
+  FileWriter writer_;
   int fd_ = -1;
   std::size_t file_index_ = 0;
   std::size_t rows_in_file_ = 0;

@@ -46,9 +46,21 @@ struct RetryPolicy {
   /// Backoff before retry k (1-based count of failures so far):
   /// initial_backoff_ms << (k - 1) milliseconds. 0 retries immediately.
   std::uint64_t initial_backoff_ms = 0;
+  /// Overall wall-clock retry deadline per chunk in milliseconds; 0
+  /// means unlimited. The deadline arms at the chunk's first failure;
+  /// once that much time has elapsed no further retries are scheduled
+  /// (the chunk fails as if the last attempt had just run), so a
+  /// persistent outage cannot hold a run hostage for the full
+  /// exponential ladder. Retries that do run stay bit-identical — the
+  /// deadline only cuts the ladder short, never alters an attempt.
+  std::uint64_t max_total_backoff_ms = 0;
   /// Injectable sleep, so tests assert the backoff sequence without
   /// wall-clock waits. Defaults (nullptr) to std::this_thread sleep.
   std::function<void(std::uint64_t backoff_ms)> sleep;
+  /// Injectable monotonic clock in milliseconds for the
+  /// max_total_backoff_ms deadline. Defaults (nullptr) to
+  /// std::chrono::steady_clock.
+  std::function<std::uint64_t()> now_ms;
 };
 
 /// \brief Failure-handling knobs of one reduction run.
@@ -200,8 +212,16 @@ Result<Acc> ReduceChunksResumable(std::size_t num_chunks,
           return;
         }
         Acc scratch = std::move(scratch_or).value();
+        const auto clock_now_ms = [&]() -> std::uint64_t {
+          if (controls.retry.now_ms) return controls.retry.now_ms();
+          return static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(
+                  std::chrono::steady_clock::now().time_since_epoch())
+                  .count());
+        };
         for (std::size_t c = begin + done; c < end; ++c) {
           Status status;
+          std::optional<std::uint64_t> retry_epoch_ms;
           for (int attempt = 1; attempt <= max_attempts; ++attempt) {
             scratch.Reset();
             status = body(c, &scratch);
@@ -209,6 +229,15 @@ Result<Acc> ReduceChunksResumable(std::size_t num_chunks,
                 status.code() != StatusCode::kUnavailable ||
                 attempt == max_attempts) {
               break;
+            }
+            if (controls.retry.max_total_backoff_ms > 0) {
+              const std::uint64_t now = clock_now_ms();
+              if (!retry_epoch_ms.has_value()) {
+                retry_epoch_ms = now;  // Deadline arms at the first failure.
+              } else if (now - *retry_epoch_ms >=
+                         controls.retry.max_total_backoff_ms) {
+                break;  // Out of wall-clock budget: fail as-is, no retry.
+              }
             }
             const std::uint64_t backoff_ms =
                 controls.retry.initial_backoff_ms == 0

@@ -44,22 +44,6 @@ bool ReadScalar(std::span<const unsigned char> bytes, std::size_t* offset,
   return true;
 }
 
-Status WriteFully(int fd, const void* data, std::size_t len,
-                  const std::string& path) {
-  const char* p = static_cast<const char*>(data);
-  while (len > 0) {
-    const ssize_t n = ::write(fd, p, len);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal("write failed for " + path + ": " +
-                              std::strerror(errno));
-    }
-    p += n;
-    len -= static_cast<std::size_t>(n);
-  }
-  return Status::OK();
-}
-
 // The file header: magic, version, digest, all guarded by one CRC.
 std::vector<unsigned char> EncodeHeader(
     std::span<const unsigned char> digest) {
@@ -117,7 +101,9 @@ bool ParseRecord(std::span<const unsigned char> bytes, std::size_t* offset,
   if (!ReadScalar(payload, &p, &group)) return false;
   if (!ReadScalar(payload, &p, &chunks_done)) return false;
   if (!ReadScalar(payload, &p, &num_quarantined)) return false;
-  if (p + num_quarantined * 8 > payload.size()) return false;
+  // Divide instead of multiplying: num_quarantined * 8 can wrap, and the
+  // reserve below must never trust a wrapped count.
+  if (num_quarantined > (payload.size() - p) / 8) return false;
   SnapshotFile::GroupState state;
   state.chunks_done = static_cast<std::size_t>(chunks_done);
   state.quarantined.reserve(static_cast<std::size_t>(num_quarantined));
@@ -155,6 +141,7 @@ void RunDigest::AddString(std::string_view s) {
 SnapshotFile::SnapshotFile(SnapshotFile&& other) noexcept
     : path_(std::move(other.path_)),
       fd_(other.fd_),
+      writer_(std::move(other.writer_)),
       groups_(std::move(other.groups_)),
       mu_(std::move(other.mu_)) {
   other.fd_ = -1;
@@ -165,6 +152,7 @@ SnapshotFile& SnapshotFile::operator=(SnapshotFile&& other) noexcept {
     if (fd_ >= 0) ::close(fd_);
     path_ = std::move(other.path_);
     fd_ = other.fd_;
+    writer_ = std::move(other.writer_);
     groups_ = std::move(other.groups_);
     mu_ = std::move(other.mu_);
     other.fd_ = -1;
@@ -177,9 +165,11 @@ SnapshotFile::~SnapshotFile() {
 }
 
 Result<SnapshotFile> SnapshotFile::Open(
-    const std::string& path, std::span<const unsigned char> digest) {
+    const std::string& path, std::span<const unsigned char> digest,
+    WriteFaultSchedule write_faults) {
   SnapshotFile file;
   file.path_ = path;
+  file.writer_ = FileWriter(std::move(write_faults));
   file.mu_ = std::make_unique<std::mutex>();
 
   std::vector<unsigned char> contents;
@@ -274,17 +264,19 @@ Result<SnapshotFile> SnapshotFile::Open(
                             std::strerror(errno));
   }
   file.fd_ = wfd;
-  HDLDP_RETURN_NOT_OK(WriteFully(wfd, header.data(), header.size(), tmp));
+  // Compaction writes route through the fault-injecting writer too: a
+  // failure here leaves only the .tmp torn, never the original file,
+  // which has not been renamed over yet.
+  HDLDP_RETURN_NOT_OK(
+      file.writer_.WriteFully(wfd, header.data(), header.size(), tmp));
   for (const auto& [group, state] : file.groups_) {
     const std::vector<unsigned char> record =
         EncodeRecord(group, state.chunks_done, state.quarantined,
                      state.acc_state);
-    HDLDP_RETURN_NOT_OK(WriteFully(wfd, record.data(), record.size(), tmp));
+    HDLDP_RETURN_NOT_OK(
+        file.writer_.WriteFully(wfd, record.data(), record.size(), tmp));
   }
-  if (::fsync(wfd) != 0) {
-    return Status::Internal("fsync failed for " + tmp + ": " +
-                            std::strerror(errno));
-  }
+  HDLDP_RETURN_NOT_OK(file.writer_.Fsync(wfd, tmp));
   if (::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::Internal("cannot rename " + tmp + " to " + path + ": " +
                             std::strerror(errno));
@@ -310,16 +302,22 @@ Status SnapshotFile::Save(std::size_t group, std::size_t chunks_done,
   const std::vector<unsigned char> record =
       EncodeRecord(group, chunks_done, quarantined, acc_state);
   std::lock_guard<std::mutex> lock(*mu_);
-  return WriteFully(fd_, record.data(), record.size(), path_);
+  const off_t before = ::lseek(fd_, 0, SEEK_CUR);
+  const Status status =
+      writer_.WriteFully(fd_, record.data(), record.size(), path_);
+  if (!status.ok() && before >= 0) {
+    // Roll the torn tail back to the pre-append length. Without this a
+    // later Save would append after the torn bytes and Open, stopping
+    // at the first bad frame, would silently drop every record past it.
+    (void)::ftruncate(fd_, before);
+    (void)::lseek(fd_, before, SEEK_SET);
+  }
+  return status;
 }
 
 Status SnapshotFile::Close() {
   if (fd_ < 0) return Status::OK();
-  Status status;
-  if (::fsync(fd_) != 0) {
-    status = Status::Internal("fsync failed for " + path_ + ": " +
-                              std::strerror(errno));
-  }
+  Status status = writer_.Fsync(fd_, path_);
   if (::close(fd_) != 0 && status.ok()) {
     status = Status::Internal("close failed for " + path_ + ": " +
                               std::strerror(errno));

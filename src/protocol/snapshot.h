@@ -47,6 +47,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/file_writer.h"
 #include "common/result.h"
 
 namespace hdldp {
@@ -91,8 +92,14 @@ class SnapshotFile {
   /// corrupt header is DataLoss), records load tolerantly (parsing
   /// stops at the first torn/corrupt frame), and the file is compacted
   /// before appends resume.
+  ///
+  /// `write_faults` (common/file_writer.h) injects deterministic write
+  /// failures into every durable write this file performs. A failed
+  /// Save rolls the file back to its pre-append length, so the previous
+  /// checkpoint state survives bit-identically and remains appendable.
   static Result<SnapshotFile> Open(const std::string& path,
-                                   std::span<const unsigned char> digest);
+                                   std::span<const unsigned char> digest,
+                                   WriteFaultSchedule write_faults = {});
 
   SnapshotFile(const SnapshotFile&) = delete;
   SnapshotFile& operator=(const SnapshotFile&) = delete;
@@ -126,6 +133,7 @@ class SnapshotFile {
 
   std::string path_;
   int fd_ = -1;
+  FileWriter writer_;
   std::unordered_map<std::size_t, GroupState> groups_;
   std::unique_ptr<std::mutex> mu_;
 };

@@ -14,10 +14,12 @@ namespace service {
 
 namespace {
 
-// Version 2 added accepted_payload_bytes to the stats block (the
-// communication ledger); version-1 blobs predate every shipped
-// checkpoint format guarantee and are rejected.
-constexpr std::uint32_t kSnapshotBlobVersion = 2;
+// Version 3 added the quarantine state (per-tenant invalid_streak +
+// quarantined flag, the shed_quarantined / quarantined_tenants /
+// failed_snapshots counters); version 2 added accepted_payload_bytes.
+// Older blobs are rejected — checkpoints are same-version artifacts,
+// not archival data.
+constexpr std::uint32_t kSnapshotBlobVersion = 3;
 
 // Little-endian fixed-width snapshot blob codec. The blob rides inside
 // one SnapshotFile record, which supplies the CRC frame and torn-tail
@@ -110,6 +112,9 @@ std::vector<unsigned char> BuildDigest(const ServiceOptions& options) {
   digest.AddU64(options.codec.num_questions);
   digest.AddU64(options.codec.num_categories);
   digest.AddU64(options.codec.num_dims);
+  // Quarantine changes the accepted set, so two runs that disagree on
+  // the trip wire must never share a checkpoint.
+  digest.AddU64(options.max_invalid_per_tenant);
   digest.AddString(options.digest_tag);
   // Worker count, queue capacity and overload policy are deliberately
   // absent: estimates are invariant to them, so a run checkpointed at 4
@@ -184,20 +189,33 @@ Result<std::unique_ptr<AggregationService>> AggregationService::Create(
 
   if (!svc->options_.checkpoint_path.empty()) {
     const std::vector<unsigned char> digest = BuildDigest(svc->options_);
-    HDLDP_ASSIGN_OR_RETURN(
-        protocol::SnapshotFile snapshot,
-        protocol::SnapshotFile::Open(svc->options_.checkpoint_path, digest));
-    if (snapshot.resumed()) {
-      const auto state = snapshot.Load(0);
-      if (!state.has_value()) {
-        return Status::DataLoss(
-            "service checkpoint resumed but holds no state record");
+    auto opened =
+        protocol::SnapshotFile::Open(svc->options_.checkpoint_path, digest,
+                                     svc->options_.snapshot_write_faults);
+    if (opened.ok()) {
+      protocol::SnapshotFile snapshot = std::move(opened).value();
+      if (snapshot.resumed()) {
+        const auto state = snapshot.Load(0);
+        if (!state.has_value()) {
+          return Status::DataLoss(
+              "service checkpoint resumed but holds no state record");
+        }
+        HDLDP_RETURN_NOT_OK(svc->RestoreSnapshot(state->acc_state));
+        svc->snapshot_seq_ = state->chunks_done;
+        svc->resumed_ = true;
       }
-      HDLDP_RETURN_NOT_OK(svc->RestoreSnapshot(state->acc_state));
-      svc->snapshot_seq_ = state->chunks_done;
-      svc->resumed_ = true;
+      svc->snapshot_.emplace(std::move(snapshot));
+    } else if (opened.status().code() == StatusCode::kResourceExhausted ||
+               opened.status().code() == StatusCode::kDataLoss) {
+      // Graceful degradation: an unwritable (full disk, failing fsync)
+      // or unreadably corrupt checkpoint must not stop serving. Run
+      // snapshot-free; the stats ledger reports the service degraded
+      // and every SaveSnapshot attempt counts as failed. A digest
+      // mismatch (another run's checkpoint) stays a loud typed error.
+      svc->stats_.failed_snapshots.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      return opened.status();
     }
-    svc->snapshot_.emplace(std::move(snapshot));
   }
 
   svc->queues_.reserve(svc->workers_);
@@ -281,6 +299,24 @@ void AggregationService::Process(protocol::ReportEnvelope envelope) {
     return;
   }
   TenantState& tenant = group.tenants[envelope.tenant];
+  if (tenant.quarantined) {
+    // O(1) containment: no decode, no dedup growth — a Byzantine tenant
+    // flooding garbage costs one counter bump per report.
+    stats_.shed_quarantined.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  // Counts one rejection toward the tenant's consecutive-invalid streak
+  // and trips the quarantine at the configured threshold. A tenant's
+  // reports drain from one fixed queue in submission order, so the
+  // streak — and the trip point — is worker-count invariant.
+  const auto reject = [&](std::atomic<std::uint64_t>& bucket) {
+    bucket.fetch_add(1, std::memory_order_relaxed);
+    if (options_.max_invalid_per_tenant == 0) return;
+    if (++tenant.invalid_streak >= options_.max_invalid_per_tenant) {
+      tenant.quarantined = true;
+      stats_.quarantined_tenants.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
   if (!tenant.seen.Insert(envelope.sequence)) {
     stats_.deduped.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -288,7 +324,7 @@ void AggregationService::Process(protocol::ReportEnvelope envelope) {
   auto report = codec_.has_value() ? codec_->Decode(envelope.payload)
                                    : protocol::DecodeReport(envelope.payload);
   if (!report.ok()) {
-    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    reject(stats_.rejected_malformed);
     return;
   }
   const std::size_t expected = options_.expected_entries > 0
@@ -297,7 +333,7 @@ void AggregationService::Process(protocol::ReportEnvelope envelope) {
   if (!protocol::ValidateReport(report.value(), options_.num_dims, expected,
                                 options_.output_lo, options_.output_hi)
            .ok()) {
-    stats_.rejected_invalid.fetch_add(1, std::memory_order_relaxed);
+    reject(stats_.rejected_invalid);
     return;
   }
   if (budget_capacity_ > 0) {
@@ -306,7 +342,7 @@ void AggregationService::Process(protocol::ReportEnvelope envelope) {
     // accepted set never depends on arrival order. The ledger Spend is
     // the enforcement backstop — admission guarantees it fits.
     if (envelope.sequence >= budget_capacity_) {
-      stats_.rejected_budget.fetch_add(1, std::memory_order_relaxed);
+      reject(stats_.rejected_budget);
       return;
     }
     if (!tenant.ledger.has_value()) {
@@ -315,11 +351,12 @@ void AggregationService::Process(protocol::ReportEnvelope envelope) {
       tenant.ledger.emplace(std::move(ledger).value());
     }
     if (!tenant.ledger->Spend(options_.per_report_epsilon).ok()) {
-      stats_.rejected_budget.fetch_add(1, std::memory_order_relaxed);
+      reject(stats_.rejected_budget);
       return;
     }
     ++tenant.accepted;
   }
+  tenant.invalid_streak = 0;
   const std::size_t payload_bytes = envelope.payload.size();
   group.panes[pane].push_back(BufferedReport{
       envelope.tenant, envelope.sequence, std::move(report).value()});
@@ -465,12 +502,28 @@ Status AggregationService::PublishWindow(std::uint64_t window) {
 
 Status AggregationService::SaveSnapshot(std::uint64_t resume_cursor) {
   if (!snapshot_.has_value()) {
-    return Status::FailedPrecondition(
-        "SaveSnapshot requires a checkpoint_path");
+    if (options_.checkpoint_path.empty()) {
+      return Status::FailedPrecondition(
+          "SaveSnapshot requires a checkpoint_path");
+    }
+    // Degraded mode: the checkpoint file could not be opened at Create.
+    // Keep serving and keep counting the snapshots that never happened.
+    stats_.failed_snapshots.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
   }
   Quiesce();
   const std::vector<unsigned char> blob = SerializeSnapshot(resume_cursor);
-  return snapshot_->Save(0, ++snapshot_seq_, {}, blob);
+  const Status saved = snapshot_->Save(0, ++snapshot_seq_, {}, blob);
+  if (!saved.ok() && (saved.code() == StatusCode::kResourceExhausted ||
+                      saved.code() == StatusCode::kDataLoss)) {
+    // Graceful degradation: the failed append was rolled back, so the
+    // previous snapshot is still intact and restorable. Record the
+    // failure loudly in the stats ledger and keep serving — estimates
+    // never depend on the snapshot path.
+    stats_.failed_snapshots.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  }
+  return saved;
 }
 
 Status AggregationService::Finish() {
@@ -479,8 +532,18 @@ Status AggregationService::Finish() {
     pool_.reset();
   }
   if (snapshot_.has_value()) {
-    HDLDP_RETURN_NOT_OK(snapshot_->Close());
+    const Status closed = snapshot_->Close();
     snapshot_.reset();
+    if (!closed.ok()) {
+      if (closed.code() != StatusCode::kResourceExhausted &&
+          closed.code() != StatusCode::kDataLoss) {
+        return closed;
+      }
+      // A failed final flush is the same graceful-degradation story as
+      // a failed Save: the estimates this run published never depended
+      // on the snapshot, so count it and finish clean.
+      stats_.failed_snapshots.fetch_add(1, std::memory_order_relaxed);
+    }
     HDLDP_RETURN_NOT_OK(
         protocol::SnapshotFile::Remove(options_.checkpoint_path));
   }
@@ -497,12 +560,19 @@ ServiceStats AggregationService::Stats() const {
   s.shed_queue_full =
       stats_.shed_queue_full.load(std::memory_order_acquire);
   s.shed_late = stats_.shed_late.load(std::memory_order_acquire);
+  s.shed_quarantined =
+      stats_.shed_quarantined.load(std::memory_order_acquire);
   s.rejected_malformed =
       stats_.rejected_malformed.load(std::memory_order_acquire);
   s.rejected_invalid =
       stats_.rejected_invalid.load(std::memory_order_acquire);
   s.rejected_budget =
       stats_.rejected_budget.load(std::memory_order_acquire);
+  s.quarantined_tenants =
+      stats_.quarantined_tenants.load(std::memory_order_acquire);
+  s.failed_snapshots =
+      stats_.failed_snapshots.load(std::memory_order_acquire);
+  s.degraded = s.failed_snapshots > 0;
   s.published_windows =
       stats_.published_windows.load(std::memory_order_acquire);
   s.published_reports =
@@ -514,8 +584,8 @@ Status AggregationService::VerifyReconciliation() const {
   const ServiceStats s = Stats();
   const std::uint64_t accounted = s.accepted + s.deduped +
                                   s.shed_queue_full + s.shed_late +
-                                  s.rejected_malformed + s.rejected_invalid +
-                                  s.rejected_budget;
+                                  s.shed_quarantined + s.rejected_malformed +
+                                  s.rejected_invalid + s.rejected_budget;
   if (accounted != s.submitted) {
     return Status::Internal(
         "shedding ledger mismatch: submitted " +
@@ -548,9 +618,12 @@ std::vector<unsigned char> AggregationService::SerializeSnapshot(
   w.U64(s.deduped);
   w.U64(s.shed_queue_full);
   w.U64(s.shed_late);
+  w.U64(s.shed_quarantined);
   w.U64(s.rejected_malformed);
   w.U64(s.rejected_invalid);
   w.U64(s.rejected_budget);
+  w.U64(s.quarantined_tenants);
+  w.U64(s.failed_snapshots);
   w.U64(s.published_windows);
   w.U64(s.published_reports);
   {
@@ -580,6 +653,8 @@ std::vector<unsigned char> AggregationService::SerializeSnapshot(
     for (const auto& [tenant, state] : group.tenants) {
       w.U64(tenant);
       w.U64(state.accepted);
+      w.U64(state.invalid_streak);
+      w.U64(state.quarantined ? 1 : 0);
       w.U64(state.seen.intervals().size());
       for (const auto& [lo, hi] : state.seen.intervals()) {
         w.U64(lo);
@@ -637,21 +712,31 @@ Status AggregationService::RestoreSnapshot(
   HDLDP_RETURN_NOT_OK(restore_counter(&stats_.deduped));
   HDLDP_RETURN_NOT_OK(restore_counter(&stats_.shed_queue_full));
   HDLDP_RETURN_NOT_OK(restore_counter(&stats_.shed_late));
+  HDLDP_RETURN_NOT_OK(restore_counter(&stats_.shed_quarantined));
   HDLDP_RETURN_NOT_OK(restore_counter(&stats_.rejected_malformed));
   HDLDP_RETURN_NOT_OK(restore_counter(&stats_.rejected_invalid));
   HDLDP_RETURN_NOT_OK(restore_counter(&stats_.rejected_budget));
+  HDLDP_RETURN_NOT_OK(restore_counter(&stats_.quarantined_tenants));
+  HDLDP_RETURN_NOT_OK(restore_counter(&stats_.failed_snapshots));
   HDLDP_RETURN_NOT_OK(restore_counter(&stats_.published_windows));
   HDLDP_RETURN_NOT_OK(restore_counter(&stats_.published_reports));
   std::uint64_t published_count = 0;
   HDLDP_RETURN_NOT_OK(r.U64(&published_count));
   published_.clear();
-  published_.reserve(published_count);
+  // Counts come from the blob; reserve only what the remaining bytes
+  // could possibly encode so a corrupt count cannot force a wild
+  // allocation (each window needs >= 24 bytes).
+  published_.reserve(std::min<std::uint64_t>(
+      published_count, (blob.size() - r.pos) / 24));
   for (std::uint64_t i = 0; i < published_count; ++i) {
     PublishedWindow window;
     HDLDP_RETURN_NOT_OK(r.U64(&window.index));
     HDLDP_RETURN_NOT_OK(r.U64(&window.report_count));
     std::uint64_t dims = 0;
     HDLDP_RETURN_NOT_OK(r.U64(&dims));
+    if (dims > (blob.size() - r.pos) / 8) {
+      return Status::DataLoss("service snapshot: estimate dims exceed blob");
+    }
     window.estimate.resize(dims);
     for (std::uint64_t j = 0; j < dims; ++j) {
       HDLDP_RETURN_NOT_OK(r.F64(&window.estimate[j]));
@@ -683,6 +768,10 @@ Status AggregationService::RestoreSnapshot(
       HDLDP_RETURN_NOT_OK(r.U64(&tenant_id));
       TenantState& tenant = group.tenants[tenant_id];
       HDLDP_RETURN_NOT_OK(r.U64(&tenant.accepted));
+      HDLDP_RETURN_NOT_OK(r.U64(&tenant.invalid_streak));
+      std::uint64_t quarantined = 0;
+      HDLDP_RETURN_NOT_OK(r.U64(&quarantined));
+      tenant.quarantined = quarantined != 0;
       std::uint64_t interval_count = 0;
       HDLDP_RETURN_NOT_OK(r.U64(&interval_count));
       for (std::uint64_t i = 0; i < interval_count; ++i) {
@@ -715,14 +804,16 @@ Status AggregationService::RestoreSnapshot(
       std::uint64_t report_count = 0;
       HDLDP_RETURN_NOT_OK(r.U64(&report_count));
       std::vector<BufferedReport>& buffer = group.panes[pane];
-      buffer.reserve(report_count);
+      buffer.reserve(std::min<std::uint64_t>(
+          report_count, (blob.size() - r.pos) / 24));
       for (std::uint64_t j = 0; j < report_count; ++j) {
         BufferedReport report;
         HDLDP_RETURN_NOT_OK(r.U64(&report.tenant));
         HDLDP_RETURN_NOT_OK(r.U64(&report.sequence));
         std::uint64_t entries = 0;
         HDLDP_RETURN_NOT_OK(r.U64(&entries));
-        report.report.entries.reserve(entries);
+        report.report.entries.reserve(std::min<std::uint64_t>(
+            entries, (blob.size() - r.pos) / 16));
         for (std::uint64_t e = 0; e < entries; ++e) {
           std::uint64_t dim = 0;
           double value = 0.0;

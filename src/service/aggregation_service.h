@@ -23,8 +23,18 @@
 //
 //   * Degradation is never silent. Every submitted report lands in
 //     exactly one stats bucket: accepted, deduped, shed_queue_full,
-//     shed_late, rejected_malformed, rejected_invalid, or
-//     rejected_budget — VerifyReconciliation() checks the sum exactly.
+//     shed_late, shed_quarantined, rejected_malformed, rejected_invalid,
+//     or rejected_budget — VerifyReconciliation() checks the sum
+//     exactly. A snapshot write that fails raises the degraded flag and
+//     failed_snapshots counter instead of corrupting or blocking
+//     published estimates.
+//   * Byzantine tenants are contained. With max_invalid_per_tenant set,
+//     a tenant whose reports are rejected (malformed, out-of-range, or
+//     budget-violating) that many times in a row is quarantined: every
+//     later report from it is counted-shed at O(1) without decoding.
+//     Because a tenant's reports route to one fixed worker queue in
+//     submission order, the streak — and therefore the quarantine
+//     decision — is identical at every worker count.
 //   * Ingestion is idempotent: (tenant, sequence) identifies a report,
 //     and retransmits/replays count as deduped without touching
 //     estimates. This is also what makes at-least-once replay after a
@@ -71,6 +81,7 @@
 #include <string>
 #include <vector>
 
+#include "common/file_writer.h"
 #include "common/mpmc_queue.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -145,8 +156,21 @@ struct ServiceOptions {
   /// tenant_epsilon > 0.
   double per_report_epsilon = 0.0;
 
+  /// Byzantine-tenant quarantine: a tenant whose reports are rejected
+  /// (malformed, out-of-range, or budget-violating) this many times
+  /// CONSECUTIVELY is quarantined — all its later reports are shed at
+  /// O(1) into the shed_quarantined bucket without decoding. An
+  /// accepted report resets the streak; dedups and late sheds leave it
+  /// untouched. 0 disables quarantine. Part of the snapshot digest.
+  std::uint64_t max_invalid_per_tenant = 0;
+
   /// Snapshot file path; empty disables SaveSnapshot().
   std::string checkpoint_path;
+  /// Write-fault injection for the snapshot path
+  /// (common/file_writer.h). A Save that fails under an injected (or
+  /// real) disk fault degrades the service — failed_snapshots counts
+  /// it, Stats().degraded reports it — without touching estimates.
+  WriteFaultSchedule snapshot_write_faults;
   /// Caller context folded into the snapshot digest (stream seed,
   /// mechanism, workload, ...) so a checkpoint never resumes a
   /// different run. Worker count and queue capacity are deliberately
@@ -165,9 +189,20 @@ struct ServiceStats {
   std::uint64_t deduped = 0;
   std::uint64_t shed_queue_full = 0;
   std::uint64_t shed_late = 0;
+  /// Reports shed because their tenant is quarantined.
+  std::uint64_t shed_quarantined = 0;
   std::uint64_t rejected_malformed = 0;
   std::uint64_t rejected_invalid = 0;
   std::uint64_t rejected_budget = 0;
+  /// Tenants quarantined so far (monotone; never un-quarantined).
+  std::uint64_t quarantined_tenants = 0;
+  /// SaveSnapshot calls whose durable write failed (absorbed, see
+  /// `degraded`).
+  std::uint64_t failed_snapshots = 0;
+  /// True iff at least one snapshot write failed: the service keeps
+  /// publishing exact estimates but can no longer promise crash-safe
+  /// resume past the last good snapshot.
+  bool degraded = false;
   std::uint64_t published_windows = 0;
   /// Sum of PublishedWindow::report_count (a report counts once per
   /// window containing it, so for sliding windows this exceeds
@@ -226,6 +261,12 @@ class AggregationService {
   /// (quiesces first). `resume_cursor` is an opaque driver position
   /// (e.g. stream reports emitted so far) handed back by
   /// resume_cursor() after a restore. Requires a checkpoint_path.
+  ///
+  /// Graceful degradation: a durable-write failure (ResourceExhausted /
+  /// DataLoss, injected or real) is absorbed — the previous on-disk
+  /// snapshot survives intact (SnapshotFile rolls the torn tail back),
+  /// failed_snapshots increments, Stats().degraded turns true, and OK
+  /// is returned so the serving loop keeps publishing exact estimates.
   Status SaveSnapshot(std::uint64_t resume_cursor);
 
   /// \brief Closes and removes the spent checkpoint (call on successful
@@ -254,6 +295,10 @@ class AggregationService {
   struct TenantState {
     SeqIntervalSet seen;
     std::uint64_t accepted = 0;
+    // Consecutive rejected reports; resets on accept. Drives the
+    // quarantine trip wire (ServiceOptions::max_invalid_per_tenant).
+    std::uint64_t invalid_streak = 0;
+    bool quarantined = false;
     std::optional<protocol::BudgetAccountant> ledger;
   };
 
@@ -332,9 +377,12 @@ class AggregationService {
     std::atomic<std::uint64_t> deduped{0};
     std::atomic<std::uint64_t> shed_queue_full{0};
     std::atomic<std::uint64_t> shed_late{0};
+    std::atomic<std::uint64_t> shed_quarantined{0};
     std::atomic<std::uint64_t> rejected_malformed{0};
     std::atomic<std::uint64_t> rejected_invalid{0};
     std::atomic<std::uint64_t> rejected_budget{0};
+    std::atomic<std::uint64_t> quarantined_tenants{0};
+    std::atomic<std::uint64_t> failed_snapshots{0};
     std::atomic<std::uint64_t> published_windows{0};
     std::atomic<std::uint64_t> published_reports{0};
   };

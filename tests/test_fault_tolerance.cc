@@ -268,6 +268,67 @@ TEST(RetryPolicyTest, BackoffSequenceIsExponential) {
   EXPECT_EQ(backoffs, (std::vector<std::uint64_t>{10, 20, 40}));
 }
 
+TEST(RetryPolicyTest, WallClockDeadlineCutsTheLadderShort) {
+  // A persistent outage with a generous attempt budget: the wall-clock
+  // deadline, not max_attempts, must be what stops the retry ladder.
+  const Dataset dataset = TestDataset();
+  const ResidentChunkSource base(&dataset);
+  FaultSchedule schedule;
+  schedule.Add({.kind = FaultSpec::Kind::kTransient,
+                .chunk = 0,
+                .failing_attempts = 10});
+  const FaultInjectingChunkSource faulty(&base, schedule);
+  protocol::PipelineOptions opts = BaseOptions();
+  opts.num_threads = 1;
+  opts.retry.max_attempts = 8;
+  opts.retry.initial_backoff_ms = 10;
+  opts.retry.max_total_backoff_ms = 50;
+  // Deterministic time: the injected clock advances only when the
+  // injected sleep runs, so the deadline math is exact.
+  std::uint64_t fake_now = 0;
+  std::vector<std::uint64_t> backoffs;
+  opts.retry.now_ms = [&] { return fake_now; };
+  opts.retry.sleep = [&](std::uint64_t ms) {
+    backoffs.push_back(ms);
+    fake_now += ms;
+  };
+  const auto run = protocol::RunMeanEstimation(faulty, Mech(), opts);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kUnavailable);
+  // The deadline armed at the first failure (t=0); after backoffs
+  // 10+20+40 the clock reads 70 >= 50, so attempt 5 is never scheduled
+  // even though max_attempts would allow four more.
+  EXPECT_EQ(backoffs, (std::vector<std::uint64_t>{10, 20, 40}));
+  EXPECT_EQ(faulty.attempts(0), 4u);
+}
+
+TEST(RetryPolicyTest, RecoveryWithinDeadlineStaysBitIdentical) {
+  // The deadline only cuts the ladder short — a fault that clears
+  // before the budget runs out must still recover bit-identically.
+  const Dataset dataset = TestDataset();
+  const ResidentChunkSource base(&dataset);
+  const auto clean =
+      protocol::RunMeanEstimation(base, Mech(), BaseOptions()).value();
+
+  FaultSchedule schedule;
+  schedule.Add({.kind = FaultSpec::Kind::kTransient,
+                .chunk = 0,
+                .failing_attempts = 3});
+  const FaultInjectingChunkSource faulty(&base, schedule);
+  protocol::PipelineOptions opts = BaseOptions();
+  opts.num_threads = 1;
+  opts.retry.max_attempts = 8;
+  opts.retry.initial_backoff_ms = 10;
+  opts.retry.max_total_backoff_ms = 50;
+  std::uint64_t fake_now = 0;
+  opts.retry.now_ms = [&] { return fake_now; };
+  opts.retry.sleep = [&](std::uint64_t ms) { fake_now += ms; };
+  const auto recovered =
+      protocol::RunMeanEstimation(faulty, Mech(), opts).value();
+  EXPECT_EQ(recovered.estimated_mean, clean.estimated_mean);
+  EXPECT_TRUE(recovered.quarantined_chunks.empty());
+}
+
 }  // namespace
 }  // namespace data
 }  // namespace hdldp

@@ -115,9 +115,13 @@ void ExpectSameStats(const ServiceStats& a, const ServiceStats& b) {
   EXPECT_EQ(a.deduped, b.deduped);
   EXPECT_EQ(a.shed_queue_full, b.shed_queue_full);
   EXPECT_EQ(a.shed_late, b.shed_late);
+  EXPECT_EQ(a.shed_quarantined, b.shed_quarantined);
   EXPECT_EQ(a.rejected_malformed, b.rejected_malformed);
   EXPECT_EQ(a.rejected_invalid, b.rejected_invalid);
   EXPECT_EQ(a.rejected_budget, b.rejected_budget);
+  EXPECT_EQ(a.quarantined_tenants, b.quarantined_tenants);
+  EXPECT_EQ(a.failed_snapshots, b.failed_snapshots);
+  EXPECT_EQ(a.degraded, b.degraded);
   EXPECT_EQ(a.published_windows, b.published_windows);
   EXPECT_EQ(a.published_reports, b.published_reports);
 }
@@ -565,6 +569,248 @@ TEST(ServiceTest, FaultedDeliveryMatchesCleanEstimatesWhenLossless) {
   EXPECT_EQ(stats.shed_late, 0u);
   ASSERT_TRUE(faulty->VerifyReconciliation().ok());
   ExpectSameWindows(clean->PublishedWindows(), faulty->PublishedWindows());
+}
+
+// A structurally valid envelope whose report names an out-of-range
+// dimension — decodes cleanly at the wire layer, then fails report
+// validation on the worker (counted rejected_invalid).
+std::vector<std::uint8_t> MakeInvalidEnvelope(std::uint64_t tenant,
+                                              std::uint64_t seq) {
+  protocol::UserReport report;
+  report.entries.push_back(protocol::DimensionReport{9, 0.5});
+  report.entries.push_back(protocol::DimensionReport{10, 0.5});
+  protocol::ReportEnvelope envelope;
+  envelope.tenant = tenant;
+  envelope.sequence = seq;
+  envelope.tick = 0;
+  envelope.payload = protocol::EncodeReport(report).value();
+  return protocol::EncodeEnvelope(envelope);
+}
+
+TEST(ServiceTest, QuarantineTripsOnConsecutiveInvalidAndAcceptResets) {
+  ServiceOptions options = ManualOptions();
+  options.max_invalid_per_tenant = 3;
+  auto service = AggregationService::Create(options).value();
+
+  // Tenant 0: two rejections, then an accept that RESETS the streak —
+  // so the tenant survives the next two rejections too…
+  ASSERT_TRUE(service->Submit(MakeInvalidEnvelope(0, 0)).ok());
+  ASSERT_TRUE(service->Submit(MakeInvalidEnvelope(0, 1)).ok());
+  ASSERT_TRUE(service->Submit(MakeEnvelope(0, 2, 0, 0.25)).ok());
+  ASSERT_TRUE(service->Submit(MakeInvalidEnvelope(0, 3)).ok());
+  ASSERT_TRUE(service->Submit(MakeInvalidEnvelope(0, 4)).ok());
+  // …until a third consecutive rejection trips the quarantine.
+  ASSERT_TRUE(service->Submit(MakeInvalidEnvelope(0, 5)).ok());
+  // Everything after the trip is counted-shed without decoding — even
+  // reports that would have been perfectly valid.
+  ASSERT_TRUE(service->Submit(MakeEnvelope(0, 6, 0, 0.5)).ok());
+  ASSERT_TRUE(service->Submit(MakeEnvelope(0, 7, 0, 0.75)).ok());
+  // Tenant 1 is honest throughout and must be untouched by tenant 0's
+  // quarantine.
+  for (std::uint64_t seq = 0; seq < 5; ++seq) {
+    ASSERT_TRUE(service->Submit(MakeEnvelope(1, seq, 0, 0.1 * seq)).ok());
+  }
+  ASSERT_TRUE(service->Drain().ok());
+
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.submitted, 13u);
+  EXPECT_EQ(stats.accepted, 6u);  // tenant 0's one accept + tenant 1's five
+  EXPECT_EQ(stats.rejected_invalid, 5u);
+  EXPECT_EQ(stats.shed_quarantined, 2u);
+  EXPECT_EQ(stats.quarantined_tenants, 1u);
+  // Quarantine sheds are part of the exact reconciliation ledger.
+  ASSERT_TRUE(service->VerifyReconciliation().ok());
+  const auto windows = service->PublishedWindows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].report_count, 6u);
+
+  // Without the opt-in the same input never quarantines: the late valid
+  // reports are accepted and every rejection is just counted.
+  auto lenient = AggregationService::Create(ManualOptions()).value();
+  for (const std::uint64_t seq : {0, 1, 3, 4, 5}) {
+    ASSERT_TRUE(lenient->Submit(MakeInvalidEnvelope(0, seq)).ok());
+  }
+  ASSERT_TRUE(lenient->Submit(MakeEnvelope(0, 2, 0, 0.25)).ok());
+  ASSERT_TRUE(lenient->Submit(MakeEnvelope(0, 6, 0, 0.5)).ok());
+  ASSERT_TRUE(lenient->Drain().ok());
+  EXPECT_EQ(lenient->Stats().quarantined_tenants, 0u);
+  EXPECT_EQ(lenient->Stats().shed_quarantined, 0u);
+  EXPECT_EQ(lenient->Stats().accepted, 2u);
+  EXPECT_EQ(lenient->Stats().rejected_invalid, 5u);
+}
+
+TEST(ServiceTest, QuarantineIsWorkerCountInvariantAndSurvivesRestore) {
+  // Budget-exhausted tenants build rejection streaks and quarantine
+  // mid-stream. The published bits, the full stats ledger (quarantine
+  // counters included), and a kill/restore mid-run must all be
+  // identical at every worker count.
+  ReportStreamOptions stream_options;
+  stream_options.num_reports = 1000;
+  stream_options.num_dims = 4;
+  stream_options.report_dims = 2;
+  stream_options.num_tenants = 3;
+  stream_options.seed = 88;
+  stream_options.reports_per_tick = 100;
+  stream_options.faults.duplicate_rate = 0.05;
+  stream_options.faults.reorder_rate = 0.1;
+
+  std::vector<PublishedWindow> baseline_windows;
+  ServiceStats baseline_stats;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    auto ref_stream = ReportStream::Create(stream_options).value();
+    ServiceOptions base = OptionsFor(ref_stream, stream_options);
+    base.window.width = 2;
+    base.window.lateness = 1;
+    base.num_workers = workers;
+    base.overload = OverloadPolicy::kBlock;
+    base.tenant_epsilon = 60.0;  // capacity 60 sequences per tenant
+    base.per_report_epsilon = 1.0;
+    base.max_invalid_per_tenant = 4;
+    auto reference = AggregationService::Create(base).value();
+    ASSERT_TRUE(Drive(reference.get(), &ref_stream, 100).ok());
+    ASSERT_TRUE(reference->VerifyReconciliation().ok());
+
+    const ServiceStats stats = reference->Stats();
+    // Every tenant exhausts its budget long before the stream ends, so
+    // every tenant eventually trips the quarantine.
+    EXPECT_EQ(stats.quarantined_tenants, 3u);
+    EXPECT_GT(stats.shed_quarantined, 0u);
+    EXPECT_GE(stats.rejected_budget, 3u * 4u);
+
+    // Crash after half the stream and restore: the quarantine state
+    // (streaks, flags, counters) rides the snapshot bit-identically.
+    ServiceOptions crashed = base;
+    crashed.checkpoint_path =
+        TempPath("quarantine_restore_" + std::to_string(workers));
+    crashed.digest_tag = "test-quarantine-restore";
+    auto first = AggregationService::Create(crashed).value();
+    auto stream = ReportStream::Create(stream_options).value();
+    std::vector<std::uint8_t> envelope;
+    std::uint64_t last_tick = 0;
+    while (stream.position() < 500) {
+      bool done = false;
+      ASSERT_TRUE(stream.Next(&envelope, &done).ok());
+      ASSERT_FALSE(done);
+      ASSERT_TRUE(first->Submit(envelope).ok());
+      const std::uint64_t tick = stream.position() / 100;
+      if (tick > last_tick) {
+        last_tick = tick;
+        ASSERT_TRUE(first->AdvanceWatermark(tick).ok());
+      }
+    }
+    ASSERT_TRUE(first->SaveSnapshot(stream.position()).ok());
+    first.reset();  // crash: no Finish()
+
+    auto second = AggregationService::Create(crashed).value();
+    ASSERT_TRUE(second->resumed());
+    auto resumed_stream = ReportStream::Create(stream_options).value();
+    ASSERT_TRUE(resumed_stream.SkipTo(second->resume_cursor()).ok());
+    ASSERT_TRUE(Drive(second.get(), &resumed_stream, 100).ok());
+    ASSERT_TRUE(second->VerifyReconciliation().ok());
+    ExpectSameStats(stats, second->Stats());
+    ExpectSameWindows(reference->PublishedWindows(),
+                      second->PublishedWindows());
+    ASSERT_TRUE(second->Finish().ok());
+
+    if (workers == 1) {
+      baseline_windows = reference->PublishedWindows();
+      baseline_stats = stats;
+    } else {
+      // The 4-worker run agrees with the 1-worker run bit for bit —
+      // quarantine decisions included.
+      ExpectSameStats(baseline_stats, stats);
+      ExpectSameWindows(baseline_windows, reference->PublishedWindows());
+    }
+  }
+}
+
+TEST(ServiceTest, FailedSnapshotDegradesWithoutTouchingEstimates) {
+  ReportStreamOptions stream_options;
+  stream_options.num_reports = 600;
+  stream_options.num_dims = 4;
+  stream_options.report_dims = 2;
+  stream_options.num_tenants = 3;
+  stream_options.seed = 45;
+  stream_options.reports_per_tick = 100;
+
+  // Reference: same stream, no snapshotting at all.
+  auto clean_stream = ReportStream::Create(stream_options).value();
+  ServiceOptions clean_options = OptionsFor(clean_stream, stream_options);
+  clean_options.window.width = 2;
+  auto clean = AggregationService::Create(clean_options).value();
+  ASSERT_TRUE(Drive(clean.get(), &clean_stream, 100).ok());
+
+  // Faulted run: the snapshot file spends op 0 on its header, op 1 on
+  // the compaction fsync; Saves are ops 2, 3, ... — so this schedule
+  // lets the first SaveSnapshot land and tears the second.
+  ServiceOptions options = clean_options;
+  options.checkpoint_path = TempPath("degraded_save");
+  options.digest_tag = "test-degraded-save";
+  options.snapshot_write_faults.Add(3, WriteFaultKind::kShortWrite);
+  auto service = AggregationService::Create(options).value();
+  auto stream = ReportStream::Create(stream_options).value();
+  std::vector<std::uint8_t> envelope;
+  std::uint64_t last_tick = 0;
+  bool done = false;
+  while (!done) {
+    ASSERT_TRUE(stream.Next(&envelope, &done).ok());
+    if (done) break;
+    ASSERT_TRUE(service->Submit(envelope).ok());
+    const std::uint64_t tick = stream.position() / 100;
+    if (tick > last_tick) {
+      last_tick = tick;
+      ASSERT_TRUE(service->AdvanceWatermark(tick).ok());
+    }
+    // First snapshot durable, second torn by the injected disk fault —
+    // absorbed: SaveSnapshot still returns OK and serving continues.
+    if (stream.position() == 200 || stream.position() == 400) {
+      ASSERT_TRUE(service->SaveSnapshot(stream.position()).ok());
+    }
+  }
+  ASSERT_TRUE(service->Drain().ok());
+  const ServiceStats stats = service->Stats();
+  EXPECT_EQ(stats.failed_snapshots, 1u);
+  EXPECT_TRUE(stats.degraded);
+  ASSERT_TRUE(service->VerifyReconciliation().ok());
+  // Degradation never touches the published bits.
+  ExpectSameWindows(clean->PublishedWindows(), service->PublishedWindows());
+
+  // Crash. The torn second snapshot was rolled back, so the restore
+  // resumes from the FIRST snapshot — the service never corrupted its
+  // on-disk state, it only stopped advancing it.
+  service.reset();
+  auto restored = AggregationService::Create(options).value();
+  ASSERT_TRUE(restored->resumed());
+  EXPECT_EQ(restored->resume_cursor(), 200u);
+  auto resumed_stream = ReportStream::Create(stream_options).value();
+  ASSERT_TRUE(resumed_stream.SkipTo(200).ok());
+  ASSERT_TRUE(Drive(restored.get(), &resumed_stream, 100).ok());
+  ExpectSameWindows(clean->PublishedWindows(),
+                    restored->PublishedWindows());
+  ASSERT_TRUE(restored->Finish().ok());
+}
+
+TEST(ServiceTest, UnopenableCheckpointRunsSnapshotFreeNotSilent) {
+  // Every write to the checkpoint fails from the first fsync on: the
+  // service must still serve (degraded, counted), and a digest mismatch
+  // must stay a loud error rather than being absorbed.
+  ServiceOptions options = ManualOptions();
+  options.checkpoint_path = TempPath("degraded_open");
+  options.digest_tag = "test-degraded-open";
+  WriteFaultSchedule::RandomOptions always;
+  always.fsync_failure_rate = 1.0;
+  options.snapshot_write_faults = WriteFaultSchedule(1, always);
+  auto service = AggregationService::Create(options).value();
+  ASSERT_TRUE(service->Submit(MakeEnvelope(0, 0, 0, 0.5)).ok());
+  // Degraded mode: SaveSnapshot cannot persist anything, but the
+  // serving loop must not see an error for it.
+  ASSERT_TRUE(service->SaveSnapshot(1).ok());
+  ASSERT_TRUE(service->Drain().ok());
+  const ServiceStats stats = service->Stats();
+  EXPECT_TRUE(stats.degraded);
+  EXPECT_GE(stats.failed_snapshots, 2u);  // the failed open + the save
+  EXPECT_EQ(stats.accepted, 1u);
+  ASSERT_TRUE(service->VerifyReconciliation().ok());
 }
 
 TEST(ServiceTest, UnsupportedOptionsAreTypedInvalidArgument) {

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/file_writer.h"
 #include "common/rng.h"
 #include "data/chunk_source.h"
 #include "data/dataset.h"
@@ -301,6 +302,80 @@ TEST(ShardTest, FinishedDirectoryHasNoTemporaryFiles) {
   for (const auto& entry : std::filesystem::directory_iterator(dir)) {
     EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
   }
+}
+
+// With chunks_per_file=1, each part file costs exactly five writer
+// operations: 5i+0 header, 5i+1 payload, 5i+2 CRC trailer, 5i+3 the
+// num_users pwrite patch, 5i+4 the sealing fsync. The fault tests
+// below target specific ops through that map.
+
+TEST(ShardTest, InjectedNoSpaceLeavesSealedPartsIntact) {
+  const std::string dir = TempShardDir("fault_nospace");
+  const Dataset dataset = TestDataset(2 * kUsersPerChunk + 10, 2, 40);
+  const ResidentChunkSource resident(&dataset);
+  ShardWriterOptions options;
+  options.chunks_per_file = 1;
+  // Op 10 is part 2's header write: parts 0 and 1 are already sealed.
+  options.write_faults.Add(10, WriteFaultKind::kNoSpace);
+
+  const auto rows = WriteShards(resident, dir, options);
+  ASSERT_EQ(rows.status().code(), StatusCode::kResourceExhausted);
+
+  // The two completed parts survived; the torn third is quarantined
+  // behind its .tmp name, so the directory reads as interrupted, never
+  // as a silently short population.
+  EXPECT_TRUE(std::filesystem::exists(dir + "/part-00000.hds"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/part-00001.hds"));
+  EXPECT_FALSE(std::filesystem::exists(dir + "/part-00002.hds"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/part-00002.hds.tmp"));
+  EXPECT_EQ(ShardFileSource::Open(dir).status().code(), StatusCode::kDataLoss);
+
+  // Retrying with a clean writer recovers the directory completely.
+  ShardWriterOptions clean;
+  clean.chunks_per_file = 1;
+  ASSERT_TRUE(WriteShards(resident, dir, clean).ok());
+  const auto reopened = ShardFileSource::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ExpectSourceMatches(reopened.value(), dataset);
+}
+
+TEST(ShardTest, InjectedShortWriteNeverSealsATornPart) {
+  const std::string dir = TempShardDir("fault_short");
+  const Dataset dataset = TestDataset(kUsersPerChunk, 2, 41);
+  const ResidentChunkSource resident(&dataset);
+  ShardWriterOptions options;
+  options.chunks_per_file = 1;
+  // Op 1 is part 0's payload write: half the chunk lands, then ENOSPC.
+  options.write_faults.Add(1, WriteFaultKind::kShortWrite);
+
+  const auto rows = WriteShards(resident, dir, options);
+  ASSERT_EQ(rows.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/part-00000.hds"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/part-00000.hds.tmp"));
+  EXPECT_EQ(ShardFileSource::Open(dir).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(ShardTest, InjectedFsyncFailureIsDataLossAndRecoverable) {
+  const std::string dir = TempShardDir("fault_fsync");
+  const Dataset dataset = TestDataset(kUsersPerChunk, 2, 42);
+  const ResidentChunkSource resident(&dataset);
+  ShardWriterOptions options;
+  options.chunks_per_file = 1;
+  // Op 4 is part 0's sealing fsync: the bytes may or may not be
+  // durable, so the writer must refuse to rename the part into place.
+  options.write_faults.Add(4, WriteFaultKind::kFsyncFailure);
+
+  const auto rows = WriteShards(resident, dir, options);
+  ASSERT_EQ(rows.status().code(), StatusCode::kDataLoss);
+  EXPECT_FALSE(std::filesystem::exists(dir + "/part-00000.hds"));
+  EXPECT_TRUE(std::filesystem::exists(dir + "/part-00000.hds.tmp"));
+
+  ShardWriterOptions clean;
+  clean.chunks_per_file = 1;
+  ASSERT_TRUE(WriteShards(resident, dir, clean).ok());
+  const auto reopened = ShardFileSource::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  ExpectSourceMatches(reopened.value(), dataset);
 }
 
 TEST(ShardTest, ChunkIndexOutOfRange) {

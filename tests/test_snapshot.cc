@@ -121,6 +121,83 @@ TEST(SnapshotFileTest, RemoveToleratesMissingFile) {
   EXPECT_TRUE(SnapshotFile::Remove(TempPath("never_created")).ok());
 }
 
+// ---- Write-path fault injection (common/file_writer.h) ----
+//
+// A freshly created snapshot spends op 0 on the header write and op 1
+// on the compaction fsync; Saves are ops 2, 3, 4, ...; Close's fsync
+// is the next op after the last Save.
+
+TEST(SnapshotFileTest, FailedSaveRollsBackAndLaterSavesSurvive) {
+  const std::string path = TempPath("save_fault");
+  const RunDigest digest = TestDigest(7);
+  WriteFaultSchedule faults;
+  faults.Add(3, WriteFaultKind::kShortWrite);  // The second Save.
+  auto file = SnapshotFile::Open(path, digest.bytes, faults).value();
+
+  ASSERT_TRUE(file.Save(0, 1, {}, std::vector<unsigned char>{10}).ok());
+  const Status torn = file.Save(1, 1, {}, std::vector<unsigned char>{11});
+  EXPECT_EQ(torn.code(), StatusCode::kResourceExhausted);
+  // The rollback is what makes this Save legal: without it the torn
+  // record-1 prefix would sit between records 0 and 2, and Open —
+  // which stops at the first bad frame — would silently drop record 2.
+  ASSERT_TRUE(file.Save(2, 1, {}, std::vector<unsigned char>{12}).ok());
+  ASSERT_TRUE(file.Close().ok());
+
+  auto reopened = SnapshotFile::Open(path, digest.bytes).value();
+  EXPECT_TRUE(reopened.resumed());
+  ASSERT_TRUE(reopened.Load(0).has_value());
+  EXPECT_FALSE(reopened.Load(1).has_value());
+  const auto group2 = reopened.Load(2);
+  ASSERT_TRUE(group2.has_value());
+  EXPECT_EQ(group2->acc_state, std::vector<unsigned char>{12});
+  ASSERT_TRUE(SnapshotFile::Remove(path).ok());
+}
+
+TEST(SnapshotFileTest, OpenCompactionFaultLeavesOriginalIntact) {
+  const std::string path = TempPath("open_fault");
+  const RunDigest digest = TestDigest(8);
+  {
+    auto file = SnapshotFile::Open(path, digest.bytes).value();
+    ASSERT_TRUE(file.Save(4, 9, {2}, std::vector<unsigned char>{42}).ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+
+  // Resume under a disk-full header write: Open fails, but only the
+  // .tmp was touched — the original checkpoint was never renamed over.
+  WriteFaultSchedule faults;
+  faults.Add(0, WriteFaultKind::kNoSpace);
+  const auto faulted = SnapshotFile::Open(path, digest.bytes, faults);
+  ASSERT_FALSE(faulted.ok());
+  EXPECT_EQ(faulted.status().code(), StatusCode::kResourceExhausted);
+
+  auto reopened = SnapshotFile::Open(path, digest.bytes).value();
+  EXPECT_TRUE(reopened.resumed());
+  const auto group = reopened.Load(4);
+  ASSERT_TRUE(group.has_value());
+  EXPECT_EQ(group->chunks_done, 9u);
+  EXPECT_EQ(group->quarantined, std::vector<std::size_t>{2});
+  ASSERT_TRUE(SnapshotFile::Remove(path).ok());
+}
+
+TEST(SnapshotFileTest, CloseFsyncFaultIsDataLossButRecordsRemain) {
+  const std::string path = TempPath("close_fault");
+  const RunDigest digest = TestDigest(9);
+  WriteFaultSchedule faults;
+  faults.Add(3, WriteFaultKind::kFsyncFailure);  // Close's fsync.
+  auto file = SnapshotFile::Open(path, digest.bytes, faults).value();
+  ASSERT_TRUE(file.Save(0, 5, {}, std::vector<unsigned char>{1}).ok());
+  EXPECT_EQ(file.Close().code(), StatusCode::kDataLoss);
+
+  // The injected flush failure means durability is unknowable — but the
+  // bytes this process wrote are still parseable, so a resume recovers
+  // whatever did survive.
+  auto reopened = SnapshotFile::Open(path, digest.bytes).value();
+  const auto group = reopened.Load(0);
+  ASSERT_TRUE(group.has_value());
+  EXPECT_EQ(group->chunks_done, 5u);
+  ASSERT_TRUE(SnapshotFile::Remove(path).ok());
+}
+
 // ---- End-to-end checkpoint/resume through the pipelines ----
 
 constexpr std::size_t kUsers = 2 * 4096 + 700;

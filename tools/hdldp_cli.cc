@@ -52,6 +52,9 @@
 //       (Unavailable) faults; 1 = no retry.
 //   --backoff-ms=B             exponential backoff base: B << (k-1) ms
 //       before retry k.
+//   --max-total-backoff-ms=D   wall-clock retry budget per chunk: once D
+//       ms have elapsed since the chunk's first failure, no further
+//       retries (0 = unlimited).
 //   --allow-missing-chunks     quarantine chunks that still fail after
 //       retries instead of failing the run (the estimate then covers the
 //       surviving users, and the run reports the quarantined chunks).
@@ -61,8 +64,21 @@
 //       (data/fault_injection.h): same seed, same faults, at any thread
 //       count. For testing the machinery above, including from CI.
 //
+// Write-path fault injection (generate: shard writes; serve/replay:
+// snapshot writes) — deterministic, keyed by (seed, write-op index):
+//   --write-fault-seed=S --write-fault-short-rate=P
+//   --write-fault-nospace-rate=P --write-fault-fsync-rate=P
+//       injected ENOSPC / short write exits 5 (resource exhausted),
+//       injected fsync failure exits 4 (data loss); either way the
+//       previous on-disk state survives intact.
+//
+// Byzantine-tenant quarantine (serve/replay):
+//   --max-invalid-per-tenant=K     after K consecutive rejected reports
+//       a tenant is quarantined: later reports are counted-shed at O(1)
+//       and its streak is part of the snapshot digest state.
+//
 // Exit codes: 0 success, 2 usage, 3 invalid configuration, 4 data
-// loss / I/O failure (see ExitCodeFor below).
+// loss / I/O failure, 5 resource exhausted (see ExitCodeFor below).
 //
 // --seed-scheme selects the RNG stream contract (common/rng_lanes.h):
 // "v3" (default) is the lane-parallel fast path with cross-user sampled
@@ -254,6 +270,8 @@ Result<FaultFlags> ParseFaultFlags(Flags* flags) {
   }
   ft.retry.max_attempts = static_cast<int>(max_attempts);
   ft.retry.initial_backoff_ms = flags->GetSize("backoff-ms", 0);
+  ft.retry.max_total_backoff_ms =
+      flags->GetSize("max-total-backoff-ms", 0);
   ft.allow_missing_chunks = flags->GetBool("allow-missing-chunks");
   ft.checkpoint = flags->GetString("checkpoint", "");
   ft.fault_seed = flags->GetSize("fault-seed", 0);
@@ -277,6 +295,26 @@ Result<FaultFlags> ParseFaultFlags(Flags* flags) {
               ft.random.persistent_rate > 0.0 ||
               ft.random.bit_flip_rate > 0.0;
   return ft;
+}
+
+// Write-path fault-injection flags (generate: shard part files;
+// serve/replay: snapshot records). Same deterministic seed-keyed
+// contract as the read-side --fault-* family.
+Result<hdldp::WriteFaultSchedule> ParseWriteFaultFlags(Flags* flags) {
+  const std::uint64_t seed = flags->GetSize("write-fault-seed", 0);
+  hdldp::WriteFaultSchedule::RandomOptions random;
+  random.short_write_rate = flags->GetDouble("write-fault-short-rate", 0.0);
+  random.no_space_rate = flags->GetDouble("write-fault-nospace-rate", 0.0);
+  random.fsync_failure_rate =
+      flags->GetDouble("write-fault-fsync-rate", 0.0);
+  for (const double rate : {random.short_write_rate, random.no_space_rate,
+                            random.fsync_failure_rate}) {
+    if (!(rate >= 0.0 && rate <= 1.0)) {
+      return Status::InvalidArgument(
+          "--write-fault-*-rate must lie in [0, 1]");
+    }
+  }
+  return hdldp::WriteFaultSchedule(seed, random);
 }
 
 // Reports the fault-tolerance outcome of a run in a stable, greppable
@@ -741,6 +779,8 @@ Status RunGenerate(Flags flags) {
   const std::size_t questions = flags.GetSize("questions", 16);
   const std::size_t categories = flags.GetSize("categories", 8);
   const double zipf = flags.GetDouble("zipf", 1.0);
+  HDLDP_ASSIGN_OR_RETURN(const auto write_faults,
+                         ParseWriteFaultFlags(&flags));
   HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
   if (out.empty()) {
     return Status::InvalidArgument("generate requires --out=<shard-dir>");
@@ -750,6 +790,7 @@ Status RunGenerate(Flags flags) {
   }
   hdldp::data::ShardWriterOptions shard_opts;
   shard_opts.chunks_per_file = chunks_per_file;
+  shard_opts.write_faults = write_faults;
 
   if (dataset_name == "categorical") {
     // Category indices for the freq pipeline, drawn from the same
@@ -880,6 +921,10 @@ Status RunServe(Flags flags, bool replay) {
   service_options.window.lateness = flags.GetSize("window-lateness", 0);
   service_options.tenant_epsilon = tenant_budget;
   service_options.checkpoint_path = checkpoint;
+  service_options.max_invalid_per_tenant =
+      flags.GetSize("max-invalid-per-tenant", 0);
+  HDLDP_ASSIGN_OR_RETURN(service_options.snapshot_write_faults,
+                         ParseWriteFaultFlags(&flags));
   HDLDP_RETURN_NOT_OK(flags.CheckAllConsumed());
 
   HDLDP_ASSIGN_OR_RETURN(
@@ -979,17 +1024,23 @@ Status RunServe(Flags flags, bool replay) {
   std::printf(
       "stats submitted=%llu accepted=%llu accepted_payload_bytes=%llu "
       "deduped=%llu shed_queue_full=%llu "
-      "shed_late=%llu rejected_malformed=%llu rejected_invalid=%llu "
-      "rejected_budget=%llu published_windows=%llu published_reports=%llu\n",
+      "shed_late=%llu shed_quarantined=%llu rejected_malformed=%llu "
+      "rejected_invalid=%llu rejected_budget=%llu quarantined_tenants=%llu "
+      "failed_snapshots=%llu degraded=%d published_windows=%llu "
+      "published_reports=%llu\n",
       static_cast<unsigned long long>(s.submitted),
       static_cast<unsigned long long>(s.accepted),
       static_cast<unsigned long long>(s.accepted_payload_bytes),
       static_cast<unsigned long long>(s.deduped),
       static_cast<unsigned long long>(s.shed_queue_full),
       static_cast<unsigned long long>(s.shed_late),
+      static_cast<unsigned long long>(s.shed_quarantined),
       static_cast<unsigned long long>(s.rejected_malformed),
       static_cast<unsigned long long>(s.rejected_invalid),
       static_cast<unsigned long long>(s.rejected_budget),
+      static_cast<unsigned long long>(s.quarantined_tenants),
+      static_cast<unsigned long long>(s.failed_snapshots),
+      s.degraded ? 1 : 0,
       static_cast<unsigned long long>(s.published_windows),
       static_cast<unsigned long long>(s.published_reports));
   std::printf("stream dropped=%llu duplicated=%llu reordered=%llu\n",
@@ -1020,7 +1071,7 @@ void PrintUsage(std::FILE* stream) {
                "serve|replay> [--key=value ...]\n"
                "see the header of tools/hdldp_cli.cc for the flag list\n"
                "exit codes: 0 success, 2 usage, 3 invalid configuration, "
-               "4 data loss / I/O failure\n");
+               "4 data loss / I/O failure, 5 resource exhausted\n");
 }
 
 // Exit-code contract (pinned by the smoke tests; scripts and CI branch
@@ -1033,6 +1084,10 @@ void PrintUsage(std::FILE* stream) {
 //   4 — I/O or corruption error: the configuration was valid but the
 //       data could not be (fully) read — checksum mismatch, torn write,
 //       exhausted retries
+//   5 — resource exhausted: the run could not complete because a
+//       resource ran out mid-write (ENOSPC/EDQUOT/EFBIG, real or
+//       injected); previous on-disk state is intact and retrying after
+//       freeing space is safe
 //   1 — anything else (internal invariant failures)
 int ExitCodeFor(const Status& status) {
   switch (status.code()) {
@@ -1047,6 +1102,8 @@ int ExitCodeFor(const Status& status) {
     case hdldp::StatusCode::kDataLoss:
     case hdldp::StatusCode::kUnavailable:
       return 4;
+    case hdldp::StatusCode::kResourceExhausted:
+      return 5;
     default:
       return 1;
   }
